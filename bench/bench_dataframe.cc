@@ -1,0 +1,98 @@
+// Micro-benchmarks of the dataframe substrate: filter, group-by/aggregate
+// and column-statistics kernels on the largest experimental dataset.
+#include <benchmark/benchmark.h>
+
+#include "data/registry.h"
+#include "dataframe/ops.h"
+#include "dataframe/stats.h"
+
+namespace atena {
+namespace {
+
+const Dataset& BigDataset() {
+  static const Dataset& dataset = *new Dataset(
+      MakeDataset("cyber4").value());
+  return dataset;
+}
+
+void BM_FilterStringEq(benchmark::State& state) {
+  const Table& t = *BigDataset().table;
+  auto rows = AllRows(t);
+  int col = t.FindColumn("tcp_flags");
+  for (auto _ : state) {
+    auto out = FilterRows(t, rows, col, CompareOp::kEq,
+                          Value(std::string("SYN")));
+    benchmark::DoNotOptimize(out.value().size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_FilterStringEq);
+
+void BM_FilterNumericRange(benchmark::State& state) {
+  const Table& t = *BigDataset().table;
+  auto rows = AllRows(t);
+  int col = t.FindColumn("destination_port");
+  for (auto _ : state) {
+    auto out = FilterRows(t, rows, col, CompareOp::kLe, Value(int64_t{1024}));
+    benchmark::DoNotOptimize(out.value().size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_FilterNumericRange);
+
+void BM_GroupBySingleColumn(benchmark::State& state) {
+  const Table& t = *BigDataset().table;
+  auto rows = AllRows(t);
+  GroupSpec spec;
+  spec.group_columns = {t.FindColumn("source_ip")};
+  for (auto _ : state) {
+    auto out = GroupAggregate(t, rows, spec);
+    benchmark::DoNotOptimize(out.value().groups.size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_GroupBySingleColumn);
+
+void BM_GroupByTwoColumnsAvg(benchmark::State& state) {
+  const Table& t = *BigDataset().table;
+  auto rows = AllRows(t);
+  GroupSpec spec;
+  spec.group_columns = {t.FindColumn("source_ip"), t.FindColumn("tcp_flags")};
+  spec.agg = AggFunc::kAvg;
+  spec.agg_column = t.FindColumn("length");
+  for (auto _ : state) {
+    auto out = GroupAggregate(t, rows, spec);
+    benchmark::DoNotOptimize(out.value().groups.size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_GroupByTwoColumnsAvg);
+
+void BM_ColumnStats(benchmark::State& state) {
+  const Table& t = *BigDataset().table;
+  auto rows = AllRows(t);
+  const Column& col = *t.column(t.FindColumn("destination_port"));
+  for (auto _ : state) {
+    auto stats = ComputeColumnStats(col, rows);
+    benchmark::DoNotOptimize(stats.entropy);
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_ColumnStats);
+
+void BM_TokenFrequencies(benchmark::State& state) {
+  const Table& t = *BigDataset().table;
+  auto rows = AllRows(t);
+  const Column& col = *t.column(t.FindColumn("source_ip"));
+  for (auto _ : state) {
+    auto tokens = TokenFrequencies(col, rows);
+    benchmark::DoNotOptimize(tokens.size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_TokenFrequencies);
+
+}  // namespace
+}  // namespace atena
+
+BENCHMARK_MAIN();

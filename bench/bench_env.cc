@@ -1,0 +1,89 @@
+// Micro-benchmarks of the EDA environment: observation encoding, single
+// steps of each operation type, and the compound-reward evaluation path.
+#include <benchmark/benchmark.h>
+
+#include "data/registry.h"
+#include "eda/environment.h"
+#include "reward/compound.h"
+
+namespace atena {
+namespace {
+
+EnvConfig BenchConfig() {
+  EnvConfig config;
+  config.episode_length = 1 << 20;  // benches manage episode boundaries
+  return config;
+}
+
+void BM_EnvReset(benchmark::State& state) {
+  auto dataset = MakeDataset("cyber4").value();
+  EdaEnvironment env(dataset, BenchConfig());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.Reset().size());
+  }
+}
+BENCHMARK(BM_EnvReset);
+
+void BM_EnvStepFilter(benchmark::State& state) {
+  auto dataset = MakeDataset("cyber4").value();
+  EdaEnvironment env(dataset, BenchConfig());
+  int col = dataset.table->FindColumn("tcp_flags");
+  EdaOperation filter =
+      EdaOperation::Filter(col, CompareOp::kEq, Value(std::string("SYN")));
+  for (auto _ : state) {
+    env.Reset();
+    benchmark::DoNotOptimize(env.StepOperation(filter).valid);
+  }
+}
+BENCHMARK(BM_EnvStepFilter);
+
+void BM_EnvStepGroup(benchmark::State& state) {
+  auto dataset = MakeDataset("cyber4").value();
+  EdaEnvironment env(dataset, BenchConfig());
+  int col = dataset.table->FindColumn("source_ip");
+  EdaOperation group = EdaOperation::Group(col, AggFunc::kCount, -1);
+  for (auto _ : state) {
+    env.Reset();
+    benchmark::DoNotOptimize(env.StepOperation(group).valid);
+  }
+}
+BENCHMARK(BM_EnvStepGroup);
+
+void BM_EnvRandomEpisode(benchmark::State& state) {
+  auto dataset = MakeDataset("flights4").value();
+  EnvConfig config;
+  config.episode_length = 12;
+  EdaEnvironment env(dataset, config);
+  Rng rng(1);
+  for (auto _ : state) {
+    env.Reset();
+    while (!env.done()) {
+      env.Step(SampleRandomAction(env.action_space(), &rng));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * config.episode_length);
+}
+BENCHMARK(BM_EnvRandomEpisode);
+
+void BM_CompoundRewardEpisode(benchmark::State& state) {
+  auto dataset = MakeDataset("flights4").value();
+  EnvConfig config;
+  config.episode_length = 12;
+  EdaEnvironment env(dataset, config);
+  auto reward = MakeStandardReward(&env).value();
+  env.SetRewardSignal(reward.get());
+  Rng rng(2);
+  for (auto _ : state) {
+    env.Reset();
+    while (!env.done()) {
+      env.Step(SampleRandomAction(env.action_space(), &rng));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * config.episode_length);
+}
+BENCHMARK(BM_CompoundRewardEpisode);
+
+}  // namespace
+}  // namespace atena
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Micro-benchmarks of the neural substrate and the two actor
+// architectures: forward/backward passes and optimizer steps at the sizes
+// used by the experiments — including the pre-output vs flat-output width
+// comparison at the heart of paper §5.
+#include <benchmark/benchmark.h>
+
+#include "baselines/flat_policy.h"
+#include "core/twofold_policy.h"
+#include "data/registry.h"
+#include "nn/optimizer.h"
+
+namespace atena {
+namespace {
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+  Rng rng(1);
+  const int batch = static_cast<int>(state.range(0));
+  auto net = MakeMlp(128, {64, 64}, 32, &rng);
+  Matrix input(batch, 128);
+  for (double& x : input.data()) x = rng.NextGaussian();
+  Matrix grad(batch, 32, 0.01);
+  for (auto _ : state) {
+    ZeroGradients(net->Parameters());
+    Matrix out = net->Forward(input);
+    benchmark::DoNotOptimize(net->Backward(grad).size());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_MlpForwardBackward)->Arg(1)->Arg(64)->Arg(256);
+
+void BM_AdamStep(benchmark::State& state) {
+  Rng rng(2);
+  auto net = MakeMlp(128, {64, 64}, 32, &rng);
+  Matrix input(16, 128, 0.1);
+  net->Forward(input);
+  net->Backward(Matrix(16, 32, 0.01));
+  Adam adam(1e-3);
+  for (auto _ : state) {
+    adam.Step(net->Parameters());
+  }
+}
+BENCHMARK(BM_AdamStep);
+
+void BM_TwofoldPolicyAct(benchmark::State& state) {
+  auto dataset = MakeDataset("cyber2").value();
+  EnvConfig config;
+  EdaEnvironment env(dataset, config);
+  TwofoldPolicy policy(env.observation_dim(), env.action_space());
+  Rng rng(3);
+  auto obs = env.Reset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.Act(obs, &rng).log_prob);
+  }
+}
+BENCHMARK(BM_TwofoldPolicyAct);
+
+void BM_FlatPolicyAct(benchmark::State& state) {
+  auto dataset = MakeDataset("cyber2").value();
+  EnvConfig config;
+  EdaEnvironment env(dataset, config);
+  FlatPolicy::Options options;
+  options.term_mode = FlatPolicy::TermMode::kExplicitTokens;
+  FlatPolicy policy(env, options);
+  Rng rng(4);
+  auto obs = env.Reset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.Act(obs, &rng).log_prob);
+  }
+}
+BENCHMARK(BM_FlatPolicyAct);
+
+void BM_TwofoldBatchUpdate(benchmark::State& state) {
+  auto dataset = MakeDataset("cyber2").value();
+  EnvConfig config;
+  EdaEnvironment env(dataset, config);
+  TwofoldPolicy policy(env.observation_dim(), env.action_space());
+  Rng rng(5);
+  auto obs = env.Reset();
+  const int batch = 64;
+  Matrix observations(batch, static_cast<int>(obs.size()));
+  std::vector<ActionRecord> actions;
+  std::vector<SampleGrad> grads(batch);
+  for (int b = 0; b < batch; ++b) {
+    PolicyStep step = policy.Act(obs, &rng);
+    actions.push_back(step.action);
+    for (size_t i = 0; i < obs.size(); ++i) {
+      observations(b, static_cast<int>(i)) = obs[i];
+    }
+    grads[static_cast<size_t>(b)] = SampleGrad{0.01, -0.001, 0.02};
+  }
+  for (auto _ : state) {
+    ZeroGradients(policy.Parameters());
+    policy.ForwardBatch(observations, actions);
+    policy.BackwardBatch(grads);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_TwofoldBatchUpdate);
+
+}  // namespace
+}  // namespace atena
+
+BENCHMARK_MAIN();

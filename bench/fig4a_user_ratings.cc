@@ -1,0 +1,83 @@
+// Regenerates paper Figure 4a: user ratings (1–7) for Informativity,
+// Comprehensibility, Expertise and Human-Equivalence across Gold-Standard,
+// EDA-Traces, Greedy-IO, OTS-DRL-B and ATENA notebooks — via the proxy
+// rating model (DESIGN.md substitution #6; the paper ran a 40-participant
+// study). Averaged across all 8 datasets.
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "eval/ratings.h"
+
+namespace atena {
+namespace {
+
+struct Accumulator {
+  UserRatings total;
+  int count = 0;
+  void Add(const UserRatings& r) {
+    total.informativity += r.informativity;
+    total.comprehensibility += r.comprehensibility;
+    total.expertise += r.expertise;
+    total.human_equivalence += r.human_equivalence;
+    ++count;
+  }
+  std::vector<double> Mean() const {
+    const double n = count > 0 ? count : 1;
+    return {total.informativity / n, total.comprehensibility / n,
+            total.expertise / n, total.human_equivalence / n};
+  }
+};
+
+int Run() {
+  AtenaOptions options = bench::ExperimentOptions();
+  auto datasets = MakeAllDatasets();
+  if (!datasets.ok()) return 1;
+
+  // Figure 4a compares the gold standard, EDA traces, and one
+  // representative of each automatic family (the strongest per §6.2).
+  const std::vector<BaselineKind> kinds = {
+      BaselineKind::kGreedyIO, BaselineKind::kOtsDrlB, BaselineKind::kAtena};
+
+  std::map<std::string, Accumulator> rows;
+  for (const auto& dataset : datasets.value()) {
+    auto gold = GoldNotebooks(dataset, options.env);
+    if (!gold.ok()) return 1;
+
+    auto assess = [&](const EdaNotebook& notebook, const std::string& row) {
+      auto quality = AssessNotebook(dataset, notebook, gold.value(),
+                                    options.env);
+      if (quality.ok()) {
+        rows[row].Add(ProxyRatings(quality.value()));
+      }
+    };
+
+    for (const auto& g : gold.value()) assess(g, "Gold");
+    auto traces = SimulatedTraceNotebooks(dataset, options.env);
+    if (traces.ok()) {
+      for (const auto& t : traces.value()) assess(t, "EDA-Traces");
+    }
+    for (BaselineKind kind : kinds) {
+      auto run = RunBaseline(kind, dataset, options);
+      if (!run.ok()) return 1;
+      assess(run.value().notebook, BaselineName(kind));
+      std::fprintf(stderr, "  [%s] %s rated\n", dataset.info.id.c_str(),
+                   BaselineName(kind));
+    }
+  }
+
+  std::printf("Figure 4a: User ratings of examined notebooks (1-7 scale,\n");
+  std::printf("proxy rating model; mean over 8 datasets)\n");
+  bench::PrintHeader("Baseline", {"Informat.", "Comprehens.", "Expertise",
+                                  "HumanEquiv"}, 12);
+  for (const auto& name :
+       {"Gold", "ATENA", "EDA-Traces", "OTS-DRL-B", "Greedy-IO"}) {
+    bench::PrintRow(name, rows[name].Mean(), 12);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace atena
+
+int main() { return atena::Run(); }

@@ -1,0 +1,69 @@
+// Regenerates paper Figure 4b: the percentage of ground-truth insights a
+// reader gathers from each notebook type, on the four cyber-security
+// datasets (their challenge solutions define 9–15 insights each). An
+// insight counts as gathered when the notebook contains a view revealing it
+// (DESIGN.md substitution #6).
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "eval/insights.h"
+
+namespace atena {
+namespace {
+
+int Run() {
+  AtenaOptions options = bench::ExperimentOptions();
+  const std::vector<std::string> cyber = {"cyber1", "cyber2", "cyber3",
+                                          "cyber4"};
+  const std::vector<BaselineKind> kinds = {
+      BaselineKind::kGreedyIO, BaselineKind::kOtsDrlB, BaselineKind::kAtena};
+
+  std::map<std::string, double> total;
+  std::map<std::string, int> count;
+  auto add = [&](const std::string& row, double coverage) {
+    total[row] += coverage;
+    ++count[row];
+  };
+
+  for (const auto& id : cyber) {
+    auto dataset = MakeDataset(id);
+    if (!dataset.ok()) return 1;
+    auto catalog = InsightCatalog(id);
+
+    auto gold = GoldNotebooks(dataset.value(), options.env);
+    if (!gold.ok()) return 1;
+    for (const auto& g : gold.value()) {
+      add("Gold", InsightCoverage(g, catalog));
+    }
+    auto traces = SimulatedTraceNotebooks(dataset.value(), options.env);
+    if (!traces.ok()) return 1;
+    for (const auto& t : traces.value()) {
+      add("EDA-Traces", InsightCoverage(t, catalog));
+    }
+    for (BaselineKind kind : kinds) {
+      auto run = RunBaseline(kind, dataset.value(), options);
+      if (!run.ok()) return 1;
+      add(BaselineName(kind),
+          InsightCoverage(run.value().notebook, catalog));
+      std::fprintf(stderr, "  [%s] %s coverage %.0f%%\n", id.c_str(),
+                   BaselineName(kind),
+                   100.0 * InsightCoverage(run.value().notebook, catalog));
+    }
+  }
+
+  std::printf("Figure 4b: %% of gathered insights (cyber datasets)\n");
+  bench::PrintHeader("Baseline", {"% insights"}, 12);
+  for (const auto& name :
+       {"Gold", "ATENA", "EDA-Traces", "OTS-DRL-B", "Greedy-IO"}) {
+    bench::PrintRow(name, {100.0 * total[name] /
+                           (count[name] > 0 ? count[name] : 1)},
+                    12);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace atena
+
+int main() { return atena::Run(); }

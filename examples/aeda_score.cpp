@@ -1,0 +1,103 @@
+// A-EDA benchmark CLI: scores an externally produced EDA notebook against
+// this repository's gold standard — the role of the paper's public
+// benchmark release [5], so future auto-EDA models can be compared without
+// rerunning a user study.
+//
+//   ./aeda_score <dataset_id> <script_file>
+//   ./aeda_score flights4 my_notebook.eda
+//
+// The script format is one operation per line (see
+// eval/script_parser.h):
+//
+//   GROUP month AVG departure_delay
+//   FILTER month == June
+//   BACK
+//
+// With no arguments, scores a small built-in demo script on flights4.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "data/registry.h"
+#include "eval/gold.h"
+#include "eval/insights.h"
+#include "eval/metrics.h"
+#include "eval/script_parser.h"
+
+namespace {
+
+const char kDemoScript[] =
+    "# demo notebook: the Example 1.1 narrative\n"
+    "GROUP month AVG departure_delay\n"
+    "FILTER month == June\n"
+    "GROUP origin_airport AVG departure_delay\n"
+    "BACK\n"
+    "GROUP delay_reason COUNT\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace atena;
+  std::string dataset_id = argc > 1 ? argv[1] : "flights4";
+  std::string script_text;
+  if (argc > 2) {
+    std::ifstream in(argv[2]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[2]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    script_text = buffer.str();
+  } else {
+    script_text = kDemoScript;
+    std::printf("(no script given; scoring the built-in demo script)\n");
+  }
+
+  auto dataset = MakeDataset(dataset_id);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "unknown dataset '%s'\n", dataset_id.c_str());
+    return 1;
+  }
+  auto ops = ParseOperationScript(script_text, *dataset.value().table);
+  if (!ops.ok()) {
+    std::fprintf(stderr, "script error: %s\n",
+                 ops.status().ToString().c_str());
+    return 1;
+  }
+
+  EnvConfig env_config;
+  EdaEnvironment env(dataset.value(), env_config);
+  EdaNotebook notebook =
+      ReplayOperations(&env, ops.value(), "external");
+  std::printf("replayed %zu operations (%zu valid) on %s\n",
+              ops.value().size(), notebook.entries.size(),
+              dataset_id.c_str());
+
+  auto gold = GoldNotebooks(dataset.value(), env_config);
+  if (!gold.ok()) {
+    std::fprintf(stderr, "gold error: %s\n",
+                 gold.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::vector<ViewSignature>> gold_views;
+  for (const auto& g : gold.value()) {
+    gold_views.push_back(NotebookSignatures(g));
+  }
+  AedaScores scores =
+      ComputeAedaScores(NotebookSignatures(notebook), gold_views);
+  std::printf("A-EDA scores vs %zu gold notebooks:\n", gold_views.size());
+  std::printf("  Precision : %.3f\n", scores.precision);
+  std::printf("  T-BLEU-1  : %.3f\n", scores.t_bleu_1);
+  std::printf("  T-BLEU-2  : %.3f\n", scores.t_bleu_2);
+  std::printf("  T-BLEU-3  : %.3f\n", scores.t_bleu_3);
+  std::printf("  EDA-Sim   : %.3f\n", scores.eda_sim);
+
+  auto catalog = InsightCatalog(dataset_id);
+  if (!catalog.empty()) {
+    std::printf("  Insights  : %.0f%% of %zu gathered\n",
+                100.0 * InsightCoverage(notebook, catalog), catalog.size());
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Exports the complete A-EDA benchmark as plain files — the shareable
+// artifact the paper published [5]: every experimental dataset as CSV and
+// every gold-standard notebook as an operation script (parseable back by
+// eval/script_parser.h and scoreable with examples/aeda_score).
+//
+//   ./export_benchmark [output_dir]        (default: ./aeda_benchmark)
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "data/registry.h"
+#include "dataframe/csv.h"
+#include "eval/gold.h"
+#include "eval/script_parser.h"
+
+int main(int argc, char** argv) {
+  using namespace atena;
+  const std::string out_dir = argc > 1 ? argv[1] : "aeda_benchmark";
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", out_dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+
+  for (const auto& id : ExperimentalDatasetIds()) {
+    auto dataset = MakeDataset(id);
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "%s: %s\n", id.c_str(),
+                   dataset.status().ToString().c_str());
+      return 1;
+    }
+    const std::string csv_path = out_dir + "/" + id + ".csv";
+    if (auto s = WriteCsvFile(*dataset.value().table, csv_path); !s.ok()) {
+      std::fprintf(stderr, "%s: %s\n", csv_path.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+
+    auto scripts = GoldOperationScripts(dataset.value());
+    if (!scripts.ok()) {
+      std::fprintf(stderr, "%s gold: %s\n", id.c_str(),
+                   scripts.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t k = 0; k < scripts.value().size(); ++k) {
+      const std::string script_path =
+          out_dir + "/" + id + ".gold" + std::to_string(k + 1) + ".eda";
+      std::ofstream out(script_path);
+      out << "# gold-standard notebook " << (k + 1) << " for " << id << " ("
+          << dataset.value().info.description << ")\n";
+      out << FormatOperationScript(scripts.value()[k],
+                                   *dataset.value().table);
+      if (!out) {
+        std::fprintf(stderr, "write failed: %s\n", script_path.c_str());
+        return 1;
+      }
+    }
+    std::printf("%-10s -> %s.csv + %zu gold scripts\n", id.c_str(),
+                id.c_str(), scripts.value().size());
+  }
+  std::printf("benchmark exported to %s/\n", out_dir.c_str());
+  std::printf("score an external notebook with:\n"
+              "  ./aeda_score <dataset_id> <script.eda>\n");
+  return 0;
+}

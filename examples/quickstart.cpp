@@ -1,0 +1,63 @@
+// Quickstart: generate an EDA notebook for one of the bundled datasets.
+//
+//   ./quickstart [dataset_id] [train_steps]
+//
+// Runs the full ATENA pipeline — environment construction, weak-supervision
+// coherency training, reward calibration, DRL training with the twofold
+// architecture, and best-episode notebook extraction — then prints the
+// notebook with its exploration tree.
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.h"
+#include "common/string_utils.h"
+#include "core/atena.h"
+#include "data/registry.h"
+#include "notebook/render.h"
+
+int main(int argc, char** argv) {
+  atena::SetLogLevel(atena::LogLevel::kInfo);
+  const std::string dataset_id = argc > 1 ? argv[1] : "flights4";
+
+  auto dataset = atena::MakeDataset(dataset_id);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "error: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  atena::AtenaOptions options;
+  options.trainer.total_steps = 4000;
+  atena::ApplyTrainStepsFromEnv(&options);
+  if (argc > 2) {
+    int64_t steps = 0;
+    if (atena::ParseInt64(argv[2], &steps) && steps > 0) {
+      options.trainer.total_steps = static_cast<int>(steps);
+    }
+  }
+
+  std::printf("Generating EDA notebook for %s (%lld rows, %d train steps)\n",
+              dataset.value().info.title.c_str(),
+              static_cast<long long>(dataset.value().table->num_rows()),
+              options.trainer.total_steps);
+
+  auto result = atena::RunAtena(dataset.value(), options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  atena::RenderOptions render;
+  render.include_rewards = true;
+  auto text = atena::RenderText(result.value().notebook, render);
+  if (!text.ok()) {
+    std::fprintf(stderr, "render error: %s\n",
+                 text.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", text.value().c_str());
+  std::printf("best episode reward: %.3f over %d episodes\n",
+              result.value().training.best_episode_reward,
+              result.value().training.episodes);
+  return 0;
+}

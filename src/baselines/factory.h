@@ -1,0 +1,44 @@
+#ifndef ATENA_BASELINES_FACTORY_H_
+#define ATENA_BASELINES_FACTORY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/atena.h"
+#include "eda/session.h"
+#include "rl/trainer.h"
+
+namespace atena {
+
+/// Identifiers of all automatic notebook generators compared in the paper's
+/// evaluation (§6.1), in Table 2 row order (human baselines excluded).
+enum class BaselineKind {
+  kAtnIO,     // 3B: ATENA architecture, interestingness-only reward
+  kGreedyIO,  // 3A: greedy argmax of interestingness
+  kOtsDrl,    // 4A: flat softmax, explicit top-10 tokens per column
+  kGreedyCR,  // 4C: greedy argmax of the compound reward
+  kOtsDrlB,   // 4B: flat softmax over frequency bins
+  kAtena,     // the full system
+};
+
+const char* BaselineName(BaselineKind kind);
+std::vector<BaselineKind> AllBaselines();
+
+/// Output of one baseline run. `training` is empty (no curve) for the
+/// greedy baselines.
+struct BaselineRun {
+  BaselineKind kind = BaselineKind::kAtena;
+  EdaNotebook notebook;
+  TrainingResult training;
+};
+
+/// Runs the requested generator end-to-end on `dataset` with shared
+/// hyper-parameters from `options` (episode length, training steps, seeds),
+/// so the comparison isolates architecture/reward differences exactly as
+/// the paper's evaluation does.
+Result<BaselineRun> RunBaseline(BaselineKind kind, const Dataset& dataset,
+                                const AtenaOptions& options);
+
+}  // namespace atena
+
+#endif  // ATENA_BASELINES_FACTORY_H_

@@ -1,0 +1,226 @@
+#include "baselines/flat_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "dataframe/stats.h"
+
+namespace atena {
+
+namespace {
+
+double SafeLog(double p) { return std::log(std::max(p, 1e-12)); }
+
+}  // namespace
+
+FlatPolicy::FlatPolicy(const EdaEnvironment& env, Options options)
+    : options_(std::move(options)) {
+  BuildActionTable(env);
+
+  Rng rng(options_.seed);
+  trunk_ = std::make_unique<Sequential>();
+  int prev = env.observation_dim();
+  for (int h : options_.hidden) {
+    trunk_->Add(std::make_unique<Dense>(prev, h, &rng));
+    trunk_->Add(std::make_unique<Relu>());
+    prev = h;
+  }
+  policy_head_ = std::make_unique<Dense>(prev, num_actions(), &rng);
+  value_head_ = std::make_unique<Dense>(prev, 1, &rng);
+}
+
+void FlatPolicy::BuildActionTable(const EdaEnvironment& env) {
+  const Table& table = env.table();
+  const ActionSpace& space = env.action_space();
+  auto all_rows = AllRows(table);
+
+  // FILTER actions.
+  for (int c = 0; c < table.num_columns(); ++c) {
+    const Column& col = *table.column(c);
+    const bool string_col = col.type() == DataType::kString;
+    for (int op_index = 0; op_index < space.num_filter_ops; ++op_index) {
+      CompareOp op = static_cast<CompareOp>(op_index);
+      // Coerce type-incompatible operators to equality, mirroring the
+      // environment's own fallback so flat and twofold agents face the same
+      // semantics (only the output-layer architecture differs).
+      const bool ordering = op == CompareOp::kGt || op == CompareOp::kGe ||
+                            op == CompareOp::kLt || op == CompareOp::kLe;
+      const bool substring = op == CompareOp::kContains ||
+                             op == CompareOp::kStartsWith ||
+                             op == CompareOp::kEndsWith;
+      if ((string_col && ordering) || (!string_col && substring)) {
+        op = CompareOp::kEq;
+      }
+      if (options_.term_mode == TermMode::kExplicitTokens) {
+        auto tokens = TokenFrequencies(col, all_rows);
+        const int limit = std::min<int>(options_.tokens_per_column,
+                                        static_cast<int>(tokens.size()));
+        for (int t = 0; t < limit; ++t) {
+          ActionRecord record;
+          record.is_concrete = true;
+          record.concrete = EdaOperation::Filter(c, op, tokens[t].token);
+          actions_.push_back(std::move(record));
+        }
+      } else {
+        for (int bin = 0; bin < space.num_term_bins; ++bin) {
+          ActionRecord record;
+          record.structured.type = OpType::kFilter;
+          record.structured.filter_column = c;
+          record.structured.filter_op = static_cast<int>(op);
+          record.structured.filter_bin = bin;
+          actions_.push_back(std::move(record));
+        }
+      }
+    }
+  }
+  // GROUP actions.
+  for (int g = 0; g < table.num_columns(); ++g) {
+    for (int f = 0; f < space.num_agg_funcs; ++f) {
+      for (int a = 0; a < table.num_columns(); ++a) {
+        ActionRecord record;
+        record.structured.type = OpType::kGroup;
+        record.structured.group_column = g;
+        record.structured.agg_func = f;
+        record.structured.agg_column = a;
+        actions_.push_back(std::move(record));
+      }
+    }
+  }
+  // BACK.
+  {
+    ActionRecord record;
+    record.structured.type = OpType::kBack;
+    actions_.push_back(std::move(record));
+  }
+  for (size_t i = 0; i < actions_.size(); ++i) {
+    actions_[i].flat_index = static_cast<int>(i);
+  }
+  ATENA_LOG(kInfo) << "flat policy: " << actions_.size()
+                   << " output nodes (" << env.dataset().info.id << ")";
+}
+
+PolicyStep FlatPolicy::MakeStep(const std::vector<double>& observation,
+                                Rng* rng, bool greedy) {
+  Matrix obs = Matrix::FromRow(observation);
+  Matrix h = trunk_->Forward(obs);
+  Matrix logits = policy_head_->Forward(h);
+  Matrix value = value_head_->Forward(h);
+  SoftmaxRangeInPlace(&logits, 0, num_actions());
+  const double* probs = logits.RowPtr(0);
+
+  int index = 0;
+  if (greedy) {
+    for (int i = 1; i < num_actions(); ++i) {
+      if (probs[i] > probs[index]) index = i;
+    }
+  } else {
+    double target = rng->NextDouble();
+    double acc = 0.0;
+    index = num_actions() - 1;
+    for (int i = 0; i < num_actions(); ++i) {
+      acc += probs[i];
+      if (target < acc) {
+        index = i;
+        break;
+      }
+    }
+  }
+
+  double entropy = 0.0;
+  for (int i = 0; i < num_actions(); ++i) {
+    if (probs[i] > 0.0) entropy -= probs[i] * SafeLog(probs[i]);
+  }
+
+  PolicyStep step;
+  step.action = actions_[static_cast<size_t>(index)];
+  step.log_prob = SafeLog(probs[index]);
+  step.entropy = entropy;
+  step.value = value(0, 0);
+  return step;
+}
+
+PolicyStep FlatPolicy::Act(const std::vector<double>& observation, Rng* rng) {
+  return MakeStep(observation, rng, /*greedy=*/false);
+}
+
+PolicyStep FlatPolicy::ActGreedy(const std::vector<double>& observation) {
+  return MakeStep(observation, /*rng=*/nullptr, /*greedy=*/true);
+}
+
+BatchEvaluation FlatPolicy::ForwardBatch(
+    const Matrix& observations, const std::vector<ActionRecord>& actions) {
+  const int batch = observations.rows();
+  Matrix h = trunk_->Forward(observations);
+  Matrix logits = policy_head_->Forward(h);
+  Matrix values = value_head_->Forward(h);
+  SoftmaxRangeInPlace(&logits, 0, num_actions());
+
+  batch_probs_.clear();
+  batch_probs_.reserve(static_cast<size_t>(batch));
+  batch_indices_.clear();
+  batch_indices_.reserve(static_cast<size_t>(batch));
+  batch_size_ = batch;
+
+  BatchEvaluation eval;
+  eval.log_probs.resize(static_cast<size_t>(batch));
+  eval.entropies.resize(static_cast<size_t>(batch));
+  eval.values.resize(static_cast<size_t>(batch));
+  for (int b = 0; b < batch; ++b) {
+    const double* probs = logits.RowPtr(b);
+    const int index = actions[static_cast<size_t>(b)].flat_index;
+    ATENA_CHECK(index >= 0 && index < num_actions())
+        << "flat policy evaluated with a foreign action";
+    double entropy = 0.0;
+    for (int i = 0; i < num_actions(); ++i) {
+      if (probs[i] > 0.0) entropy -= probs[i] * SafeLog(probs[i]);
+    }
+    eval.log_probs[static_cast<size_t>(b)] = SafeLog(probs[index]);
+    eval.entropies[static_cast<size_t>(b)] = entropy;
+    eval.values[static_cast<size_t>(b)] = values(b, 0);
+    batch_probs_.emplace_back(probs, probs + num_actions());
+    batch_indices_.push_back(index);
+  }
+  return eval;
+}
+
+void FlatPolicy::BackwardBatch(const std::vector<SampleGrad>& grads) {
+  ATENA_CHECK(static_cast<int>(grads.size()) == batch_size_)
+      << "BackwardBatch called with mismatched batch";
+  Matrix dlogits(batch_size_, num_actions());
+  Matrix dvalues(batch_size_, 1);
+  for (int b = 0; b < batch_size_; ++b) {
+    const SampleGrad& g = grads[static_cast<size_t>(b)];
+    const auto& probs = batch_probs_[static_cast<size_t>(b)];
+    const int chosen = batch_indices_[static_cast<size_t>(b)];
+    double* drow = dlogits.RowPtr(b);
+    dvalues(b, 0) = g.d_value;
+
+    double entropy = 0.0;
+    if (g.d_entropy != 0.0) {
+      for (double p : probs) {
+        if (p > 0.0) entropy -= p * SafeLog(p);
+      }
+    }
+    for (int j = 0; j < num_actions(); ++j) {
+      const double p = probs[static_cast<size_t>(j)];
+      const double indicator = (j == chosen) ? 1.0 : 0.0;
+      drow[j] = g.d_log_prob * (indicator - p);
+      if (g.d_entropy != 0.0) {
+        drow[j] += g.d_entropy * (-p * (SafeLog(p) + entropy));
+      }
+    }
+  }
+  Matrix grad_h = policy_head_->Backward(dlogits);
+  AxpyInPlace(&grad_h, value_head_->Backward(dvalues), 1.0);
+  trunk_->Backward(grad_h);
+}
+
+std::vector<Parameter*> FlatPolicy::Parameters() {
+  std::vector<Parameter*> params = trunk_->Parameters();
+  for (Parameter* p : policy_head_->Parameters()) params.push_back(p);
+  for (Parameter* p : value_head_->Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace atena

@@ -1,0 +1,69 @@
+#ifndef ATENA_BASELINES_FLAT_POLICY_H_
+#define ATENA_BASELINES_FLAT_POLICY_H_
+
+#include <memory>
+#include <vector>
+
+#include "rl/policy.h"
+
+namespace atena {
+
+/// Off-the-shelf DRL actor (paper baselines 4A/4B): a standard architecture
+/// whose output layer has one softmax node per *distinct* flattened action.
+///
+///  * TermMode::kExplicitTokens — OTS-DRL: filter terms are the ten most
+///    common tokens of each column (paper footnote 2), so every filter
+///    action is fully concrete.
+///  * TermMode::kFrequencyBins  — OTS-DRL-B: the same flat layout but the
+///    term dimension uses ATENA's frequency bins instead of tokens.
+///
+/// Shares the trunk/value-head structure with TwofoldPolicy; only the
+/// output layer differs — which is exactly the paper's ablation of the
+/// twofold architecture.
+class FlatPolicy final : public Policy {
+ public:
+  enum class TermMode { kExplicitTokens, kFrequencyBins };
+
+  struct Options {
+    TermMode term_mode = TermMode::kExplicitTokens;
+    int tokens_per_column = 10;
+    std::vector<int> hidden = {64, 64};
+    uint64_t seed = 29;
+  };
+
+  /// Enumerates the flat action table from `env`'s dataset (tokens are
+  /// taken over the full table, as restricting terms is what makes the
+  /// flat layout feasible at all).
+  FlatPolicy(const EdaEnvironment& env, Options options);
+
+  int num_actions() const { return static_cast<int>(actions_.size()); }
+
+  PolicyStep Act(const std::vector<double>& observation, Rng* rng) override;
+  PolicyStep ActGreedy(const std::vector<double>& observation) override;
+  BatchEvaluation ForwardBatch(
+      const Matrix& observations,
+      const std::vector<ActionRecord>& actions) override;
+  void BackwardBatch(const std::vector<SampleGrad>& grads) override;
+  std::vector<Parameter*> Parameters() override;
+
+ private:
+  PolicyStep MakeStep(const std::vector<double>& observation, Rng* rng,
+                      bool greedy);
+  void BuildActionTable(const EdaEnvironment& env);
+
+  Options options_;
+  std::vector<ActionRecord> actions_;
+
+  std::unique_ptr<Sequential> trunk_;
+  std::unique_ptr<Dense> policy_head_;
+  std::unique_ptr<Dense> value_head_;
+
+  // ForwardBatch caches for BackwardBatch.
+  std::vector<std::vector<double>> batch_probs_;
+  std::vector<int> batch_indices_;
+  int batch_size_ = 0;
+};
+
+}  // namespace atena
+
+#endif  // ATENA_BASELINES_FLAT_POLICY_H_

@@ -1,0 +1,33 @@
+#ifndef ATENA_BASELINES_GREEDY_H_
+#define ATENA_BASELINES_GREEDY_H_
+
+#include <string>
+
+#include "eda/session.h"
+
+namespace atena {
+
+/// Options of the greedy (non-learning) baselines (paper 3A and 4C).
+struct GreedyOptions {
+  /// How many of the most frequent tokens per column enter the candidate
+  /// filter set at each step.
+  int tokens_per_column = 3;
+  /// Upper bound on candidates evaluated per step; larger candidate sets
+  /// are subsampled deterministically. Keeps greedy search tractable on the
+  /// larger datasets (the paper's greedy baselines enumerated "all possible
+  /// operations" — over the same kind of restricted term set).
+  int max_candidates = 128;
+  uint64_t seed = 41;
+};
+
+/// Runs a greedy episode on `env`: at every step, speculatively executes
+/// each candidate operation, keeps the one with the highest immediate
+/// reward under the environment's attached reward signal, and commits it.
+/// With an interestingness-only reward this is Greedy-IO; with the full
+/// compound reward it is Greedy-CR. Returns the resulting notebook.
+EdaNotebook RunGreedyEpisode(EdaEnvironment* env, const GreedyOptions& options,
+                             std::string generator);
+
+}  // namespace atena
+
+#endif  // ATENA_BASELINES_GREEDY_H_

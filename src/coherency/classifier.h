@@ -1,0 +1,55 @@
+#ifndef ATENA_COHERENCY_CLASSIFIER_H_
+#define ATENA_COHERENCY_CLASSIFIER_H_
+
+#include <vector>
+
+#include "coherency/label_model.h"
+#include "coherency/labeling_function.h"
+#include "common/status.h"
+
+namespace atena {
+
+/// The coherency classifier (paper §4.2): a set of labeling functions plus
+/// a generative label model. Training needs no annotated data — a warmup
+/// corpus of random sessions provides unlabeled examples from which the
+/// label model estimates rule accuracies via EM.
+class CoherencyClassifier {
+ public:
+  struct Options {
+    /// Random episodes used to build the unlabeled warmup corpus.
+    int warmup_episodes = 30;
+    uint64_t seed = 99;
+    LabelModel::Options model;
+  };
+
+  explicit CoherencyClassifier(std::vector<LabelingFunctionPtr> rules)
+      : CoherencyClassifier(std::move(rules), Options()) {}
+  CoherencyClassifier(std::vector<LabelingFunctionPtr> rules,
+                      Options options);
+
+  int num_rules() const { return static_cast<int>(rules_.size()); }
+  const LabelModel& model() const { return model_; }
+  bool trained() const { return model_.trained(); }
+
+  /// Generates `options.warmup_episodes` random sessions on `env`, collects
+  /// the rules' votes after every step, and fits the label model. The
+  /// environment's reward signal is detached during warmup and restored
+  /// afterwards; the environment is left reset.
+  Status Train(EdaEnvironment* env);
+
+  /// Rule votes for the just-executed step.
+  std::vector<LfVote> CollectVotes(const RewardContext& context) const;
+
+  /// The coherency signal in [0,1]: P(coherent | votes) under the label
+  /// model. Falls back to unweighted majority vote when untrained.
+  double Score(const RewardContext& context) const;
+
+ private:
+  std::vector<LabelingFunctionPtr> rules_;
+  Options options_;
+  LabelModel model_;
+};
+
+}  // namespace atena
+
+#endif  // ATENA_COHERENCY_CLASSIFIER_H_

@@ -1,0 +1,110 @@
+#include "coherency/label_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+
+namespace atena {
+
+LabelModel::LabelModel(int num_lfs, Options options)
+    : options_(options),
+      accuracies_(static_cast<size_t>(num_lfs), options.initial_accuracy) {
+  if (options_.anchor_lf >= 0 && options_.anchor_lf < num_lfs) {
+    accuracies_[static_cast<size_t>(options_.anchor_lf)] =
+        options_.anchor_accuracy;
+  }
+}
+
+double LabelModel::PosteriorCoherent(const std::vector<LfVote>& votes) const {
+  // Work in log space: log P(y) + sum over non-abstaining LFs of
+  // log P(vote_j | y).
+  double log_coherent = std::log(Clamp(prior_coherent_, 1e-6, 1.0 - 1e-6));
+  double log_incoherent =
+      std::log(Clamp(1.0 - prior_coherent_, 1e-6, 1.0 - 1e-6));
+  bool any_vote = false;
+  for (size_t j = 0; j < votes.size() && j < accuracies_.size(); ++j) {
+    if (votes[j] == LfVote::kAbstain) continue;
+    any_vote = true;
+    const double a = accuracies_[j];
+    if (votes[j] == LfVote::kCoherent) {
+      log_coherent += std::log(a);
+      log_incoherent += std::log(1.0 - a);
+    } else {
+      log_coherent += std::log(1.0 - a);
+      log_incoherent += std::log(a);
+    }
+  }
+  if (!any_vote) return prior_coherent_;
+  const double m = std::max(log_coherent, log_incoherent);
+  const double zc = std::exp(log_coherent - m);
+  const double zi = std::exp(log_incoherent - m);
+  return zc / (zc + zi);
+}
+
+int LabelModel::Fit(const std::vector<std::vector<LfVote>>& corpus) {
+  std::vector<const std::vector<LfVote>*> informative;
+  for (const auto& votes : corpus) {
+    for (LfVote v : votes) {
+      if (v != LfVote::kAbstain) {
+        informative.push_back(&votes);
+        break;
+      }
+    }
+  }
+  if (informative.empty()) {
+    ATENA_LOG(kWarning) << "LabelModel::Fit: corpus has no informative votes";
+    trained_ = true;
+    return 0;
+  }
+
+  int iterations = 0;
+  for (; iterations < options_.max_iterations; ++iterations) {
+    // E-step: posterior responsibility of "coherent" per example.
+    std::vector<double> responsibilities;
+    responsibilities.reserve(informative.size());
+    for (const auto* votes : informative) {
+      responsibilities.push_back(PosteriorCoherent(*votes));
+    }
+
+    // M-step: accuracy = expected fraction of non-abstain votes matching
+    // the (soft) latent label; prior = mean responsibility.
+    double prior_num = 0.0;
+    std::vector<double> match(accuracies_.size(), 0.0);
+    std::vector<double> total(accuracies_.size(), 0.0);
+    for (size_t i = 0; i < informative.size(); ++i) {
+      const auto& votes = *informative[i];
+      const double r = responsibilities[i];
+      prior_num += r;
+      for (size_t j = 0; j < votes.size() && j < accuracies_.size(); ++j) {
+        if (votes[j] == LfVote::kAbstain) continue;
+        total[j] += 1.0;
+        match[j] += (votes[j] == LfVote::kCoherent) ? r : (1.0 - r);
+      }
+    }
+
+    double delta = 0.0;
+    if (options_.learn_prior) {
+      double new_prior = Clamp(
+          prior_num / static_cast<double>(informative.size()), 0.05, 0.95);
+      delta = std::fabs(new_prior - prior_coherent_);
+      prior_coherent_ = new_prior;
+    }
+    for (size_t j = 0; j < accuracies_.size(); ++j) {
+      if (static_cast<int>(j) == options_.anchor_lf) continue;  // pinned
+      if (total[j] < 1.0) continue;  // LF never voted; keep its prior accuracy
+      double updated = Clamp(match[j] / total[j], options_.min_accuracy,
+                             options_.max_accuracy);
+      delta = std::max(delta, std::fabs(updated - accuracies_[j]));
+      accuracies_[j] = updated;
+    }
+    if (delta < options_.tolerance) {
+      ++iterations;
+      break;
+    }
+  }
+  trained_ = true;
+  return iterations;
+}
+
+}  // namespace atena

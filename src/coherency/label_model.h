@@ -1,0 +1,68 @@
+#ifndef ATENA_COHERENCY_LABEL_MODEL_H_
+#define ATENA_COHERENCY_LABEL_MODEL_H_
+
+#include <vector>
+
+#include "coherency/labeling_function.h"
+
+namespace atena {
+
+/// Snorkel-style generative label model [35] for binary weak supervision.
+///
+/// Model: a latent true label y ∈ {incoherent, coherent} with prior π; each
+/// labeling function j, when it does not abstain, reports the true label
+/// with accuracy α_j (conditionally independent given y). Accuracies and
+/// the prior are estimated from *unlabeled* vote matrices with EM; the
+/// posterior P(y = coherent | votes) is the model's confidence, used
+/// directly as the coherency reward (paper §4.2).
+class LabelModel {
+ public:
+  struct Options {
+    int max_iterations = 50;
+    double tolerance = 1e-6;
+    /// Accuracies are clamped into [min_accuracy, max_accuracy] so a single
+    /// LF can never become an oracle (numerical stability).
+    double min_accuracy = 0.55;
+    double max_accuracy = 0.95;
+    double initial_accuracy = 0.75;
+    /// EM over binary latent labels is unidentified up to a class flip: if
+    /// most rules agree on a majority cluster, the minority's votes get
+    /// discounted to the accuracy floor even when they are right. Anchoring
+    /// pins one trusted LF's accuracy (e.g. a rule that is correct by
+    /// construction), which breaks the symmetry. -1 disables.
+    int anchor_lf = -1;
+    double anchor_accuracy = 0.95;
+    /// When false the class prior stays at 0.5 instead of being re-estimated
+    /// (random warmup corpora are heavily skewed toward incoherent
+    /// operations, which otherwise drags the prior with them).
+    bool learn_prior = false;
+  };
+
+  explicit LabelModel(int num_lfs) : LabelModel(num_lfs, Options()) {}
+  LabelModel(int num_lfs, Options options);
+
+  int num_lfs() const { return static_cast<int>(accuracies_.size()); }
+  double accuracy(int lf) const { return accuracies_[lf]; }
+  double class_prior() const { return prior_coherent_; }
+  bool trained() const { return trained_; }
+
+  /// Fits accuracies and prior on a corpus of vote vectors (one vector of
+  /// LfVote per example, length num_lfs). Examples where every LF abstains
+  /// carry no signal and are skipped. Returns the number of EM iterations
+  /// performed.
+  int Fit(const std::vector<std::vector<LfVote>>& corpus);
+
+  /// Posterior probability that the example is coherent. An all-abstain
+  /// vote vector returns the class prior.
+  double PosteriorCoherent(const std::vector<LfVote>& votes) const;
+
+ private:
+  Options options_;
+  std::vector<double> accuracies_;
+  double prior_coherent_ = 0.5;
+  bool trained_ = false;
+};
+
+}  // namespace atena
+
+#endif  // ATENA_COHERENCY_LABEL_MODEL_H_

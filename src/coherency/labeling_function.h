@@ -1,0 +1,59 @@
+#ifndef ATENA_COHERENCY_LABELING_FUNCTION_H_
+#define ATENA_COHERENCY_LABELING_FUNCTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eda/environment.h"
+
+namespace atena {
+
+/// A labeling function's vote on one EDA operation in context.
+enum class LfVote : int {
+  kIncoherent = 0,
+  kCoherent = 1,
+  kAbstain = 2,
+};
+
+/// A heuristic classification rule (paper §4.2): given the session so far
+/// and the operation that was just executed, votes on whether that
+/// operation is coherent, or abstains. Rules never see ground truth — the
+/// generative label model (label_model.h) estimates their accuracies from
+/// agreements/disagreements alone, exactly as Snorkel [35] does.
+class LabelingFunction {
+ public:
+  virtual ~LabelingFunction() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Votes on the last executed step of `context`. The display history
+  /// already includes the operation's result display.
+  virtual LfVote Vote(const RewardContext& context) const = 0;
+};
+
+using LabelingFunctionPtr = std::shared_ptr<const LabelingFunction>;
+
+/// Convenience adapter for rules expressible as a function object.
+template <typename F>
+class LambdaLf final : public LabelingFunction {
+ public:
+  LambdaLf(std::string name, F fn) : name_(std::move(name)), fn_(std::move(fn)) {}
+  const std::string& name() const override { return name_; }
+  LfVote Vote(const RewardContext& context) const override {
+    return fn_(context);
+  }
+
+ private:
+  std::string name_;
+  F fn_;
+};
+
+template <typename F>
+LabelingFunctionPtr MakeLf(std::string name, F fn) {
+  return std::make_shared<LambdaLf<F>>(std::move(name), std::move(fn));
+}
+
+}  // namespace atena
+
+#endif  // ATENA_COHERENCY_LABELING_FUNCTION_H_

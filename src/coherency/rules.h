@@ -1,0 +1,34 @@
+#ifndef ATENA_COHERENCY_RULES_H_
+#define ATENA_COHERENCY_RULES_H_
+
+#include <vector>
+
+#include "coherency/labeling_function.h"
+#include "data/dataset.h"
+
+namespace atena {
+
+/// The general (dataset-agnostic) classification rules (paper §4.2 type i):
+///  * group_too_deep       — grouping by more than four attributes.
+///  * group_on_continuous  — grouping by a continuous numeric attribute.
+///  * group_on_id_like     — grouping/aggregating by a nearly-unique column.
+///  * repeated_operation   — re-executing an operation already in the session.
+///  * consecutive_back     — BACK immediately after BACK (or as the opener).
+///  * tiny_filter_result   — a filter keeping under 0.5% of the display.
+///  * drill_down_pattern   — filter-then-group or group-then-filter chains
+///                           (votes coherent: the paper's Example 1.1 shape).
+///  * invalid_noop         — no-op actions are incoherent.
+std::vector<LabelingFunctionPtr> GeneralCoherencyRules(TablePtr table);
+
+/// Data-dependent rules derived from the dataset's focal attributes
+/// (paper §4.2 type ii): operations that aggregate, filter or group on a
+/// focal attribute vote coherent; aggregating on non-focal, id-like columns
+/// votes incoherent.
+std::vector<LabelingFunctionPtr> FocalAttributeRules(const Dataset& dataset);
+
+/// General + data-dependent rules for `dataset`.
+std::vector<LabelingFunctionPtr> StandardRuleSet(const Dataset& dataset);
+
+}  // namespace atena
+
+#endif  // ATENA_COHERENCY_RULES_H_

@@ -1,0 +1,84 @@
+#ifndef ATENA_COMMON_LOGGING_H_
+#define ATENA_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace atena {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded. Defaults to
+/// kWarning so library consumers see nothing unless they opt in (benches
+/// and examples raise verbosity explicitly).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; writes one line to stderr at destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Discards everything; used for disabled levels without evaluating the
+/// streamed expressions' formatting cost (the expressions themselves are
+/// still evaluated — keep side effects out of log statements).
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define ATENA_LOG(level)                                               \
+  if (::atena::LogLevel::level < ::atena::GetLogLevel()) {             \
+  } else                                                               \
+    ::atena::internal::LogMessage(::atena::LogLevel::level, __FILE__,  \
+                                  __LINE__)                            \
+        .stream()
+
+/// Fatal check; aborts with a message when `condition` is false. Used for
+/// programmer-error invariants (out-of-contract calls), not data errors —
+/// those go through Status.
+#define ATENA_CHECK(condition)                                          \
+  if (condition) {                                                      \
+  } else                                                                \
+    ::atena::internal::FatalMessage(__FILE__, __LINE__, #condition)     \
+        .stream()
+
+namespace internal {
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+}  // namespace atena
+
+#endif  // ATENA_COMMON_LOGGING_H_

@@ -1,0 +1,128 @@
+#include "common/math_utils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace atena {
+
+double Sigmoid(double x) {
+  if (x >= 0) {
+    double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+double ScaledSigmoid(double x, double center, double width) {
+  return Sigmoid((x - center) / width);
+}
+
+double SigmoidBump(double x, double low_center, double low_width,
+                   double high_center, double high_width) {
+  return ScaledSigmoid(x, low_center, low_width) *
+         (1.0 - ScaledSigmoid(x, high_center, high_width));
+}
+
+double Entropy(const std::vector<double>& counts) {
+  double total = 0.0;
+  for (double c : counts) {
+    if (c > 0.0) total += c;
+  }
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double c : counts) {
+    if (c <= 0.0) continue;
+    double p = c / total;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+double NormalizedEntropy(const std::vector<double>& counts) {
+  size_t support = 0;
+  for (double c : counts) {
+    if (c > 0.0) ++support;
+  }
+  if (support <= 1) return 0.0;
+  return Entropy(counts) / std::log(static_cast<double>(support));
+}
+
+double KlDivergence(const std::unordered_map<int64_t, double>& p,
+                    const std::unordered_map<int64_t, double>& q,
+                    double epsilon) {
+  if (p.empty() && q.empty()) return 0.0;
+  // Union of supports, with additive smoothing so Q never has a zero where P
+  // is positive (the paper compares a filtered display against its parent,
+  // whose supports can differ in both directions).
+  std::unordered_map<int64_t, double> keys;
+  double p_total = 0.0, q_total = 0.0;
+  for (const auto& [k, v] : p) {
+    keys[k] = 0.0;
+    p_total += v;
+  }
+  for (const auto& [k, v] : q) {
+    keys[k] = 0.0;
+    q_total += v;
+  }
+  const double n = static_cast<double>(keys.size());
+  p_total += epsilon * n;
+  q_total += epsilon * n;
+  if (p_total <= 0.0 || q_total <= 0.0) return 0.0;
+  double kl = 0.0;
+  for (const auto& [k, unused] : keys) {
+    (void)unused;
+    auto pit = p.find(k);
+    auto qit = q.find(k);
+    double pv = ((pit != p.end()) ? pit->second : 0.0) + epsilon;
+    double qv = ((qit != q.end()) ? qit->second : 0.0) + epsilon;
+    double pp = pv / p_total;
+    double qq = qv / q_total;
+    kl += pp * std::log(pp / qq);
+  }
+  return std::max(0.0, kl);
+}
+
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  size_t n = std::min(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  // Mismatched tails count as distance from zero, so comparing vectors of
+  // different lengths is well-defined (it never happens inside one episode).
+  for (size_t i = n; i < a.size(); ++i) sum += a[i] * a[i];
+  for (size_t i = n; i < b.size(); ++i) sum += b[i] * b[i];
+  return std::sqrt(sum);
+}
+
+MeanVar ComputeMeanVar(const std::vector<double>& values) {
+  MeanVar out;
+  if (values.empty()) return out;
+  // Welford's online algorithm.
+  double mean = 0.0, m2 = 0.0;
+  size_t count = 0;
+  for (double v : values) {
+    ++count;
+    double delta = v - mean;
+    mean += delta / static_cast<double>(count);
+    m2 += delta * (v - mean);
+  }
+  out.mean = mean;
+  out.variance = m2 / static_cast<double>(count);
+  return out;
+}
+
+double Clamp(double x, double lo, double hi) {
+  return std::min(hi, std::max(lo, x));
+}
+
+double Log1pNormalize(double x, double scale) {
+  if (x <= 0.0 || scale <= 0.0) return 0.0;
+  return Clamp(std::log1p(x) / std::log1p(scale), 0.0, 1.0);
+}
+
+}  // namespace atena

@@ -1,0 +1,64 @@
+#ifndef ATENA_COMMON_MATH_UTILS_H_
+#define ATENA_COMMON_MATH_UTILS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace atena {
+
+/// Standard logistic sigmoid 1 / (1 + e^-x).
+double Sigmoid(double x);
+
+/// Sigmoid with configurable center and width: Sigmoid((x - center) / width).
+/// `width` > 0 yields an increasing curve, `width` < 0 a decreasing one.
+/// This is the paper's "normalized sigmoid function with a predefined width
+/// and center" (Section 4.2, citing [26]).
+double ScaledSigmoid(double x, double center, double width);
+
+/// A smooth "bump": rises through `low_center` and falls through
+/// `high_center`, ≈1 between them. Used for conciseness-style rewards that
+/// favor moderate values (e.g. a group-by with a handful of groups).
+double SigmoidBump(double x, double low_center, double low_width,
+                   double high_center, double high_width);
+
+/// Shannon entropy (natural log) of an unnormalized histogram. Zero-weight
+/// entries are ignored; an empty or all-zero histogram has entropy 0.
+double Entropy(const std::vector<double>& counts);
+
+/// Entropy normalized to [0,1] by log(support size); 0 when support <= 1.
+double NormalizedEntropy(const std::vector<double>& counts);
+
+/// Kullback-Leibler divergence D(P || Q) between two discrete distributions
+/// given as value->count maps over arbitrary integer keys. Both histograms
+/// are smoothed additively (epsilon added to every key in the union of
+/// supports) and normalized, so the divergence is always finite. Returns 0
+/// for two empty histograms.
+double KlDivergence(const std::unordered_map<int64_t, double>& p,
+                    const std::unordered_map<int64_t, double>& q,
+                    double epsilon = 1e-4);
+
+/// Euclidean (L2) distance between two equal-length vectors.
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+/// Numerically stable mean and (population) variance of `values`.
+/// Returns {0, 0} for an empty input.
+struct MeanVar {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+MeanVar ComputeMeanVar(const std::vector<double>& values);
+
+/// Clamps x into [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+/// log(1 + x) normalization of a non-negative count into [0, 1), with a soft
+/// scale: Log1pNormalize(x, s) = log1p(x) / log1p(s) clamped to [0, 1].
+/// Used by the observation encoder for unbounded counts.
+double Log1pNormalize(double x, double scale);
+
+}  // namespace atena
+
+#endif  // ATENA_COMMON_MATH_UTILS_H_

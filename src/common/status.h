@@ -1,0 +1,160 @@
+#ifndef ATENA_COMMON_STATUS_H_
+#define ATENA_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace atena {
+
+/// Error categories used across the library. Mirrors the RocksDB/Arrow
+/// convention of returning rich status objects instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kIOError,
+  kTypeMismatch,
+  kInternal,
+  kNotImplemented,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A Status holds the outcome of an operation: OK, or an error code plus a
+/// message. Statuses are cheap to copy (OK carries no allocation cost is not
+/// guaranteed, but messages are only built on error paths).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Result<T> is either a value or an error Status. The accessors abort on
+/// misuse (extracting a value from an errored result), which keeps usage
+/// errors loud in tests without requiring exceptions.
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      // A Result built from a Status must carry an error.
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(value_);
+  }
+
+  /// Returns the value, or `fallback` if this result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? value_ : std::move(fallback);
+  }
+
+ private:
+  void AbortIfError() const {
+    if (!status_.ok()) {
+      std::abort();
+    }
+  }
+
+  Status status_;
+  T value_{};
+};
+
+/// Propagates an error status out of the current function.
+#define ATENA_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::atena::Status _atena_status = (expr);        \
+    if (!_atena_status.ok()) return _atena_status; \
+  } while (0)
+
+/// Assigns the value of a Result<T> expression to `lhs`, or propagates the
+/// error. `lhs` may include a declaration, e.g.
+/// ATENA_ASSIGN_OR_RETURN(auto table, ReadCsv(path));
+#define ATENA_ASSIGN_OR_RETURN(lhs, expr)                       \
+  ATENA_ASSIGN_OR_RETURN_IMPL(                                  \
+      ATENA_STATUS_CONCAT(_atena_result, __LINE__), lhs, expr)
+
+#define ATENA_ASSIGN_OR_RETURN_IMPL(result_var, lhs, expr) \
+  auto result_var = (expr);                                \
+  if (!result_var.ok()) return result_var.status();        \
+  lhs = std::move(result_var).value()
+
+#define ATENA_STATUS_CONCAT(a, b) ATENA_STATUS_CONCAT_IMPL(a, b)
+#define ATENA_STATUS_CONCAT_IMPL(a, b) a##b
+
+}  // namespace atena
+
+#endif  // ATENA_COMMON_STATUS_H_

@@ -1,0 +1,52 @@
+#include "core/atena.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/string_utils.h"
+
+namespace atena {
+
+Result<AtenaResult> RunAtena(const Dataset& dataset,
+                             const AtenaOptions& options) {
+  EdaEnvironment env(dataset, options.env);
+
+  ATENA_ASSIGN_OR_RETURN(auto reward,
+                         MakeStandardReward(&env, options.reward));
+  env.SetRewardSignal(reward.get());
+
+  TwofoldPolicy policy(env.observation_dim(), env.action_space(),
+                       options.policy);
+  ATENA_LOG(kInfo) << "ATENA(" << dataset.info.id
+                   << "): pre-output width=" << policy.pre_output_width()
+                   << ", parameters=" << policy.NumParameters();
+
+  PpoTrainer trainer(&env, &policy, options.trainer);
+  AtenaResult result;
+  result.training = trainer.Train();
+  result.reward = reward;
+
+  // The highest-reward episode becomes the published notebook (paper §3).
+  double replay_reward = 0.0;
+  result.notebook = ReplayOperations(&env, result.training.best_episode_ops,
+                                     "ATENA", &replay_reward);
+  ATENA_LOG(kInfo) << "ATENA(" << dataset.info.id << "): best episode reward "
+                   << result.training.best_episode_reward << " over "
+                   << result.training.episodes << " episodes";
+  return result;
+}
+
+Result<AtenaResult> RunAtena(const Dataset& dataset) {
+  return RunAtena(dataset, AtenaOptions());
+}
+
+void ApplyTrainStepsFromEnv(AtenaOptions* options) {
+  const char* steps = std::getenv("ATENA_TRAIN_STEPS");
+  if (steps == nullptr) return;
+  int64_t value = 0;
+  if (ParseInt64(steps, &value) && value > 0) {
+    options->trainer.total_steps = static_cast<int>(value);
+  }
+}
+
+}  // namespace atena

@@ -1,0 +1,51 @@
+#ifndef ATENA_CORE_ATENA_H_
+#define ATENA_CORE_ATENA_H_
+
+#include <memory>
+
+#include "core/twofold_policy.h"
+#include "data/dataset.h"
+#include "eda/session.h"
+#include "reward/compound.h"
+#include "rl/trainer.h"
+
+namespace atena {
+
+/// End-to-end configuration of an ATENA run (paper §3: upload dataset →
+/// pick focal attributes → instantiate the EDA control problem → train the
+/// DRL agent on the dataset → emit the best episode as a notebook).
+struct AtenaOptions {
+  EnvConfig env;
+  TrainerOptions trainer;
+  TwofoldPolicy::Options policy;
+  CompoundReward::Options reward;
+};
+
+/// Everything an ATENA run produces.
+struct AtenaResult {
+  EdaNotebook notebook;
+  TrainingResult training;
+  /// The calibrated reward used (kept alive for inspection / re-scoring).
+  std::shared_ptr<CompoundReward> reward;
+};
+
+/// ATENA: builds the EDA environment over `dataset`, assembles the
+/// compound reward (coherency classifier trained via weak supervision,
+/// weights calibrated), trains the twofold-output DRL agent with PPO, and
+/// returns the notebook generated from the highest-reward episode.
+///
+/// Deterministic for fixed options. Training cost is governed by
+/// `options.trainer.total_steps`; see DESIGN.md substitution #7 for the
+/// scaled-down defaults.
+Result<AtenaResult> RunAtena(const Dataset& dataset,
+                             const AtenaOptions& options);
+Result<AtenaResult> RunAtena(const Dataset& dataset);
+
+/// Reads ATENA_TRAIN_STEPS from the environment (if set) into
+/// `options->trainer.total_steps`; benches use this to scale experiment
+/// cost without recompiling.
+void ApplyTrainStepsFromEnv(AtenaOptions* options);
+
+}  // namespace atena
+
+#endif  // ATENA_CORE_ATENA_H_

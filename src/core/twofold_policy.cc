@@ -1,0 +1,318 @@
+#include "core/twofold_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace atena {
+
+namespace {
+
+double SafeLog(double p) { return std::log(std::max(p, 1e-12)); }
+
+int SampleFromProbs(const double* probs, int count, Rng* rng) {
+  double target = rng->NextDouble();
+  double acc = 0.0;
+  for (int i = 0; i < count; ++i) {
+    acc += probs[i];
+    if (target < acc) return i;
+  }
+  return count - 1;
+}
+
+int ArgmaxProbs(const double* probs, int count) {
+  int best = 0;
+  for (int i = 1; i < count; ++i) {
+    if (probs[i] > probs[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+TwofoldPolicy::TwofoldPolicy(int observation_dim, const ActionSpace& space,
+                             Options options) {
+  segment_sizes_ = space.SegmentSizes();
+  ATENA_CHECK(static_cast<int>(segment_sizes_.size()) == kNumSegments)
+      << "unexpected segment layout";
+  segment_offsets_.resize(segment_sizes_.size());
+  total_nodes_ = 0;
+  for (size_t s = 0; s < segment_sizes_.size(); ++s) {
+    segment_offsets_[s] = total_nodes_;
+    total_nodes_ += segment_sizes_[s];
+  }
+
+  Rng rng(options.seed);
+  trunk_ = std::make_unique<Sequential>();
+  int prev = observation_dim;
+  for (int h : options.hidden) {
+    trunk_->Add(std::make_unique<Dense>(prev, h, &rng));
+    trunk_->Add(std::make_unique<Relu>());
+    prev = h;
+  }
+  policy_head_ = std::make_unique<Dense>(prev, total_nodes_, &rng);
+  value_head_ = std::make_unique<Dense>(prev, 1, &rng);
+}
+
+std::vector<int> TwofoldPolicy::OpSegments(int op) {
+  switch (op) {
+    case 0:  // FILTER(attr, op, term-bin)
+      return {1, 2, 3};
+    case 1:  // GROUP(g_attr, agg_func, agg_attr)
+      return {4, 5, 6};
+    default:  // BACK()
+      return {};
+  }
+}
+
+int TwofoldPolicy::ChosenIndex(const EnvAction& action, int segment) {
+  switch (segment) {
+    case 0:
+      return static_cast<int>(action.type);
+    case 1:
+      return action.filter_column;
+    case 2:
+      return action.filter_op;
+    case 3:
+      return action.filter_bin;
+    case 4:
+      return action.group_column;
+    case 5:
+      return action.agg_func;
+    case 6:
+      return action.agg_column;
+  }
+  return 0;
+}
+
+TwofoldPolicy::SegmentProbs TwofoldPolicy::ComputeProbs(
+    const double* logits) const {
+  SegmentProbs out;
+  out.probs.assign(logits, logits + total_nodes_);
+  for (size_t s = 0; s < segment_sizes_.size(); ++s) {
+    const int begin = segment_offsets_[s];
+    const int end = begin + segment_sizes_[s];
+    double max_logit = out.probs[begin];
+    for (int j = begin; j < end; ++j) {
+      max_logit = std::max(max_logit, out.probs[j]);
+    }
+    double total = 0.0;
+    for (int j = begin; j < end; ++j) {
+      out.probs[j] = std::exp(out.probs[j] - max_logit);
+      total += out.probs[j];
+    }
+    for (int j = begin; j < end; ++j) out.probs[j] /= total;
+  }
+  return out;
+}
+
+double TwofoldPolicy::SegmentEntropy(const SegmentProbs& probs,
+                                     int segment) const {
+  const int begin = segment_offsets_[segment];
+  const int end = begin + segment_sizes_[segment];
+  double h = 0.0;
+  for (int j = begin; j < end; ++j) {
+    const double p = probs.probs[j];
+    if (p > 0.0) h -= p * SafeLog(p);
+  }
+  return h;
+}
+
+double TwofoldPolicy::JointEntropy(const SegmentProbs& probs) const {
+  double h = SegmentEntropy(probs, 0);
+  for (int op = 0; op < segment_sizes_[0]; ++op) {
+    const double p_op = probs.probs[segment_offsets_[0] + op];
+    double params = 0.0;
+    for (int s : OpSegments(op)) params += SegmentEntropy(probs, s);
+    h += p_op * params;
+  }
+  return h;
+}
+
+double TwofoldPolicy::ActionLogProb(const SegmentProbs& probs,
+                                    const EnvAction& action) const {
+  const int op = static_cast<int>(action.type);
+  double logp = SafeLog(probs.probs[segment_offsets_[0] + op]);
+  for (int s : OpSegments(op)) {
+    const int k = ChosenIndex(action, s);
+    logp += SafeLog(probs.probs[segment_offsets_[s] + k]);
+  }
+  return logp;
+}
+
+PolicyStep TwofoldPolicy::MakeStep(const std::vector<double>& observation,
+                                   Rng* rng, bool greedy) {
+  Matrix obs = Matrix::FromRow(observation);
+  Matrix h = trunk_->Forward(obs);
+  Matrix logits = policy_head_->Forward(h);
+  Matrix value = value_head_->Forward(h);
+  SegmentProbs probs = ComputeProbs(logits.RowPtr(0));
+
+  EnvAction action;
+  auto pick = [&](int segment) {
+    const double* p = probs.probs.data() + segment_offsets_[segment];
+    const int n = segment_sizes_[segment];
+    return greedy ? ArgmaxProbs(p, n) : SampleFromProbs(p, n, rng);
+  };
+  const int op = pick(0);
+  action.type = static_cast<OpType>(op);
+  // Sample only the chosen operation's parameter segments (the Multi-
+  // Softmax layer activates just those segments, paper §5); the rest stay 0
+  // and are ignored downstream.
+  for (int s : OpSegments(op)) {
+    const int k = pick(s);
+    switch (s) {
+      case 1:
+        action.filter_column = k;
+        break;
+      case 2:
+        action.filter_op = k;
+        break;
+      case 3:
+        action.filter_bin = k;
+        break;
+      case 4:
+        action.group_column = k;
+        break;
+      case 5:
+        action.agg_func = k;
+        break;
+      case 6:
+        action.agg_column = k;
+        break;
+      default:
+        break;
+    }
+  }
+
+  PolicyStep step;
+  step.action.structured = action;
+  step.action.is_concrete = false;
+  step.log_prob = ActionLogProb(probs, action);
+  step.entropy = JointEntropy(probs);
+  step.value = value(0, 0);
+  return step;
+}
+
+PolicyStep TwofoldPolicy::Act(const std::vector<double>& observation,
+                              Rng* rng) {
+  return MakeStep(observation, rng, /*greedy=*/false);
+}
+
+PolicyStep TwofoldPolicy::ActGreedy(const std::vector<double>& observation) {
+  return MakeStep(observation, /*rng=*/nullptr, /*greedy=*/true);
+}
+
+BatchEvaluation TwofoldPolicy::ForwardBatch(
+    const Matrix& observations, const std::vector<ActionRecord>& actions) {
+  const int batch = observations.rows();
+  Matrix h = trunk_->Forward(observations);
+  Matrix logits = policy_head_->Forward(h);
+  Matrix values = value_head_->Forward(h);
+
+  batch_probs_.clear();
+  batch_probs_.reserve(static_cast<size_t>(batch));
+  batch_actions_.clear();
+  batch_actions_.reserve(static_cast<size_t>(batch));
+  batch_size_ = batch;
+
+  BatchEvaluation eval;
+  eval.log_probs.resize(static_cast<size_t>(batch));
+  eval.entropies.resize(static_cast<size_t>(batch));
+  eval.values.resize(static_cast<size_t>(batch));
+  for (int b = 0; b < batch; ++b) {
+    SegmentProbs probs = ComputeProbs(logits.RowPtr(b));
+    const EnvAction& action = actions[static_cast<size_t>(b)].structured;
+    eval.log_probs[static_cast<size_t>(b)] = ActionLogProb(probs, action);
+    eval.entropies[static_cast<size_t>(b)] = JointEntropy(probs);
+    eval.values[static_cast<size_t>(b)] = values(b, 0);
+    batch_probs_.push_back(std::move(probs));
+    batch_actions_.push_back(action);
+  }
+  return eval;
+}
+
+void TwofoldPolicy::BackwardBatch(const std::vector<SampleGrad>& grads) {
+  ATENA_CHECK(static_cast<int>(grads.size()) == batch_size_)
+      << "BackwardBatch called with mismatched batch";
+
+  Matrix dlogits(batch_size_, total_nodes_);
+  Matrix dvalues(batch_size_, 1);
+
+  for (int b = 0; b < batch_size_; ++b) {
+    const SampleGrad& g = grads[static_cast<size_t>(b)];
+    const SegmentProbs& probs = batch_probs_[static_cast<size_t>(b)];
+    const EnvAction& action = batch_actions_[static_cast<size_t>(b)];
+    double* drow = dlogits.RowPtr(b);
+    dvalues(b, 0) = g.d_value;
+
+    const int op = static_cast<int>(action.type);
+    const int op_offset = segment_offsets_[0];
+
+    // --- log-prob gradient: (one-hot − p) on the op segment and on the
+    // chosen op's parameter segments.
+    for (int j = 0; j < segment_sizes_[0]; ++j) {
+      const double indicator = (j == op) ? 1.0 : 0.0;
+      drow[op_offset + j] +=
+          g.d_log_prob * (indicator - probs.probs[op_offset + j]);
+    }
+    for (int s : OpSegments(op)) {
+      const int offset = segment_offsets_[s];
+      const int chosen = ChosenIndex(action, s);
+      for (int j = 0; j < segment_sizes_[s]; ++j) {
+        const double indicator = (j == chosen) ? 1.0 : 0.0;
+        drow[offset + j] +=
+            g.d_log_prob * (indicator - probs.probs[offset + j]);
+      }
+    }
+
+    // --- entropy gradient of the exact joint entropy.
+    if (g.d_entropy != 0.0) {
+      const double h_op = SegmentEntropy(probs, 0);
+      std::vector<double> param_entropy(
+          static_cast<size_t>(segment_sizes_[0]), 0.0);
+      double mean_param_entropy = 0.0;
+      for (int o = 0; o < segment_sizes_[0]; ++o) {
+        double s_o = 0.0;
+        for (int s : OpSegments(o)) s_o += SegmentEntropy(probs, s);
+        param_entropy[static_cast<size_t>(o)] = s_o;
+        mean_param_entropy += probs.probs[op_offset + o] * s_o;
+      }
+      // Op segment: dH/dz_j = −p_j(log p_j + H_op) + p_j(S_j − Σ_o p_o S_o).
+      for (int j = 0; j < segment_sizes_[0]; ++j) {
+        const double p = probs.probs[op_offset + j];
+        const double d = -p * (SafeLog(p) + h_op) +
+                         p * (param_entropy[static_cast<size_t>(j)] -
+                              mean_param_entropy);
+        drow[op_offset + j] += g.d_entropy * d;
+      }
+      // Parameter segments: dH/dz = p(o) · (−p_j(log p_j + H_segment)).
+      for (int o = 0; o < segment_sizes_[0]; ++o) {
+        const double p_op = probs.probs[op_offset + o];
+        for (int s : OpSegments(o)) {
+          const int offset = segment_offsets_[s];
+          const double h_s = SegmentEntropy(probs, s);
+          for (int j = 0; j < segment_sizes_[s]; ++j) {
+            const double p = probs.probs[offset + j];
+            drow[offset + j] +=
+                g.d_entropy * p_op * (-p * (SafeLog(p) + h_s));
+          }
+        }
+      }
+    }
+  }
+
+  Matrix grad_h = policy_head_->Backward(dlogits);
+  AxpyInPlace(&grad_h, value_head_->Backward(dvalues), 1.0);
+  trunk_->Backward(grad_h);
+}
+
+std::vector<Parameter*> TwofoldPolicy::Parameters() {
+  std::vector<Parameter*> params = trunk_->Parameters();
+  for (Parameter* p : policy_head_->Parameters()) params.push_back(p);
+  for (Parameter* p : value_head_->Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace atena

@@ -1,0 +1,95 @@
+#ifndef ATENA_CORE_TWOFOLD_POLICY_H_
+#define ATENA_CORE_TWOFOLD_POLICY_H_
+
+#include <memory>
+#include <vector>
+
+#include "rl/policy.h"
+
+namespace atena {
+
+/// ATENA's novel actor network (paper §5, Figure 3).
+///
+/// Instead of a flat softmax with one node per distinct action (100K+ nodes
+/// even in the prototype environment), the network ends in:
+///  1. a *Pre-Output Layer* with one node per operation type plus one node
+///     per parameter **value** — |OP| + Σ_p |V(p)| nodes in total; and
+///  2. a *Multi-Softmax Layer*: a separate softmax segment for the
+///     operation type and for each parameter. The operation type is
+///     sampled first; only the chosen operation's parameter segments are
+///     then sampled (FILTER → column/operator/term-bin, GROUP →
+///     key-column/aggregation/target-column, BACK → nothing).
+///
+/// The joint probability of an action factorizes as
+/// π(a|s) = p(op|s) · Π_{p ∈ P^op} p(v_p|s), and the policy entropy used
+/// for the exploration bonus is the exact joint entropy
+/// H = H(op) + Σ_o p(o) Σ_{p ∈ P^o} H(segment_p).
+///
+/// A critic value head shares the dense trunk (Advantage Actor-Critic with
+/// PPO, paper §6.1).
+class TwofoldPolicy final : public Policy {
+ public:
+  struct Options {
+    std::vector<int> hidden = {64, 64};
+    uint64_t seed = 17;
+  };
+
+  TwofoldPolicy(int observation_dim, const ActionSpace& space)
+      : TwofoldPolicy(observation_dim, space, Options()) {}
+  TwofoldPolicy(int observation_dim, const ActionSpace& space,
+                Options options);
+
+  PolicyStep Act(const std::vector<double>& observation, Rng* rng) override;
+  PolicyStep ActGreedy(const std::vector<double>& observation) override;
+  BatchEvaluation ForwardBatch(
+      const Matrix& observations,
+      const std::vector<ActionRecord>& actions) override;
+  void BackwardBatch(const std::vector<SampleGrad>& grads) override;
+  std::vector<Parameter*> Parameters() override;
+
+  /// Width of the pre-output layer: |OP| + Σ_p |V(p)| (paper §5).
+  int pre_output_width() const { return total_nodes_; }
+
+ private:
+  /// Segment layout: 0 = op type; 1..3 = filter params; 4..6 = group params.
+  static constexpr int kNumSegments = 7;
+
+  struct SegmentProbs {
+    // Softmax probabilities laid out like the logits row (total_nodes_).
+    std::vector<double> probs;
+  };
+
+  /// Computes per-segment softmax probabilities of one logits row.
+  SegmentProbs ComputeProbs(const double* logits) const;
+  /// Entropy of segment `s` under `probs`.
+  double SegmentEntropy(const SegmentProbs& probs, int segment) const;
+  /// Joint entropy (see class comment).
+  double JointEntropy(const SegmentProbs& probs) const;
+  /// Joint log-probability of a structured action.
+  double ActionLogProb(const SegmentProbs& probs,
+                       const EnvAction& action) const;
+  /// Parameter-segment indices of operation-type `op` (empty for BACK).
+  static std::vector<int> OpSegments(int op);
+  /// The chosen value index inside segment `segment` for `action`.
+  static int ChosenIndex(const EnvAction& action, int segment);
+
+  PolicyStep MakeStep(const std::vector<double>& observation, Rng* rng,
+                      bool greedy);
+
+  std::vector<int> segment_sizes_;
+  std::vector<int> segment_offsets_;
+  int total_nodes_ = 0;
+
+  std::unique_ptr<Sequential> trunk_;
+  std::unique_ptr<Dense> policy_head_;
+  std::unique_ptr<Dense> value_head_;
+
+  // Caches from the last ForwardBatch for BackwardBatch.
+  std::vector<SegmentProbs> batch_probs_;
+  std::vector<EnvAction> batch_actions_;
+  int batch_size_ = 0;
+};
+
+}  // namespace atena
+
+#endif  // ATENA_CORE_TWOFOLD_POLICY_H_

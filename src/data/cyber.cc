@@ -1,0 +1,357 @@
+#include "data/cyber.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_utils.h"
+
+namespace atena {
+
+namespace {
+
+std::string Ip(int a, int b, int c, int d) {
+  return std::to_string(a) + "." + std::to_string(b) + "." +
+         std::to_string(c) + "." + std::to_string(d);
+}
+
+using Row = std::vector<Value>;
+
+/// Sorts rows by the timestamp in column `time_col` and rewrites the id in
+/// column 0 to be 1-based in time order, like a packet capture export.
+void FinalizeEventLog(std::vector<Row>* rows, int time_col) {
+  std::sort(rows->begin(), rows->end(), [time_col](const Row& x, const Row& y) {
+    return x[time_col].as_double() < y[time_col].as_double();
+  });
+  for (size_t i = 0; i < rows->size(); ++i) {
+    (*rows)[i][0] = Value(static_cast<int64_t>(i + 1));
+  }
+}
+
+Result<Dataset> FinishDataset(DatasetInfo info, TableBuilder* builder) {
+  Dataset dataset;
+  dataset.info = std::move(info);
+  ATENA_ASSIGN_OR_RETURN(dataset.table, builder->Finish());
+  return dataset;
+}
+
+}  // namespace
+
+Result<Dataset> MakeCyber1(uint64_t seed) {
+  Rng rng(seed * 0x100001 + 11);
+  const std::string attacker = Ip(10, 0, 66, 66);
+  const std::vector<int> exposed = {5, 17, 33};  // hosts answering the sweep
+
+  std::vector<Row> rows;
+  rows.reserve(8648);
+
+  // The sweep: 20 passes over 192.168.1.1..254 in a burst window. 5080 rows.
+  for (int pass = 0; pass < 20; ++pass) {
+    for (int host = 1; host <= 254; ++host) {
+      double t = 200.0 + pass * 6.0 + host * 0.02 + rng.NextDouble() * 0.01;
+      rows.push_back({Value(int64_t{0}), Value(t), Value(attacker),
+                      Value(Ip(192, 168, 1, host)), Value(std::string("ICMP")),
+                      Value(int64_t{74}), Value(int64_t{64}),
+                      Value(std::string("Echo (ping) request"))});
+    }
+  }
+  // Replies from the three exposed hosts. 60 rows.
+  for (int pass = 0; pass < 20; ++pass) {
+    for (int host : exposed) {
+      double t = 200.0 + pass * 6.0 + host * 0.02 + 0.005;
+      rows.push_back({Value(int64_t{0}), Value(t), Value(Ip(192, 168, 1, host)),
+                      Value(attacker), Value(std::string("ICMP")),
+                      Value(int64_t{74}), Value(int64_t{128}),
+                      Value(std::string("Echo (ping) reply"))});
+    }
+  }
+  // Background office traffic. 3508 rows.
+  const std::vector<std::string> protocols = {"TCP", "DNS", "ARP", "UDP"};
+  const std::vector<double> proto_weights = {0.62, 0.22, 0.06, 0.10};
+  const std::vector<std::string> tcp_infos = {"SYN", "SYN, ACK", "ACK",
+                                              "PSH, ACK", "FIN, ACK",
+                                              "HTTP GET /index.html"};
+  const std::vector<std::string> dns_hosts = {
+      "corp.local", "update.vendor.com", "mail.corp.local", "www.news.org"};
+  for (int i = 0; i < 3508; ++i) {
+    double t = rng.NextDouble() * 600.0;
+    int src = static_cast<int>(rng.NextInt(10, 60));
+    int dst = static_cast<int>(rng.NextInt(10, 60));
+    const std::string& proto = protocols[rng.SampleDiscrete(proto_weights)];
+    std::string info;
+    int64_t length = 0;
+    if (proto == "TCP") {
+      info = tcp_infos[rng.NextBounded(tcp_infos.size())];
+      length = rng.NextInt(60, 1514);
+    } else if (proto == "DNS") {
+      info = "Standard query A " + dns_hosts[rng.NextZipf(dns_hosts.size(), 1.0)];
+      length = rng.NextInt(60, 140);
+    } else if (proto == "ARP") {
+      info = "Who has " + Ip(192, 168, 1, static_cast<int>(rng.NextInt(1, 254)));
+      length = 42;
+    } else {
+      info = "UDP payload";
+      length = rng.NextInt(60, 512);
+    }
+    rows.push_back({Value(int64_t{0}), Value(t), Value(Ip(192, 168, 1, src)),
+                    Value(Ip(192, 168, 1, dst)), Value(proto), Value(length),
+                    Value(int64_t{64}), Value(info)});
+  }
+
+  FinalizeEventLog(&rows, 1);
+
+  TableBuilder builder("cyber1");
+  builder.AddColumn("packet_id", DataType::kInt64);
+  builder.AddColumn("timestamp", DataType::kFloat64);
+  builder.AddColumn("source_ip", DataType::kString);
+  builder.AddColumn("destination_ip", DataType::kString);
+  builder.AddColumn("protocol", DataType::kString);
+  builder.AddColumn("length", DataType::kInt64);
+  builder.AddColumn("ttl", DataType::kInt64);
+  builder.AddColumn("info", DataType::kString);
+  for (const Row& row : rows) {
+    ATENA_RETURN_IF_ERROR(builder.AppendRow(row));
+  }
+  DatasetInfo info{
+      .id = "cyber1",
+      .title = "Cyber #1",
+      .description = "ICMP scan on IP range",
+      .domain = "cyber-security",
+      .focal_attributes = {"source_ip", "destination_ip"},
+  };
+  return FinishDataset(std::move(info), &builder);
+}
+
+Result<Dataset> MakeCyber2(uint64_t seed) {
+  Rng rng(seed * 0x100003 + 13);
+  const std::string attacker = Ip(203, 0, 113, 99);
+  const std::string server = Ip(192, 168, 2, 10);
+  const std::string shellshock_ua =
+      "() { :; }; /bin/bash -c 'cat /etc/passwd'";
+
+  std::vector<Row> rows;
+  rows.reserve(348);
+
+  // Normal browsing: 308 requests from a dozen internal clients.
+  const std::vector<std::string> uris = {"/index.html",      "/news.html",
+                                         "/about.html",      "/products.html",
+                                         "/images/logo.png", "/style.css"};
+  const std::vector<std::string> agents = {
+      "Mozilla/5.0 (Windows NT 10.0)", "Mozilla/5.0 (X11; Linux x86_64)",
+      "Mozilla/5.0 (Macintosh; Intel Mac OS X)"};
+  for (int i = 0; i < 308; ++i) {
+    double t = rng.NextDouble() * 3600.0;
+    int client = static_cast<int>(rng.NextInt(20, 31));
+    const std::string& uri = uris[rng.NextZipf(uris.size(), 1.1)];
+    int64_t status = rng.NextBool(0.94) ? 200 : 404;
+    rows.push_back(
+        {Value(int64_t{0}), Value(t), Value(Ip(192, 168, 2, client)),
+         Value(server), Value(std::string("GET")), Value(uri),
+         Value(agents[rng.NextBounded(agents.size())]), Value(status),
+         Value(rng.NextInt(300, 24000))});
+  }
+  // The attack: 40 shellshock-style requests against the CGI endpoint,
+  // concentrated in a ten-minute window, with growing response sizes as the
+  // attacker moves from probing to exfiltration.
+  for (int i = 0; i < 40; ++i) {
+    double t = 1800.0 + i * 14.0 + rng.NextDouble() * 3.0;
+    bool exfil = i >= 25;
+    rows.push_back(
+        {Value(int64_t{0}), Value(t), Value(attacker), Value(server),
+         Value(std::string(exfil ? "POST" : "GET")),
+         Value(std::string("/cgi-bin/status.cgi")), Value(shellshock_ua),
+         Value(int64_t{200}),
+         Value(exfil ? rng.NextInt(200000, 900000) : rng.NextInt(800, 4000))});
+  }
+
+  FinalizeEventLog(&rows, 1);
+
+  TableBuilder builder("cyber2");
+  builder.AddColumn("request_id", DataType::kInt64);
+  builder.AddColumn("timestamp", DataType::kFloat64);
+  builder.AddColumn("source_ip", DataType::kString);
+  builder.AddColumn("destination_ip", DataType::kString);
+  builder.AddColumn("method", DataType::kString);
+  builder.AddColumn("uri", DataType::kString);
+  builder.AddColumn("user_agent", DataType::kString);
+  builder.AddColumn("status", DataType::kInt64);
+  builder.AddColumn("response_bytes", DataType::kInt64);
+  for (const Row& row : rows) {
+    ATENA_RETURN_IF_ERROR(builder.AppendRow(row));
+  }
+  DatasetInfo info{
+      .id = "cyber2",
+      .title = "Cyber #2",
+      .description = "Remote code execution attack",
+      .domain = "cyber-security",
+      .focal_attributes = {"source_ip", "destination_ip"},
+  };
+  return FinishDataset(std::move(info), &builder);
+}
+
+Result<Dataset> MakeCyber3(uint64_t seed) {
+  Rng rng(seed * 0x100005 + 17);
+  const std::string phish_host = "secure-bank1-login.xyz";
+  const std::string lure_referrer = "mail.corp.local/inbox";
+
+  std::vector<Row> rows;
+  rows.reserve(745);
+
+  // Normal browsing: 690 proxy events.
+  const std::vector<std::string> hosts = {"bank1.com", "mail.corp.local",
+                                          "news.site.com", "search.engine.com",
+                                          "intranet.corp.local"};
+  const std::vector<std::string> paths = {"/", "/inbox", "/article",
+                                          "/login", "/search", "/dashboard"};
+  for (int i = 0; i < 690; ++i) {
+    double t = rng.NextDouble() * 28800.0;  // one working day
+    int client = static_cast<int>(rng.NextInt(50, 89));
+    const std::string& host = hosts[rng.NextZipf(hosts.size(), 0.9)];
+    const std::string& path = paths[rng.NextBounded(paths.size())];
+    bool post = (path == "/login") && rng.NextBool(0.5);
+    rows.push_back({Value(int64_t{0}), Value(t),
+                    Value(Ip(192, 168, 3, client)), Value(host), Value(path),
+                    Value(std::string(post ? "POST" : "GET")),
+                    Value(std::string(rng.NextBool(0.3) ? "search.engine.com"
+                                                        : "direct")),
+                    Value(int64_t{200}), Value(rng.NextInt(500, 60000))});
+  }
+  // The phish: 55 events. Six victims arrive from the webmail lure, load the
+  // fake page, and five of them POST credentials.
+  const std::vector<int> victims = {52, 57, 61, 70, 77, 83};
+  int emitted = 0;
+  for (size_t v = 0; v < victims.size() && emitted < 55; ++v) {
+    double t0 = 9000.0 + static_cast<double>(v) * 1200.0;
+    // Landing page + assets.
+    for (int a = 0; a < 7 && emitted < 55; ++a, ++emitted) {
+      rows.push_back({Value(int64_t{0}), Value(t0 + a * 0.8),
+                      Value(Ip(192, 168, 3, victims[v])), Value(phish_host),
+                      Value(std::string(a == 0 ? "/login.php" : "/assets/bank1.css")),
+                      Value(std::string("GET")), Value(lure_referrer),
+                      Value(int64_t{200}), Value(rng.NextInt(2000, 30000))});
+    }
+    // Credential POST for five of the six victims.
+    if (v != 3 && emitted < 55) {
+      rows.push_back({Value(int64_t{0}), Value(t0 + 45.0),
+                      Value(Ip(192, 168, 3, victims[v])), Value(phish_host),
+                      Value(std::string("/login.php")),
+                      Value(std::string("POST")), Value(phish_host + "/login.php"),
+                      Value(int64_t{302}), Value(rng.NextInt(300, 900))});
+      ++emitted;
+    }
+  }
+  // Top up to exactly 55 phishing events with repeated victim visits.
+  while (emitted < 55) {
+    double t = 16000.0 + emitted * 37.0;
+    rows.push_back({Value(int64_t{0}), Value(t),
+                    Value(Ip(192, 168, 3, victims[emitted % victims.size()])),
+                    Value(phish_host), Value(std::string("/login.php")),
+                    Value(std::string("GET")), Value(lure_referrer),
+                    Value(int64_t{200}), Value(rng.NextInt(2000, 30000))});
+    ++emitted;
+  }
+
+  FinalizeEventLog(&rows, 1);
+
+  TableBuilder builder("cyber3");
+  builder.AddColumn("event_id", DataType::kInt64);
+  builder.AddColumn("timestamp", DataType::kFloat64);
+  builder.AddColumn("source_ip", DataType::kString);
+  builder.AddColumn("host", DataType::kString);
+  builder.AddColumn("url_path", DataType::kString);
+  builder.AddColumn("method", DataType::kString);
+  builder.AddColumn("referrer", DataType::kString);
+  builder.AddColumn("status", DataType::kInt64);
+  builder.AddColumn("bytes", DataType::kInt64);
+  for (const Row& row : rows) {
+    ATENA_RETURN_IF_ERROR(builder.AppendRow(row));
+  }
+  DatasetInfo info{
+      .id = "cyber3",
+      .title = "Cyber #3",
+      .description = "Web-based phishing attack",
+      .domain = "cyber-security",
+      .focal_attributes = {"source_ip", "host"},
+  };
+  return FinishDataset(std::move(info), &builder);
+}
+
+Result<Dataset> MakeCyber4(uint64_t seed) {
+  Rng rng(seed * 0x100007 + 19);
+  const std::string attacker = Ip(172, 16, 0, 99);
+  const std::string victim = Ip(192, 168, 10, 5);
+  const std::vector<int> open_ports = {22, 80, 443, 445};
+
+  std::vector<Row> rows;
+  rows.reserve(13625);
+
+  auto is_open = [&open_ports](int port) {
+    return std::find(open_ports.begin(), open_ports.end(), port) !=
+           open_ports.end();
+  };
+
+  // The scan: two SYN passes over ports 1..1024 (2048 SYNs), RST replies
+  // from the 1020 closed ports per pass, SYN-ACK from the 4 open ports.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int port = 1; port <= 1024; ++port) {
+      double t = 500.0 + pass * 40.0 + port * 0.03;
+      rows.push_back({Value(int64_t{0}), Value(t), Value(attacker),
+                      Value(victim), Value(std::string("TCP")),
+                      Value(rng.NextInt(40000, 60000)),
+                      Value(static_cast<int64_t>(port)),
+                      Value(std::string("SYN")), Value(int64_t{60})});
+      double tr = t + 0.001;
+      rows.push_back({Value(int64_t{0}), Value(tr), Value(victim),
+                      Value(attacker), Value(std::string("TCP")),
+                      Value(static_cast<int64_t>(port)),
+                      Value(rng.NextInt(40000, 60000)),
+                      Value(std::string(is_open(port) ? "SYN, ACK" : "RST, ACK")),
+                      Value(int64_t{60})});
+    }
+  }
+  // 4096 scan rows so far; 9529 background rows round out 13625.
+  const std::vector<std::string> flags = {"ACK", "PSH, ACK", "SYN", "SYN, ACK",
+                                          "FIN, ACK"};
+  const std::vector<double> flag_weights = {0.45, 0.3, 0.08, 0.08, 0.09};
+  const std::vector<int> service_ports = {80, 443, 53, 25, 8080};
+  for (int i = 0; i < 9529; ++i) {
+    double t = rng.NextDouble() * 1200.0;
+    int a = static_cast<int>(rng.NextInt(20, 99));
+    bool udp = rng.NextBool(0.12);
+    int service = service_ports[rng.NextZipf(service_ports.size(), 1.0)];
+    std::string flag = udp ? "" : flags[rng.SampleDiscrete(flag_weights)];
+    rows.push_back(
+        {Value(int64_t{0}), Value(t), Value(Ip(192, 168, 10, a)),
+         Value(Ip(10, 1, 1, static_cast<int>(rng.NextInt(1, 20)))),
+         Value(std::string(udp ? "UDP" : "TCP")),
+         Value(rng.NextInt(40000, 60000)), Value(static_cast<int64_t>(service)),
+         Value(std::move(flag)), Value(rng.NextInt(60, 1514))});
+  }
+
+  FinalizeEventLog(&rows, 1);
+
+  TableBuilder builder("cyber4");
+  builder.AddColumn("packet_id", DataType::kInt64);
+  builder.AddColumn("timestamp", DataType::kFloat64);
+  builder.AddColumn("source_ip", DataType::kString);
+  builder.AddColumn("destination_ip", DataType::kString);
+  builder.AddColumn("protocol", DataType::kString);
+  builder.AddColumn("source_port", DataType::kInt64);
+  builder.AddColumn("destination_port", DataType::kInt64);
+  builder.AddColumn("tcp_flags", DataType::kString);
+  builder.AddColumn("length", DataType::kInt64);
+  for (const Row& row : rows) {
+    ATENA_RETURN_IF_ERROR(builder.AppendRow(row));
+  }
+  DatasetInfo info{
+      .id = "cyber4",
+      .title = "Cyber #4",
+      .description = "TCP port scan",
+      .domain = "cyber-security",
+      .focal_attributes = {"source_ip", "destination_ip"},
+  };
+  return FinishDataset(std::move(info), &builder);
+}
+
+}  // namespace atena

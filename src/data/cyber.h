@@ -1,0 +1,36 @@
+#ifndef ATENA_DATA_CYBER_H_
+#define ATENA_DATA_CYBER_H_
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace atena {
+
+/// Synthetic equivalents of the paper's four cyber-analytics challenge
+/// datasets [43]. Each plants a specific attack inside realistic background
+/// traffic; the planted facts double as the ground-truth insight lists used
+/// by the Figure 4b benchmark (see eval/insights.h). Row counts match
+/// Table 1. Generation is deterministic in `seed`.
+
+/// Cyber #1 — 8648 rows. ICMP scan: attacker 10.0.66.66 ping-sweeps
+/// 192.168.1.0/24; three exposed hosts reply; normal TCP/DNS background.
+Result<Dataset> MakeCyber1(uint64_t seed = 1);
+
+/// Cyber #2 — 348 rows. Remote-code-execution attack: 203.0.113.99 posts
+/// shellshock-style payloads to /cgi-bin/status.cgi on web server
+/// 192.168.2.10, then exfiltrates; normal browsing background.
+Result<Dataset> MakeCyber2(uint64_t seed = 2);
+
+/// Cyber #3 — 745 rows. Web phishing: employees are lured from a webmail
+/// referrer to secure-bank1-login.xyz, which mimics bank1.com and harvests
+/// credentials via POST /login.php.
+Result<Dataset> MakeCyber3(uint64_t seed = 3);
+
+/// Cyber #4 — 13625 rows. TCP port scan: 172.16.0.99 SYN-scans ports
+/// 1..1024 on 192.168.10.5; open ports 22/80/443/445 answer SYN-ACK,
+/// closed ports answer RST.
+Result<Dataset> MakeCyber4(uint64_t seed = 4);
+
+}  // namespace atena
+
+#endif  // ATENA_DATA_CYBER_H_

@@ -1,0 +1,30 @@
+#ifndef ATENA_DATA_DATASET_H_
+#define ATENA_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "dataframe/table.h"
+
+namespace atena {
+
+/// Metadata for one experimental dataset (paper Table 1).
+struct DatasetInfo {
+  std::string id;           // machine id, e.g. "cyber1"
+  std::string title;        // paper name, e.g. "Cyber #1"
+  std::string description;  // e.g. "ICMP scan on IP range"
+  std::string domain;       // "cyber-security" or "flight-delays"
+  /// Focal attributes used for the coherency reward (paper §6.1):
+  /// source_ip/destination_ip for cyber, departure/arrival delay for flights.
+  std::vector<std::string> focal_attributes;
+};
+
+/// A generated dataset: metadata plus the materialized table.
+struct Dataset {
+  DatasetInfo info;
+  TablePtr table;
+};
+
+}  // namespace atena
+
+#endif  // ATENA_DATA_DATASET_H_

@@ -1,0 +1,206 @@
+#include "data/flights.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace atena {
+
+namespace {
+
+const std::vector<std::string> kMonths = {
+    "January", "February", "March",     "April",   "May",      "June",
+    "July",    "August",   "September", "October", "November", "December"};
+
+const std::vector<std::string> kDays = {"Monday",   "Tuesday", "Wednesday",
+                                        "Thursday", "Friday",  "Saturday",
+                                        "Sunday"};
+
+const std::vector<std::string> kAirlines = {"AA", "DL", "UA", "WN",
+                                            "B6", "NK", "AS"};
+
+const std::vector<std::string> kAirports = {"ATL", "LAX", "ORD", "DFW", "JFK",
+                                            "SFO", "BOS", "SEA", "DEN", "MIA"};
+
+double MonthEffect(const std::string& month) {
+  if (month == "June") return 18.0;
+  if (month == "July") return 10.0;
+  if (month == "December") return 8.0;
+  if (month == "January") return 4.0;
+  return 0.0;
+}
+
+double AirlineEffect(const std::string& airline) {
+  if (airline == "NK") return 12.0;
+  if (airline == "B6") return 6.0;
+  if (airline == "WN") return 3.0;
+  if (airline == "UA") return 1.0;
+  if (airline == "DL") return -2.0;
+  if (airline == "AS") return -3.0;
+  return 0.0;  // AA
+}
+
+double AirportEffect(const std::string& airport, const std::string& month) {
+  double effect = 0.0;
+  if (airport == "ATL") effect = 9.0;
+  if (airport == "LAX") effect = 8.0;
+  if (airport == "ORD") effect = 6.0;
+  if (airport == "JFK") effect = 5.0;
+  // The paper's running example: June delays concentrate at LAX and ATL.
+  if (month == "June" && (airport == "LAX" || airport == "ATL")) {
+    effect += 10.0;
+  }
+  return effect;
+}
+
+double DayEffect(const std::string& day) {
+  if (day == "Thursday") return 9.0;
+  if (day == "Friday") return 6.0;
+  if (day == "Sunday") return 4.0;
+  return 0.0;
+}
+
+bool IsNight(int64_t hhmm) { return hhmm >= 2200 || hhmm < 500; }
+
+/// Constraints a dataset places on the generated population (the paper's
+/// datasets are pre-filtered subsets of the Kaggle database).
+struct FlightConstraints {
+  std::optional<std::string> airline;
+  std::optional<std::string> day_of_week;
+  std::optional<std::string> origin;
+  std::optional<std::string> destination;
+  bool short_night_only = false;  // distance <= 500 and night departure
+};
+
+Result<Dataset> MakeFlights(DatasetInfo info, int64_t target_rows,
+                            const FlightConstraints& cons, uint64_t seed) {
+  Rng rng(seed * 0x200009 + 23);
+  TableBuilder builder(info.id);
+  builder.AddColumn("flight_id", DataType::kInt64);
+  builder.AddColumn("month", DataType::kString);
+  builder.AddColumn("day_of_week", DataType::kString);
+  builder.AddColumn("airline", DataType::kString);
+  builder.AddColumn("flight_number", DataType::kInt64);
+  builder.AddColumn("origin_airport", DataType::kString);
+  builder.AddColumn("destination_airport", DataType::kString);
+  builder.AddColumn("scheduled_departure", DataType::kInt64);
+  builder.AddColumn("departure_delay", DataType::kFloat64);
+  builder.AddColumn("arrival_delay", DataType::kFloat64);
+  builder.AddColumn("distance", DataType::kInt64);
+  builder.AddColumn("air_time", DataType::kFloat64);
+  builder.AddColumn("delay_reason", DataType::kString);
+
+  const std::vector<std::string> reasons = {"Carrier", "Weather",
+                                            "Late Aircraft", "NAS", "Security"};
+  for (int64_t i = 0; i < target_rows; ++i) {
+    const std::string& month = kMonths[rng.NextZipf(kMonths.size(), 0.2)];
+    std::string day =
+        cons.day_of_week ? *cons.day_of_week : kDays[rng.NextBounded(7)];
+    std::string airline =
+        cons.airline ? *cons.airline
+                     : kAirlines[rng.NextZipf(kAirlines.size(), 0.5)];
+    std::string origin =
+        cons.origin ? *cons.origin
+                    : kAirports[rng.NextZipf(kAirports.size(), 0.6)];
+    std::string dest;
+    if (cons.destination) {
+      dest = *cons.destination;
+    } else {
+      do {
+        dest = kAirports[rng.NextZipf(kAirports.size(), 0.6)];
+      } while (dest == origin);
+    }
+
+    int64_t hhmm;
+    int64_t distance;
+    if (cons.short_night_only) {
+      int hour = static_cast<int>(rng.NextInt(0, 6));  // 22,23,0..4
+      hhmm = (hour <= 1 ? 22 + hour : hour - 2) * 100 + rng.NextInt(0, 59);
+      distance = rng.NextInt(100, 500);
+    } else {
+      hhmm = rng.NextInt(5, 23) * 100 + rng.NextInt(0, 59);
+      distance = rng.NextInt(150, 2800);
+      if (cons.origin && cons.destination) distance = rng.NextInt(330, 350);
+    }
+
+    double base = 6.0 + MonthEffect(month) + AirlineEffect(airline) +
+                  AirportEffect(origin, month) + DayEffect(day) +
+                  (IsNight(hhmm) ? -5.0 : 0.0);
+    double delay = base + rng.NextGaussian() * 12.0;
+    if (rng.NextBool(0.05)) delay += rng.NextDouble(40.0, 180.0);  // irregular ops
+    delay = std::max(-12.0, delay);
+    double arrival = delay + rng.NextGaussian() * 8.0 - 3.0;
+    double air_time = static_cast<double>(distance) / 7.5 +
+                      rng.NextGaussian() * 6.0 + 18.0;
+
+    std::string reason = "None";
+    if (delay > 5.0) {
+      std::vector<double> w = {0.34, 0.18, 0.27, 0.18, 0.03};
+      if (month == "June" || month == "July") w[1] += 0.25;  // summer weather
+      reason = reasons[rng.SampleDiscrete(w)];
+    }
+
+    ATENA_RETURN_IF_ERROR(builder.AppendRow(
+        {Value(i + 1), Value(month), Value(day), Value(airline),
+         Value(rng.NextInt(100, 2999)), Value(origin), Value(dest),
+         Value(hhmm), Value(delay), Value(arrival), Value(distance),
+         Value(std::max(20.0, air_time)), Value(reason)}));
+  }
+
+  Dataset dataset;
+  dataset.info = std::move(info);
+  ATENA_ASSIGN_OR_RETURN(dataset.table, builder.Finish());
+  return dataset;
+}
+
+DatasetInfo FlightsInfo(std::string id, std::string title,
+                        std::string description) {
+  return DatasetInfo{
+      .id = std::move(id),
+      .title = std::move(title),
+      .description = std::move(description),
+      .domain = "flight-delays",
+      .focal_attributes = {"departure_delay", "arrival_delay"},
+  };
+}
+
+}  // namespace
+
+Result<Dataset> MakeFlights1(uint64_t seed) {
+  FlightConstraints cons;
+  cons.airline = "AA";
+  cons.day_of_week = "Sunday";
+  return MakeFlights(FlightsInfo("flights1", "Flights #1",
+                                 "AA Flights on Sundays"),
+                     5661, cons, seed);
+}
+
+Result<Dataset> MakeFlights2(uint64_t seed) {
+  FlightConstraints cons;
+  cons.origin = "BOS";
+  return MakeFlights(FlightsInfo("flights2", "Flights #2",
+                                 "Flights departing from BOS"),
+                     8172, cons, seed);
+}
+
+Result<Dataset> MakeFlights3(uint64_t seed) {
+  FlightConstraints cons;
+  cons.origin = "SFO";
+  cons.destination = "LAX";
+  return MakeFlights(FlightsInfo("flights3", "Flights #3", "From SFO to LAX"),
+                     1082, cons, seed);
+}
+
+Result<Dataset> MakeFlights4(uint64_t seed) {
+  FlightConstraints cons;
+  cons.short_night_only = true;
+  return MakeFlights(FlightsInfo("flights4", "Flights #4",
+                                 "Short, night-time flights"),
+                     2175, cons, seed);
+}
+
+}  // namespace atena

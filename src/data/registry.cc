@@ -1,0 +1,34 @@
+#include "data/registry.h"
+
+#include "data/cyber.h"
+#include "data/flights.h"
+
+namespace atena {
+
+std::vector<std::string> ExperimentalDatasetIds() {
+  return {"cyber1", "cyber2", "cyber3", "cyber4",
+          "flights1", "flights2", "flights3", "flights4"};
+}
+
+Result<Dataset> MakeDataset(const std::string& id) {
+  if (id == "cyber1") return MakeCyber1();
+  if (id == "cyber2") return MakeCyber2();
+  if (id == "cyber3") return MakeCyber3();
+  if (id == "cyber4") return MakeCyber4();
+  if (id == "flights1") return MakeFlights1();
+  if (id == "flights2") return MakeFlights2();
+  if (id == "flights3") return MakeFlights3();
+  if (id == "flights4") return MakeFlights4();
+  return Status::NotFound("unknown dataset id '" + id + "'");
+}
+
+Result<std::vector<Dataset>> MakeAllDatasets() {
+  std::vector<Dataset> out;
+  for (const auto& id : ExperimentalDatasetIds()) {
+    ATENA_ASSIGN_OR_RETURN(Dataset d, MakeDataset(id));
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace atena

@@ -1,0 +1,25 @@
+#ifndef ATENA_DATA_REGISTRY_H_
+#define ATENA_DATA_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace atena {
+
+/// Ids of the 8 experimental datasets in Table 1 order:
+/// cyber1..cyber4, flights1..flights4.
+std::vector<std::string> ExperimentalDatasetIds();
+
+/// Generates the dataset with the given id (see ExperimentalDatasetIds).
+/// Generation is deterministic: the same id always yields the same table.
+Result<Dataset> MakeDataset(const std::string& id);
+
+/// Generates all 8 experimental datasets in Table 1 order.
+Result<std::vector<Dataset>> MakeAllDatasets();
+
+}  // namespace atena
+
+#endif  // ATENA_DATA_REGISTRY_H_

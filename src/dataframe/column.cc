@@ -1,0 +1,144 @@
+#include "dataframe/column.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace atena {
+
+namespace {
+// Reserved CellKey for null cells; chosen so it cannot collide with a
+// dictionary code, an int64 payload collision is theoretically possible but
+// harmless (grouping nulls with one specific huge value).
+constexpr int64_t kNullCellKey = std::numeric_limits<int64_t>::min() + 1;
+}  // namespace
+
+Value Column::GetValue(int64_t row) const {
+  if (IsNull(row)) return Value::Null();
+  switch (type_) {
+    case DataType::kInt64:
+      return Value(ints_[row]);
+    case DataType::kFloat64:
+      return Value(doubles_[row]);
+    case DataType::kString:
+      return Value(std::string(GetString(row)));
+  }
+  return Value::Null();
+}
+
+double Column::AsDoubleOrNan(int64_t row) const {
+  if (IsNull(row)) return std::numeric_limits<double>::quiet_NaN();
+  switch (type_) {
+    case DataType::kInt64:
+      return static_cast<double>(ints_[row]);
+    case DataType::kFloat64:
+      return doubles_[row];
+    case DataType::kString:
+      return std::numeric_limits<double>::quiet_NaN();
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+int64_t Column::CellKey(int64_t row) const {
+  if (IsNull(row)) return kNullCellKey;
+  switch (type_) {
+    case DataType::kInt64:
+      return ints_[row];
+    case DataType::kFloat64:
+      return static_cast<int64_t>(std::bit_cast<uint64_t>(doubles_[row]));
+    case DataType::kString:
+      return codes_[row];
+  }
+  return kNullCellKey;
+}
+
+int32_t Column::FindCode(std::string_view token) const {
+  auto it = dictionary_index_.find(std::string(token));
+  return it == dictionary_index_.end() ? -1 : it->second;
+}
+
+ColumnBuilder::ColumnBuilder(std::string name, DataType type)
+    : column_(std::shared_ptr<Column>(new Column())) {
+  column_->name_ = std::move(name);
+  column_->type_ = type;
+}
+
+Status ColumnBuilder::AppendInt(int64_t value) {
+  if (column_->type_ == DataType::kFloat64) {
+    return AppendDouble(static_cast<double>(value));
+  }
+  if (column_->type_ != DataType::kInt64) {
+    return Status::TypeMismatch("AppendInt on non-int column '" +
+                                column_->name_ + "'");
+  }
+  column_->ints_.push_back(value);
+  column_->validity_.push_back(1);
+  return Status::OK();
+}
+
+Status ColumnBuilder::AppendDouble(double value) {
+  if (column_->type_ != DataType::kFloat64) {
+    return Status::TypeMismatch("AppendDouble on non-float column '" +
+                                column_->name_ + "'");
+  }
+  column_->doubles_.push_back(value);
+  column_->validity_.push_back(1);
+  return Status::OK();
+}
+
+Status ColumnBuilder::AppendString(std::string_view value) {
+  if (column_->type_ != DataType::kString) {
+    return Status::TypeMismatch("AppendString on non-string column '" +
+                                column_->name_ + "'");
+  }
+  column_->codes_.push_back(InternString(value));
+  column_->validity_.push_back(1);
+  return Status::OK();
+}
+
+void ColumnBuilder::AppendNull() {
+  switch (column_->type_) {
+    case DataType::kInt64:
+      column_->ints_.push_back(0);
+      break;
+    case DataType::kFloat64:
+      column_->doubles_.push_back(0.0);
+      break;
+    case DataType::kString:
+      column_->codes_.push_back(0);
+      // Null string cells still need a valid code; ensure slot 0 exists.
+      if (column_->dictionary_.empty()) InternString("");
+      break;
+  }
+  column_->validity_.push_back(0);
+  ++column_->null_count_;
+}
+
+Status ColumnBuilder::AppendValue(const Value& value) {
+  if (value.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  if (value.is_int()) return AppendInt(value.as_int());
+  if (value.is_double()) return AppendDouble(value.as_double());
+  return AppendString(value.as_string());
+}
+
+int32_t ColumnBuilder::InternString(std::string_view value) {
+  auto it = column_->dictionary_index_.find(std::string(value));
+  if (it != column_->dictionary_index_.end()) return it->second;
+  int32_t code = static_cast<int32_t>(column_->dictionary_.size());
+  column_->dictionary_.emplace_back(value);
+  column_->dictionary_index_.emplace(std::string(value), code);
+  return code;
+}
+
+ColumnPtr ColumnBuilder::Finish() {
+  auto finished = column_;
+  column_ = std::shared_ptr<Column>(new Column());
+  column_->name_ = finished->name_;
+  column_->type_ = finished->type_;
+  return finished;
+}
+
+}  // namespace atena

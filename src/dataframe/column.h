@@ -1,0 +1,108 @@
+#ifndef ATENA_DATAFRAME_COLUMN_H_
+#define ATENA_DATAFRAME_COLUMN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "dataframe/value.h"
+
+namespace atena {
+
+/// Immutable typed column. String columns are dictionary-encoded: each cell
+/// stores a 32-bit code into a per-column dictionary, so equality filters and
+/// group-bys run on integer codes. Nulls are tracked in a validity vector.
+///
+/// Columns are built once via ColumnBuilder and then shared (shared_ptr)
+/// between tables/views; they are never mutated after construction.
+class Column {
+ public:
+  DataType type() const { return type_; }
+  int64_t length() const { return static_cast<int64_t>(validity_.size()); }
+  const std::string& name() const { return name_; }
+
+  bool IsNull(int64_t row) const { return !validity_[row]; }
+  int64_t null_count() const { return null_count_; }
+
+  /// Typed accessors; calling the wrong one for the column type is a
+  /// programmer error (checked in debug via assert-like behavior of vector).
+  int64_t GetInt(int64_t row) const { return ints_[row]; }
+  double GetDouble(int64_t row) const { return doubles_[row]; }
+  std::string_view GetString(int64_t row) const {
+    return dictionary_[codes_[row]];
+  }
+  /// Dictionary code of a string cell (meaningless for null cells).
+  int32_t GetCode(int64_t row) const { return codes_[row]; }
+  int32_t dictionary_size() const {
+    return static_cast<int32_t>(dictionary_.size());
+  }
+  const std::string& DictionaryEntry(int32_t code) const {
+    return dictionary_[code];
+  }
+
+  /// Generic cell accessor (boxes the value; avoid in hot loops).
+  Value GetValue(int64_t row) const;
+
+  /// Numeric view of a cell: the int/double value, or NaN for nulls and
+  /// string cells. Lets aggregation kernels treat numeric columns uniformly.
+  double AsDoubleOrNan(int64_t row) const;
+
+  /// A canonical 64-bit key for grouping/histogramming a cell: dictionary
+  /// code for strings, raw bits for doubles, the value for ints; nulls map
+  /// to a reserved sentinel. Two cells have equal keys iff they are equal.
+  int64_t CellKey(int64_t row) const;
+
+  /// Looks up the dictionary code of `token`; returns -1 when absent.
+  int32_t FindCode(std::string_view token) const;
+
+ private:
+  friend class ColumnBuilder;
+  Column() = default;
+
+  std::string name_;
+  DataType type_ = DataType::kInt64;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<int32_t> codes_;
+  std::vector<std::string> dictionary_;
+  std::unordered_map<std::string, int32_t> dictionary_index_;
+  std::vector<uint8_t> validity_;
+  int64_t null_count_ = 0;
+};
+
+using ColumnPtr = std::shared_ptr<const Column>;
+
+/// Accumulates cells and produces an immutable Column. Append* calls must
+/// match the declared type; mismatches return an error and leave the builder
+/// unchanged.
+class ColumnBuilder {
+ public:
+  ColumnBuilder(std::string name, DataType type);
+
+  Status AppendInt(int64_t value);
+  Status AppendDouble(double value);
+  Status AppendString(std::string_view value);
+  void AppendNull();
+  /// Appends a boxed value (type-checked; ints are widened into float
+  /// columns).
+  Status AppendValue(const Value& value);
+
+  int64_t length() const { return static_cast<int64_t>(column_->validity_.size()); }
+  DataType type() const { return column_->type_; }
+
+  /// Finalizes the column. The builder is left empty and reusable.
+  ColumnPtr Finish();
+
+ private:
+  int32_t InternString(std::string_view value);
+
+  std::shared_ptr<Column> column_;
+};
+
+}  // namespace atena
+
+#endif  // ATENA_DATAFRAME_COLUMN_H_

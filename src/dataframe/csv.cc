@@ -1,0 +1,233 @@
+#include "dataframe/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_utils.h"
+
+namespace atena {
+
+namespace {
+
+/// Splits one logical CSV record (already newline-free except inside quotes)
+/// into fields, honoring double-quote quoting.
+std::vector<std::string> ParseCsvRecord(std::string_view line, char delim) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+bool NeedsQuoting(std::string_view field, char delim) {
+  for (char c : field) {
+    if (c == delim || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendCsvField(std::string* out, std::string_view field, char delim) {
+  if (!NeedsQuoting(field, delim)) {
+    out->append(field);
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Result<TablePtr> ReadCsvString(const std::string& text, std::string table_name,
+                               const CsvOptions& options) {
+  // Split into logical records, keeping newlines inside quotes.
+  std::vector<std::string> records;
+  {
+    std::string current;
+    bool in_quotes = false;
+    for (char c : text) {
+      if (c == '"') in_quotes = !in_quotes;
+      if ((c == '\n') && !in_quotes) {
+        if (!current.empty() && current.back() == '\r') current.pop_back();
+        records.push_back(std::move(current));
+        current.clear();
+      } else {
+        current += c;
+      }
+    }
+    if (!current.empty()) {
+      if (current.back() == '\r') current.pop_back();
+      records.push_back(std::move(current));
+    }
+  }
+  if (records.empty()) {
+    return Status::InvalidArgument("CSV: empty input");
+  }
+
+  std::vector<std::string> header =
+      ParseCsvRecord(records[0], options.delimiter);
+  const size_t num_cols = header.size();
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(records.size() - 1);
+  for (size_t i = 1; i < records.size(); ++i) {
+    if (records[i].empty()) continue;  // skip blank lines
+    auto fields = ParseCsvRecord(records[i], options.delimiter);
+    if (fields.size() != num_cols) {
+      return Status::InvalidArgument(
+          "CSV: row " + std::to_string(i) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(num_cols));
+    }
+    rows.push_back(std::move(fields));
+  }
+
+  // Type inference per column.
+  auto is_null_cell = [&](const std::string& cell) {
+    return options.treat_empty_as_null && StripWhitespace(cell).empty();
+  };
+  std::vector<DataType> types(num_cols, DataType::kInt64);
+  const int64_t inspect =
+      options.inference_rows == 0
+          ? static_cast<int64_t>(rows.size())
+          : std::min<int64_t>(options.inference_rows,
+                              static_cast<int64_t>(rows.size()));
+  for (size_t c = 0; c < num_cols; ++c) {
+    bool all_int = true, all_num = true, any_value = false;
+    for (int64_t r = 0; r < inspect; ++r) {
+      const std::string& cell = rows[static_cast<size_t>(r)][c];
+      if (is_null_cell(cell)) continue;
+      any_value = true;
+      int64_t iv;
+      double dv;
+      if (!ParseInt64(cell, &iv)) all_int = false;
+      if (!ParseDouble(cell, &dv)) all_num = false;
+      if (!all_num) break;
+    }
+    if (!any_value || !all_num) {
+      types[c] = DataType::kString;
+    } else {
+      types[c] = all_int ? DataType::kInt64 : DataType::kFloat64;
+    }
+  }
+
+  // Build columns. Cells outside the inference window that fail to parse
+  // under the inferred numeric type are treated as nulls (logged as a data
+  // quality matter is overkill here; they are rare in practice).
+  std::vector<ColumnBuilder> builders;
+  builders.reserve(num_cols);
+  for (size_t c = 0; c < num_cols; ++c) {
+    builders.emplace_back(std::string(StripWhitespace(header[c])), types[c]);
+  }
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < num_cols; ++c) {
+      const std::string& cell = row[c];
+      if (is_null_cell(cell)) {
+        builders[c].AppendNull();
+        continue;
+      }
+      switch (types[c]) {
+        case DataType::kInt64: {
+          int64_t v;
+          if (ParseInt64(cell, &v)) {
+            ATENA_RETURN_IF_ERROR(builders[c].AppendInt(v));
+          } else {
+            builders[c].AppendNull();
+          }
+          break;
+        }
+        case DataType::kFloat64: {
+          double v;
+          if (ParseDouble(cell, &v)) {
+            ATENA_RETURN_IF_ERROR(builders[c].AppendDouble(v));
+          } else {
+            builders[c].AppendNull();
+          }
+          break;
+        }
+        case DataType::kString:
+          ATENA_RETURN_IF_ERROR(builders[c].AppendString(cell));
+          break;
+      }
+    }
+  }
+  std::vector<ColumnPtr> columns;
+  columns.reserve(num_cols);
+  for (auto& b : builders) columns.push_back(b.Finish());
+  return Table::Make(std::move(table_name), std::move(columns));
+}
+
+Result<TablePtr> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  // Table name: basename without extension.
+  std::string name = path;
+  size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) name = name.substr(0, dot);
+  return ReadCsvString(buffer.str(), std::move(name), options);
+}
+
+std::string WriteCsvString(const Table& table, const CsvOptions& options) {
+  std::string out;
+  for (int c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out.push_back(options.delimiter);
+    AppendCsvField(&out, table.column_name(c), options.delimiter);
+  }
+  out.push_back('\n');
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out.push_back(options.delimiter);
+      const Column& col = *table.column(c);
+      if (col.IsNull(r)) continue;  // empty field = null
+      AppendCsvField(&out, col.GetValue(r).ToString(), options.delimiter);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out << WriteCsvString(table, options);
+  if (!out) {
+    return Status::IOError("write failed for '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace atena

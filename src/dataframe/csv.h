@@ -1,0 +1,40 @@
+#ifndef ATENA_DATAFRAME_CSV_H_
+#define ATENA_DATAFRAME_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "dataframe/table.h"
+
+namespace atena {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// Cells equal to one of these (after trimming) parse as null.
+  bool treat_empty_as_null = true;
+  /// Number of rows inspected for type inference; 0 means all rows.
+  int64_t inference_rows = 1000;
+};
+
+/// Parses CSV text into a table. The first line is the header. Column types
+/// are inferred: a column is int64 if every non-null inspected cell parses
+/// as an integer, float64 if every cell parses as a number, else string.
+/// Quoted fields (RFC-4180 double quotes with "" escapes) are supported.
+Result<TablePtr> ReadCsvString(const std::string& text, std::string table_name,
+                               const CsvOptions& options = {});
+
+/// Reads a CSV file from disk.
+Result<TablePtr> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options = {});
+
+/// Serializes a table to CSV (header + rows). Nulls render as empty fields;
+/// fields containing the delimiter, quotes or newlines are quoted.
+std::string WriteCsvString(const Table& table, const CsvOptions& options = {});
+
+/// Writes a table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace atena
+
+#endif  // ATENA_DATAFRAME_CSV_H_

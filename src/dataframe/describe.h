@@ -1,0 +1,32 @@
+#ifndef ATENA_DATAFRAME_DESCRIBE_H_
+#define ATENA_DATAFRAME_DESCRIBE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "dataframe/table.h"
+
+namespace atena {
+
+/// Sorts a row selection by one column. Nulls sort first; string columns
+/// sort lexicographically, numeric ones by value. Stable, so repeated
+/// sorts by different columns compose the way analysts expect.
+Result<std::vector<int32_t>> SortRows(const Table& table,
+                                      std::vector<int32_t> rows, int column,
+                                      bool ascending = true);
+
+/// The `k` rows with the largest (`largest`=true) or smallest values of a
+/// numeric column; null cells are skipped. Deterministic tie-break by row
+/// id.
+Result<std::vector<int32_t>> TopKRows(const Table& table,
+                                      const std::vector<int32_t>& rows,
+                                      int column, int k, bool largest = true);
+
+/// Builds the one-row-per-column summary every EDA notebook opens with:
+/// name, type, non-null count, nulls, distinct values, min/max/mean for
+/// numeric columns, and the most frequent token with its count.
+Result<TablePtr> DescribeTable(const Table& table);
+
+}  // namespace atena
+
+#endif  // ATENA_DATAFRAME_DESCRIBE_H_

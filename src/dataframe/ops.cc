@@ -1,0 +1,346 @@
+#include "dataframe/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/string_utils.h"
+
+namespace atena {
+
+const char* CompareOpSymbol(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "==";
+    case CompareOp::kNeq:
+      return "!=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kContains:
+      return "contains";
+    case CompareOp::kStartsWith:
+      return "startswith";
+    case CompareOp::kEndsWith:
+      return "endswith";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+    case AggFunc::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+bool ValueLess(const Value& a, const Value& b) {
+  auto rank = [](const Value& v) {
+    if (v.is_null()) return 0;
+    if (v.is_int() || v.is_double()) return 1;
+    return 2;
+  };
+  int ra = rank(a), rb = rank(b);
+  if (ra != rb) return ra < rb;
+  if (ra == 0) return false;  // both null
+  if (ra == 1) {
+    double da = 0, db = 0;
+    a.ToDouble(&da);
+    b.ToDouble(&db);
+    return da < db;
+  }
+  return a.as_string() < b.as_string();
+}
+
+namespace {
+
+bool IsNumericType(DataType type) {
+  return type == DataType::kInt64 || type == DataType::kFloat64;
+}
+
+bool IsOrderingOp(CompareOp op) {
+  return op == CompareOp::kGt || op == CompareOp::kGe ||
+         op == CompareOp::kLt || op == CompareOp::kLe;
+}
+
+bool IsStringOp(CompareOp op) {
+  return op == CompareOp::kContains || op == CompareOp::kStartsWith ||
+         op == CompareOp::kEndsWith;
+}
+
+}  // namespace
+
+Result<std::vector<int32_t>> FilterRows(const Table& table,
+                                        const std::vector<int32_t>& rows,
+                                        int column, CompareOp op,
+                                        const Value& term) {
+  if (column < 0 || column >= table.num_columns()) {
+    return Status::OutOfRange("FilterRows: column index " +
+                              std::to_string(column));
+  }
+  const Column& col = *table.column(column);
+  if (term.is_null()) {
+    return Status::InvalidArgument("FilterRows: null filter term");
+  }
+
+  std::vector<int32_t> out;
+
+  if (IsOrderingOp(op)) {
+    if (!IsNumericType(col.type())) {
+      return Status::TypeMismatch("ordering filter on non-numeric column '" +
+                                  col.name() + "'");
+    }
+    double threshold = 0.0;
+    if (!term.ToDouble(&threshold)) {
+      return Status::TypeMismatch("ordering filter with non-numeric term");
+    }
+    for (int32_t r : rows) {
+      if (col.IsNull(r)) continue;
+      double v = col.AsDoubleOrNan(r);
+      bool keep = false;
+      switch (op) {
+        case CompareOp::kGt:
+          keep = v > threshold;
+          break;
+        case CompareOp::kGe:
+          keep = v >= threshold;
+          break;
+        case CompareOp::kLt:
+          keep = v < threshold;
+          break;
+        case CompareOp::kLe:
+          keep = v <= threshold;
+          break;
+        default:
+          break;
+      }
+      if (keep) out.push_back(r);
+    }
+    return out;
+  }
+
+  if (IsStringOp(op)) {
+    if (col.type() != DataType::kString) {
+      return Status::TypeMismatch("substring filter on non-string column '" +
+                                  col.name() + "'");
+    }
+    if (!term.is_string()) {
+      return Status::TypeMismatch("substring filter with non-string term");
+    }
+    const std::string& needle = term.as_string();
+    for (int32_t r : rows) {
+      if (col.IsNull(r)) continue;
+      std::string_view cell = col.GetString(r);
+      bool keep = false;
+      switch (op) {
+        case CompareOp::kContains:
+          keep = Contains(cell, needle);
+          break;
+        case CompareOp::kStartsWith:
+          keep = StartsWith(cell, needle);
+          break;
+        case CompareOp::kEndsWith:
+          keep = EndsWith(cell, needle);
+          break;
+        default:
+          break;
+      }
+      if (keep) out.push_back(r);
+    }
+    return out;
+  }
+
+  // Equality family.
+  const bool want_equal = (op == CompareOp::kEq);
+  if (col.type() == DataType::kString) {
+    if (!term.is_string()) {
+      return Status::TypeMismatch("equality filter on string column '" +
+                                  col.name() + "' with non-string term");
+    }
+    // Token filters compare dictionary codes: one lookup, then integer scans.
+    int32_t code = col.FindCode(term.as_string());
+    for (int32_t r : rows) {
+      if (col.IsNull(r)) continue;
+      bool equal = (code >= 0 && col.GetCode(r) == code);
+      if (equal == want_equal) out.push_back(r);
+    }
+    return out;
+  }
+
+  double target = 0.0;
+  if (!term.ToDouble(&target)) {
+    return Status::TypeMismatch("equality filter on numeric column '" +
+                                col.name() + "' with non-numeric term");
+  }
+  for (int32_t r : rows) {
+    if (col.IsNull(r)) continue;
+    bool equal = (col.AsDoubleOrNan(r) == target);
+    if (equal == want_equal) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<double> GroupedResult::GroupSizes() const {
+  std::vector<double> sizes;
+  sizes.reserve(groups.size());
+  for (const auto& g : groups) {
+    sizes.push_back(static_cast<double>(g.rows.size()));
+  }
+  return sizes;
+}
+
+Result<TablePtr> GroupedResult::ToTable(const Table& source) const {
+  std::vector<ColumnPtr> columns;
+  for (size_t k = 0; k < key_names.size(); ++k) {
+    DataType type = source.column(spec.group_columns[k])->type();
+    ColumnBuilder builder(key_names[k], type);
+    for (const auto& g : groups) {
+      ATENA_RETURN_IF_ERROR(builder.AppendValue(g.keys[k]));
+    }
+    columns.push_back(builder.Finish());
+  }
+  ColumnBuilder agg_builder(agg_name, DataType::kFloat64);
+  for (const auto& g : groups) {
+    if (g.agg_valid) {
+      ATENA_RETURN_IF_ERROR(agg_builder.AppendDouble(g.aggregate));
+    } else {
+      agg_builder.AppendNull();
+    }
+  }
+  columns.push_back(agg_builder.Finish());
+  return Table::Make(source.name() + "/grouped", std::move(columns));
+}
+
+Result<GroupedResult> GroupAggregate(const Table& table,
+                                     const std::vector<int32_t>& rows,
+                                     const GroupSpec& spec) {
+  if (spec.group_columns.empty()) {
+    return Status::InvalidArgument("GroupAggregate: no group columns");
+  }
+  for (int c : spec.group_columns) {
+    if (c < 0 || c >= table.num_columns()) {
+      return Status::OutOfRange("GroupAggregate: group column " +
+                                std::to_string(c));
+    }
+  }
+  const bool needs_agg_column = spec.agg != AggFunc::kCount;
+  if (needs_agg_column) {
+    if (spec.agg_column < 0 || spec.agg_column >= table.num_columns()) {
+      return Status::OutOfRange("GroupAggregate: agg column " +
+                                std::to_string(spec.agg_column));
+    }
+    if (!IsNumericType(table.column(spec.agg_column)->type())) {
+      return Status::TypeMismatch(
+          std::string(AggFuncName(spec.agg)) + " over non-numeric column '" +
+          table.column(spec.agg_column)->name() + "'");
+    }
+  }
+
+  // Assign rows to groups via composite cell keys. std::map keeps the
+  // grouping deterministic; the final ordering is by boxed key values.
+  std::map<std::vector<int64_t>, size_t> index;
+  GroupedResult result;
+  result.spec = spec;
+  for (int c : spec.group_columns) {
+    result.key_names.push_back(table.column(c)->name());
+  }
+  if (spec.agg == AggFunc::kCount) {
+    result.agg_name = "COUNT(*)";
+  } else {
+    result.agg_name = std::string(AggFuncName(spec.agg)) + "(" +
+                      table.column(spec.agg_column)->name() + ")";
+  }
+
+  std::vector<int64_t> key(spec.group_columns.size());
+  for (int32_t r : rows) {
+    for (size_t k = 0; k < spec.group_columns.size(); ++k) {
+      key[k] = table.column(spec.group_columns[k])->CellKey(r);
+    }
+    auto [it, inserted] = index.emplace(key, result.groups.size());
+    if (inserted) {
+      Group g;
+      g.keys.reserve(spec.group_columns.size());
+      for (int c : spec.group_columns) {
+        g.keys.push_back(table.column(c)->GetValue(r));
+      }
+      result.groups.push_back(std::move(g));
+    }
+    result.groups[it->second].rows.push_back(r);
+  }
+
+  // Aggregate each group.
+  for (auto& g : result.groups) {
+    if (spec.agg == AggFunc::kCount) {
+      g.aggregate = static_cast<double>(g.rows.size());
+      g.agg_valid = true;
+      continue;
+    }
+    const Column& agg_col = *table.column(spec.agg_column);
+    double acc = 0.0;
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = -std::numeric_limits<double>::infinity();
+    int64_t n = 0;
+    for (int32_t r : g.rows) {
+      if (agg_col.IsNull(r)) continue;
+      double v = agg_col.AsDoubleOrNan(r);
+      acc += v;
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+      ++n;
+    }
+    g.agg_valid = (n > 0);
+    if (!g.agg_valid) continue;
+    switch (spec.agg) {
+      case AggFunc::kSum:
+        g.aggregate = acc;
+        break;
+      case AggFunc::kMin:
+        g.aggregate = mn;
+        break;
+      case AggFunc::kMax:
+        g.aggregate = mx;
+        break;
+      case AggFunc::kAvg:
+        g.aggregate = acc / static_cast<double>(n);
+        break;
+      case AggFunc::kCount:
+        break;
+    }
+  }
+
+  // Deterministic display order: sort by key values.
+  std::sort(result.groups.begin(), result.groups.end(),
+            [](const Group& a, const Group& b) {
+              for (size_t i = 0; i < a.keys.size() && i < b.keys.size(); ++i) {
+                if (ValueLess(a.keys[i], b.keys[i])) return true;
+                if (ValueLess(b.keys[i], a.keys[i])) return false;
+              }
+              return false;
+            });
+  return result;
+}
+
+std::vector<int32_t> AllRows(const Table& table) {
+  std::vector<int32_t> rows(static_cast<size_t>(table.num_rows()));
+  for (int64_t i = 0; i < table.num_rows(); ++i) {
+    rows[static_cast<size_t>(i)] = static_cast<int32_t>(i);
+  }
+  return rows;
+}
+
+}  // namespace atena

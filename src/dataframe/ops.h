@@ -1,0 +1,98 @@
+#ifndef ATENA_DATAFRAME_OPS_H_
+#define ATENA_DATAFRAME_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dataframe/table.h"
+
+namespace atena {
+
+/// Comparison operators supported by FILTER (paper §4.1: "=, >, contains").
+enum class CompareOp {
+  kEq,
+  kNeq,
+  kGt,
+  kGe,
+  kLt,
+  kLe,
+  kContains,
+  kStartsWith,
+  kEndsWith,
+};
+
+/// Symbol used in notebook rendering ("==", "contains", ...).
+const char* CompareOpSymbol(CompareOp op);
+constexpr int kNumCompareOps = 9;
+
+/// Aggregation functions supported by GROUP (paper §4.1: SUM, MAX, COUNT,
+/// AVG; we add MIN for symmetry).
+enum class AggFunc { kCount, kSum, kMin, kMax, kAvg };
+const char* AggFuncName(AggFunc func);
+constexpr int kNumAggFuncs = 5;
+
+/// Total order over Values used for deterministic display sorting:
+/// null < numeric (by value) < string (lexicographic).
+bool ValueLess(const Value& a, const Value& b);
+
+/// Selects the rows of `rows` whose `column` cell matches `op term`.
+///
+/// Semantics follow Pandas-on-strings behaviour the paper relied on:
+///  * Null cells never match any predicate.
+///  * Ordering comparisons require a numeric column and numeric term.
+///  * kContains/kStartsWith/kEndsWith require a string column; kEq/kNeq on a
+///    string column compare whole tokens.
+///  * kEq/kNeq between numeric column and numeric term compare by value
+///    (int 5 == double 5.0).
+Result<std::vector<int32_t>> FilterRows(const Table& table,
+                                        const std::vector<int32_t>& rows,
+                                        int column, CompareOp op,
+                                        const Value& term);
+
+/// A group-by request: one or more key columns plus a single aggregation.
+/// `agg_column` is ignored for kCount (which counts rows per group).
+struct GroupSpec {
+  std::vector<int> group_columns;
+  AggFunc agg = AggFunc::kCount;
+  int agg_column = -1;
+};
+
+/// One result group: its key values (one per group column), member row ids,
+/// and the aggregate (NaN-free; `agg_valid` is false when no non-null input
+/// reached the aggregator).
+struct Group {
+  std::vector<Value> keys;
+  std::vector<int32_t> rows;
+  double aggregate = 0.0;
+  bool agg_valid = false;
+};
+
+/// The grouped result display: groups sorted deterministically by key.
+struct GroupedResult {
+  GroupSpec spec;
+  std::vector<std::string> key_names;
+  std::string agg_name;  // e.g. "AVG(departure_delay)"
+  std::vector<Group> groups;
+
+  /// Group sizes as doubles (for the observation encoder's mean/variance).
+  std::vector<double> GroupSizes() const;
+
+  /// Materializes the grouped display as a table (key columns + one
+  /// aggregate column), for rendering.
+  Result<TablePtr> ToTable(const Table& source) const;
+};
+
+/// Groups `rows` of `table` by `spec.group_columns` and aggregates.
+/// Requirements: at least one group column; numeric agg column for
+/// SUM/MIN/MAX/AVG; all column indices valid.
+Result<GroupedResult> GroupAggregate(const Table& table,
+                                     const std::vector<int32_t>& rows,
+                                     const GroupSpec& spec);
+
+/// Identity row selection [0, num_rows).
+std::vector<int32_t> AllRows(const Table& table);
+
+}  // namespace atena
+
+#endif  // ATENA_DATAFRAME_OPS_H_

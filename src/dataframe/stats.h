@@ -1,0 +1,52 @@
+#ifndef ATENA_DATAFRAME_STATS_H_
+#define ATENA_DATAFRAME_STATS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dataframe/table.h"
+#include "dataframe/value.h"
+
+namespace atena {
+
+/// Descriptive statistics of one column over a row selection — exactly the
+/// three per-attribute features the observation vector encodes (paper §4.1):
+/// values' entropy, number of distinct values, number of nulls.
+struct ColumnStats {
+  double entropy = 0.0;            // natural-log Shannon entropy
+  double normalized_entropy = 0.0; // entropy / log(distinct), in [0,1]
+  int64_t distinct = 0;            // distinct non-null values
+  int64_t nulls = 0;               // null cells in the selection
+  int64_t count = 0;               // selection size
+};
+
+/// Computes ColumnStats of `column` restricted to `rows`.
+ColumnStats ComputeColumnStats(const Column& column,
+                               const std::vector<int32_t>& rows);
+
+/// Value histogram over a row selection, keyed by Column::CellKey (nulls are
+/// excluded). Feeds the KL-divergence interestingness reward.
+std::unordered_map<int64_t, double> ValueHistogram(
+    const Column& column, const std::vector<int32_t>& rows);
+
+/// Histogram over an arbitrary list of doubles, keyed by bit pattern;
+/// used for KL over aggregated display columns.
+std::unordered_map<int64_t, double> DoubleHistogram(
+    const std::vector<double>& values);
+
+/// One token of a column and its frequency in the selection.
+struct TokenFreq {
+  Value token;
+  int64_t count = 0;
+};
+
+/// Distinct non-null tokens of `column` within `rows`, sorted by descending
+/// frequency (ties broken by value order for determinism). This is the
+/// token list the logarithmic filter-term binning operates on (paper §5).
+std::vector<TokenFreq> TokenFrequencies(const Column& column,
+                                        const std::vector<int32_t>& rows);
+
+}  // namespace atena
+
+#endif  // ATENA_DATAFRAME_STATS_H_

@@ -1,0 +1,38 @@
+#include "dataframe/value.h"
+
+#include "common/string_utils.h"
+
+namespace atena {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kFloat64:
+      return "float64";
+    case DataType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+bool Value::ToDouble(double* out) const {
+  if (is_int()) {
+    *out = static_cast<double>(as_int());
+    return true;
+  }
+  if (is_double()) {
+    *out = as_double();
+    return true;
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "null";
+  if (is_int()) return std::to_string(as_int());
+  if (is_double()) return FormatDouble(as_double());
+  return as_string();
+}
+
+}  // namespace atena

@@ -1,0 +1,56 @@
+#ifndef ATENA_DATAFRAME_VALUE_H_
+#define ATENA_DATAFRAME_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace atena {
+
+/// Physical column types supported by the engine. Dataset attributes of
+/// "categorical" or "textual" semantic type are both stored as kString
+/// (dictionary-encoded); the distinction the paper cares about (continuous
+/// vs. categorical) is made per-attribute by AttributeKind in the EDA layer.
+enum class DataType {
+  kInt64,
+  kFloat64,
+  kString,
+};
+
+const char* DataTypeName(DataType type);
+
+/// A single (possibly null) cell value. Used at API boundaries — filter
+/// terms, group keys, notebook rendering — never for bulk storage.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+
+  int64_t as_int() const { return std::get<int64_t>(data_); }
+  double as_double() const { return std::get<double>(data_); }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+
+  /// True when the value carries a number (int or double); `*out` receives
+  /// the value widened to double.
+  bool ToDouble(double* out) const;
+
+  /// Notebook-facing rendering: "∅" for null, FormatDouble for floats.
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+}  // namespace atena
+
+#endif  // ATENA_DATAFRAME_VALUE_H_

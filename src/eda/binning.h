@@ -1,0 +1,46 @@
+#ifndef ATENA_EDA_BINNING_H_
+#define ATENA_EDA_BINNING_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "dataframe/stats.h"
+
+namespace atena {
+
+/// Logarithmic frequency binning of filter terms (paper §5).
+///
+/// Instead of one network output per dataset token, the agent picks one of
+/// `num_bins` frequency ranges; a concrete token whose frequency falls in
+/// that range is then sampled uniformly at random. Bin 0 holds the most
+/// frequent tokens; each subsequent bin halves the frequency ceiling
+/// (log-base-2 ranges, following the Zipfian token-frequency assumption via
+/// logarithmic binning [31]). The last bin absorbs everything rarer.
+class TermBinning {
+ public:
+  /// Builds the binning over a column's token frequency list (as produced
+  /// by TokenFrequencies: sorted by descending count).
+  TermBinning(const std::vector<TokenFreq>& tokens, int num_bins);
+
+  int num_bins() const { return num_bins_; }
+
+  /// Tokens (indices into the original list) assigned to `bin`.
+  const std::vector<int>& BinMembers(int bin) const { return bins_[bin]; }
+
+  /// True when `bin` holds at least one token.
+  bool BinNonEmpty(int bin) const { return !bins_[bin].empty(); }
+
+  /// Samples a token index for `bin`. When the requested bin is empty the
+  /// nearest non-empty bin is used (so every bin choice maps to a concrete
+  /// token as long as the column has any token). Returns -1 only when the
+  /// column has no tokens at all.
+  int SampleToken(int bin, Rng* rng) const;
+
+ private:
+  int num_bins_;
+  std::vector<std::vector<int>> bins_;
+};
+
+}  // namespace atena
+
+#endif  // ATENA_EDA_BINNING_H_

@@ -1,0 +1,329 @@
+#include "eda/environment.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "dataframe/stats.h"
+#include "eda/binning.h"
+
+namespace atena {
+
+std::vector<int> ActionSpace::SegmentSizes() const {
+  return {num_op_types, num_columns,   num_filter_ops, num_term_bins,
+          num_columns,  num_agg_funcs, num_columns};
+}
+
+int ActionSpace::TotalParameterNodes() const {
+  int total = 0;
+  for (int s : SegmentSizes()) total += s;
+  return total;
+}
+
+int64_t ActionSpace::FlatActionCount(int terms_per_column) const {
+  const int64_t cols = num_columns;
+  const int64_t terms = terms_per_column > 0 ? terms_per_column : num_term_bins;
+  const int64_t filters = cols * num_filter_ops * terms;
+  const int64_t groups = cols * num_agg_funcs * cols;
+  return filters + groups + 1;  // + BACK
+}
+
+EdaEnvironment::EdaEnvironment(Dataset dataset, EnvConfig config)
+    : dataset_(std::move(dataset)),
+      config_(config),
+      encoder_(dataset_.table, config.history_displays),
+      rng_(config.seed) {
+  action_space_.num_columns = dataset_.table->num_columns();
+  action_space_.num_term_bins = config_.num_term_bins;
+  auto all_rows = AllRows(*dataset_.table);
+  distinct_ratios_.reserve(static_cast<size_t>(table().num_columns()));
+  for (int c = 0; c < table().num_columns(); ++c) {
+    ColumnStats stats = ComputeColumnStats(*table().column(c), all_rows);
+    distinct_ratios_.push_back(
+        table().num_rows() > 0
+            ? static_cast<double>(stats.distinct) /
+                  static_cast<double>(table().num_rows())
+            : 0.0);
+  }
+  Reset();
+}
+
+const Display& EdaEnvironment::previous_display() const {
+  if (history_.size() >= 2) return history_[history_.size() - 2];
+  return history_.front();
+}
+
+std::vector<int32_t> EdaEnvironment::CapRows(
+    const std::vector<int32_t>& rows) const {
+  const int cap = config_.stats_row_cap;
+  if (cap <= 0 || static_cast<int>(rows.size()) <= cap) return rows;
+  // Deterministic stride sample preserving order.
+  std::vector<int32_t> out;
+  out.reserve(static_cast<size_t>(cap));
+  const double stride =
+      static_cast<double>(rows.size()) / static_cast<double>(cap);
+  for (int i = 0; i < cap; ++i) {
+    out.push_back(rows[static_cast<size_t>(i * stride)]);
+  }
+  return out;
+}
+
+std::vector<double> EdaEnvironment::Reset() {
+  stack_.clear();
+  history_.clear();
+  display_vectors_.clear();
+  steps_.clear();
+  step_count_ = 0;
+
+  Display root;
+  root.rows = AllRows(*dataset_.table);
+  stack_.push_back(root);
+  history_.push_back(root);
+
+  Display capped = root;
+  capped.rows = CapRows(root.rows);
+  display_vectors_.push_back(encoder_.EncodeDisplay(capped));
+  return encoder_.EncodeObservation(display_vectors_);
+}
+
+EdaOperation EdaEnvironment::ResolveAction(const EnvAction& action) {
+  switch (action.type) {
+    case OpType::kBack:
+      return EdaOperation::Back();
+    case OpType::kGroup: {
+      AggFunc agg = static_cast<AggFunc>(action.agg_func);
+      int agg_column = action.agg_column;
+      // Non-numeric aggregation target falls back to COUNT.
+      if (agg != AggFunc::kCount) {
+        DataType t = table().column(agg_column)->type();
+        if (t == DataType::kString) {
+          agg = AggFunc::kCount;
+          agg_column = -1;
+        }
+      } else {
+        agg_column = -1;
+      }
+      return EdaOperation::Group(action.group_column, agg, agg_column);
+    }
+    case OpType::kFilter: {
+      int column = action.filter_column;
+      CompareOp op = static_cast<CompareOp>(action.filter_op);
+      const Column& col = *table().column(column);
+      // Type-incompatible operators fall back to equality.
+      const bool string_col = col.type() == DataType::kString;
+      const bool ordering = op == CompareOp::kGt || op == CompareOp::kGe ||
+                            op == CompareOp::kLt || op == CompareOp::kLe;
+      const bool substring = op == CompareOp::kContains ||
+                             op == CompareOp::kStartsWith ||
+                             op == CompareOp::kEndsWith;
+      if ((string_col && ordering) || (!string_col && substring)) {
+        op = CompareOp::kEq;
+      }
+      // Sample a concrete token for the chosen frequency bin over the
+      // current display's rows (paper §5).
+      auto tokens = TokenFrequencies(col, CapRows(current_display().rows));
+      TermBinning binning(tokens, config_.num_term_bins);
+      int token_index = binning.SampleToken(action.filter_bin, &rng_);
+      Value term = token_index >= 0 ? tokens[static_cast<size_t>(token_index)].token
+                                    : Value::Null();
+      return EdaOperation::Filter(column, op, std::move(term),
+                                  action.filter_bin);
+    }
+  }
+  return EdaOperation::Back();
+}
+
+bool EdaEnvironment::ApplyOperation(const EdaOperation& op) {
+  const Display& current = stack_.back();
+  switch (op.type) {
+    case OpType::kBack: {
+      if (stack_.size() <= 1) return false;
+      stack_.pop_back();
+      return true;
+    }
+    case OpType::kGroup: {
+      const GroupParams& p = op.group;
+      if (p.group_column < 0 || p.group_column >= table().num_columns()) {
+        return false;
+      }
+      if (std::find(current.group_columns.begin(),
+                    current.group_columns.end(),
+                    p.group_column) != current.group_columns.end()) {
+        return false;  // already grouped by this attribute
+      }
+      if (static_cast<int>(current.group_columns.size()) >=
+          config_.max_group_attrs) {
+        return false;
+      }
+      Display next = current;
+      next.group_columns.push_back(p.group_column);
+      next.agg = p.agg;
+      next.agg_column = p.agg_column;
+      GroupSpec spec;
+      spec.group_columns = next.group_columns;
+      spec.agg = p.agg;
+      spec.agg_column = p.agg_column;
+      auto grouped = GroupAggregate(table(), next.rows, spec);
+      if (!grouped.ok()) {
+        ATENA_LOG(kDebug) << "group failed: " << grouped.status();
+        return false;
+      }
+      next.grouped = std::make_shared<GroupedResult>(
+          std::move(grouped).value());
+      stack_.push_back(std::move(next));
+      return true;
+    }
+    case OpType::kFilter: {
+      const FilterParams& p = op.filter;
+      if (p.column < 0 || p.column >= table().num_columns()) return false;
+      if (p.term.is_null()) return false;  // column had no tokens
+      auto filtered = FilterRows(table(), current.rows, p.column, p.op,
+                                 p.term);
+      if (!filtered.ok()) {
+        ATENA_LOG(kDebug) << "filter failed: " << filtered.status();
+        return false;
+      }
+      if (filtered.value().empty()) return false;  // empty result display
+      // Re-applying a predicate that is already part of the display is a
+      // no-op (a fresh predicate that happens to keep every row is fine —
+      // experts use such filters to confirm a hypothesis).
+      for (const FilterPred& existing : current.filters) {
+        if (existing.column == p.column && existing.op == p.op &&
+            existing.term == p.term) {
+          return false;
+        }
+      }
+      Display next = current;
+      next.filters.push_back(FilterPred{p.column, p.op, p.term});
+      next.rows = std::move(filtered).value();
+      if (next.is_grouped()) {
+        GroupSpec spec;
+        spec.group_columns = next.group_columns;
+        spec.agg = next.agg;
+        spec.agg_column = next.agg_column;
+        auto grouped = GroupAggregate(table(), next.rows, spec);
+        if (!grouped.ok()) return false;
+        next.grouped = std::make_shared<GroupedResult>(
+            std::move(grouped).value());
+      }
+      stack_.push_back(std::move(next));
+      return true;
+    }
+  }
+  return false;
+}
+
+StepOutcome EdaEnvironment::FinishStep(EdaOperation op, bool valid,
+                                       bool /*pushed*/) {
+  ++step_count_;
+  // One history entry per step; invalid steps repeat the current display.
+  history_.push_back(stack_.back());
+  Display capped = stack_.back();
+  capped.rows = CapRows(capped.rows);
+  display_vectors_.push_back(encoder_.EncodeDisplay(capped));
+
+  // The step is pushed before the reward is computed so that reward
+  // functions and labeling rules see a consistent session log in which the
+  // operation being scored is steps().back().
+  EdaStep step;
+  step.op = op;
+  step.valid = valid;
+  steps_.push_back(step);
+
+  double reward = 0.0;
+  if (!valid) {
+    reward = config_.invalid_action_penalty;
+  } else if (reward_ != nullptr) {
+    RewardContext context;
+    context.env = this;
+    context.op = &steps_.back().op;
+    context.valid = valid;
+    reward = reward_->Compute(context);
+  }
+  steps_.back().reward = reward;
+
+  StepOutcome outcome;
+  outcome.observation = encoder_.EncodeObservation(display_vectors_);
+  outcome.reward = reward;
+  outcome.done = done();
+  outcome.valid = valid;
+  outcome.op = std::move(op);
+  return outcome;
+}
+
+StepOutcome EdaEnvironment::Step(const EnvAction& action) {
+  ATENA_CHECK(!done()) << "Step called on a finished episode";
+  EdaOperation op = ResolveAction(action);
+  bool valid = ApplyOperation(op);
+  return FinishStep(std::move(op), valid, valid);
+}
+
+StepOutcome EdaEnvironment::StepOperation(const EdaOperation& op) {
+  ATENA_CHECK(!done()) << "StepOperation called on a finished episode";
+  bool valid = ApplyOperation(op);
+  return FinishStep(op, valid, valid);
+}
+
+std::vector<EdaOperation> EdaEnvironment::EnumerateOperations(
+    int tokens_per_column) const {
+  std::vector<EdaOperation> out;
+  const Display& current = current_display();
+  const auto rows = CapRows(current.rows);
+
+  for (int c = 0; c < table().num_columns(); ++c) {
+    const Column& col = *table().column(c);
+    auto tokens = TokenFrequencies(col, rows);
+    const int limit = std::min<int>(tokens_per_column,
+                                    static_cast<int>(tokens.size()));
+    const bool string_col = col.type() == DataType::kString;
+    for (int i = 0; i < limit; ++i) {
+      out.push_back(EdaOperation::Filter(c, CompareOp::kEq, tokens[i].token));
+      if (string_col) {
+        out.push_back(
+            EdaOperation::Filter(c, CompareOp::kNeq, tokens[i].token));
+      } else {
+        out.push_back(
+            EdaOperation::Filter(c, CompareOp::kGt, tokens[i].token));
+        out.push_back(
+            EdaOperation::Filter(c, CompareOp::kLe, tokens[i].token));
+      }
+    }
+  }
+  for (int g = 0; g < table().num_columns(); ++g) {
+    out.push_back(EdaOperation::Group(g, AggFunc::kCount, -1));
+    for (int a = 0; a < table().num_columns(); ++a) {
+      if (table().column(a)->type() == DataType::kString) continue;
+      for (AggFunc f : {AggFunc::kSum, AggFunc::kMin, AggFunc::kMax,
+                        AggFunc::kAvg}) {
+        out.push_back(EdaOperation::Group(g, f, a));
+      }
+    }
+  }
+  out.push_back(EdaOperation::Back());
+  return out;
+}
+
+EdaEnvironment::Snapshot EdaEnvironment::SaveSnapshot() const {
+  return Snapshot{stack_, history_, display_vectors_, steps_, step_count_};
+}
+
+void EdaEnvironment::RestoreSnapshot(const Snapshot& snapshot) {
+  stack_ = snapshot.stack;
+  history_ = snapshot.history;
+  display_vectors_ = snapshot.display_vectors;
+  steps_ = snapshot.steps;
+  step_count_ = snapshot.step_count;
+}
+
+EnvAction SampleRandomAction(const ActionSpace& space, Rng* rng) {
+  EnvAction action;
+  action.type = static_cast<OpType>(rng->NextBounded(space.num_op_types));
+  action.filter_column = static_cast<int>(rng->NextBounded(space.num_columns));
+  action.filter_op = static_cast<int>(rng->NextBounded(space.num_filter_ops));
+  action.filter_bin = static_cast<int>(rng->NextBounded(space.num_term_bins));
+  action.group_column = static_cast<int>(rng->NextBounded(space.num_columns));
+  action.agg_func = static_cast<int>(rng->NextBounded(space.num_agg_funcs));
+  action.agg_column = static_cast<int>(rng->NextBounded(space.num_columns));
+  return action;
+}
+
+}  // namespace atena

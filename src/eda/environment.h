@@ -1,0 +1,196 @@
+#ifndef ATENA_EDA_ENVIRONMENT_H_
+#define ATENA_EDA_ENVIRONMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "eda/display.h"
+#include "eda/observation.h"
+#include "eda/operation.h"
+#include "eda/reward_interface.h"
+
+namespace atena {
+
+/// Environment hyper-parameters.
+struct EnvConfig {
+  /// Episode length N: number of EDA operations per generated notebook.
+  int episode_length = 12;
+  /// Number of logarithmic frequency bins B for the filter term parameter.
+  int num_term_bins = 8;
+  /// How many recent displays one observation concatenates.
+  int history_displays = 3;
+  /// Maximum grouped attributes (the coherency rules call a deeper grouping
+  /// incoherent; the environment hard-caps it).
+  int max_group_attrs = 4;
+  /// Row cap for per-display statistics: selections larger than this are
+  /// stride-sampled when computing observation features and reward
+  /// histograms, bounding step cost on large datasets. 0 disables.
+  int stats_row_cap = 4096;
+  /// Penalty returned for invalid (no-op) actions when a reward signal is
+  /// attached; also returned when no signal is attached.
+  double invalid_action_penalty = -1.0;
+  uint64_t seed = 7;
+};
+
+/// Sizes of the parameterized action space. Segment order is the canonical
+/// layout used by the twofold network and the flat baselines:
+/// [op_type, filter_column, filter_op, filter_bin, group_column, agg_func,
+///  agg_column].
+struct ActionSpace {
+  int num_op_types = kNumOpTypes;
+  int num_columns = 0;
+  int num_filter_ops = kNumCompareOps;
+  int num_term_bins = 0;
+  int num_agg_funcs = kNumAggFuncs;
+
+  std::vector<int> SegmentSizes() const;
+  int TotalParameterNodes() const;  // pre-output layer width (paper §5)
+  /// Count of distinct flattened actions when filter terms are drawn from
+  /// `terms_per_column` explicit tokens (the OTS-DRL baseline layout) or
+  /// from the frequency bins when `terms_per_column` == 0 (OTS-DRL-B).
+  int64_t FlatActionCount(int terms_per_column) const;
+};
+
+/// A structured action: the operation type plus an index for every
+/// parameter segment (indices for segments not used by `type` are ignored).
+struct EnvAction {
+  OpType type = OpType::kBack;
+  int filter_column = 0;
+  int filter_op = 0;
+  int filter_bin = 0;
+  int group_column = 0;
+  int agg_func = 0;
+  int agg_column = 0;
+};
+
+/// Everything produced by one environment step.
+struct StepOutcome {
+  std::vector<double> observation;
+  double reward = 0.0;
+  bool done = false;
+  bool valid = true;
+  EdaOperation op;  // the concrete executed operation (term resolved)
+};
+
+/// One executed step kept in the session log.
+struct EdaStep {
+  EdaOperation op;
+  bool valid = true;
+  double reward = 0.0;
+};
+
+/// The episodic EDA environment (paper §4.1): a dataset plus the display
+/// stack, observation encoding, term binning and step dynamics. Invalid
+/// parameter combinations are handled in the Pandas-like spirit of the
+/// paper's environment: type-incompatible filter operators fall back to
+/// equality; non-numeric aggregation targets fall back to COUNT; truly
+/// impossible actions (BACK at the root, empty filter results, duplicate
+/// group attributes) are penalized no-ops.
+class EdaEnvironment {
+ public:
+  EdaEnvironment(Dataset dataset, EnvConfig config);
+
+  EdaEnvironment(const EdaEnvironment&) = delete;
+  EdaEnvironment& operator=(const EdaEnvironment&) = delete;
+
+  const Dataset& dataset() const { return dataset_; }
+  const Table& table() const { return *dataset_.table; }
+  const EnvConfig& config() const { return config_; }
+  const ActionSpace& action_space() const { return action_space_; }
+  const ObservationEncoder& encoder() const { return encoder_; }
+  int observation_dim() const { return encoder_.observation_dim(); }
+
+  /// Attaches the reward signal (non-owning; may be null, in which case
+  /// rewards are 0 / the invalid penalty).
+  void SetRewardSignal(RewardSignal* reward) { reward_ = reward; }
+
+  /// Starts a new episode; returns the initial observation (root display).
+  std::vector<double> Reset();
+
+  /// Resolves `action` into a concrete operation (sampling a filter term
+  /// from the chosen frequency bin) and executes it.
+  StepOutcome Step(const EnvAction& action);
+
+  /// Executes an explicit concrete operation (used by gold notebooks,
+  /// traces replay and the greedy baselines).
+  StepOutcome StepOperation(const EdaOperation& op);
+
+  bool done() const { return step_count_ >= config_.episode_length; }
+  int step_count() const { return step_count_; }
+
+  /// Chronological displays d_0..d_t (d_0 = root; one entry per step after
+  /// that, including no-op steps which repeat their predecessor).
+  const std::vector<Display>& display_history() const { return history_; }
+  /// Encoded vectors d̂_0..d̂_t matching display_history().
+  const std::vector<std::vector<double>>& display_vectors() const {
+    return display_vectors_;
+  }
+  const std::vector<EdaStep>& steps() const { return steps_; }
+  const Display& current_display() const { return stack_.back(); }
+  /// The display the current one was derived from (d_{t-1}); the root
+  /// display when no history exists.
+  const Display& previous_display() const;
+
+  /// Resolves a structured action into a concrete operation without
+  /// executing it (samples the filter term; applies the fallback rules).
+  EdaOperation ResolveAction(const EnvAction& action);
+
+  /// Enumerates concrete candidate operations at the current display for
+  /// greedy baselines: every (column, operator) filter with the
+  /// `tokens_per_column` most frequent tokens, every group-by/aggregation
+  /// combination, and BACK.
+  std::vector<EdaOperation> EnumerateOperations(int tokens_per_column) const;
+
+  /// Stride-sampled view of `rows` respecting config().stats_row_cap.
+  std::vector<int32_t> CapRows(const std::vector<int32_t>& rows) const;
+
+  /// Distinct-value ratio of each column over the full table (distinct
+  /// non-null values / rows), computed once. Reward functions and
+  /// coherency rules use it to tell key-like/continuous columns (ratio
+  /// near 1) from categorical ones.
+  const std::vector<double>& column_distinct_ratios() const {
+    return distinct_ratios_;
+  }
+
+  /// Opaque saved session state for speculative evaluation (greedy
+  /// baselines try every candidate operation, then roll back).
+  struct Snapshot {
+    std::vector<Display> stack;
+    std::vector<Display> history;
+    std::vector<std::vector<double>> display_vectors;
+    std::vector<EdaStep> steps;
+    int step_count = 0;
+  };
+  Snapshot SaveSnapshot() const;
+  void RestoreSnapshot(const Snapshot& snapshot);
+
+ private:
+  StepOutcome FinishStep(EdaOperation op, bool valid, bool pushed);
+  /// Applies `op` to the current display; returns false for no-op actions.
+  bool ApplyOperation(const EdaOperation& op);
+
+  Dataset dataset_;
+  EnvConfig config_;
+  ActionSpace action_space_;
+  ObservationEncoder encoder_;
+  Rng rng_;
+  RewardSignal* reward_ = nullptr;
+
+  std::vector<double> distinct_ratios_;
+  std::vector<Display> stack_;
+  std::vector<Display> history_;
+  std::vector<std::vector<double>> display_vectors_;
+  std::vector<EdaStep> steps_;
+  int step_count_ = 0;
+};
+
+/// Uniformly random structured action over `space` (used for warmup
+/// corpora and as an exploration fallback).
+EnvAction SampleRandomAction(const ActionSpace& space, Rng* rng);
+
+}  // namespace atena
+
+#endif  // ATENA_EDA_ENVIRONMENT_H_

@@ -1,0 +1,33 @@
+#ifndef ATENA_EDA_REWARD_INTERFACE_H_
+#define ATENA_EDA_REWARD_INTERFACE_H_
+
+#include "eda/operation.h"
+
+namespace atena {
+
+class EdaEnvironment;
+
+/// Everything a reward function may inspect about the step that just
+/// executed. The environment guarantees that by the time Compute is called
+/// the step's display (even for invalid no-op steps) has been appended to
+/// the environment's display history.
+struct RewardContext {
+  const EdaEnvironment* env = nullptr;
+  const EdaOperation* op = nullptr;
+  /// False when the action was a no-op: empty filter result, BACK at the
+  /// root display, regrouping an already-grouped attribute, etc.
+  bool valid = true;
+};
+
+/// Reward-signal strategy injected into the environment (paper §4.2). The
+/// compound ATENA reward, the interestingness-only ablation, and test fakes
+/// all implement this.
+class RewardSignal {
+ public:
+  virtual ~RewardSignal() = default;
+  virtual double Compute(const RewardContext& context) = 0;
+};
+
+}  // namespace atena
+
+#endif  // ATENA_EDA_REWARD_INTERFACE_H_

@@ -1,0 +1,383 @@
+#include "eval/gold.h"
+
+#include <string>
+
+namespace atena {
+
+namespace {
+
+/// Tiny fluent builder for scripted operation sequences over a table.
+/// Column names are resolved eagerly; a bad name poisons the script and is
+/// reported when the scripts are returned.
+class Script {
+ public:
+  explicit Script(const Table& table) : table_(table) {}
+
+  Script& F(const std::string& column, CompareOp op, Value term) {
+    int c = table_.FindColumn(column);
+    if (c < 0) {
+      error_ = Status::NotFound("gold script: no column '" + column + "'");
+      return *this;
+    }
+    ops_.push_back(EdaOperation::Filter(c, op, std::move(term)));
+    return *this;
+  }
+  Script& Fs(const std::string& column, const std::string& term) {
+    return F(column, CompareOp::kEq, Value(term));
+  }
+  Script& G(const std::string& group_column, AggFunc agg = AggFunc::kCount,
+            const std::string& agg_column = "") {
+    int g = table_.FindColumn(group_column);
+    int a = agg_column.empty() ? -1 : table_.FindColumn(agg_column);
+    if (g < 0 || (!agg_column.empty() && a < 0)) {
+      error_ = Status::NotFound("gold script: bad group columns '" +
+                                group_column + "'/'" + agg_column + "'");
+      return *this;
+    }
+    ops_.push_back(EdaOperation::Group(g, agg, a));
+    return *this;
+  }
+  Script& B() {
+    ops_.push_back(EdaOperation::Back());
+    return *this;
+  }
+
+  Result<std::vector<EdaOperation>> Build() const {
+    if (!error_.ok()) return error_;
+    return ops_;
+  }
+
+ private:
+  const Table& table_;
+  std::vector<EdaOperation> ops_;
+  Status error_;
+};
+
+using Scripts = std::vector<std::vector<EdaOperation>>;
+
+Result<Scripts> Cyber1Scripts(const Table& t) {
+  Scripts out;
+  // 1. The canonical walk-through: protocol mix → ICMP → who scans → whom,
+  // then climb back above the attacker filter to inspect the repliers.
+  ATENA_ASSIGN_OR_RETURN(
+      auto s1, Script(t)
+                   .G("protocol")
+                   .Fs("protocol", "ICMP")
+                   .G("source_ip")
+                   .Fs("source_ip", "10.0.66.66")
+                   .G("destination_ip")
+                   .B()
+                   .B()
+                   .Fs("info", "Echo (ping) reply")
+                   .G("ttl", AggFunc::kCount)
+                   .Build());
+  out.push_back(std::move(s1));
+  // 2. Start from the info strings: replies first, then the request flood.
+  ATENA_ASSIGN_OR_RETURN(auto s2, Script(t)
+                                      .G("info")
+                                      .Fs("info", "Echo (ping) reply")
+                                      .G("source_ip")
+                                      .B()
+                                      .B()
+                                      .Fs("info", "Echo (ping) request")
+                                      .G("destination_ip")
+                                      .Build());
+  out.push_back(std::move(s2));
+  // 3. Start from the talkative host, check timing and TTL.
+  ATENA_ASSIGN_OR_RETURN(auto s3,
+                         Script(t)
+                             .G("source_ip")
+                             .Fs("source_ip", "10.0.66.66")
+                             .G("protocol")
+                             .G("ttl", AggFunc::kAvg, "timestamp")
+                             .B()
+                             .B()
+                             .G("destination_ip")
+                             .Build());
+  out.push_back(std::move(s3));
+  // 4. Drill into ICMP, inspect replies and packet sizes.
+  ATENA_ASSIGN_OR_RETURN(auto s4, Script(t)
+                                      .Fs("protocol", "ICMP")
+                                      .G("info")
+                                      .Fs("info", "Echo (ping) reply")
+                                      .G("source_ip")
+                                      .B()
+                                      .G("length", AggFunc::kCount)
+                                      .Build());
+  out.push_back(std::move(s4));
+  // 5. Timing first: when did the burst happen, then who caused it.
+  ATENA_ASSIGN_OR_RETURN(auto s5,
+                         Script(t)
+                             .G("protocol", AggFunc::kAvg, "timestamp")
+                             .Fs("protocol", "ICMP")
+                             .G("source_ip", AggFunc::kMin, "timestamp")
+                             .Fs("source_ip", "10.0.66.66")
+                             .G("destination_ip")
+                             .Build());
+  out.push_back(std::move(s5));
+  return out;
+}
+
+Result<Scripts> Cyber2Scripts(const Table& t) {
+  Scripts out;
+  const std::string kAttacker = "203.0.113.99";
+  const std::string kCgi = "/cgi-bin/status.cgi";
+  ATENA_ASSIGN_OR_RETURN(auto s1, Script(t)
+                                      .G("uri")
+                                      .Fs("uri", kCgi)
+                                      .G("source_ip")
+                                      .Fs("source_ip", kAttacker)
+                                      .G("method")
+                                      .G("user_agent")
+                                      .Build());
+  out.push_back(std::move(s1));
+  ATENA_ASSIGN_OR_RETURN(auto s2,
+                         Script(t)
+                             .G("source_ip")
+                             .Fs("source_ip", kAttacker)
+                             .G("uri")
+                             .G("method", AggFunc::kAvg, "response_bytes")
+                             .B()
+                             .Fs("method", "POST")
+                             .G("status", AggFunc::kSum, "response_bytes")
+                             .Build());
+  out.push_back(std::move(s2));
+  ATENA_ASSIGN_OR_RETURN(auto s3, Script(t)
+                                      .G("user_agent")
+                                      .Fs("user_agent",
+                                          "() { :; }; /bin/bash -c 'cat "
+                                          "/etc/passwd'")
+                                      .G("source_ip")
+                                      .G("uri")
+                                      .G("method", AggFunc::kMax,
+                                         "response_bytes")
+                                      .Build());
+  out.push_back(std::move(s3));
+  ATENA_ASSIGN_OR_RETURN(auto s4,
+                         Script(t)
+                             .G("method")
+                             .Fs("method", "POST")
+                             .G("source_ip", AggFunc::kSum, "response_bytes")
+                             .Fs("source_ip", kAttacker)
+                             .G("uri", AggFunc::kAvg, "timestamp")
+                             .Build());
+  out.push_back(std::move(s4));
+  ATENA_ASSIGN_OR_RETURN(auto s5, Script(t)
+                                      .G("status")
+                                      .F("response_bytes", CompareOp::kGt,
+                                         Value(int64_t{100000}))
+                                      .G("source_ip")
+                                      .G("uri")
+                                      .B()
+                                      .G("method")
+                                      .Build());
+  out.push_back(std::move(s5));
+  return out;
+}
+
+Result<Scripts> Cyber3Scripts(const Table& t) {
+  Scripts out;
+  const std::string kPhish = "secure-bank1-login.xyz";
+  ATENA_ASSIGN_OR_RETURN(auto s1, Script(t)
+                                      .G("host")
+                                      .Fs("host", kPhish)
+                                      .G("source_ip")
+                                      .G("referrer")
+                                      .Fs("method", "POST")
+                                      .G("url_path")
+                                      .B()
+                                      .G("status")
+                                      .Build());
+  out.push_back(std::move(s1));
+  ATENA_ASSIGN_OR_RETURN(auto s2, Script(t)
+                                      .G("referrer")
+                                      .Fs("referrer", "mail.corp.local/inbox")
+                                      .G("host")
+                                      .G("source_ip")
+                                      .B()
+                                      .B()
+                                      .Fs("host", kPhish)
+                                      .G("url_path")
+                                      .G("source_ip", AggFunc::kMin, "timestamp")
+                                      .Build());
+  out.push_back(std::move(s2));
+  ATENA_ASSIGN_OR_RETURN(auto s3, Script(t)
+                                      .G("method")
+                                      .Fs("method", "POST")
+                                      .G("host")
+                                      .Fs("host", kPhish)
+                                      .G("source_ip")
+                                      .G("status")
+                                      .Build());
+  out.push_back(std::move(s3));
+  ATENA_ASSIGN_OR_RETURN(auto s4,
+                         Script(t)
+                             .G("host", AggFunc::kAvg, "bytes")
+                             .Fs("host", kPhish)
+                             .G("url_path")
+                             .G("source_ip", AggFunc::kMin, "timestamp")
+                             .Build());
+  out.push_back(std::move(s4));
+  ATENA_ASSIGN_OR_RETURN(auto s5, Script(t)
+                                      .Fs("host", kPhish)
+                                      .G("source_ip")
+                                      .B()
+                                      .Fs("url_path", "/login.php")
+                                      .G("method")
+                                      .G("referrer")
+                                      .G("status", AggFunc::kAvg, "bytes")
+                                      .Build());
+  out.push_back(std::move(s5));
+  return out;
+}
+
+Result<Scripts> Cyber4Scripts(const Table& t) {
+  Scripts out;
+  const std::string kAttacker = "172.16.0.99";
+  const std::string kVictim = "192.168.10.5";
+  ATENA_ASSIGN_OR_RETURN(auto s1, Script(t)
+                                      .G("tcp_flags")
+                                      .Fs("tcp_flags", "SYN")
+                                      .G("source_ip")
+                                      .Fs("source_ip", kAttacker)
+                                      .G("destination_ip")
+                                      .B()
+                                      .G("destination_port")
+                                      .Build());
+  out.push_back(std::move(s1));
+  ATENA_ASSIGN_OR_RETURN(auto s2,
+                         Script(t)
+                             .G("source_ip")
+                             .Fs("source_ip", kAttacker)
+                             .G("destination_port", AggFunc::kCount)
+                             .B()
+                             .G("tcp_flags")
+                             .G("destination_ip", AggFunc::kMin, "timestamp")
+                             .Build());
+  out.push_back(std::move(s2));
+  ATENA_ASSIGN_OR_RETURN(auto s3, Script(t)
+                                      .Fs("destination_ip", kVictim)
+                                      .G("tcp_flags")
+                                      .G("source_ip")
+                                      .B()
+                                      .B()
+                                      .B()
+                                      .Fs("source_ip", kVictim)
+                                      .G("tcp_flags")
+                                      .Build());
+  out.push_back(std::move(s3));
+  ATENA_ASSIGN_OR_RETURN(auto s4, Script(t)
+                                      .Fs("tcp_flags", "RST, ACK")
+                                      .G("source_ip")
+                                      .B()
+                                      .B()
+                                      .Fs("tcp_flags", "SYN, ACK")
+                                      .G("source_ip")
+                                      .G("source_port")
+                                      .Build());
+  out.push_back(std::move(s4));
+  ATENA_ASSIGN_OR_RETURN(
+      auto s5, Script(t)
+                   .G("protocol")
+                   .Fs("protocol", "TCP")
+                   .G("tcp_flags", AggFunc::kAvg, "timestamp")
+                   .Fs("tcp_flags", "SYN")
+                   .G("source_ip", AggFunc::kMin, "destination_port")
+                   .Build());
+  out.push_back(std::move(s5));
+  return out;
+}
+
+/// Flights gold scripts share the delay narrative (Example 1.1): the
+/// monthly pattern, the June spike, the airport/airline/day breakdowns and
+/// the delay reasons. `breakdowns` lists categorical columns that actually
+/// vary in this subset.
+Result<Scripts> FlightsScripts(const Table& t,
+                               const std::vector<std::string>& breakdowns) {
+  Scripts out;
+  const std::string& alt1 = breakdowns[0];
+  const std::string& alt2 = breakdowns[1 % breakdowns.size()];
+  ATENA_ASSIGN_OR_RETURN(auto s1,
+                         Script(t)
+                             .G("month", AggFunc::kAvg, "departure_delay")
+                             .Fs("month", "June")
+                             .G(alt1, AggFunc::kAvg, "departure_delay")
+                             .B()
+                             .G("delay_reason")
+                             .Build());
+  out.push_back(std::move(s1));
+  ATENA_ASSIGN_OR_RETURN(auto s2,
+                         Script(t)
+                             .G(alt1, AggFunc::kAvg, "departure_delay")
+                             .G("month", AggFunc::kAvg, "arrival_delay")
+                             .B()
+                             .F("departure_delay", CompareOp::kGt,
+                                Value(60.0))
+                             .G("delay_reason")
+                             .G(alt2, AggFunc::kCount)
+                             .Build());
+  out.push_back(std::move(s2));
+  ATENA_ASSIGN_OR_RETURN(auto s3,
+                         Script(t)
+                             .G("delay_reason", AggFunc::kAvg,
+                                "departure_delay")
+                             .Fs("delay_reason", "Weather")
+                             .G("month", AggFunc::kCount)
+                             .B()
+                             .G(alt2, AggFunc::kAvg, "departure_delay")
+                             .Build());
+  out.push_back(std::move(s3));
+  ATENA_ASSIGN_OR_RETURN(auto s4,
+                         Script(t)
+                             .Fs("month", "June")
+                             .G(alt1, AggFunc::kAvg, "departure_delay")
+                             .G(alt2, AggFunc::kAvg, "departure_delay")
+                             .B()
+                             .B()
+                             .G("month", AggFunc::kAvg, "arrival_delay")
+                             .Build());
+  out.push_back(std::move(s4));
+  ATENA_ASSIGN_OR_RETURN(auto s5,
+                         Script(t)
+                             .G("month", AggFunc::kAvg, "departure_delay")
+                             .G(alt1, AggFunc::kAvg, "departure_delay")
+                             .B()
+                             .F("departure_delay", CompareOp::kGt, Value(30.0))
+                             .G("delay_reason", AggFunc::kAvg,
+                                "arrival_delay")
+                             .Build());
+  out.push_back(std::move(s5));
+  return out;
+}
+
+}  // namespace
+
+Result<Scripts> GoldOperationScripts(const Dataset& dataset) {
+  const Table& t = *dataset.table;
+  const std::string& id = dataset.info.id;
+  if (id == "cyber1") return Cyber1Scripts(t);
+  if (id == "cyber2") return Cyber2Scripts(t);
+  if (id == "cyber3") return Cyber3Scripts(t);
+  if (id == "cyber4") return Cyber4Scripts(t);
+  if (id == "flights1") {
+    return FlightsScripts(t, {"origin_airport", "destination_airport"});
+  }
+  if (id == "flights2") return FlightsScripts(t, {"airline", "day_of_week"});
+  if (id == "flights3") return FlightsScripts(t, {"airline", "day_of_week"});
+  if (id == "flights4") return FlightsScripts(t, {"airline", "origin_airport"});
+  return Status::NotFound("no gold scripts for dataset '" + id + "'");
+}
+
+Result<std::vector<EdaNotebook>> GoldNotebooks(const Dataset& dataset,
+                                               const EnvConfig& env_config) {
+  ATENA_ASSIGN_OR_RETURN(Scripts scripts, GoldOperationScripts(dataset));
+  EdaEnvironment env(dataset, env_config);
+  std::vector<EdaNotebook> notebooks;
+  notebooks.reserve(scripts.size());
+  for (const auto& script : scripts) {
+    notebooks.push_back(ReplayOperations(&env, script, "Gold"));
+  }
+  return notebooks;
+}
+
+}  // namespace atena

@@ -1,0 +1,27 @@
+#ifndef ATENA_EVAL_GOLD_H_
+#define ATENA_EVAL_GOLD_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "eda/session.h"
+
+namespace atena {
+
+/// Gold-standard notebooks (paper §6.1): scripted expert sessions that
+/// walk a reader through each dataset's planted phenomena, standing in for
+/// the cyber challenges' walk-through tutorials and the Kaggle notebooks
+/// (DESIGN.md substitution #5). Five scripts per dataset, each taking a
+/// slightly different path through the same insights — like the paper's
+/// 5–7 gold notebooks per dataset.
+Result<std::vector<std::vector<EdaOperation>>> GoldOperationScripts(
+    const Dataset& dataset);
+
+/// Replays every gold script on a fresh environment and returns the
+/// notebooks (generator = "Gold").
+Result<std::vector<EdaNotebook>> GoldNotebooks(const Dataset& dataset,
+                                               const EnvConfig& env_config);
+
+}  // namespace atena
+
+#endif  // ATENA_EVAL_GOLD_H_

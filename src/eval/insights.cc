@@ -1,0 +1,193 @@
+#include "eval/insights.h"
+
+#include "common/string_utils.h"
+
+namespace atena {
+
+bool ViewPattern::Matches(const ViewSignature& view) const {
+  for (const auto& needle : filter_substrings) {
+    bool found = false;
+    for (const auto& filter : view.filters) {
+      if (Contains(filter, needle)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  for (const auto& group : required_groups) {
+    bool found = false;
+    for (const auto& g : view.groups) {
+      if (g == group) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  if (!agg_substring.empty() && !Contains(view.aggregation, agg_substring)) {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+ViewPattern P(std::vector<std::string> filters,
+              std::vector<std::string> groups, std::string agg = "") {
+  ViewPattern p;
+  p.filter_substrings = std::move(filters);
+  p.required_groups = std::move(groups);
+  p.agg_substring = std::move(agg);
+  return p;
+}
+
+Insight I(std::string description, std::vector<ViewPattern> patterns) {
+  Insight insight;
+  insight.description = std::move(description);
+  insight.patterns = std::move(patterns);
+  return insight;
+}
+
+std::vector<Insight> Cyber1Insights() {
+  return {
+      I("Traffic is dominated by ICMP packets",
+        {P({}, {"protocol"})}),
+      I("A single host, 10.0.66.66, issues most of the traffic",
+        {P({}, {"source_ip"}), P({"protocol == ICMP"}, {"source_ip"})}),
+      I("The attacker sweeps the whole 192.168.1.0/24 range",
+        {P({"source_ip == 10.0.66.66"}, {"destination_ip"}),
+         P({"protocol == ICMP"}, {"destination_ip"})}),
+      I("The flood consists of echo (ping) requests",
+        {P({}, {"info"}), P({"info == Echo (ping) request"}, {})}),
+      I("Only three hosts answer the sweep (exposed addresses)",
+        {P({"Echo (ping) reply"}, {"source_ip"})}),
+      I("The scan is concentrated in a short time burst",
+        {P({"protocol == ICMP"}, {}, "timestamp"),
+         P({"source_ip == 10.0.66.66"}, {}, "timestamp")}),
+      I("Scan packets have a uniform small length",
+        {P({"protocol == ICMP"}, {"length"}), P({}, {"length"}),
+         P({"source_ip == 10.0.66.66"}, {}, "length")}),
+      I("Attacker and repliers differ in TTL (64 vs 128)",
+        {P({}, {"ttl"}), P({"protocol == ICMP"}, {}, "ttl")}),
+      I("Background traffic is ordinary TCP/DNS office chatter",
+        {P({"protocol == TCP"}, {}), P({"protocol != ICMP"}, {}),
+         P({"protocol == DNS"}, {})}),
+  };
+}
+
+std::vector<Insight> Cyber2Insights() {
+  return {
+      I("The CGI endpoint /cgi-bin/status.cgi is being attacked",
+        {P({}, {"uri"}), P({"uri == /cgi-bin/status.cgi"}, {})}),
+      I("All malicious requests come from 203.0.113.99",
+        {P({"uri == /cgi-bin/status.cgi"}, {"source_ip"}),
+         P({"source_ip == 203.0.113.99"}, {})}),
+      I("The user-agent carries a shellshock code-injection payload",
+        {P({}, {"user_agent"}), P({"() { :; }"}, {})}),
+      I("The attacker switches from GET probing to POST exfiltration",
+        {P({"source_ip == 203.0.113.99"}, {"method"}),
+         P({"method == POST"}, {"uri"})}),
+      I("Exfiltration responses are orders of magnitude larger",
+        {P({}, {}, "response_bytes"),
+         P({"response_bytes >"}, {"source_ip"})}),
+      I("The attack happens in one concentrated window",
+        {P({"source_ip == 203.0.113.99"}, {}, "timestamp"),
+         P({"uri == /cgi-bin/status.cgi"}, {}, "timestamp")}),
+      I("The vulnerable server answers the payloads with status 200",
+        {P({}, {"status"}), P({"status == 200"}, {})}),
+      I("Normal browsing is GETs to the public pages",
+        {P({"method == GET"}, {}), P({}, {"method"})}),
+      I("A dozen internal clients form the legitimate population",
+        {P({}, {"source_ip"})}),
+  };
+}
+
+std::vector<Insight> Cyber3Insights() {
+  return {
+      I("A look-alike host secure-bank1-login.xyz appears in the proxy log",
+        {P({}, {"host"})}),
+      I("Victims reach the phishing page from the webmail inbox",
+        {P({"referrer == mail.corp.local/inbox"}, {}),
+         P({"host == secure-bank1-login.xyz"}, {"referrer"})}),
+      I("Six internal clients visited the phishing host",
+        {P({"host == secure-bank1-login.xyz"}, {"source_ip"})}),
+      I("Credentials are submitted via POST /login.php",
+        {P({"method == POST"}, {}), P({"url_path == /login.php"}, {"method"}),
+         P({"host == secure-bank1-login.xyz"}, {"method"})}),
+      I("The credential POSTs are answered with a 302 redirect",
+        {P({"method == POST"}, {"status"}), P({"status == 302"}, {})}),
+      I("The phishing page mimics the legitimate bank1.com",
+        {P({"host == bank1.com"}, {}), P({}, {"host"}, "bytes")}),
+      I("The lure wave spans the late-morning hours",
+        {P({"host == secure-bank1-login.xyz"}, {}, "timestamp")}),
+      I("Phishing fetches are small compared to normal pages",
+        {P({"host == secure-bank1-login.xyz"}, {}, "bytes")}),
+      I("One victim stopped short of submitting credentials",
+        {P({"host == secure-bank1-login.xyz"}, {"source_ip", "method"}),
+         P({"url_path == /login.php"}, {"source_ip"})}),
+  };
+}
+
+std::vector<Insight> Cyber4Insights() {
+  return {
+      I("SYN packets dominate abnormally", {P({}, {"tcp_flags"})}),
+      I("The SYNs originate from a single host 172.16.0.99",
+        {P({"tcp_flags == SYN"}, {"source_ip"}),
+         P({"source_ip == 172.16.0.99"}, {})}),
+      I("The scan targets one victim, 192.168.10.5",
+        {P({"source_ip == 172.16.0.99"}, {"destination_ip"}),
+         P({"destination_ip == 192.168.10.5"}, {})}),
+      I("Destination ports sweep the 1-1024 range",
+        {P({"source_ip == 172.16.0.99"}, {}, "destination_port"),
+         P({"source_ip == 172.16.0.99"}, {"destination_port"})}),
+      I("Open ports (22/80/443/445) answer SYN-ACK",
+        {P({"tcp_flags == SYN, ACK"}, {"source_port"}),
+         P({"tcp_flags == SYN, ACK"}, {})}),
+      I("Closed ports answer RST",
+        {P({"RST"}, {}),
+         P({"destination_ip == 192.168.10.5"}, {"tcp_flags"})}),
+      I("The victim's replies mirror the attacker's probes",
+        {P({"source_ip == 192.168.10.5"}, {"tcp_flags"})}),
+      I("The scan runs in a tight time window",
+        {P({"tcp_flags == SYN"}, {}, "timestamp"),
+         P({"source_ip == 172.16.0.99"}, {}, "timestamp")}),
+      I("The port range was swept twice",
+        {P({"source_ip == 172.16.0.99"}, {"destination_port"}, "COUNT")}),
+      I("Background traffic talks to the usual service ports",
+        {P({}, {"destination_port"}), P({"protocol == UDP"}, {})}),
+  };
+}
+
+}  // namespace
+
+std::vector<Insight> InsightCatalog(const std::string& dataset_id) {
+  if (dataset_id == "cyber1") return Cyber1Insights();
+  if (dataset_id == "cyber2") return Cyber2Insights();
+  if (dataset_id == "cyber3") return Cyber3Insights();
+  if (dataset_id == "cyber4") return Cyber4Insights();
+  return {};
+}
+
+double InsightCoverage(const EdaNotebook& notebook,
+                       const std::vector<Insight>& catalog) {
+  if (catalog.empty()) return 0.0;
+  const auto views = NotebookSignatures(notebook);
+  int gathered = 0;
+  for (const auto& insight : catalog) {
+    bool hit = false;
+    for (const auto& pattern : insight.patterns) {
+      for (const auto& view : views) {
+        if (pattern.Matches(view)) {
+          hit = true;
+          break;
+        }
+      }
+      if (hit) break;
+    }
+    if (hit) ++gathered;
+  }
+  return static_cast<double>(gathered) / static_cast<double>(catalog.size());
+}
+
+}  // namespace atena

@@ -1,0 +1,43 @@
+#ifndef ATENA_EVAL_INSIGHTS_H_
+#define ATENA_EVAL_INSIGHTS_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/view_signature.h"
+
+namespace atena {
+
+/// A view pattern: the structural ingredients a result display must show
+/// for a reader to plausibly derive an insight from it. All listed filter
+/// substrings must appear among the view's filter predicates, all listed
+/// groups among its grouped attributes, and (when non-empty) the
+/// aggregation substring inside its aggregation label.
+struct ViewPattern {
+  std::vector<std::string> filter_substrings;
+  std::vector<std::string> required_groups;
+  std::string agg_substring;
+
+  bool Matches(const ViewSignature& view) const;
+};
+
+/// One ground-truth insight of a dataset's official solution (paper §6.1:
+/// the cyber challenges ship 9–15 relevant insights each). The insight is
+/// "gathered" from a notebook when any of its patterns matches any view.
+struct Insight {
+  std::string description;
+  std::vector<ViewPattern> patterns;
+};
+
+/// The planted-insight catalog of a cyber dataset (empty for the flights
+/// datasets — the paper measures insight gathering on the cyber collection
+/// only, Figure 4b).
+std::vector<Insight> InsightCatalog(const std::string& dataset_id);
+
+/// Fraction of catalog insights gathered from the notebook, in [0,1].
+double InsightCoverage(const EdaNotebook& notebook,
+                       const std::vector<Insight>& catalog);
+
+}  // namespace atena
+
+#endif  // ATENA_EVAL_INSIGHTS_H_

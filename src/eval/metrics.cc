@@ -1,0 +1,156 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <unordered_set>
+
+namespace atena {
+
+namespace {
+
+std::vector<std::string> Keys(const std::vector<ViewSignature>& views) {
+  std::vector<std::string> keys;
+  keys.reserve(views.size());
+  for (const auto& v : views) keys.push_back(v.ToKey());
+  return keys;
+}
+
+/// Modified n-gram precision of `candidate` against the references, with
+/// reference-clipped counts (standard BLEU ingredient).
+double ClippedNgramPrecision(const std::vector<std::string>& candidate,
+                             const std::vector<std::vector<std::string>>& refs,
+                             size_t n) {
+  if (candidate.size() < n) return 0.0;
+  std::map<std::vector<std::string>, int> cand_counts;
+  for (size_t i = 0; i + n <= candidate.size(); ++i) {
+    std::vector<std::string> gram(candidate.begin() + static_cast<long>(i),
+                                  candidate.begin() + static_cast<long>(i + n));
+    ++cand_counts[gram];
+  }
+  std::map<std::vector<std::string>, int> max_ref_counts;
+  for (const auto& ref : refs) {
+    std::map<std::vector<std::string>, int> counts;
+    for (size_t i = 0; i + n <= ref.size(); ++i) {
+      std::vector<std::string> gram(ref.begin() + static_cast<long>(i),
+                                    ref.begin() + static_cast<long>(i + n));
+      ++counts[gram];
+    }
+    for (const auto& [gram, c] : counts) {
+      auto it = max_ref_counts.find(gram);
+      if (it == max_ref_counts.end()) {
+        max_ref_counts[gram] = c;
+      } else {
+        it->second = std::max(it->second, c);
+      }
+    }
+  }
+  int matched = 0, total = 0;
+  for (const auto& [gram, c] : cand_counts) {
+    total += c;
+    auto it = max_ref_counts.find(gram);
+    if (it != max_ref_counts.end()) matched += std::min(c, it->second);
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(matched) /
+                          static_cast<double>(total);
+}
+
+}  // namespace
+
+double ViewPrecision(const std::vector<ViewSignature>& candidate,
+                     const std::vector<std::vector<ViewSignature>>& gold) {
+  if (candidate.empty()) return 0.0;
+  std::unordered_set<std::string> gold_keys;
+  for (const auto& notebook : gold) {
+    for (const auto& view : notebook) gold_keys.insert(view.ToKey());
+  }
+  // Distinct candidate views (the measure treats notebooks as sets).
+  std::unordered_set<std::string> seen;
+  int hits = 0, total = 0;
+  for (const auto& view : candidate) {
+    const std::string key = view.ToKey();
+    if (!seen.insert(key).second) continue;
+    ++total;
+    if (gold_keys.count(key)) ++hits;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+double TBleu(const std::vector<ViewSignature>& candidate,
+             const std::vector<std::vector<ViewSignature>>& gold, int max_n) {
+  if (candidate.empty() || gold.empty() || max_n <= 0) return 0.0;
+  std::vector<std::string> cand = Keys(candidate);
+  std::vector<std::vector<std::string>> refs;
+  refs.reserve(gold.size());
+  for (const auto& notebook : gold) refs.push_back(Keys(notebook));
+
+  // Geometric mean of smoothed clipped precisions (add-epsilon smoothing so
+  // a single missing order does not zero the whole score, as is standard
+  // for sentence-level BLEU).
+  double log_sum = 0.0;
+  for (int n = 1; n <= max_n; ++n) {
+    double p = ClippedNgramPrecision(cand, refs, static_cast<size_t>(n));
+    log_sum += std::log(std::max(p, 1e-9));
+  }
+  const double geo = std::exp(log_sum / max_n);
+
+  // Brevity penalty against the closest reference length.
+  size_t closest = refs.front().size();
+  for (const auto& ref : refs) {
+    if (std::llabs(static_cast<long long>(ref.size()) -
+                   static_cast<long long>(cand.size())) <
+        std::llabs(static_cast<long long>(closest) -
+                   static_cast<long long>(cand.size()))) {
+      closest = ref.size();
+    }
+  }
+  double bp = 1.0;
+  if (cand.size() < closest) {
+    bp = std::exp(1.0 - static_cast<double>(closest) /
+                            static_cast<double>(cand.size()));
+  }
+  return bp * geo;
+}
+
+double EdaSim(const std::vector<ViewSignature>& candidate,
+              const std::vector<ViewSignature>& reference) {
+  const size_t n = candidate.size(), m = reference.size();
+  if (n == 0 || m == 0) return (n == m) ? 1.0 : 0.0;
+  // Needleman-Wunsch with zero gap penalty = heaviest monotone alignment.
+  std::vector<std::vector<double>> dp(n + 1, std::vector<double>(m + 1, 0.0));
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      const double match =
+          dp[i - 1][j - 1] + ViewSimilarity(candidate[i - 1], reference[j - 1]);
+      dp[i][j] = std::max({match, dp[i - 1][j], dp[i][j - 1]});
+    }
+  }
+  return dp[n][m] / static_cast<double>(std::max(n, m));
+}
+
+double MaxEdaSim(const std::vector<ViewSignature>& candidate,
+                 const std::vector<std::vector<ViewSignature>>& gold) {
+  double best = 0.0;
+  for (const auto& reference : gold) {
+    best = std::max(best, EdaSim(candidate, reference));
+  }
+  return best;
+}
+
+AedaScores ComputeAedaScores(
+    const std::vector<ViewSignature>& candidate,
+    const std::vector<std::vector<ViewSignature>>& gold) {
+  AedaScores scores;
+  scores.precision = ViewPrecision(candidate, gold);
+  scores.t_bleu_1 = TBleu(candidate, gold, 1);
+  scores.t_bleu_2 = TBleu(candidate, gold, 2);
+  scores.t_bleu_3 = TBleu(candidate, gold, 3);
+  scores.eda_sim = MaxEdaSim(candidate, gold);
+  return scores;
+}
+
+}  // namespace atena

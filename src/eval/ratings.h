@@ -1,0 +1,48 @@
+#ifndef ATENA_EVAL_RATINGS_H_
+#define ATENA_EVAL_RATINGS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "eda/session.h"
+
+namespace atena {
+
+/// Measurable quality profile of a notebook, used by the Figure 4a proxy
+/// rating model and by the ablation benches. All values are in [0,1].
+struct NotebookQuality {
+  double mean_interestingness = 0.0;  // mean per-operation interestingness
+  double mean_coherency = 0.0;        // mean P(coherent) per operation
+  double mean_diversity = 0.0;        // mean per-display novelty
+  double eda_sim_to_gold = 0.0;       // MaxEdaSim against the gold set
+  double precision_to_gold = 0.0;     // view precision against the gold set
+};
+
+/// Re-scores `notebook` by replaying its operations on a fresh environment
+/// with a freshly trained coherency classifier, and compares it against the
+/// `gold` reference set. When the notebook IS one of the references (same
+/// view sequence), that reference is excluded from the comparison, so gold
+/// notebooks are scored leave-one-out.
+Result<NotebookQuality> AssessNotebook(const Dataset& dataset,
+                                       const EdaNotebook& notebook,
+                                       const std::vector<EdaNotebook>& gold,
+                                       const EnvConfig& env_config);
+
+/// The four user-study criteria (paper §6.2), each on the 1..7 scale.
+struct UserRatings {
+  double informativity = 1.0;
+  double comprehensibility = 1.0;
+  double expertise = 1.0;
+  double human_equivalence = 1.0;
+};
+
+/// Deterministic proxy for the paper's 40-participant study (DESIGN.md
+/// substitution #6): maps the measurable quality profile onto the four 1-7
+/// criteria. Weights favor gold-similarity for informativity/human-
+/// equivalence and coherency for comprehensibility, matching what the
+/// criteria ask readers to judge.
+UserRatings ProxyRatings(const NotebookQuality& quality);
+
+}  // namespace atena
+
+#endif  // ATENA_EVAL_RATINGS_H_

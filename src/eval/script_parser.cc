@@ -1,0 +1,200 @@
+#include "eval/script_parser.h"
+
+#include <cctype>
+#include <optional>
+
+#include "common/string_utils.h"
+
+namespace atena {
+
+namespace {
+
+/// Splits one line into whitespace-separated fields honoring double quotes.
+Result<std::vector<std::string>> Tokenize(std::string_view line, int lineno) {
+  std::vector<std::string> tokens;
+  std::string current;
+  bool in_quotes = false;
+  bool token_started = false;
+  for (char c : line) {
+    if (in_quotes) {
+      if (c == '"') {
+        in_quotes = false;
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+      token_started = true;
+    } else if (c == '#') {
+      break;  // trailing comment
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      if (token_started) {
+        tokens.push_back(std::move(current));
+        current.clear();
+        token_started = false;
+      }
+    } else {
+      current += c;
+      token_started = true;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                   ": unterminated quote");
+  }
+  if (token_started) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::optional<CompareOp> ParseCompareOp(const std::string& token) {
+  if (token == "==") return CompareOp::kEq;
+  if (token == "!=") return CompareOp::kNeq;
+  if (token == ">") return CompareOp::kGt;
+  if (token == ">=") return CompareOp::kGe;
+  if (token == "<") return CompareOp::kLt;
+  if (token == "<=") return CompareOp::kLe;
+  if (ToLower(token) == "contains") return CompareOp::kContains;
+  if (ToLower(token) == "startswith") return CompareOp::kStartsWith;
+  if (ToLower(token) == "endswith") return CompareOp::kEndsWith;
+  return std::nullopt;
+}
+
+std::optional<AggFunc> ParseAggFunc(const std::string& token) {
+  std::string upper;
+  for (char c : token) {
+    upper += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  if (upper == "COUNT") return AggFunc::kCount;
+  if (upper == "SUM") return AggFunc::kSum;
+  if (upper == "MIN") return AggFunc::kMin;
+  if (upper == "MAX") return AggFunc::kMax;
+  if (upper == "AVG") return AggFunc::kAvg;
+  return std::nullopt;
+}
+
+/// Terms: int64 when possible, then double, else string. A quoted token is
+/// always a string (quoting is detected by the caller passing raw+quoted).
+Value ParseTerm(const std::string& token, bool quoted) {
+  if (!quoted) {
+    int64_t i = 0;
+    if (ParseInt64(token, &i)) return Value(i);
+    double d = 0.0;
+    if (ParseDouble(token, &d)) return Value(d);
+  }
+  return Value(token);
+}
+
+}  // namespace
+
+Result<std::vector<EdaOperation>> ParseOperationScript(const std::string& text,
+                                                       const Table& table) {
+  std::vector<EdaOperation> ops;
+  int lineno = 0;
+  for (const std::string& raw_line : SplitString(text, '\n')) {
+    ++lineno;
+    // Track whether the term token was quoted (to force string terms).
+    const bool term_quoted = raw_line.find('"') != std::string::npos;
+    ATENA_ASSIGN_OR_RETURN(auto tokens, Tokenize(raw_line, lineno));
+    if (tokens.empty()) continue;
+    const std::string verb = ToLower(tokens[0]);
+    auto err = [lineno](const std::string& message) {
+      return Status::InvalidArgument("line " + std::to_string(lineno) + ": " +
+                                     message);
+    };
+
+    if (verb == "back") {
+      if (tokens.size() != 1) return err("BACK takes no arguments");
+      ops.push_back(EdaOperation::Back());
+      continue;
+    }
+    if (verb == "filter") {
+      if (tokens.size() != 4) {
+        return err("expected FILTER <column> <op> <term>");
+      }
+      int column = table.FindColumn(tokens[1]);
+      if (column < 0) return err("unknown column '" + tokens[1] + "'");
+      auto op = ParseCompareOp(tokens[2]);
+      if (!op) return err("unknown operator '" + tokens[2] + "'");
+      // Only the term can be quoted meaningfully; approximate by checking
+      // whether the raw line's last field was quoted.
+      bool quoted = term_quoted &&
+                    raw_line.rfind('"') > raw_line.find(tokens[2]);
+      ops.push_back(EdaOperation::Filter(column, *op,
+                                         ParseTerm(tokens[3], quoted)));
+      continue;
+    }
+    if (verb == "group") {
+      if (tokens.size() != 3 && tokens.size() != 4) {
+        return err("expected GROUP <column> <AGG> [<column>]");
+      }
+      int group_column = table.FindColumn(tokens[1]);
+      if (group_column < 0) return err("unknown column '" + tokens[1] + "'");
+      auto agg = ParseAggFunc(tokens[2]);
+      if (!agg) return err("unknown aggregation '" + tokens[2] + "'");
+      int agg_column = -1;
+      if (*agg == AggFunc::kCount) {
+        if (tokens.size() == 4) return err("COUNT takes no target column");
+      } else {
+        if (tokens.size() != 4) {
+          return err(tokens[2] + " needs a target column");
+        }
+        agg_column = table.FindColumn(tokens[3]);
+        if (agg_column < 0) return err("unknown column '" + tokens[3] + "'");
+      }
+      ops.push_back(EdaOperation::Group(group_column, *agg, agg_column));
+      continue;
+    }
+    return err("unknown operation '" + tokens[0] + "'");
+  }
+  return ops;
+}
+
+std::string FormatOperationScript(const std::vector<EdaOperation>& ops,
+                                  const Table& table) {
+  std::string out;
+  auto quote_if_needed = [](const std::string& token) {
+    for (char c : token) {
+      if (std::isspace(static_cast<unsigned char>(c)) || c == '"' ||
+          c == '#') {
+        return "\"" + token + "\"";
+      }
+    }
+    return token;
+  };
+  for (const auto& op : ops) {
+    switch (op.type) {
+      case OpType::kBack:
+        out += "BACK\n";
+        break;
+      case OpType::kFilter: {
+        std::string term = op.filter.term.ToString();
+        if (op.filter.term.is_string()) {
+          // Force-quote string terms that would re-parse as numbers.
+          int64_t i;
+          double f;
+          if (ParseInt64(term, &i) || ParseDouble(term, &f)) {
+            term = "\"" + term + "\"";
+          } else {
+            term = quote_if_needed(term);
+          }
+        }
+        out += "FILTER " + quote_if_needed(table.column_name(op.filter.column)) +
+               " " + CompareOpSymbol(op.filter.op) + " " + term + "\n";
+        break;
+      }
+      case OpType::kGroup: {
+        out += "GROUP " +
+               quote_if_needed(table.column_name(op.group.group_column)) +
+               " " + AggFuncName(op.group.agg);
+        if (op.group.agg != AggFunc::kCount && op.group.agg_column >= 0) {
+          out += " " + quote_if_needed(table.column_name(op.group.agg_column));
+        }
+        out += "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace atena

@@ -1,0 +1,44 @@
+#ifndef ATENA_EVAL_SCRIPT_PARSER_H_
+#define ATENA_EVAL_SCRIPT_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "eda/operation.h"
+
+namespace atena {
+
+/// Parses a textual EDA-operation script into operations — the exchange
+/// format of the A-EDA benchmark CLI, so notebooks produced by *other*
+/// systems can be scored against this repository's gold standard (the
+/// paper released its benchmark for exactly this purpose [5]).
+///
+/// Grammar (one operation per line; '#' starts a comment; blank lines are
+/// ignored; column names and string terms may be double-quoted):
+///
+///   FILTER <column> <op> <term>     op ∈ ==, !=, >, >=, <, <=,
+///                                        contains, startswith, endswith
+///   GROUP <column> <AGG> [<column>] AGG ∈ COUNT, SUM, MIN, MAX, AVG
+///                                        (COUNT takes no target column)
+///   BACK
+///
+/// Terms parse as int64 when possible, then float64, else string (numeric
+/// terms may be quoted to force string interpretation). Example:
+///
+///   GROUP month AVG departure_delay
+///   FILTER month == June
+///   GROUP origin_airport AVG departure_delay
+///   BACK
+///   FILTER "departure_delay" > 45.5
+Result<std::vector<EdaOperation>> ParseOperationScript(
+    const std::string& text, const Table& table);
+
+/// Serializes operations back into the script format (round-trips through
+/// ParseOperationScript).
+std::string FormatOperationScript(const std::vector<EdaOperation>& ops,
+                                  const Table& table);
+
+}  // namespace atena
+
+#endif  // ATENA_EVAL_SCRIPT_PARSER_H_

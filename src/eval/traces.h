@@ -1,0 +1,38 @@
+#ifndef ATENA_EVAL_TRACES_H_
+#define ATENA_EVAL_TRACES_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "eda/session.h"
+
+namespace atena {
+
+/// Options of the simulated-analyst model (DESIGN.md substitution #5).
+struct TraceOptions {
+  int num_traces = 3;
+  uint64_t seed = 77;
+  /// Probability of following the current gold script at each step (the
+  /// analyst knows roughly where the interesting material is)...
+  double follow_gold_prob = 0.45;
+  /// ...probability of an exploratory detour (a random enumerated
+  /// operation)...
+  double explore_prob = 0.35;
+  /// ...and the remainder are dead-end moves (BACK / random action), which
+  /// is what makes traces harder to read than curated gold notebooks.
+};
+
+/// Generates EDA-trace notebooks: goal-directed but uncurated sessions, the
+/// analog of the REACT trace corpus [42] the paper replays. Each trace
+/// interleaves steps from a randomly chosen gold script with exploratory
+/// detours and backtracking, so traces cover much of the gold content but
+/// in a noisier order (generator = "EDA-Traces").
+Result<std::vector<EdaNotebook>> SimulatedTraceNotebooks(
+    const Dataset& dataset, const EnvConfig& env_config,
+    const TraceOptions& options);
+Result<std::vector<EdaNotebook>> SimulatedTraceNotebooks(
+    const Dataset& dataset, const EnvConfig& env_config);
+
+}  // namespace atena
+
+#endif  // ATENA_EVAL_TRACES_H_

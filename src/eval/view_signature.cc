@@ -1,0 +1,147 @@
+#include "eval/view_signature.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace atena {
+
+namespace {
+
+double JaccardOverlap(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::unordered_set<std::string> sa(a.begin(), a.end());
+  size_t intersection = 0;
+  for (const auto& x : b) {
+    if (sa.count(x)) ++intersection;
+  }
+  const size_t unions = sa.size() + b.size() - intersection;
+  return unions == 0 ? 1.0
+                     : static_cast<double>(intersection) /
+                           static_cast<double>(unions);
+}
+
+/// Splits a canonical filter string "column op term..." into its parts
+/// (column names never contain spaces; the term may).
+struct FilterParts {
+  std::string column;
+  std::string op;
+  std::string term;
+};
+
+FilterParts SplitFilter(const std::string& filter) {
+  FilterParts parts;
+  size_t first = filter.find(' ');
+  if (first == std::string::npos) {
+    parts.column = filter;
+    return parts;
+  }
+  parts.column = filter.substr(0, first);
+  size_t second = filter.find(' ', first + 1);
+  if (second == std::string::npos) {
+    parts.op = filter.substr(first + 1);
+    return parts;
+  }
+  parts.op = filter.substr(first + 1, second - first - 1);
+  parts.term = filter.substr(second + 1);
+  return parts;
+}
+
+/// Partial-credit similarity of two predicates: same column is most of the
+/// match, then the operator, then the exact term (EDA-Sim's fine-grained
+/// view comparison [29]: "almost identical views ... evaluated as highly
+/// similar").
+double FilterPredicateSimilarity(const std::string& a, const std::string& b) {
+  if (a == b) return 1.0;
+  FilterParts pa = SplitFilter(a);
+  FilterParts pb = SplitFilter(b);
+  double score = 0.0;
+  if (pa.column == pb.column) score += 0.5;
+  if (pa.op == pb.op) score += 0.2;
+  if (pa.term == pb.term && !pa.term.empty()) score += 0.3;
+  return score;
+}
+
+/// Symmetric soft set overlap of two predicate sets: every predicate
+/// contributes its best counterpart's similarity, normalized over both
+/// directions. Exactly equal sets score 1, column-disjoint sets 0.
+double SoftFilterOverlap(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  auto one_way = [](const std::vector<std::string>& from,
+                    const std::vector<std::string>& to) {
+    double total = 0.0;
+    for (const auto& x : from) {
+      double best = 0.0;
+      for (const auto& y : to) {
+        best = std::max(best, FilterPredicateSimilarity(x, y));
+      }
+      total += best;
+    }
+    return total;
+  };
+  return (one_way(a, b) + one_way(b, a)) /
+         static_cast<double>(a.size() + b.size());
+}
+
+}  // namespace
+
+std::string ViewSignature::ToKey() const {
+  std::string key = "F{";
+  for (size_t i = 0; i < filters.size(); ++i) {
+    if (i > 0) key += ";";
+    key += filters[i];
+  }
+  key += "}|G{";
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (i > 0) key += ";";
+    key += groups[i];
+  }
+  key += "}|A{" + aggregation + "}";
+  return key;
+}
+
+ViewSignature MakeViewSignature(const Table& table, const Display& display) {
+  ViewSignature sig;
+  for (const auto& pred : display.filters) {
+    std::string column = (pred.column >= 0 && pred.column < table.num_columns())
+                             ? table.column_name(pred.column)
+                             : "?";
+    sig.filters.push_back(column + " " + CompareOpSymbol(pred.op) + " " +
+                          pred.term.ToString());
+  }
+  std::sort(sig.filters.begin(), sig.filters.end());
+  for (int c : display.group_columns) {
+    sig.groups.push_back(
+        (c >= 0 && c < table.num_columns()) ? table.column_name(c) : "?");
+  }
+  std::sort(sig.groups.begin(), sig.groups.end());
+  if (display.is_grouped()) {
+    if (display.agg == AggFunc::kCount || display.agg_column < 0) {
+      sig.aggregation = "COUNT(*)";
+    } else {
+      sig.aggregation = std::string(AggFuncName(display.agg)) + "(" +
+                        table.column_name(display.agg_column) + ")";
+    }
+  }
+  return sig;
+}
+
+std::vector<ViewSignature> NotebookSignatures(const EdaNotebook& notebook) {
+  std::vector<ViewSignature> out;
+  out.reserve(notebook.entries.size());
+  for (const auto& entry : notebook.entries) {
+    out.push_back(MakeViewSignature(*notebook.table, entry.display));
+  }
+  return out;
+}
+
+double ViewSimilarity(const ViewSignature& a, const ViewSignature& b) {
+  const double filter_sim = SoftFilterOverlap(a.filters, b.filters);
+  const double group_sim = JaccardOverlap(a.groups, b.groups);
+  const double agg_sim = (a.aggregation == b.aggregation) ? 1.0 : 0.0;
+  return 0.4 * filter_sim + 0.4 * group_sim + 0.2 * agg_sim;
+}
+
+}  // namespace atena

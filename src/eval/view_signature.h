@@ -1,0 +1,44 @@
+#ifndef ATENA_EVAL_VIEW_SIGNATURE_H_
+#define ATENA_EVAL_VIEW_SIGNATURE_H_
+
+#include <string>
+#include <vector>
+
+#include "eda/session.h"
+
+namespace atena {
+
+/// A canonical, order-insensitive description of one result display ("view"
+/// in the A-EDA benchmark, §6.3): the set of filter predicates, the set of
+/// grouped attributes, and the aggregation. Two displays reached through
+/// different operation orders but showing the same data have equal
+/// signatures.
+struct ViewSignature {
+  std::vector<std::string> filters;  // sorted "column op term" strings
+  std::vector<std::string> groups;   // sorted grouped column names
+  std::string aggregation;           // "AGG(column)" or "" when ungrouped
+
+  /// Single-string form used as a BLEU token and hash key.
+  std::string ToKey() const;
+
+  bool operator==(const ViewSignature& other) const {
+    return filters == other.filters && groups == other.groups &&
+           aggregation == other.aggregation;
+  }
+};
+
+/// Builds the signature of one display.
+ViewSignature MakeViewSignature(const Table& table, const Display& display);
+
+/// Signatures of every entry of `notebook`, in notebook order.
+std::vector<ViewSignature> NotebookSignatures(const EdaNotebook& notebook);
+
+/// Fine-grained similarity between two views in [0,1] (used by EDA-Sim,
+/// following [29]): weighted Jaccard overlap of filter sets (0.4) and group
+/// sets (0.4) plus aggregation agreement (0.2). Two empty views are
+/// identical (1.0).
+double ViewSimilarity(const ViewSignature& a, const ViewSignature& b);
+
+}  // namespace atena
+
+#endif  // ATENA_EVAL_VIEW_SIGNATURE_H_

@@ -1,0 +1,117 @@
+#include "nn/layers.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atena {
+
+Dense::Dense(int in_features, int out_features, Rng* rng) {
+  weight_.value = Matrix(out_features, in_features);
+  weight_.grad = Matrix(out_features, in_features);
+  bias_.value = Matrix(1, out_features);
+  bias_.grad = Matrix(1, out_features);
+  // He initialization: N(0, 2/in).
+  const double stddev = std::sqrt(2.0 / std::max(1, in_features));
+  for (double& w : weight_.value.data()) {
+    w = rng->NextGaussian() * stddev;
+  }
+}
+
+Matrix Dense::Forward(const Matrix& input) {
+  input_cache_ = input;
+  Matrix out = MatMulTransposeB(input, weight_.value);
+  AddRowVectorInPlace(&out, bias_.value);
+  return out;
+}
+
+Matrix Dense::Backward(const Matrix& grad_output) {
+  // dL/dW = grad_outᵀ · input ; dL/db = column sums ; dL/din = grad_out · W.
+  AxpyInPlace(&weight_.grad, MatMulTransposeA(grad_output, input_cache_), 1.0);
+  AxpyInPlace(&bias_.grad, ColumnSums(grad_output), 1.0);
+  return MatMul(grad_output, weight_.value);
+}
+
+Matrix Relu::Forward(const Matrix& input) {
+  input_cache_ = input;
+  Matrix out = input;
+  for (double& x : out.data()) x = std::max(0.0, x);
+  return out;
+}
+
+Matrix Relu::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (size_t i = 0; i < grad.size(); ++i) {
+    if (input_cache_.data()[i] <= 0.0) grad.data()[i] = 0.0;
+  }
+  return grad;
+}
+
+Matrix TanhLayer::Forward(const Matrix& input) {
+  Matrix out = input;
+  for (double& x : out.data()) x = std::tanh(x);
+  output_cache_ = out;
+  return out;
+}
+
+Matrix TanhLayer::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (size_t i = 0; i < grad.size(); ++i) {
+    const double y = output_cache_.data()[i];
+    grad.data()[i] *= (1.0 - y * y);
+  }
+  return grad;
+}
+
+Matrix Sequential::Forward(const Matrix& input) {
+  Matrix x = input;
+  for (auto& layer : layers_) x = layer->Forward(x);
+  return x;
+}
+
+Matrix Sequential::Backward(const Matrix& grad_output) {
+  Matrix g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+std::vector<Parameter*> Sequential::Parameters() {
+  std::vector<Parameter*> params;
+  for (auto& layer : layers_) {
+    for (Parameter* p : layer->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+std::unique_ptr<Sequential> MakeMlp(int in_features,
+                                    const std::vector<int>& hidden,
+                                    int out_features, Rng* rng) {
+  auto net = std::make_unique<Sequential>();
+  int prev = in_features;
+  for (int h : hidden) {
+    net->Add(std::make_unique<Dense>(prev, h, rng));
+    net->Add(std::make_unique<Relu>());
+    prev = h;
+  }
+  net->Add(std::make_unique<Dense>(prev, out_features, rng));
+  return net;
+}
+
+void SoftmaxRangeInPlace(Matrix* m, int begin, int end) {
+  for (int r = 0; r < m->rows(); ++r) {
+    double* row = m->RowPtr(r);
+    double max_logit = row[begin];
+    for (int j = begin; j < end; ++j) max_logit = std::max(max_logit, row[j]);
+    double total = 0.0;
+    for (int j = begin; j < end; ++j) {
+      row[j] = std::exp(row[j] - max_logit);
+      total += row[j];
+    }
+    if (total > 0.0) {
+      for (int j = begin; j < end; ++j) row[j] /= total;
+    }
+  }
+}
+
+}  // namespace atena

@@ -1,0 +1,103 @@
+#ifndef ATENA_NN_LAYERS_H_
+#define ATENA_NN_LAYERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "nn/matrix.h"
+
+namespace atena {
+
+/// A learnable tensor and its accumulated gradient.
+struct Parameter {
+  Matrix value;
+  Matrix grad;
+};
+
+/// A differentiable layer with manual backprop. Forward caches whatever the
+/// matching Backward needs; layers are therefore stateful per pass and not
+/// thread-safe (each trainer owns its network).
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// input: (batch × in_features) -> (batch × out_features).
+  virtual Matrix Forward(const Matrix& input) = 0;
+
+  /// grad_output: (batch × out_features). Accumulates parameter gradients
+  /// and returns the gradient w.r.t. the layer input.
+  virtual Matrix Backward(const Matrix& grad_output) = 0;
+
+  /// Learnable parameters (may be empty).
+  virtual std::vector<Parameter*> Parameters() { return {}; }
+};
+
+/// Fully-connected layer out = in·Wᵀ + b. Weights use He initialization
+/// (suited to the ReLU trunks of the paper's architecture).
+class Dense final : public Layer {
+ public:
+  Dense(int in_features, int out_features, Rng* rng);
+
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::vector<Parameter*> Parameters() override { return {&weight_, &bias_}; }
+
+  int in_features() const { return weight_.value.cols(); }
+  int out_features() const { return weight_.value.rows(); }
+
+ private:
+  Parameter weight_;  // (out × in)
+  Parameter bias_;    // (1 × out)
+  Matrix input_cache_;
+};
+
+/// Rectified linear unit.
+class Relu final : public Layer {
+ public:
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+
+ private:
+  Matrix input_cache_;
+};
+
+/// Hyperbolic tangent.
+class TanhLayer final : public Layer {
+ public:
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+
+ private:
+  Matrix output_cache_;
+};
+
+/// A plain sequential network.
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  void Add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::vector<Parameter*> Parameters() override;
+
+  size_t num_layers() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Builds a ReLU MLP: in -> hidden[0] -> ... -> hidden.back() -> out with
+/// ReLU between all Dense layers (none after the final one).
+std::unique_ptr<Sequential> MakeMlp(int in_features,
+                                    const std::vector<int>& hidden,
+                                    int out_features, Rng* rng);
+
+/// In-place row-wise numerically-stable softmax over columns [begin, end).
+void SoftmaxRangeInPlace(Matrix* m, int begin, int end);
+
+}  // namespace atena
+
+#endif  // ATENA_NN_LAYERS_H_

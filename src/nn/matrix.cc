@@ -1,0 +1,108 @@
+#include "nn/matrix.h"
+
+#include "common/logging.h"
+
+namespace atena {
+
+Matrix Matrix::FromRow(const std::vector<double>& row) {
+  Matrix m(1, static_cast<int>(row.size()));
+  m.data_ = row;
+  return m;
+}
+
+void Matrix::Fill(double value) {
+  for (double& x : data_) x = value;
+}
+
+std::string Matrix::ShapeString() const {
+  return "(" + std::to_string(rows_) + "x" + std::to_string(cols_) + ")";
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  ATENA_CHECK(a.cols() == b.rows())
+      << "MatMul shape mismatch " << a.ShapeString() << " * "
+      << b.ShapeString();
+  Matrix out(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* arow = a.RowPtr(i);
+    double* orow = out.RowPtr(i);
+    for (int k = 0; k < a.cols(); ++k) {
+      const double av = arow[k];
+      if (av == 0.0) continue;
+      const double* brow = b.RowPtr(k);
+      for (int j = 0; j < b.cols(); ++j) {
+        orow[j] += av * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
+  ATENA_CHECK(a.cols() == b.cols())
+      << "MatMulTransposeB shape mismatch " << a.ShapeString() << " * "
+      << b.ShapeString() << "^T";
+  Matrix out(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* arow = a.RowPtr(i);
+    double* orow = out.RowPtr(i);
+    for (int j = 0; j < b.rows(); ++j) {
+      const double* brow = b.RowPtr(j);
+      double acc = 0.0;
+      for (int k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      orow[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
+  ATENA_CHECK(a.rows() == b.rows())
+      << "MatMulTransposeA shape mismatch " << a.ShapeString() << "^T * "
+      << b.ShapeString();
+  Matrix out(a.cols(), b.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    const double* arow = a.RowPtr(r);
+    const double* brow = b.RowPtr(r);
+    for (int i = 0; i < a.cols(); ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* orow = out.RowPtr(i);
+      for (int j = 0; j < b.cols(); ++j) {
+        orow[j] += av * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+void AddRowVectorInPlace(Matrix* m, const Matrix& bias) {
+  ATENA_CHECK(bias.rows() == 1 && bias.cols() == m->cols())
+      << "bias shape " << bias.ShapeString() << " vs " << m->ShapeString();
+  for (int i = 0; i < m->rows(); ++i) {
+    double* row = m->RowPtr(i);
+    const double* b = bias.RowPtr(0);
+    for (int j = 0; j < m->cols(); ++j) row[j] += b[j];
+  }
+}
+
+Matrix ColumnSums(const Matrix& m) {
+  Matrix out(1, m.cols());
+  double* acc = out.RowPtr(0);
+  for (int i = 0; i < m.rows(); ++i) {
+    const double* row = m.RowPtr(i);
+    for (int j = 0; j < m.cols(); ++j) acc[j] += row[j];
+  }
+  return out;
+}
+
+void AxpyInPlace(Matrix* a, const Matrix& b, double scale) {
+  ATENA_CHECK(a->size() == b.size())
+      << "Axpy shape mismatch " << a->ShapeString() << " vs "
+      << b.ShapeString();
+  for (size_t i = 0; i < a->size(); ++i) {
+    a->data()[i] += scale * b.data()[i];
+  }
+}
+
+}  // namespace atena

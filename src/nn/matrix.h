@@ -1,0 +1,65 @@
+#ifndef ATENA_NN_MATRIX_H_
+#define ATENA_NN_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace atena {
+
+/// Dense row-major matrix of doubles — the only tensor type the network
+/// substrate needs (all ATENA networks are small MLPs; batches are rows).
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), fill) {}
+
+  static Matrix FromRow(const std::vector<double>& row);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(int r, int c) {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double* RowPtr(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const double* RowPtr(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  void Fill(double value);
+  std::string ShapeString() const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+/// out = a (r×k) * b (k×c). Shapes are checked fatally (programmer error).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+/// out = a (r×k) * bᵀ where b is (c×k).
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b);
+/// out = aᵀ (k×r) * b (r×c), yielding (k×c) — wait, aᵀ is (k×r) when a is
+/// (r×k); used for weight gradients: gradᵀ·input.
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
+
+/// Adds `bias` (1×c) to every row of `m` in place.
+void AddRowVectorInPlace(Matrix* m, const Matrix& bias);
+/// Column sums of `m` as a (1×c) matrix.
+Matrix ColumnSums(const Matrix& m);
+/// Element-wise a += scale * b.
+void AxpyInPlace(Matrix* a, const Matrix& b, double scale);
+
+}  // namespace atena
+
+#endif  // ATENA_NN_MATRIX_H_

@@ -1,0 +1,67 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace atena {
+
+void ZeroGradients(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) p->grad.Fill(0.0);
+}
+
+double ClipGradientsByNorm(const std::vector<Parameter*>& params,
+                           double max_norm) {
+  double sq = 0.0;
+  for (Parameter* p : params) {
+    for (double g : p->grad.data()) sq += g * g;
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const double scale = max_norm / norm;
+    for (Parameter* p : params) {
+      for (double& g : p->grad.data()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+void Sgd::Step(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) {
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      p->value.data()[i] -= learning_rate_ * p->grad.data()[i];
+    }
+  }
+}
+
+void Adam::Step(const std::vector<Parameter*>& params) {
+  if (m_.empty()) {
+    for (Parameter* p : params) {
+      m_.emplace_back(p->value.rows(), p->value.cols());
+      v_.emplace_back(p->value.rows(), p->value.cols());
+    }
+  }
+  ATENA_CHECK(m_.size() == params.size())
+      << "Adam called with a different parameter list";
+  ++step_;
+  const double b1 = options_.beta1, b2 = options_.beta2;
+  const double bias1 = 1.0 - std::pow(b1, static_cast<double>(step_));
+  const double bias2 = 1.0 - std::pow(b2, static_cast<double>(step_));
+  for (size_t k = 0; k < params.size(); ++k) {
+    Parameter* p = params[k];
+    auto& m = m_[k].data();
+    auto& v = v_[k].data();
+    const auto& g = p->grad.data();
+    auto& w = p->value.data();
+    for (size_t i = 0; i < w.size(); ++i) {
+      m[i] = b1 * m[i] + (1.0 - b1) * g[i];
+      v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+      const double mhat = m[i] / bias1;
+      const double vhat = v[i] / bias2;
+      w[i] -= options_.learning_rate * mhat /
+              (std::sqrt(vhat) + options_.epsilon);
+    }
+  }
+}
+
+}  // namespace atena

@@ -1,0 +1,57 @@
+#ifndef ATENA_NN_OPTIMIZER_H_
+#define ATENA_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace atena {
+
+/// Zeroes all accumulated gradients.
+void ZeroGradients(const std::vector<Parameter*>& params);
+
+/// Rescales gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clipping norm.
+double ClipGradientsByNorm(const std::vector<Parameter*>& params,
+                           double max_norm);
+
+/// Plain SGD: value -= lr * grad.
+class Sgd {
+ public:
+  explicit Sgd(double learning_rate) : learning_rate_(learning_rate) {}
+  void Step(const std::vector<Parameter*>& params);
+
+ private:
+  double learning_rate_;
+};
+
+/// Adam (Kingma & Ba). State is keyed by position in the parameter list, so
+/// call Step with the same parameter vector every time.
+class Adam {
+ public:
+  struct Options {
+    double learning_rate = 3e-4;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+  };
+
+  Adam() : Adam(Options()) {}
+  explicit Adam(Options options) : options_(options) {}
+  explicit Adam(double learning_rate) {
+    options_.learning_rate = learning_rate;
+  }
+
+  void Step(const std::vector<Parameter*>& params);
+  int64_t step_count() const { return step_; }
+
+ private:
+  Options options_;
+  int64_t step_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+}  // namespace atena
+
+#endif  // ATENA_NN_OPTIMIZER_H_

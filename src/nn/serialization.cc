@@ -1,0 +1,77 @@
+#include "nn/serialization.h"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace atena {
+
+namespace {
+constexpr char kMagic[] = "ATENA-NN v1";
+}  // namespace
+
+Status SaveParameters(const std::vector<Parameter*>& params,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << kMagic << "\n" << params.size() << "\n";
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (const Parameter* p : params) {
+    out << p->value.rows() << " " << p->value.cols() << "\n";
+    const auto& data = p->value.data();
+    for (size_t i = 0; i < data.size(); ++i) {
+      out << data[i] << (i + 1 == data.size() ? "" : " ");
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Status LoadParameters(const std::vector<Parameter*>& params,
+                      const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::string magic;
+  std::getline(in, magic);
+  if (magic != kMagic) {
+    return Status::InvalidArgument("'" + path + "' is not an ATENA-NN file");
+  }
+  size_t count = 0;
+  in >> count;
+  if (count != params.size()) {
+    return Status::FailedPrecondition(
+        "parameter count mismatch: file has " + std::to_string(count) +
+        ", network has " + std::to_string(params.size()));
+  }
+  // Stage into a buffer first so a truncated file cannot leave the network
+  // half-loaded.
+  std::vector<Matrix> staged;
+  staged.reserve(count);
+  for (size_t k = 0; k < count; ++k) {
+    int rows = 0, cols = 0;
+    in >> rows >> cols;
+    if (!in || rows != params[k]->value.rows() ||
+        cols != params[k]->value.cols()) {
+      return Status::FailedPrecondition(
+          "shape mismatch at parameter " + std::to_string(k) + ": file " +
+          std::to_string(rows) + "x" + std::to_string(cols) + ", network " +
+          params[k]->value.ShapeString());
+    }
+    Matrix m(rows, cols);
+    for (double& v : m.data()) {
+      in >> v;
+      if (!in) {
+        return Status::InvalidArgument("'" + path + "' truncated");
+      }
+    }
+    staged.push_back(std::move(m));
+  }
+  for (size_t k = 0; k < count; ++k) {
+    params[k]->value = std::move(staged[k]);
+  }
+  return Status::OK();
+}
+
+}  // namespace atena

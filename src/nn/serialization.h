@@ -1,0 +1,35 @@
+#ifndef ATENA_NN_SERIALIZATION_H_
+#define ATENA_NN_SERIALIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/layers.h"
+
+namespace atena {
+
+/// Serializes a parameter list to a portable text format:
+///
+///   ATENA-NN v1
+///   <param-count>
+///   <rows> <cols>
+///   <v00> <v01> ...
+///   ...
+///
+/// Values round-trip exactly (printed with max_digits10). Gradients are
+/// not saved. Enables checkpointing and transferring a trained policy to
+/// another dataset with the same schema (the paper's future-work item of
+/// generalizing learning across datasets).
+Status SaveParameters(const std::vector<Parameter*>& params,
+                      const std::string& path);
+
+/// Loads parameters saved by SaveParameters into `params`. The count and
+/// every shape must match exactly (mismatch = FailedPrecondition and the
+/// parameters are left unmodified).
+Status LoadParameters(const std::vector<Parameter*>& params,
+                      const std::string& path);
+
+}  // namespace atena
+
+#endif  // ATENA_NN_SERIALIZATION_H_

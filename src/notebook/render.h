@@ -1,0 +1,37 @@
+#ifndef ATENA_NOTEBOOK_RENDER_H_
+#define ATENA_NOTEBOOK_RENDER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "eda/session.h"
+
+namespace atena {
+
+struct RenderOptions {
+  /// Rows of each result display shown per notebook cell.
+  int max_rows = 8;
+  /// Include the per-operation reward in the cell header (debug aid).
+  bool include_rewards = false;
+};
+
+/// Plain-text rendering: one cell per operation with its verbal description
+/// and a preview of the result display (paper Figure 1, textual form).
+Result<std::string> RenderText(const EdaNotebook& notebook,
+                               const RenderOptions& options = {});
+
+/// GitHub-flavored Markdown rendering with result tables.
+Result<std::string> RenderMarkdown(const EdaNotebook& notebook,
+                                   const RenderOptions& options = {});
+
+/// Self-contained HTML page: cells plus the exploration-tree side panel.
+Result<std::string> RenderHtml(const EdaNotebook& notebook,
+                               const RenderOptions& options = {});
+
+/// The dynamic tree-like illustration of the operations (Figure 1's right
+/// panel) in ASCII: FILTER/GROUP descend, BACK climbs back up.
+std::string RenderTree(const EdaNotebook& notebook);
+
+}  // namespace atena
+
+#endif  // ATENA_NOTEBOOK_RENDER_H_

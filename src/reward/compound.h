@@ -1,0 +1,80 @@
+#ifndef ATENA_REWARD_COMPOUND_H_
+#define ATENA_REWARD_COMPOUND_H_
+
+#include <memory>
+
+#include "coherency/classifier.h"
+#include "eda/environment.h"
+
+namespace atena {
+
+/// The full ATENA reward (paper §4.2): a weighted sum of interestingness,
+/// diversity and coherency. Weights can be auto-calibrated on a warmup
+/// corpus of random sessions so that no component contributes less than 10%
+/// of the mean absolute reward (paper §6.1). Component switches support the
+/// interestingness-only baselines and the reward ablation bench.
+class CompoundReward final : public RewardSignal {
+ public:
+  struct Options {
+    double weight_interestingness = 1.0;
+    double weight_diversity = 1.0;
+    double weight_coherency = 1.0;
+    bool enable_interestingness = true;
+    bool enable_diversity = true;
+    bool enable_coherency = true;
+    /// Random warmup episodes used by Calibrate.
+    int calibration_episodes = 15;
+    /// Target share of the mean absolute reward per component after
+    /// calibration (renormalized over the enabled components). The paper
+    /// requires every component to stay above 10% (§6.1) but lets the
+    /// weights "reflect different priorities"; coherency gets the largest
+    /// share so that operations humans would never write are clearly
+    /// penalized.
+    double share_interestingness = 0.3;
+    double share_diversity = 0.2;
+    double share_coherency = 0.5;
+    uint64_t seed = 1234;
+  };
+
+  /// `coherency` may be null only when enable_coherency is false.
+  explicit CompoundReward(std::shared_ptr<CoherencyClassifier> coherency)
+      : CompoundReward(std::move(coherency), Options()) {}
+  CompoundReward(std::shared_ptr<CoherencyClassifier> coherency,
+                 Options options);
+
+  /// Runs reward-free random sessions on `env`, measures each enabled
+  /// component's mean magnitude, and rescales the weights so every enabled
+  /// component contributes an equal share of the mean total (hence each is
+  /// ≥ 10% for up to three components). Leaves the environment reset.
+  Status Calibrate(EdaEnvironment* env);
+
+  double Compute(const RewardContext& context) override;
+
+  /// Raw (unweighted) component values of the last Compute call.
+  struct Components {
+    double interestingness = 0.0;
+    double diversity = 0.0;
+    double coherency = 0.0;
+  };
+  const Components& last_components() const { return last_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Components Measure(const RewardContext& context) const;
+
+  std::shared_ptr<CoherencyClassifier> coherency_;
+  Options options_;
+  Components last_;
+};
+
+/// Builds the standard fully-assembled ATENA reward for `env`'s dataset:
+/// trains the coherency classifier (standard rule set + focal attributes)
+/// and calibrates the component weights. The returned object must outlive
+/// its attachment to the environment.
+Result<std::shared_ptr<CompoundReward>> MakeStandardReward(
+    EdaEnvironment* env, CompoundReward::Options options);
+Result<std::shared_ptr<CompoundReward>> MakeStandardReward(EdaEnvironment* env);
+
+}  // namespace atena
+
+#endif  // ATENA_REWARD_COMPOUND_H_

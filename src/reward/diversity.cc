@@ -1,0 +1,24 @@
+#include "reward/diversity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace atena {
+
+double DiversityReward(const RewardContext& context) {
+  const auto& vectors = context.env->display_vectors();
+  if (vectors.size() < 2) return 0.0;
+  const auto& current = vectors.back();
+  double min_distance = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i + 1 < vectors.size(); ++i) {
+    min_distance = std::min(min_distance,
+                            EuclideanDistance(current, vectors[i]));
+  }
+  const double dim = static_cast<double>(current.size());
+  if (dim <= 0.0) return 0.0;
+  return Clamp(min_distance / std::sqrt(dim), 0.0, 1.0);
+}
+
+}  // namespace atena

@@ -1,0 +1,32 @@
+#ifndef ATENA_REWARD_INTERESTINGNESS_H_
+#define ATENA_REWARD_INTERESTINGNESS_H_
+
+#include "eda/environment.h"
+
+namespace atena {
+
+/// Interestingness of a GROUP operation (paper §4.2): a conciseness measure
+/// over the number of groups g, the number of grouped attributes a, and the
+/// number of underlying tuples r. Compact groupings that cover many tuples
+/// score high; degenerate groupings (a single group, or ≈1 tuple per group)
+/// score low. Built from normalized sigmoids with predefined centers and
+/// widths. Returns a value in [0, 1].
+double GroupInterestingness(int64_t num_groups, int num_group_attrs,
+                            int64_t num_tuples);
+
+/// Interestingness of a FILTER operation (paper §4.2): the deviation of the
+/// result display from the previous display, h(max_A KL(P_A(d_t) ||
+/// P_A(d_{t-1}))). For grouped displays, only the aggregated attribute is
+/// compared (group-size distributions when the aggregation is COUNT).
+/// Returns a value in [0, 1].
+double FilterInterestingness(const EdaEnvironment& env,
+                             const Display& current, const Display& previous);
+
+/// Dispatches on the operation type: group conciseness for GROUP, KL
+/// deviation for FILTER, and 0 for BACK (revisiting an old display carries
+/// no new information; diversity/coherency govern BACK's utility).
+double OperationInterestingness(const RewardContext& context);
+
+}  // namespace atena
+
+#endif  // ATENA_REWARD_INTERESTINGNESS_H_

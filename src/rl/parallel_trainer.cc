@@ -1,0 +1,225 @@
+#include "rl/parallel_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace atena {
+
+ParallelPpoTrainer::ParallelPpoTrainer(std::vector<EdaEnvironment*> envs,
+                                       Policy* policy,
+                                       TrainerOptions options)
+    : envs_(std::move(envs)),
+      policy_(policy),
+      options_(options),
+      rng_(options.seed ^ 0x5151),
+      optimizer_(Adam::Options{.learning_rate = options.learning_rate,
+                               .beta1 = 0.9,
+                               .beta2 = 0.999,
+                               .epsilon = 1e-8}) {
+  ATENA_CHECK(!envs_.empty()) << "parallel trainer needs at least one env";
+}
+
+TrainingResult ParallelPpoTrainer::Train() {
+  result_ = TrainingResult{};
+  recent_episode_rewards_.clear();
+
+  const size_t n_envs = envs_.size();
+  std::vector<ActorState> actors(n_envs);
+  for (size_t e = 0; e < n_envs; ++e) {
+    actors[e].observation = envs_[e]->Reset();
+  }
+
+  // Per-update rollout length is split evenly across the actors so the
+  // update cadence matches the single-env trainer.
+  const int per_actor =
+      std::max(1, options_.rollout_length / static_cast<int>(n_envs));
+
+  int steps_done = 0;
+  while (steps_done < options_.total_steps) {
+    std::vector<std::vector<Transition>> streams(n_envs);
+    for (int i = 0; i < per_actor && steps_done < options_.total_steps; ++i) {
+      for (size_t e = 0; e < n_envs && steps_done < options_.total_steps;
+           ++e, ++steps_done) {
+        ActorState& actor = actors[e];
+        PolicyStep step = policy_->Act(actor.observation, &rng_);
+        StepOutcome outcome = ApplyAction(envs_[e], step.action);
+
+        Transition transition;
+        transition.observation = actor.observation;
+        transition.action = step.action;
+        transition.log_prob = step.log_prob;
+        transition.value = step.value;
+        transition.reward = outcome.reward;
+        transition.episode_end = outcome.done;
+        streams[e].push_back(std::move(transition));
+
+        actor.episode_reward += outcome.reward;
+        actor.episode_ops.push_back(outcome.op);
+        actor.observation = std::move(outcome.observation);
+
+        if (outcome.done) {
+          ++result_.episodes;
+          recent_episode_rewards_.push_back(actor.episode_reward);
+          if (recent_episode_rewards_.size() > 50) {
+            recent_episode_rewards_.erase(recent_episode_rewards_.begin());
+          }
+          if (actor.episode_reward > result_.best_episode_reward ||
+              result_.best_episode_ops.empty()) {
+            result_.best_episode_reward = actor.episode_reward;
+            result_.best_episode_ops = actor.episode_ops;
+          }
+          actor.episode_reward = 0.0;
+          actor.episode_ops.clear();
+          actor.observation = envs_[e]->Reset();
+        }
+      }
+    }
+
+    Update(streams, actors);
+
+    CurvePoint point;
+    point.step = steps_done;
+    point.mean_episode_reward =
+        recent_episode_rewards_.empty()
+            ? 0.0
+            : std::accumulate(recent_episode_rewards_.begin(),
+                              recent_episode_rewards_.end(), 0.0) /
+                  static_cast<double>(recent_episode_rewards_.size());
+    result_.curve.push_back(point);
+    if (progress_) progress_(point);
+  }
+
+  result_.final_mean_reward =
+      result_.curve.empty() ? 0.0 : result_.curve.back().mean_episode_reward;
+
+  // Final evaluation on the first actor's environment (see PpoTrainer).
+  for (int episode = 0; episode < options_.final_eval_episodes; ++episode) {
+    std::vector<double> obs = envs_[0]->Reset();
+    double reward = 0.0;
+    std::vector<EdaOperation> ops;
+    while (!envs_[0]->done()) {
+      PolicyStep step = policy_->Act(obs, &rng_);
+      StepOutcome outcome = ApplyAction(envs_[0], step.action);
+      reward += outcome.reward;
+      ops.push_back(outcome.op);
+      obs = std::move(outcome.observation);
+    }
+    if (reward > result_.best_episode_reward) {
+      result_.best_episode_reward = reward;
+      result_.best_episode_ops = std::move(ops);
+    }
+  }
+  return result_;
+}
+
+void ParallelPpoTrainer::Update(
+    const std::vector<std::vector<Transition>>& streams,
+    const std::vector<ActorState>& actors) {
+  // GAE per actor stream (each stream is a contiguous slice of that
+  // actor's trajectory), then one merged PPO update.
+  struct Sample {
+    const Transition* transition;
+    double advantage;
+    double target;
+  };
+  std::vector<Sample> samples;
+
+  for (size_t e = 0; e < streams.size(); ++e) {
+    const auto& stream = streams[e];
+    if (stream.empty()) continue;
+
+    double last_value = 0.0;
+    const bool last_done = stream.back().episode_end;
+    if (!last_done) {
+      // Bootstrap from the critic at the actor's current observation.
+      PolicyStep probe = policy_->ActGreedy(actors[e].observation);
+      last_value = probe.value;
+    }
+
+    double gae = 0.0;
+    double next_value = last_done ? 0.0 : last_value;
+    bool next_terminal = last_done;
+    std::vector<double> advantages(stream.size());
+    for (size_t i = stream.size(); i-- > 0;) {
+      const Transition& t = stream[i];
+      const double bootstrap = next_terminal ? 0.0 : next_value;
+      const double delta = t.reward + options_.gamma * bootstrap - t.value;
+      gae = delta + (next_terminal
+                         ? 0.0
+                         : options_.gamma * options_.gae_lambda * gae);
+      advantages[i] = gae;
+      next_value = t.value;
+      next_terminal = t.episode_end;
+    }
+    for (size_t i = 0; i < stream.size(); ++i) {
+      samples.push_back(
+          Sample{&stream[i], advantages[i], advantages[i] + stream[i].value});
+    }
+  }
+  if (samples.empty()) return;
+
+  // Normalize advantages across the merged batch.
+  double mean = 0.0;
+  for (const auto& s : samples) mean += s.advantage;
+  mean /= static_cast<double>(samples.size());
+  double var = 0.0;
+  for (const auto& s : samples) {
+    var += (s.advantage - mean) * (s.advantage - mean);
+  }
+  const double stddev =
+      std::sqrt(var / static_cast<double>(samples.size())) + 1e-8;
+  for (auto& s : samples) s.advantage = (s.advantage - mean) / stddev;
+
+  std::vector<size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+  const int obs_dim =
+      static_cast<int>(samples[0].transition->observation.size());
+
+  for (int epoch = 0; epoch < options_.epochs_per_update; ++epoch) {
+    rng_.Shuffle(order);
+    for (size_t start = 0; start < samples.size();
+         start += static_cast<size_t>(options_.minibatch_size)) {
+      const size_t end = std::min(
+          samples.size(), start + static_cast<size_t>(options_.minibatch_size));
+      const int batch = static_cast<int>(end - start);
+
+      Matrix observations(batch, obs_dim);
+      std::vector<ActionRecord> actions(static_cast<size_t>(batch));
+      for (int b = 0; b < batch; ++b) {
+        const Sample& s = samples[order[start + b]];
+        std::copy(s.transition->observation.begin(),
+                  s.transition->observation.end(), observations.RowPtr(b));
+        actions[static_cast<size_t>(b)] = s.transition->action;
+      }
+      BatchEvaluation eval = policy_->ForwardBatch(observations, actions);
+
+      std::vector<SampleGrad> grads(static_cast<size_t>(batch));
+      const double inv_batch = 1.0 / static_cast<double>(batch);
+      for (int b = 0; b < batch; ++b) {
+        const Sample& s = samples[order[start + b]];
+        const double ratio =
+            std::exp(eval.log_probs[b] - s.transition->log_prob);
+        const double clipped = std::clamp(
+            ratio, 1.0 - options_.clip_epsilon, 1.0 + options_.clip_epsilon);
+        const bool unclipped_active =
+            ratio * s.advantage <= clipped * s.advantage + 1e-12;
+        SampleGrad& g = grads[static_cast<size_t>(b)];
+        g.d_log_prob =
+            unclipped_active ? -ratio * s.advantage * inv_batch : 0.0;
+        g.d_entropy = -options_.entropy_coef * inv_batch;
+        g.d_value =
+            options_.value_coef * 2.0 * (eval.values[b] - s.target) *
+            inv_batch;
+      }
+      ZeroGradients(policy_->Parameters());
+      policy_->BackwardBatch(grads);
+      ClipGradientsByNorm(policy_->Parameters(), options_.max_grad_norm);
+      optimizer_.Step(policy_->Parameters());
+    }
+  }
+}
+
+}  // namespace atena

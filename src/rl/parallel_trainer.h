@@ -1,0 +1,63 @@
+#ifndef ATENA_RL_PARALLEL_TRAINER_H_
+#define ATENA_RL_PARALLEL_TRAINER_H_
+
+#include <vector>
+
+#include "rl/trainer.h"
+
+namespace atena {
+
+/// Synchronous multi-actor variant of PpoTrainer — the substrate's
+/// equivalent of the paper's A3C training (§6.1): several environment
+/// instances over the same dataset (different exploration seeds) advance
+/// in lockstep, and every policy update learns from the interleaved
+/// experience of all actors. Unlike true A3C the updates are synchronous
+/// (DESIGN.md substitution #2), which keeps runs deterministic.
+///
+/// All environments must expose identical observation and action spaces
+/// (same dataset/config); each should carry its own seed.
+class ParallelPpoTrainer {
+ public:
+  ParallelPpoTrainer(std::vector<EdaEnvironment*> envs, Policy* policy,
+                     TrainerOptions options);
+
+  void SetProgressCallback(std::function<void(const CurvePoint&)> callback) {
+    progress_ = std::move(callback);
+  }
+
+  TrainingResult Train();
+
+ private:
+  struct Transition {
+    std::vector<double> observation;
+    ActionRecord action;
+    double log_prob = 0.0;
+    double value = 0.0;
+    double reward = 0.0;
+    bool episode_end = false;
+  };
+
+  /// Per-actor in-flight episode state.
+  struct ActorState {
+    std::vector<double> observation;
+    double episode_reward = 0.0;
+    std::vector<EdaOperation> episode_ops;
+  };
+
+  void Update(const std::vector<std::vector<Transition>>& streams,
+              const std::vector<ActorState>& actors);
+
+  std::vector<EdaEnvironment*> envs_;
+  Policy* policy_;
+  TrainerOptions options_;
+  Rng rng_;
+  Adam optimizer_;
+  std::function<void(const CurvePoint&)> progress_;
+
+  TrainingResult result_;
+  std::vector<double> recent_episode_rewards_;
+};
+
+}  // namespace atena
+
+#endif  // ATENA_RL_PARALLEL_TRAINER_H_

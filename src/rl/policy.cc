@@ -1,0 +1,20 @@
+#include "rl/policy.h"
+
+namespace atena {
+
+int64_t Policy::NumParameters() {
+  int64_t total = 0;
+  for (Parameter* p : Parameters()) {
+    total += static_cast<int64_t>(p->value.size());
+  }
+  return total;
+}
+
+StepOutcome ApplyAction(EdaEnvironment* env, const ActionRecord& action) {
+  if (action.is_concrete) {
+    return env->StepOperation(action.concrete);
+  }
+  return env->Step(action.structured);
+}
+
+}  // namespace atena

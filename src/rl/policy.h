@@ -1,0 +1,85 @@
+#ifndef ATENA_RL_POLICY_H_
+#define ATENA_RL_POLICY_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "eda/environment.h"
+#include "nn/layers.h"
+
+namespace atena {
+
+/// An action as recorded by a policy. Structured policies (ATENA's twofold
+/// architecture, OTS-DRL-B) emit an EnvAction whose filter term the
+/// environment resolves from a frequency bin; flat token-level policies
+/// (OTS-DRL) emit a fully concrete operation. `flat_index` identifies the
+/// action for flat policies' re-evaluation during PPO epochs.
+struct ActionRecord {
+  EnvAction structured;
+  EdaOperation concrete;
+  bool is_concrete = false;
+  int flat_index = -1;
+};
+
+/// What a policy produces for one observation during rollout.
+struct PolicyStep {
+  ActionRecord action;
+  double log_prob = 0.0;
+  double entropy = 0.0;
+  double value = 0.0;
+};
+
+/// Per-sample upstream gradients handed back to the policy during a PPO
+/// update: dL/d(log π(a|s)), dL/dH(s), dL/dV(s).
+struct SampleGrad {
+  double d_log_prob = 0.0;
+  double d_entropy = 0.0;
+  double d_value = 0.0;
+};
+
+/// Result of re-evaluating a batch of stored actions under the current
+/// network parameters (needed by PPO's importance ratios).
+struct BatchEvaluation {
+  std::vector<double> log_probs;
+  std::vector<double> entropies;
+  std::vector<double> values;
+};
+
+/// Abstract actor-critic policy over the EDA action space, with manual
+/// backprop through whatever head architecture the concrete policy uses
+/// (twofold multi-softmax for ATENA, single flat softmax for the
+/// off-the-shelf baselines).
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Samples an action (Boltzmann exploration: directly from the softmax
+  /// distribution, paper §5).
+  virtual PolicyStep Act(const std::vector<double>& observation, Rng* rng) = 0;
+
+  /// Deterministic argmax action, used when extracting the final notebook.
+  virtual PolicyStep ActGreedy(const std::vector<double>& observation) = 0;
+
+  /// Forward pass over a batch; caches activations for BackwardBatch.
+  /// `actions[i]` must have been produced by this policy type.
+  virtual BatchEvaluation ForwardBatch(
+      const Matrix& observations,
+      const std::vector<ActionRecord>& actions) = 0;
+
+  /// Backpropagates the per-sample upstream gradients through the cached
+  /// forward pass, accumulating parameter gradients.
+  virtual void BackwardBatch(const std::vector<SampleGrad>& grads) = 0;
+
+  virtual std::vector<Parameter*> Parameters() = 0;
+
+  /// Number of scalar parameters (for reporting network sizes, paper §5's
+  /// pre-output vs flat output comparison).
+  int64_t NumParameters();
+};
+
+/// Applies a recorded action to the environment.
+StepOutcome ApplyAction(EdaEnvironment* env, const ActionRecord& action);
+
+}  // namespace atena
+
+#endif  // ATENA_RL_POLICY_H_

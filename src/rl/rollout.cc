@@ -1,0 +1,21 @@
+#include "rl/rollout.h"
+
+namespace atena {
+
+EdaNotebook RolloutNotebook(EdaEnvironment* env, Policy* policy, Rng* rng,
+                            std::string generator, double* total_reward,
+                            bool greedy) {
+  std::vector<double> observation = env->Reset();
+  double total = 0.0;
+  while (!env->done()) {
+    PolicyStep step = greedy ? policy->ActGreedy(observation)
+                             : policy->Act(observation, rng);
+    StepOutcome outcome = ApplyAction(env, step.action);
+    total += outcome.reward;
+    observation = std::move(outcome.observation);
+  }
+  if (total_reward != nullptr) *total_reward = total;
+  return NotebookFromSession(*env, std::move(generator));
+}
+
+}  // namespace atena

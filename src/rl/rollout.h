@@ -1,0 +1,21 @@
+#ifndef ATENA_RL_ROLLOUT_H_
+#define ATENA_RL_ROLLOUT_H_
+
+#include "eda/session.h"
+#include "rl/policy.h"
+
+namespace atena {
+
+/// Runs one full episode of `policy` on `env` (Boltzmann sampling, or
+/// per-segment argmax when `greedy`), and returns the resulting notebook.
+/// Used for evaluating trained policies without a trainer — e.g. after
+/// loading transferred weights. The episode's cumulative reward is written
+/// to `total_reward` when non-null.
+EdaNotebook RolloutNotebook(EdaEnvironment* env, Policy* policy, Rng* rng,
+                            std::string generator,
+                            double* total_reward = nullptr,
+                            bool greedy = false);
+
+}  // namespace atena
+
+#endif  // ATENA_RL_ROLLOUT_H_

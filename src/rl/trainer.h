@@ -1,0 +1,95 @@
+#ifndef ATENA_RL_TRAINER_H_
+#define ATENA_RL_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "eda/environment.h"
+#include "nn/optimizer.h"
+#include "rl/policy.h"
+
+namespace atena {
+
+/// Hyper-parameters of the synchronous advantage actor-critic trainer with
+/// PPO clipping (the paper trains with A3C enhanced with PPO, §6.1; our
+/// substrate is synchronous — see DESIGN.md substitution #2).
+struct TrainerOptions {
+  int total_steps = 12000;
+  int rollout_length = 192;   // environment steps per policy update
+  int minibatch_size = 64;
+  int epochs_per_update = 4;
+  double gamma = 0.99;
+  double gae_lambda = 0.95;
+  double clip_epsilon = 0.2;
+  /// Entropy-regularization bonus (paper §5) keeping the policy from
+  /// premature convergence.
+  double entropy_coef = 0.02;
+  double value_coef = 0.5;
+  double learning_rate = 3e-3;
+  double max_grad_norm = 5.0;
+  /// Episodes rolled out with the final policy after training; the best of
+  /// them competes with the best training episode for notebook extraction.
+  /// With scaled-down budgets the converged policy's episodes are far more
+  /// representative than lucky exploration noise from early training.
+  int final_eval_episodes = 16;
+  uint64_t seed = 31337;
+};
+
+/// One (step, mean recent episode reward) sample of the learning curve —
+/// what Figure 5 plots.
+struct CurvePoint {
+  int step = 0;
+  double mean_episode_reward = 0.0;
+};
+
+struct TrainingResult {
+  std::vector<CurvePoint> curve;
+  /// The operation sequence of the best episode seen during training —
+  /// ATENA extracts the generated notebook from it (paper §3).
+  std::vector<EdaOperation> best_episode_ops;
+  double best_episode_reward = 0.0;
+  double final_mean_reward = 0.0;
+  int episodes = 0;
+};
+
+/// Synchronous PPO/A2C trainer over one EDA environment. Collects
+/// fixed-length rollouts, computes GAE(λ) advantages, and runs several
+/// clipped-surrogate epochs per rollout.
+class PpoTrainer {
+ public:
+  PpoTrainer(EdaEnvironment* env, Policy* policy, TrainerOptions options);
+
+  /// Optional progress callback, invoked once per rollout.
+  void SetProgressCallback(std::function<void(const CurvePoint&)> callback) {
+    progress_ = std::move(callback);
+  }
+
+  TrainingResult Train();
+
+ private:
+  struct Transition {
+    std::vector<double> observation;
+    ActionRecord action;
+    double log_prob = 0.0;
+    double value = 0.0;
+    double reward = 0.0;
+    bool episode_end = false;
+  };
+
+  void Update(const std::vector<Transition>& rollout, double last_value,
+              bool last_done);
+
+  EdaEnvironment* env_;
+  Policy* policy_;
+  TrainerOptions options_;
+  Rng rng_;
+  Adam optimizer_;
+  std::function<void(const CurvePoint&)> progress_;
+
+  TrainingResult result_;
+  std::vector<double> recent_episode_rewards_;
+};
+
+}  // namespace atena
+
+#endif  // ATENA_RL_TRAINER_H_

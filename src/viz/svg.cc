@@ -1,0 +1,164 @@
+#include "viz/svg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/string_utils.h"
+
+namespace atena {
+
+namespace {
+
+std::string XmlEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// A "nice" rounded step for axis ticks covering `span` with ~`ticks`
+/// divisions (1/2/5 × 10^k).
+double NiceStep(double span, int ticks) {
+  if (span <= 0 || ticks <= 0) return 1.0;
+  double raw = span / ticks;
+  double magnitude = std::pow(10.0, std::floor(std::log10(raw)));
+  double residual = raw / magnitude;
+  double nice = 10.0;
+  if (residual <= 1.0) {
+    nice = 1.0;
+  } else if (residual <= 2.0) {
+    nice = 2.0;
+  } else if (residual <= 5.0) {
+    nice = 5.0;
+  }
+  return nice * magnitude;
+}
+
+}  // namespace
+
+std::string RenderChartSvg(const ChartSpec& spec, const SvgOptions& options) {
+  if (spec.kind == ChartKind::kNone || spec.points.empty()) return "";
+
+  const double plot_w = static_cast<double>(
+      options.width - options.margin_left - options.margin_right);
+  const double plot_h = static_cast<double>(
+      options.height - options.margin_top - options.margin_bottom);
+  const double x0 = options.margin_left;
+  const double y0 = options.margin_top;
+
+  // Value range, always including 0 so bars have a meaningful baseline.
+  double lo = 0.0, hi = 0.0;
+  for (const auto& p : spec.points) {
+    lo = std::min(lo, p.value);
+    hi = std::max(hi, p.value);
+  }
+  if (hi == lo) hi = lo + 1.0;
+  const double span = hi - lo;
+  auto value_to_y = [&](double v) {
+    return y0 + plot_h * (1.0 - (v - lo) / span);
+  };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.width
+      << "\" height=\"" << options.height << "\" viewBox=\"0 0 "
+      << options.width << " " << options.height << "\">\n";
+  svg << "<style>text{font-family:sans-serif;font-size:10px;fill:#333}"
+      << ".title{font-size:12px;font-weight:bold}"
+      << ".axis{stroke:#888;stroke-width:1}"
+      << ".grid{stroke:#ddd;stroke-width:0.5}"
+      << ".bar{fill:#4878a8}.line{fill:none;stroke:#4878a8;stroke-width:2}"
+      << ".dot{fill:#4878a8}</style>\n";
+
+  // Title and axis labels.
+  svg << "<text class=\"title\" x=\"" << options.width / 2 << "\" y=\"16\" "
+      << "text-anchor=\"middle\">" << XmlEscape(spec.title)
+      << (spec.truncated ? " (top values)" : "") << "</text>\n";
+  svg << "<text x=\"" << x0 + plot_w / 2 << "\" y=\"" << options.height - 4
+      << "\" text-anchor=\"middle\">" << XmlEscape(spec.x_label)
+      << "</text>\n";
+  svg << "<text x=\"12\" y=\"" << y0 + plot_h / 2
+      << "\" text-anchor=\"middle\" transform=\"rotate(-90 12 "
+      << y0 + plot_h / 2 << ")\">" << XmlEscape(spec.y_label) << "</text>\n";
+
+  // Value-axis grid lines and tick labels.
+  const double step = NiceStep(span, options.value_ticks);
+  for (double tick = std::ceil(lo / step) * step; tick <= hi + 1e-9;
+       tick += step) {
+    const double y = value_to_y(tick);
+    svg << "<line class=\"grid\" x1=\"" << x0 << "\" y1=\"" << y << "\" x2=\""
+        << x0 + plot_w << "\" y2=\"" << y << "\"/>\n";
+    svg << "<text x=\"" << x0 - 6 << "\" y=\"" << y + 3
+        << "\" text-anchor=\"end\">" << FormatDouble(tick, 2) << "</text>\n";
+  }
+
+  // Axes.
+  svg << "<line class=\"axis\" x1=\"" << x0 << "\" y1=\"" << y0 << "\" x2=\""
+      << x0 << "\" y2=\"" << y0 + plot_h << "\"/>\n";
+  svg << "<line class=\"axis\" x1=\"" << x0 << "\" y1=\"" << value_to_y(0.0)
+      << "\" x2=\"" << x0 + plot_w << "\" y2=\"" << value_to_y(0.0)
+      << "\"/>\n";
+
+  const size_t n = spec.points.size();
+  const double slot = plot_w / static_cast<double>(n);
+  // Category labels: skip some when crowded.
+  const size_t label_stride =
+      std::max<size_t>(1, n / std::max<size_t>(1, static_cast<size_t>(
+                                                      plot_w / 48.0)));
+
+  if (spec.kind == ChartKind::kLineChart) {
+    svg << "<polyline class=\"line\" points=\"";
+    for (size_t i = 0; i < n; ++i) {
+      const double x = x0 + slot * (static_cast<double>(i) + 0.5);
+      svg << x << "," << value_to_y(spec.points[i].value) << " ";
+    }
+    svg << "\"/>\n";
+    for (size_t i = 0; i < n; ++i) {
+      const double x = x0 + slot * (static_cast<double>(i) + 0.5);
+      svg << "<circle class=\"dot\" cx=\"" << x << "\" cy=\""
+          << value_to_y(spec.points[i].value) << "\" r=\"2.5\"/>\n";
+    }
+  } else {
+    const double bar_w = std::max(1.0, slot * 0.72);
+    for (size_t i = 0; i < n; ++i) {
+      const double v = spec.points[i].value;
+      const double x =
+          x0 + slot * (static_cast<double>(i) + 0.5) - bar_w / 2.0;
+      const double y_top = value_to_y(std::max(v, 0.0));
+      const double y_bottom = value_to_y(std::min(v, 0.0));
+      svg << "<rect class=\"bar\" x=\"" << x << "\" y=\"" << y_top
+          << "\" width=\"" << bar_w << "\" height=\""
+          << std::max(0.5, y_bottom - y_top) << "\"/>\n";
+    }
+  }
+
+  for (size_t i = 0; i < n; i += label_stride) {
+    const double x = x0 + slot * (static_cast<double>(i) + 0.5);
+    svg << "<text x=\"" << x << "\" y=\"" << y0 + plot_h + 12
+        << "\" text-anchor=\"end\" transform=\"rotate(-30 " << x << " "
+        << y0 + plot_h + 12 << ")\">"
+        << XmlEscape(spec.points[i].label.substr(0, 18)) << "</text>\n";
+  }
+
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+}  // namespace atena

@@ -1,0 +1,28 @@
+#ifndef ATENA_VIZ_SVG_H_
+#define ATENA_VIZ_SVG_H_
+
+#include <string>
+
+#include "viz/chart.h"
+
+namespace atena {
+
+struct SvgOptions {
+  int width = 560;
+  int height = 260;
+  int margin_left = 64;
+  int margin_bottom = 56;
+  int margin_top = 28;
+  int margin_right = 16;
+  /// Axis tick count on the value axis.
+  int value_ticks = 4;
+};
+
+/// Renders a chart specification as a self-contained SVG fragment (no
+/// external CSS/JS), suitable for embedding into the HTML notebook. A
+/// kNone spec renders to an empty string.
+std::string RenderChartSvg(const ChartSpec& spec, const SvgOptions& options = {});
+
+}  // namespace atena
+
+#endif  // ATENA_VIZ_SVG_H_

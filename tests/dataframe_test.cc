@@ -1,0 +1,491 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dataframe/csv.h"
+#include "dataframe/ops.h"
+#include "dataframe/stats.h"
+#include "dataframe/table.h"
+
+namespace atena {
+namespace {
+
+/// A small mixed-type fixture table:
+///   city (string), population (int, one null), area (double).
+TablePtr MakeCityTable() {
+  TableBuilder b("cities");
+  b.AddColumn("city", DataType::kString);
+  b.AddColumn("population", DataType::kInt64);
+  b.AddColumn("area", DataType::kFloat64);
+  EXPECT_TRUE(b.AppendRow({Value(std::string("berlin")), Value(int64_t{3600}),
+                           Value(891.0)}).ok());
+  EXPECT_TRUE(b.AppendRow({Value(std::string("paris")), Value(int64_t{2100}),
+                           Value(105.0)}).ok());
+  EXPECT_TRUE(b.AppendRow({Value(std::string("berlin")), Value::Null(),
+                           Value(890.0)}).ok());
+  EXPECT_TRUE(b.AppendRow({Value(std::string("rome")), Value(int64_t{2800}),
+                           Value(1285.0)}).ok());
+  EXPECT_TRUE(b.AppendRow({Value(std::string("madrid")), Value(int64_t{3200}),
+                           Value(604.0)}).ok());
+  auto t = b.Finish();
+  EXPECT_TRUE(t.ok());
+  return t.value();
+}
+
+// ---------------------------------------------------------------- Value
+
+TEST(ValueTest, TypePredicatesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  Value i(int64_t{5});
+  EXPECT_TRUE(i.is_int());
+  EXPECT_EQ(i.as_int(), 5);
+  Value d(2.5);
+  EXPECT_TRUE(d.is_double());
+  Value s(std::string("x"));
+  EXPECT_TRUE(s.is_string());
+  double out = 0;
+  EXPECT_TRUE(i.ToDouble(&out));
+  EXPECT_DOUBLE_EQ(out, 5.0);
+  EXPECT_FALSE(s.ToDouble(&out));
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value(int64_t{7}).ToString(), "7");
+  EXPECT_EQ(Value(2.50).ToString(), "2.5");
+  EXPECT_EQ(Value(std::string("hi")).ToString(), "hi");
+}
+
+TEST(ValueTest, ValueLessOrdering) {
+  EXPECT_TRUE(ValueLess(Value::Null(), Value(int64_t{0})));
+  EXPECT_TRUE(ValueLess(Value(int64_t{1}), Value(2.5)));
+  EXPECT_TRUE(ValueLess(Value(9.0), Value(std::string("a"))));
+  EXPECT_TRUE(ValueLess(Value(std::string("a")), Value(std::string("b"))));
+  EXPECT_FALSE(ValueLess(Value(std::string("b")), Value(std::string("a"))));
+}
+
+// --------------------------------------------------------------- Column
+
+TEST(ColumnTest, BuilderTypeChecking) {
+  ColumnBuilder b("x", DataType::kInt64);
+  EXPECT_TRUE(b.AppendInt(1).ok());
+  EXPECT_FALSE(b.AppendDouble(1.0).ok());
+  EXPECT_FALSE(b.AppendString("a").ok());
+}
+
+TEST(ColumnTest, IntWidensIntoFloatColumn) {
+  ColumnBuilder b("x", DataType::kFloat64);
+  EXPECT_TRUE(b.AppendInt(3).ok());
+  auto col = b.Finish();
+  EXPECT_DOUBLE_EQ(col->GetDouble(0), 3.0);
+}
+
+TEST(ColumnTest, DictionaryEncoding) {
+  ColumnBuilder b("s", DataType::kString);
+  ASSERT_TRUE(b.AppendString("a").ok());
+  ASSERT_TRUE(b.AppendString("b").ok());
+  ASSERT_TRUE(b.AppendString("a").ok());
+  auto col = b.Finish();
+  EXPECT_EQ(col->dictionary_size(), 2);
+  EXPECT_EQ(col->GetCode(0), col->GetCode(2));
+  EXPECT_NE(col->GetCode(0), col->GetCode(1));
+  EXPECT_EQ(col->FindCode("b"), col->GetCode(1));
+  EXPECT_EQ(col->FindCode("zzz"), -1);
+}
+
+TEST(ColumnTest, NullTracking) {
+  ColumnBuilder b("x", DataType::kInt64);
+  ASSERT_TRUE(b.AppendInt(1).ok());
+  b.AppendNull();
+  ASSERT_TRUE(b.AppendInt(3).ok());
+  auto col = b.Finish();
+  EXPECT_EQ(col->null_count(), 1);
+  EXPECT_FALSE(col->IsNull(0));
+  EXPECT_TRUE(col->IsNull(1));
+  EXPECT_TRUE(col->GetValue(1).is_null());
+  EXPECT_TRUE(std::isnan(col->AsDoubleOrNan(1)));
+}
+
+TEST(ColumnTest, CellKeyEqualityMatchesValueEquality) {
+  ColumnBuilder b("s", DataType::kString);
+  ASSERT_TRUE(b.AppendString("x").ok());
+  ASSERT_TRUE(b.AppendString("y").ok());
+  ASSERT_TRUE(b.AppendString("x").ok());
+  b.AppendNull();
+  auto col = b.Finish();
+  EXPECT_EQ(col->CellKey(0), col->CellKey(2));
+  EXPECT_NE(col->CellKey(0), col->CellKey(1));
+  EXPECT_NE(col->CellKey(3), col->CellKey(0));
+}
+
+// ---------------------------------------------------------------- Table
+
+TEST(TableTest, MakeRejectsMismatchedLengths) {
+  ColumnBuilder a("a", DataType::kInt64);
+  ASSERT_TRUE(a.AppendInt(1).ok());
+  ColumnBuilder b("b", DataType::kInt64);
+  ASSERT_TRUE(b.AppendInt(1).ok());
+  ASSERT_TRUE(b.AppendInt(2).ok());
+  auto t = Table::Make("t", {a.Finish(), b.Finish()});
+  EXPECT_FALSE(t.ok());
+}
+
+TEST(TableTest, MakeRejectsDuplicateNames) {
+  ColumnBuilder a("a", DataType::kInt64);
+  ColumnBuilder b("a", DataType::kInt64);
+  auto t = Table::Make("t", {a.Finish(), b.Finish()});
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(TableTest, FindColumn) {
+  auto t = MakeCityTable();
+  EXPECT_EQ(t->FindColumn("city"), 0);
+  EXPECT_EQ(t->FindColumn("area"), 2);
+  EXPECT_EQ(t->FindColumn("nope"), -1);
+}
+
+TEST(TableTest, TakeMaterializesSelection) {
+  auto t = MakeCityTable();
+  auto taken = t->Take({3, 0}, "sel");
+  ASSERT_TRUE(taken.ok());
+  EXPECT_EQ(taken.value()->num_rows(), 2);
+  EXPECT_EQ(taken.value()->column(0)->GetString(0), "rome");
+  EXPECT_EQ(taken.value()->column(0)->GetString(1), "berlin");
+}
+
+TEST(TableTest, TakePreservesNulls) {
+  auto t = MakeCityTable();
+  auto taken = t->Take({2}, "sel");
+  ASSERT_TRUE(taken.ok());
+  EXPECT_TRUE(taken.value()->column(1)->IsNull(0));
+}
+
+TEST(TableTest, TakeRejectsOutOfRange) {
+  auto t = MakeCityTable();
+  EXPECT_FALSE(t->Take({99}, "sel").ok());
+}
+
+TEST(TableTest, ToStringMentionsShape) {
+  auto t = MakeCityTable();
+  std::string s = t->ToString(2);
+  EXPECT_NE(s.find("5 rows"), std::string::npos);
+  EXPECT_NE(s.find("city"), std::string::npos);
+  EXPECT_NE(s.find("more rows"), std::string::npos);
+}
+
+TEST(TableBuilderTest, RejectsWrongArity) {
+  TableBuilder b("t");
+  b.AddColumn("a", DataType::kInt64);
+  EXPECT_FALSE(b.AppendRow({Value(int64_t{1}), Value(int64_t{2})}).ok());
+}
+
+// -------------------------------------------------------------- Filters
+
+TEST(FilterTest, NumericEquality) {
+  auto t = MakeCityTable();
+  auto rows = AllRows(*t);
+  auto out = FilterRows(*t, rows, 1, CompareOp::kEq, Value(int64_t{2100}));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value().size(), 1u);
+  EXPECT_EQ(out.value()[0], 1);
+}
+
+TEST(FilterTest, NullCellsNeverMatch) {
+  auto t = MakeCityTable();
+  auto rows = AllRows(*t);
+  // population != 0 keeps every non-null row but not the null one.
+  auto out = FilterRows(*t, rows, 1, CompareOp::kNeq, Value(int64_t{0}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().size(), 4u);
+}
+
+TEST(FilterTest, StringEqualityViaDictionary) {
+  auto t = MakeCityTable();
+  auto rows = AllRows(*t);
+  auto out = FilterRows(*t, rows, 0, CompareOp::kEq,
+                        Value(std::string("berlin")));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().size(), 2u);
+  auto none = FilterRows(*t, rows, 0, CompareOp::kEq,
+                         Value(std::string("unknown")));
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none.value().empty());
+}
+
+TEST(FilterTest, SubstringOperators) {
+  auto t = MakeCityTable();
+  auto rows = AllRows(*t);
+  auto contains = FilterRows(*t, rows, 0, CompareOp::kContains,
+                             Value(std::string("ar")));
+  ASSERT_TRUE(contains.ok());
+  EXPECT_EQ(contains.value().size(), 1u);  // paris
+  auto starts = FilterRows(*t, rows, 0, CompareOp::kStartsWith,
+                           Value(std::string("ma")));
+  ASSERT_TRUE(starts.ok());
+  EXPECT_EQ(starts.value().size(), 1u);  // madrid
+  auto ends = FilterRows(*t, rows, 0, CompareOp::kEndsWith,
+                         Value(std::string("in")));
+  ASSERT_TRUE(ends.ok());
+  EXPECT_EQ(ends.value().size(), 2u);  // berlin x2
+}
+
+struct OrderingCase {
+  CompareOp op;
+  double threshold;
+  size_t expected;
+};
+
+class FilterOrderingTest : public ::testing::TestWithParam<OrderingCase> {};
+
+TEST_P(FilterOrderingTest, OrderingOperators) {
+  auto t = MakeCityTable();
+  auto rows = AllRows(*t);
+  const OrderingCase& c = GetParam();
+  auto out = FilterRows(*t, rows, 2, c.op, Value(c.threshold));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().size(), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Areas, FilterOrderingTest,
+    ::testing::Values(OrderingCase{CompareOp::kGt, 800.0, 3},
+                      OrderingCase{CompareOp::kGe, 891.0, 2},
+                      OrderingCase{CompareOp::kLt, 600.0, 1},
+                      OrderingCase{CompareOp::kLe, 604.0, 2}));
+
+TEST(FilterTest, TypeMismatchesRejected) {
+  auto t = MakeCityTable();
+  auto rows = AllRows(*t);
+  EXPECT_FALSE(FilterRows(*t, rows, 0, CompareOp::kGt,
+                          Value(std::string("berlin"))).ok());
+  EXPECT_FALSE(FilterRows(*t, rows, 1, CompareOp::kContains,
+                          Value(std::string("2"))).ok());
+  EXPECT_FALSE(FilterRows(*t, rows, 1, CompareOp::kEq,
+                          Value(std::string("x"))).ok());
+  EXPECT_FALSE(FilterRows(*t, rows, 0, CompareOp::kEq,
+                          Value(int64_t{1})).ok());
+  EXPECT_FALSE(FilterRows(*t, rows, 9, CompareOp::kEq,
+                          Value(int64_t{1})).ok());
+  EXPECT_FALSE(FilterRows(*t, rows, 0, CompareOp::kEq, Value::Null()).ok());
+}
+
+TEST(FilterTest, OperatesOnGivenSubsetOnly) {
+  auto t = MakeCityTable();
+  std::vector<int32_t> subset = {0, 1};
+  auto out = FilterRows(*t, subset, 0, CompareOp::kEq,
+                        Value(std::string("berlin")));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().size(), 1u);  // row 2 not in subset
+}
+
+// -------------------------------------------------------------- GroupBy
+
+TEST(GroupTest, CountPerGroup) {
+  auto t = MakeCityTable();
+  GroupSpec spec;
+  spec.group_columns = {0};
+  auto out = GroupAggregate(*t, AllRows(*t), spec);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().groups.size(), 4u);  // berlin, madrid, paris, rome
+  // Sorted by key: berlin first with 2 rows.
+  EXPECT_EQ(out.value().groups[0].keys[0].as_string(), "berlin");
+  EXPECT_DOUBLE_EQ(out.value().groups[0].aggregate, 2.0);
+  EXPECT_EQ(out.value().agg_name, "COUNT(*)");
+}
+
+struct AggCase {
+  AggFunc func;
+  double berlin_expected;
+};
+
+class GroupAggTest : public ::testing::TestWithParam<AggCase> {};
+
+TEST_P(GroupAggTest, NumericAggregations) {
+  auto t = MakeCityTable();
+  GroupSpec spec;
+  spec.group_columns = {0};
+  spec.agg = GetParam().func;
+  spec.agg_column = 2;  // area
+  auto out = GroupAggregate(*t, AllRows(*t), spec);
+  ASSERT_TRUE(out.ok());
+  // Group 0 is berlin (areas 891, 890).
+  EXPECT_DOUBLE_EQ(out.value().groups[0].aggregate,
+                   GetParam().berlin_expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BerlinAreas, GroupAggTest,
+    ::testing::Values(AggCase{AggFunc::kSum, 1781.0},
+                      AggCase{AggFunc::kMin, 890.0},
+                      AggCase{AggFunc::kMax, 891.0},
+                      AggCase{AggFunc::kAvg, 890.5}));
+
+TEST(GroupTest, NullAggInputsSkipped) {
+  auto t = MakeCityTable();
+  GroupSpec spec;
+  spec.group_columns = {0};
+  spec.agg = AggFunc::kAvg;
+  spec.agg_column = 1;  // population (berlin has one null)
+  auto out = GroupAggregate(*t, AllRows(*t), spec);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out.value().groups[0].aggregate, 3600.0);
+  EXPECT_TRUE(out.value().groups[0].agg_valid);
+}
+
+TEST(GroupTest, MultiColumnGrouping) {
+  auto t = MakeCityTable();
+  GroupSpec spec;
+  spec.group_columns = {0, 1};
+  auto out = GroupAggregate(*t, AllRows(*t), spec);
+  ASSERT_TRUE(out.ok());
+  // berlin splits into (berlin,null) and (berlin,3600).
+  EXPECT_EQ(out.value().groups.size(), 5u);
+}
+
+TEST(GroupTest, RequiresGroupColumns) {
+  auto t = MakeCityTable();
+  GroupSpec spec;
+  EXPECT_FALSE(GroupAggregate(*t, AllRows(*t), spec).ok());
+}
+
+TEST(GroupTest, RejectsStringAggColumn) {
+  auto t = MakeCityTable();
+  GroupSpec spec;
+  spec.group_columns = {1};
+  spec.agg = AggFunc::kSum;
+  spec.agg_column = 0;
+  EXPECT_FALSE(GroupAggregate(*t, AllRows(*t), spec).ok());
+}
+
+TEST(GroupTest, ToTableShape) {
+  auto t = MakeCityTable();
+  GroupSpec spec;
+  spec.group_columns = {0};
+  spec.agg = AggFunc::kAvg;
+  spec.agg_column = 2;
+  auto grouped = GroupAggregate(*t, AllRows(*t), spec);
+  ASSERT_TRUE(grouped.ok());
+  auto table = grouped.value().ToTable(*t);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value()->num_columns(), 2);
+  EXPECT_EQ(table.value()->num_rows(), 4);
+  EXPECT_EQ(table.value()->column_name(1), "AVG(area)");
+}
+
+TEST(GroupTest, GroupSizes) {
+  auto t = MakeCityTable();
+  GroupSpec spec;
+  spec.group_columns = {0};
+  auto grouped = GroupAggregate(*t, AllRows(*t), spec);
+  ASSERT_TRUE(grouped.ok());
+  auto sizes = grouped.value().GroupSizes();
+  double total = 0;
+  for (double s : sizes) total += s;
+  EXPECT_DOUBLE_EQ(total, 5.0);
+}
+
+// ---------------------------------------------------------------- Stats
+
+TEST(StatsTest, ColumnStatsBasics) {
+  auto t = MakeCityTable();
+  auto rows = AllRows(*t);
+  ColumnStats stats = ComputeColumnStats(*t->column(0), rows);
+  EXPECT_EQ(stats.distinct, 4);
+  EXPECT_EQ(stats.nulls, 0);
+  EXPECT_EQ(stats.count, 5);
+  EXPECT_GT(stats.normalized_entropy, 0.9);  // nearly uniform
+
+  ColumnStats pop = ComputeColumnStats(*t->column(1), rows);
+  EXPECT_EQ(pop.nulls, 1);
+  EXPECT_EQ(pop.distinct, 4);
+}
+
+TEST(StatsTest, TokenFrequenciesSortedByCount) {
+  auto t = MakeCityTable();
+  auto tokens = TokenFrequencies(*t->column(0), AllRows(*t));
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].token.as_string(), "berlin");
+  EXPECT_EQ(tokens[0].count, 2);
+  // Ties broken by value order.
+  EXPECT_EQ(tokens[1].token.as_string(), "madrid");
+}
+
+TEST(StatsTest, ValueHistogramExcludesNulls) {
+  auto t = MakeCityTable();
+  auto hist = ValueHistogram(*t->column(1), AllRows(*t));
+  double total = 0;
+  for (const auto& [k, v] : hist) {
+    (void)k;
+    total += v;
+  }
+  EXPECT_DOUBLE_EQ(total, 4.0);
+}
+
+// ------------------------------------------------------------------ CSV
+
+TEST(CsvTest, ParsesTypedColumns) {
+  const std::string csv = "name,age,score\nana,31,9.5\nbob,22,7\n";
+  auto t = ReadCsvString(csv, "people");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value()->num_rows(), 2);
+  EXPECT_EQ(t.value()->column(0)->type(), DataType::kString);
+  EXPECT_EQ(t.value()->column(1)->type(), DataType::kInt64);
+  EXPECT_EQ(t.value()->column(2)->type(), DataType::kFloat64);
+  EXPECT_EQ(t.value()->column(0)->GetString(1), "bob");
+  EXPECT_EQ(t.value()->column(1)->GetInt(0), 31);
+}
+
+TEST(CsvTest, EmptyFieldsBecomeNulls) {
+  const std::string csv = "a,b\n1,\n,2\n";
+  auto t = ReadCsvString(csv, "t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t.value()->column(1)->IsNull(0));
+  EXPECT_TRUE(t.value()->column(0)->IsNull(1));
+}
+
+TEST(CsvTest, QuotedFieldsWithDelimitersAndQuotes) {
+  const std::string csv = "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n";
+  auto t = ReadCsvString(csv, "t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value()->column(0)->GetString(0), "x,y");
+  EXPECT_EQ(t.value()->column(1)->GetString(0), "he said \"hi\"");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  EXPECT_FALSE(ReadCsvString("a,b\n1,2,3\n", "t").ok());
+  EXPECT_FALSE(ReadCsvString("", "t").ok());
+}
+
+TEST(CsvTest, RoundTripPreservesData) {
+  auto t = MakeCityTable();
+  std::string csv = WriteCsvString(*t);
+  auto back = ReadCsvString(csv, "cities");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value()->num_rows(), t->num_rows());
+  EXPECT_EQ(back.value()->num_columns(), t->num_columns());
+  EXPECT_EQ(back.value()->column(0)->GetString(0), "berlin");
+  EXPECT_TRUE(back.value()->column(1)->IsNull(2));
+  // Integral-looking floats re-infer as int64 on the way back; the value is
+  // preserved under the numeric view.
+  EXPECT_DOUBLE_EQ(back.value()->column(2)->AsDoubleOrNan(3), 1285.0);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  auto t = MakeCityTable();
+  const std::string path = ::testing::TempDir() + "/atena_cities.csv";
+  ASSERT_TRUE(WriteCsvFile(*t, path).ok());
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value()->num_rows(), 5);
+  EXPECT_EQ(back.value()->name(), "atena_cities");
+}
+
+TEST(CsvTest, MissingFileIsIOError) {
+  auto r = ReadCsvFile("/nonexistent/definitely_missing.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace atena

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "data/registry.h"
+#include "dataframe/describe.h"
+#include "dataframe/ops.h"
+
+namespace atena {
+namespace {
+
+TablePtr MakeScoresTable() {
+  TableBuilder b("scores");
+  b.AddColumn("name", DataType::kString);
+  b.AddColumn("score", DataType::kFloat64);
+  EXPECT_TRUE(b.AppendRow({Value(std::string("ana")), Value(9.0)}).ok());
+  EXPECT_TRUE(b.AppendRow({Value(std::string("bob")), Value(7.0)}).ok());
+  EXPECT_TRUE(b.AppendRow({Value(std::string("cat")), Value::Null()}).ok());
+  EXPECT_TRUE(b.AppendRow({Value(std::string("ana")), Value(5.0)}).ok());
+  EXPECT_TRUE(b.AppendRow({Value(std::string("dan")), Value(8.0)}).ok());
+  return b.Finish().value();
+}
+
+// ------------------------------------------------------------------ sort
+
+TEST(SortRowsTest, AscendingNumericWithNullsFirst) {
+  auto t = MakeScoresTable();
+  auto sorted = SortRows(*t, AllRows(*t), 1, /*ascending=*/true);
+  ASSERT_TRUE(sorted.ok());
+  // Null row (2) first, then 5.0 (3), 7.0 (1), 8.0 (4), 9.0 (0).
+  EXPECT_EQ(sorted.value(), (std::vector<int32_t>{2, 3, 1, 4, 0}));
+}
+
+TEST(SortRowsTest, DescendingString) {
+  auto t = MakeScoresTable();
+  auto sorted = SortRows(*t, AllRows(*t), 0, /*ascending=*/false);
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(t->column(0)->GetString(sorted.value().front()), "dan");
+  // Nulls-first under ascending = nulls-last under descending; none here.
+  EXPECT_EQ(t->column(0)->GetString(sorted.value().back()), "ana");
+}
+
+TEST(SortRowsTest, StableAcrossEqualKeys) {
+  auto t = MakeScoresTable();
+  auto sorted = SortRows(*t, AllRows(*t), 0, /*ascending=*/true);
+  ASSERT_TRUE(sorted.ok());
+  // Both "ana" rows keep their original relative order (0 before 3).
+  std::vector<int32_t> anas;
+  for (int32_t r : sorted.value()) {
+    if (t->column(0)->GetString(r) == "ana") anas.push_back(r);
+  }
+  EXPECT_EQ(anas, (std::vector<int32_t>{0, 3}));
+}
+
+TEST(SortRowsTest, RejectsBadColumn) {
+  auto t = MakeScoresTable();
+  EXPECT_FALSE(SortRows(*t, AllRows(*t), 9).ok());
+}
+
+// ------------------------------------------------------------------ topk
+
+TEST(TopKRowsTest, LargestAndSmallest) {
+  auto t = MakeScoresTable();
+  auto top2 = TopKRows(*t, AllRows(*t), 1, 2, /*largest=*/true);
+  ASSERT_TRUE(top2.ok());
+  EXPECT_EQ(top2.value(), (std::vector<int32_t>{0, 4}));  // 9.0, 8.0
+  auto bottom1 = TopKRows(*t, AllRows(*t), 1, 1, /*largest=*/false);
+  ASSERT_TRUE(bottom1.ok());
+  EXPECT_EQ(bottom1.value(), (std::vector<int32_t>{3}));  // 5.0
+}
+
+TEST(TopKRowsTest, KLargerThanInputClamps) {
+  auto t = MakeScoresTable();
+  auto all = TopKRows(*t, AllRows(*t), 1, 100);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().size(), 4u);  // null row excluded
+}
+
+TEST(TopKRowsTest, RejectsStringColumn) {
+  auto t = MakeScoresTable();
+  EXPECT_FALSE(TopKRows(*t, AllRows(*t), 0, 2).ok());
+}
+
+// -------------------------------------------------------------- describe
+
+TEST(DescribeTest, SummarizesEveryColumn) {
+  auto t = MakeScoresTable();
+  auto described = DescribeTable(*t);
+  ASSERT_TRUE(described.ok());
+  const Table& d = *described.value();
+  EXPECT_EQ(d.num_rows(), 2);  // one row per source column
+  EXPECT_EQ(d.column(0)->GetString(0), "name");
+  EXPECT_EQ(d.column(0)->GetString(1), "score");
+
+  // name: 5 non-null, 0 nulls, 4 distinct, top = "ana" x2.
+  EXPECT_EQ(d.column(d.FindColumn("count"))->GetInt(0), 5);
+  EXPECT_EQ(d.column(d.FindColumn("distinct"))->GetInt(0), 4);
+  EXPECT_EQ(d.column(d.FindColumn("top_value"))->GetString(0), "ana");
+  EXPECT_EQ(d.column(d.FindColumn("top_count"))->GetInt(0), 2);
+  EXPECT_TRUE(d.column(d.FindColumn("mean"))->IsNull(0));
+
+  // score: 4 non-null, 1 null, stats over {9,7,5,8}.
+  EXPECT_EQ(d.column(d.FindColumn("count"))->GetInt(1), 4);
+  EXPECT_EQ(d.column(d.FindColumn("nulls"))->GetInt(1), 1);
+  EXPECT_DOUBLE_EQ(d.column(d.FindColumn("min"))->GetDouble(1), 5.0);
+  EXPECT_DOUBLE_EQ(d.column(d.FindColumn("max"))->GetDouble(1), 9.0);
+  EXPECT_DOUBLE_EQ(d.column(d.FindColumn("mean"))->GetDouble(1), 7.25);
+}
+
+TEST(DescribeTest, WorksOnExperimentalDatasets) {
+  auto dataset = MakeDataset("cyber2");
+  ASSERT_TRUE(dataset.ok());
+  auto described = DescribeTable(*dataset.value().table);
+  ASSERT_TRUE(described.ok());
+  EXPECT_EQ(described.value()->num_rows(),
+            dataset.value().table->num_columns());
+}
+
+}  // namespace
+}  // namespace atena

@@ -1,0 +1,127 @@
+// End-to-end pipeline test: dataset → reward assembly → DRL training →
+// notebook → A-EDA scoring → rendering. Uses a scaled-down configuration so
+// the whole flow runs in seconds; the benches run the full-size version.
+#include <gtest/gtest.h>
+
+#include "baselines/factory.h"
+#include "data/registry.h"
+#include "eval/gold.h"
+#include "eval/insights.h"
+#include "eval/metrics.h"
+#include "eval/ratings.h"
+#include "eval/traces.h"
+#include "notebook/render.h"
+
+namespace atena {
+namespace {
+
+AtenaOptions FastOptions() {
+  AtenaOptions options;
+  options.env.episode_length = 8;
+  options.env.num_term_bins = 4;
+  options.trainer.total_steps = 2000;
+  options.trainer.rollout_length = 96;
+  options.policy.hidden = {24};
+  return options;
+}
+
+TEST(IntegrationTest, AtenaPipelineProducesScoredRenderableNotebook) {
+  auto dataset = MakeDataset("cyber2");
+  ASSERT_TRUE(dataset.ok());
+  AtenaOptions options = FastOptions();
+
+  auto result = RunAtena(dataset.value(), options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const EdaNotebook& notebook = result.value().notebook;
+  ASSERT_FALSE(notebook.entries.empty());
+
+  // Learning happened: final mean reward beats the first rollout's.
+  const auto& curve = result.value().training.curve;
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_GT(curve.back().mean_episode_reward,
+            curve.front().mean_episode_reward);
+
+  // Score against gold.
+  auto gold = GoldNotebooks(dataset.value(), options.env);
+  ASSERT_TRUE(gold.ok());
+  std::vector<std::vector<ViewSignature>> gold_views;
+  for (const auto& g : gold.value()) {
+    gold_views.push_back(NotebookSignatures(g));
+  }
+  AedaScores scores =
+      ComputeAedaScores(NotebookSignatures(notebook), gold_views);
+  EXPECT_GE(scores.eda_sim, 0.0);
+  EXPECT_LE(scores.eda_sim, 1.0);
+  EXPECT_GE(scores.precision, 0.0);
+
+  // Insight coverage is a valid fraction.
+  double coverage = InsightCoverage(notebook, InsightCatalog("cyber2"));
+  EXPECT_GE(coverage, 0.0);
+  EXPECT_LE(coverage, 1.0);
+
+  // Quality profile and proxy ratings are well-formed.
+  auto quality = AssessNotebook(dataset.value(), notebook, gold.value(),
+                                options.env);
+  ASSERT_TRUE(quality.ok());
+  UserRatings ratings = ProxyRatings(quality.value());
+  EXPECT_GE(ratings.informativity, 1.0);
+  EXPECT_LE(ratings.informativity, 7.0);
+
+  // All three renderers accept the notebook.
+  EXPECT_TRUE(RenderText(notebook).ok());
+  EXPECT_TRUE(RenderMarkdown(notebook).ok());
+  EXPECT_TRUE(RenderHtml(notebook).ok());
+}
+
+TEST(IntegrationTest, TrainedAtenaBeatsUntrainedPolicyReward) {
+  auto dataset = MakeDataset("flights4");
+  ASSERT_TRUE(dataset.ok());
+  AtenaOptions options = FastOptions();
+  options.trainer.total_steps = 3000;
+
+  auto result = RunAtena(dataset.value(), options);
+  ASSERT_TRUE(result.ok());
+  const auto& curve = result.value().training.curve;
+  ASSERT_GE(curve.size(), 3u);
+  // The best episode clearly beats the random-ish early policy mean.
+  EXPECT_GT(result.value().training.best_episode_reward,
+            curve.front().mean_episode_reward);
+}
+
+TEST(IntegrationTest, GoldTracesAndGeneratedNotebooksAreComparable) {
+  auto dataset = MakeDataset("cyber3");
+  ASSERT_TRUE(dataset.ok());
+  EnvConfig env_config;
+  env_config.episode_length = 10;
+
+  auto gold = GoldNotebooks(dataset.value(), env_config);
+  ASSERT_TRUE(gold.ok());
+  std::vector<std::vector<ViewSignature>> gold_views;
+  for (const auto& g : gold.value()) {
+    gold_views.push_back(NotebookSignatures(g));
+  }
+
+  auto traces = SimulatedTraceNotebooks(dataset.value(), env_config);
+  ASSERT_TRUE(traces.ok());
+  double traces_sim = 0.0;
+  for (const auto& t : traces.value()) {
+    traces_sim += MaxEdaSim(NotebookSignatures(t), gold_views);
+  }
+  traces_sim /= traces.value().size();
+
+  // A gold notebook scored leave-one-out still beats the noisy traces on
+  // average (the paper's gold > traces ordering).
+  double gold_sim = 0.0;
+  for (size_t i = 0; i < gold_views.size(); ++i) {
+    std::vector<std::vector<ViewSignature>> others;
+    for (size_t j = 0; j < gold_views.size(); ++j) {
+      if (j != i) others.push_back(gold_views[j]);
+    }
+    gold_sim += MaxEdaSim(gold_views[i], others);
+  }
+  gold_sim /= gold_views.size();
+  EXPECT_GT(gold_sim, traces_sim);
+}
+
+}  // namespace
+}  // namespace atena

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.h"
+#include "nn/matrix.h"
+#include "nn/optimizer.h"
+
+namespace atena {
+namespace {
+
+// --------------------------------------------------------------- Matrix
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+  EXPECT_EQ(m.ShapeString(), "(2x3)");
+}
+
+TEST(MatrixTest, FromRow) {
+  Matrix m = Matrix::FromRow({1, 2, 3});
+  EXPECT_EQ(m.rows(), 1);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m(0, 2), 3.0);
+}
+
+TEST(MatrixTest, MatMulKnownValues) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  Matrix b(2, 2);
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  Matrix c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(MatrixTest, TransposedProductsAgreeWithPlainMatMul) {
+  Rng rng(3);
+  Matrix a(3, 4), b(5, 4), c(3, 6);
+  for (double& x : a.data()) x = rng.NextGaussian();
+  for (double& x : b.data()) x = rng.NextGaussian();
+  for (double& x : c.data()) x = rng.NextGaussian();
+
+  // a * b^T via explicit transpose.
+  Matrix bt(4, 5);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 4; ++j) bt(j, i) = b(i, j);
+  }
+  Matrix expected = MatMul(a, bt);
+  Matrix got = MatMulTransposeB(a, b);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], expected.data()[i], 1e-12);
+  }
+
+  // a^T * c via explicit transpose.
+  Matrix at(4, 3);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 4; ++j) at(j, i) = a(i, j);
+  }
+  Matrix expected2 = MatMul(at, c);
+  Matrix got2 = MatMulTransposeA(a, c);
+  for (size_t i = 0; i < expected2.size(); ++i) {
+    EXPECT_NEAR(got2.data()[i], expected2.data()[i], 1e-12);
+  }
+}
+
+TEST(MatrixTest, RowVectorAndColumnSums) {
+  Matrix m(2, 3, 1.0);
+  Matrix bias(1, 3);
+  bias(0, 0) = 1;
+  bias(0, 1) = 2;
+  bias(0, 2) = 3;
+  AddRowVectorInPlace(&m, bias);
+  EXPECT_DOUBLE_EQ(m(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), 4.0);
+  Matrix sums = ColumnSums(m);
+  EXPECT_DOUBLE_EQ(sums(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(sums(0, 2), 8.0);
+}
+
+TEST(MatrixTest, SoftmaxRangeNormalizes) {
+  Matrix m(1, 5);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(0, 2) = 3;
+  m(0, 3) = 100;  // outside the range; untouched
+  m(0, 4) = 100;
+  SoftmaxRangeInPlace(&m, 0, 3);
+  EXPECT_NEAR(m(0, 0) + m(0, 1) + m(0, 2), 1.0, 1e-12);
+  EXPECT_GT(m(0, 2), m(0, 1));
+  EXPECT_DOUBLE_EQ(m(0, 3), 100.0);
+}
+
+// ----------------------------------------------------- gradient checks
+
+/// Numerically verifies dL/dparam for L = sum(network(x) .* coeff).
+void CheckGradients(Layer* net, const Matrix& input, double tolerance) {
+  Matrix out = net->Forward(input);
+  Matrix coeff(out.rows(), out.cols());
+  Rng rng(11);
+  for (double& c : coeff.data()) c = rng.NextGaussian();
+
+  ZeroGradients(net->Parameters());
+  net->Forward(input);
+  net->Backward(coeff);
+
+  for (Parameter* p : net->Parameters()) {
+    for (size_t i = 0; i < p->value.size(); i += 7) {  // sample positions
+      const double eps = 1e-5;
+      const double original = p->value.data()[i];
+      p->value.data()[i] = original + eps;
+      Matrix plus = net->Forward(input);
+      p->value.data()[i] = original - eps;
+      Matrix minus = net->Forward(input);
+      p->value.data()[i] = original;
+      double numeric = 0.0;
+      for (size_t k = 0; k < plus.size(); ++k) {
+        numeric += coeff.data()[k] * (plus.data()[k] - minus.data()[k]);
+      }
+      numeric /= 2 * eps;
+      EXPECT_NEAR(p->grad.data()[i], numeric, tolerance)
+          << "param element " << i;
+    }
+  }
+}
+
+TEST(GradientTest, DenseLayer) {
+  Rng rng(5);
+  Dense dense(4, 3, &rng);
+  Matrix input(2, 4);
+  for (double& x : input.data()) x = rng.NextGaussian();
+  CheckGradients(&dense, input, 1e-6);
+}
+
+TEST(GradientTest, MlpWithRelu) {
+  Rng rng(6);
+  auto net = MakeMlp(5, {8, 8}, 3, &rng);
+  Matrix input(3, 5);
+  for (double& x : input.data()) x = rng.NextGaussian() + 0.5;
+  CheckGradients(net.get(), input, 1e-5);
+}
+
+TEST(GradientTest, TanhLayerChain) {
+  Rng rng(7);
+  Sequential net;
+  net.Add(std::make_unique<Dense>(4, 6, &rng));
+  net.Add(std::make_unique<TanhLayer>());
+  net.Add(std::make_unique<Dense>(6, 2, &rng));
+  Matrix input(2, 4);
+  for (double& x : input.data()) x = rng.NextGaussian();
+  CheckGradients(&net, input, 1e-6);
+}
+
+TEST(GradientTest, DenseInputGradient) {
+  Rng rng(8);
+  Dense dense(3, 2, &rng);
+  Matrix input(1, 3);
+  for (double& x : input.data()) x = rng.NextGaussian();
+  Matrix out = dense.Forward(input);
+  Matrix coeff(1, 2);
+  coeff(0, 0) = 1.0;
+  coeff(0, 1) = -2.0;
+  ZeroGradients(dense.Parameters());
+  Matrix grad_in = dense.Backward(coeff);
+  for (int j = 0; j < 3; ++j) {
+    const double eps = 1e-6;
+    Matrix bumped = input;
+    bumped(0, j) += eps;
+    Matrix plus = dense.Forward(bumped);
+    bumped(0, j) -= 2 * eps;
+    Matrix minus = dense.Forward(bumped);
+    double numeric =
+        (coeff(0, 0) * (plus(0, 0) - minus(0, 0)) +
+         coeff(0, 1) * (plus(0, 1) - minus(0, 1))) /
+        (2 * eps);
+    EXPECT_NEAR(grad_in(0, j), numeric, 1e-6);
+  }
+}
+
+// ------------------------------------------------------------ training
+
+TEST(OptimizerTest, ZeroGradientsClears) {
+  Rng rng(9);
+  Dense dense(2, 2, &rng);
+  Matrix input(1, 2, 1.0);
+  dense.Forward(input);
+  dense.Backward(Matrix(1, 2, 1.0));
+  ZeroGradients(dense.Parameters());
+  for (Parameter* p : dense.Parameters()) {
+    for (double g : p->grad.data()) EXPECT_DOUBLE_EQ(g, 0.0);
+  }
+}
+
+TEST(OptimizerTest, ClipGradientsByNorm) {
+  Rng rng(10);
+  Dense dense(2, 2, &rng);
+  for (Parameter* p : dense.Parameters()) {
+    for (double& g : p->grad.data()) g = 10.0;
+  }
+  double norm_before = ClipGradientsByNorm(dense.Parameters(), 1.0);
+  EXPECT_GT(norm_before, 1.0);
+  double sq = 0.0;
+  for (Parameter* p : dense.Parameters()) {
+    for (double g : p->grad.data()) sq += g * g;
+  }
+  EXPECT_NEAR(std::sqrt(sq), 1.0, 1e-9);
+}
+
+/// Both optimizers should fit y = 2x - 1 with a single Dense unit.
+template <typename Optimizer>
+double FitLinear(Optimizer* optimizer, int steps) {
+  Rng rng(12);
+  Dense dense(1, 1, &rng);
+  double final_loss = 0.0;
+  for (int step = 0; step < steps; ++step) {
+    Matrix x(8, 1);
+    Matrix target(8, 1);
+    for (int i = 0; i < 8; ++i) {
+      x(i, 0) = rng.NextDouble(-1, 1);
+      target(i, 0) = 2.0 * x(i, 0) - 1.0;
+    }
+    Matrix out = dense.Forward(x);
+    Matrix grad(8, 1);
+    final_loss = 0.0;
+    for (int i = 0; i < 8; ++i) {
+      double diff = out(i, 0) - target(i, 0);
+      grad(i, 0) = 2.0 * diff / 8.0;
+      final_loss += diff * diff / 8.0;
+    }
+    ZeroGradients(dense.Parameters());
+    dense.Backward(grad);
+    optimizer->Step(dense.Parameters());
+  }
+  return final_loss;
+}
+
+TEST(OptimizerTest, SgdConvergesOnLinearFit) {
+  Sgd sgd(0.1);
+  EXPECT_LT(FitLinear(&sgd, 500), 1e-3);
+}
+
+TEST(OptimizerTest, AdamConvergesOnLinearFit) {
+  Adam adam(0.05);
+  EXPECT_LT(FitLinear(&adam, 500), 1e-3);
+  EXPECT_EQ(adam.step_count(), 500);
+}
+
+TEST(MlpTest, ParameterCountMatchesArchitecture) {
+  Rng rng(13);
+  auto net = MakeMlp(10, {16, 8}, 4, &rng);
+  int64_t total = 0;
+  for (Parameter* p : net->Parameters()) {
+    total += static_cast<int64_t>(p->value.size());
+  }
+  // (10*16 + 16) + (16*8 + 8) + (8*4 + 4)
+  EXPECT_EQ(total, 176 + 136 + 36);
+}
+
+}  // namespace
+}  // namespace atena

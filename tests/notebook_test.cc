@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "data/registry.h"
+#include "eda/session.h"
+#include "notebook/render.h"
+
+namespace atena {
+namespace {
+
+EdaNotebook MakeNotebook() {
+  auto dataset = MakeDataset("cyber2");
+  EXPECT_TRUE(dataset.ok());
+  EnvConfig config;
+  config.episode_length = 8;
+  EdaEnvironment env(dataset.value(), config);
+  const Table& t = *dataset.value().table;
+  std::vector<EdaOperation> ops = {
+      EdaOperation::Group(t.FindColumn("method"), AggFunc::kCount, -1),
+      EdaOperation::Filter(t.FindColumn("method"), CompareOp::kEq,
+                           Value(std::string("POST"))),
+      EdaOperation::Group(t.FindColumn("source_ip"), AggFunc::kAvg,
+                          t.FindColumn("response_bytes")),
+      EdaOperation::Back(),
+      EdaOperation::Filter(t.FindColumn("status"), CompareOp::kEq,
+                           Value(int64_t{200})),
+  };
+  return ReplayOperations(&env, ops, "test-gen");
+}
+
+TEST(RenderTextTest, ContainsOperationsAndTree) {
+  auto notebook = MakeNotebook();
+  auto text = RenderText(notebook);
+  ASSERT_TRUE(text.ok());
+  const std::string& s = text.value();
+  EXPECT_NE(s.find("Auto EDA notebook for cyber2"), std::string::npos);
+  EXPECT_NE(s.find("test-gen"), std::string::npos);
+  EXPECT_NE(s.find("GROUP-BY method, COUNT(*)"), std::string::npos);
+  EXPECT_NE(s.find("FILTER method == 'POST'"), std::string::npos);
+  EXPECT_NE(s.find("Exploration tree:"), std::string::npos);
+}
+
+TEST(RenderTextTest, IncludeRewardsOption) {
+  auto notebook = MakeNotebook();
+  RenderOptions options;
+  options.include_rewards = true;
+  auto text = RenderText(notebook, options);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text.value().find("(reward"), std::string::npos);
+}
+
+TEST(RenderMarkdownTest, ProducesTablesAndHeadings) {
+  auto notebook = MakeNotebook();
+  auto md = RenderMarkdown(notebook);
+  ASSERT_TRUE(md.ok());
+  const std::string& s = md.value();
+  EXPECT_NE(s.find("# Auto EDA notebook: cyber2"), std::string::npos);
+  EXPECT_NE(s.find("## Step 1:"), std::string::npos);
+  EXPECT_NE(s.find("| method "), std::string::npos);
+  EXPECT_NE(s.find("| --- "), std::string::npos);
+}
+
+TEST(RenderHtmlTest, WellFormedEnvelopeAndEscaping) {
+  auto notebook = MakeNotebook();
+  auto html = RenderHtml(notebook);
+  ASSERT_TRUE(html.ok());
+  const std::string& s = html.value();
+  EXPECT_EQ(s.find("<!DOCTYPE html>"), 0u);
+  EXPECT_NE(s.find("</html>"), std::string::npos);
+  // Operation descriptions contain no raw angle brackets after escaping.
+  EXPECT_EQ(s.find("FILTER status <"), std::string::npos);
+}
+
+TEST(RenderTreeTest, BackClimbsUp) {
+  auto notebook = MakeNotebook();
+  std::string tree = RenderTree(notebook);
+  // After BACK, the next operation appears at the same depth as the one
+  // before the popped branch: count leading spaces of relevant lines.
+  auto depth_of = [&tree](const std::string& needle) {
+    size_t pos = tree.find(needle);
+    EXPECT_NE(pos, std::string::npos) << needle;
+    size_t line_start = tree.rfind('\n', pos) + 1;
+    int spaces = 0;
+    while (tree[line_start + spaces] == ' ') ++spaces;
+    return spaces;
+  };
+  int group_depth = depth_of("GROUP-BY source_ip");
+  int after_back_depth = depth_of("FILTER status");
+  EXPECT_EQ(after_back_depth, group_depth);
+}
+
+TEST(RenderTest, GroupedDisplayShowsAggregateColumn) {
+  auto notebook = MakeNotebook();
+  auto text = RenderText(notebook);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text.value().find("AVG(response_bytes)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace atena

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "data/registry.h"
+#include "eda/environment.h"
+#include "eval/script_parser.h"
+
+namespace atena {
+namespace {
+
+const Table& FlightsTable() {
+  static const TablePtr table = MakeDataset("flights4").value().table;
+  return *table;
+}
+
+TEST(ScriptParserTest, ParsesAllOperationKinds) {
+  const std::string script =
+      "# a comment line\n"
+      "GROUP month AVG departure_delay\n"
+      "FILTER month == June\n"
+      "\n"
+      "GROUP origin_airport COUNT\n"
+      "FILTER departure_delay > 45.5   # trailing comment\n"
+      "BACK\n";
+  auto ops = ParseOperationScript(script, FlightsTable());
+  ASSERT_TRUE(ops.ok()) << ops.status();
+  ASSERT_EQ(ops.value().size(), 5u);
+  EXPECT_EQ(ops.value()[0].type, OpType::kGroup);
+  EXPECT_EQ(ops.value()[0].group.agg, AggFunc::kAvg);
+  EXPECT_EQ(ops.value()[1].type, OpType::kFilter);
+  EXPECT_TRUE(ops.value()[1].filter.term == Value(std::string("June")));
+  EXPECT_EQ(ops.value()[2].group.agg, AggFunc::kCount);
+  EXPECT_EQ(ops.value()[2].group.agg_column, -1);
+  EXPECT_TRUE(ops.value()[3].filter.term == Value(45.5));
+  EXPECT_EQ(ops.value()[3].filter.op, CompareOp::kGt);
+  EXPECT_EQ(ops.value()[4].type, OpType::kBack);
+}
+
+TEST(ScriptParserTest, TermTypeInference) {
+  auto ops = ParseOperationScript(
+      "FILTER distance == 300\n"
+      "FILTER departure_delay <= -7.25\n"
+      "FILTER month != June\n",
+      FlightsTable());
+  ASSERT_TRUE(ops.ok());
+  EXPECT_TRUE(ops.value()[0].filter.term.is_int());
+  EXPECT_TRUE(ops.value()[1].filter.term.is_double());
+  EXPECT_TRUE(ops.value()[2].filter.term.is_string());
+}
+
+TEST(ScriptParserTest, QuotedTermsForceStringsAndAllowSpaces) {
+  auto ops = ParseOperationScript(
+      "FILTER month == \"June\"\n"
+      "FILTER delay_reason == \"Late Aircraft\"\n",
+      FlightsTable());
+  ASSERT_TRUE(ops.ok()) << ops.status();
+  EXPECT_TRUE(ops.value()[0].filter.term.is_string());
+  EXPECT_EQ(ops.value()[1].filter.term.as_string(), "Late Aircraft");
+}
+
+TEST(ScriptParserTest, ErrorsCarryLineNumbers) {
+  auto bad_column = ParseOperationScript("FILTER nope == 1\n", FlightsTable());
+  EXPECT_FALSE(bad_column.ok());
+  EXPECT_NE(bad_column.status().message().find("line 1"), std::string::npos);
+
+  auto bad_verb = ParseOperationScript("\nSELECT month\n", FlightsTable());
+  EXPECT_FALSE(bad_verb.ok());
+  EXPECT_NE(bad_verb.status().message().find("line 2"), std::string::npos);
+
+  EXPECT_FALSE(ParseOperationScript("FILTER month ~= x\n",
+                                    FlightsTable()).ok());
+  EXPECT_FALSE(ParseOperationScript("GROUP month MEDIAN distance\n",
+                                    FlightsTable()).ok());
+  EXPECT_FALSE(ParseOperationScript("GROUP month COUNT distance\n",
+                                    FlightsTable()).ok());
+  EXPECT_FALSE(ParseOperationScript("GROUP month SUM\n",
+                                    FlightsTable()).ok());
+  EXPECT_FALSE(ParseOperationScript("BACK now\n", FlightsTable()).ok());
+  EXPECT_FALSE(ParseOperationScript("FILTER month == \"unterminated\n",
+                                    FlightsTable()).ok());
+}
+
+TEST(ScriptParserTest, RoundTripsThroughFormat) {
+  const Table& table = FlightsTable();
+  std::vector<EdaOperation> ops = {
+      EdaOperation::Group(table.FindColumn("month"), AggFunc::kAvg,
+                          table.FindColumn("departure_delay")),
+      EdaOperation::Filter(table.FindColumn("month"), CompareOp::kEq,
+                           Value(std::string("June"))),
+      EdaOperation::Filter(table.FindColumn("delay_reason"), CompareOp::kEq,
+                           Value(std::string("Late Aircraft"))),
+      EdaOperation::Filter(table.FindColumn("distance"), CompareOp::kLe,
+                           Value(int64_t{450})),
+      EdaOperation::Back(),
+      EdaOperation::Group(table.FindColumn("airline"), AggFunc::kCount, -1),
+  };
+  std::string script = FormatOperationScript(ops, table);
+  auto parsed = ParseOperationScript(script, table);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\nscript:\n" << script;
+  ASSERT_EQ(parsed.value().size(), ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(parsed.value()[i].type, ops[i].type) << i;
+    if (ops[i].type == OpType::kFilter) {
+      EXPECT_EQ(parsed.value()[i].filter.column, ops[i].filter.column);
+      EXPECT_EQ(parsed.value()[i].filter.op, ops[i].filter.op);
+      EXPECT_TRUE(parsed.value()[i].filter.term == ops[i].filter.term) << i;
+    }
+    if (ops[i].type == OpType::kGroup) {
+      EXPECT_EQ(parsed.value()[i].group.group_column,
+                ops[i].group.group_column);
+      EXPECT_EQ(parsed.value()[i].group.agg, ops[i].group.agg);
+      EXPECT_EQ(parsed.value()[i].group.agg_column, ops[i].group.agg_column);
+    }
+  }
+}
+
+TEST(ScriptParserTest, NumericLookingStringTermsSurviveRoundTrip) {
+  const Table& table = FlightsTable();
+  std::vector<EdaOperation> ops = {
+      EdaOperation::Filter(table.FindColumn("month"), CompareOp::kEq,
+                           Value(std::string("1234"))),
+  };
+  std::string script = FormatOperationScript(ops, table);
+  auto parsed = ParseOperationScript(script, table);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value()[0].filter.term.is_string());
+  EXPECT_EQ(parsed.value()[0].filter.term.as_string(), "1234");
+}
+
+TEST(ScriptParserTest, GoldScriptsRoundTripForEveryDataset) {
+  for (const auto& id : ExperimentalDatasetIds()) {
+    auto dataset = MakeDataset(id);
+    ASSERT_TRUE(dataset.ok());
+    // Format all gold scripts and re-parse them.
+    EnvConfig config;
+    config.episode_length = 12;
+    EdaEnvironment env(dataset.value(), config);
+    auto candidates = env.EnumerateOperations(2);
+    std::string script =
+        FormatOperationScript(candidates, *dataset.value().table);
+    auto parsed = ParseOperationScript(script, *dataset.value().table);
+    ASSERT_TRUE(parsed.ok()) << id << ": " << parsed.status();
+    EXPECT_EQ(parsed.value().size(), candidates.size()) << id;
+  }
+}
+
+}  // namespace
+}  // namespace atena

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "common/random.h"
+#include "nn/layers.h"
+#include "nn/serialization.h"
+
+namespace atena {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SerializationTest, RoundTripsExactly) {
+  Rng rng(3);
+  auto net = MakeMlp(7, {5}, 3, &rng);
+  const std::string path = TempPath("roundtrip.nn");
+  ASSERT_TRUE(SaveParameters(net->Parameters(), path).ok());
+
+  Rng rng2(99);  // different init
+  auto loaded = MakeMlp(7, {5}, 3, &rng2);
+  ASSERT_TRUE(LoadParameters(loaded->Parameters(), path).ok());
+
+  auto a = net->Parameters();
+  auto b = loaded->Parameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t k = 0; k < a.size(); ++k) {
+    ASSERT_EQ(a[k]->value.size(), b[k]->value.size());
+    for (size_t i = 0; i < a[k]->value.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a[k]->value.data()[i], b[k]->value.data()[i]);
+    }
+  }
+}
+
+TEST(SerializationTest, LoadedNetworkComputesIdenticalOutputs) {
+  Rng rng(4);
+  auto net = MakeMlp(4, {6}, 2, &rng);
+  const std::string path = TempPath("outputs.nn");
+  ASSERT_TRUE(SaveParameters(net->Parameters(), path).ok());
+  Rng rng2(5);
+  auto loaded = MakeMlp(4, {6}, 2, &rng2);
+  ASSERT_TRUE(LoadParameters(loaded->Parameters(), path).ok());
+
+  Matrix input(3, 4);
+  Rng data_rng(6);
+  for (double& x : input.data()) x = data_rng.NextGaussian();
+  Matrix out_a = net->Forward(input);
+  Matrix out_b = loaded->Forward(input);
+  for (size_t i = 0; i < out_a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out_a.data()[i], out_b.data()[i]);
+  }
+}
+
+TEST(SerializationTest, ShapeMismatchIsRejectedWithoutModification) {
+  Rng rng(7);
+  auto small = MakeMlp(4, {3}, 2, &rng);
+  const std::string path = TempPath("mismatch.nn");
+  ASSERT_TRUE(SaveParameters(small->Parameters(), path).ok());
+
+  auto big = MakeMlp(4, {5}, 2, &rng);
+  std::vector<double> before = big->Parameters()[0]->value.data();
+  Status status = LoadParameters(big->Parameters(), path);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(big->Parameters()[0]->value.data(), before);
+}
+
+TEST(SerializationTest, CountMismatchIsRejected) {
+  Rng rng(8);
+  auto two_layer = MakeMlp(4, {3}, 2, &rng);
+  const std::string path = TempPath("count.nn");
+  ASSERT_TRUE(SaveParameters(two_layer->Parameters(), path).ok());
+  auto three_layer = MakeMlp(4, {3, 3}, 2, &rng);
+  EXPECT_EQ(LoadParameters(three_layer->Parameters(), path).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SerializationTest, GarbageFileIsRejected) {
+  const std::string path = TempPath("garbage.nn");
+  std::ofstream(path) << "not a checkpoint\n";
+  Rng rng(9);
+  auto net = MakeMlp(2, {2}, 1, &rng);
+  EXPECT_EQ(LoadParameters(net->Parameters(), path).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(LoadParameters(net->Parameters(), "/nonexistent/x.nn").code(),
+            StatusCode::kIOError);
+}
+
+TEST(SerializationTest, TruncatedFileIsRejected) {
+  Rng rng(10);
+  auto net = MakeMlp(3, {3}, 2, &rng);
+  const std::string path = TempPath("trunc.nn");
+  ASSERT_TRUE(SaveParameters(net->Parameters(), path).ok());
+  // Chop the file in half.
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  std::ofstream(path) << content.substr(0, content.size() / 2);
+  Status status = LoadParameters(net->Parameters(), path);
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace atena
