@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_binning.dir/ablation_binning.cc.o"
+  "CMakeFiles/ablation_binning.dir/ablation_binning.cc.o.d"
+  "ablation_binning"
+  "ablation_binning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_binning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reward.dir/ablation_reward.cc.o"
+  "CMakeFiles/ablation_reward.dir/ablation_reward.cc.o.d"
+  "ablation_reward"
+  "ablation_reward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

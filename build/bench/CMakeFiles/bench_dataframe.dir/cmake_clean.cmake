@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dataframe.dir/bench_dataframe.cc.o"
+  "CMakeFiles/bench_dataframe.dir/bench_dataframe.cc.o.d"
+  "bench_dataframe"
+  "bench_dataframe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dataframe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_user_ratings.dir/fig4a_user_ratings.cc.o"
+  "CMakeFiles/fig4a_user_ratings.dir/fig4a_user_ratings.cc.o.d"
+  "fig4a_user_ratings"
+  "fig4a_user_ratings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_user_ratings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

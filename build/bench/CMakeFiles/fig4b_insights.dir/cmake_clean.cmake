@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_insights.dir/fig4b_insights.cc.o"
+  "CMakeFiles/fig4b_insights.dir/fig4b_insights.cc.o.d"
+  "fig4b_insights"
+  "fig4b_insights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_insights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

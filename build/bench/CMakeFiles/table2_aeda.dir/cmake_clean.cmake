@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_aeda.dir/table2_aeda.cc.o"
+  "CMakeFiles/table2_aeda.dir/table2_aeda.cc.o.d"
+  "table2_aeda"
+  "table2_aeda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_aeda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

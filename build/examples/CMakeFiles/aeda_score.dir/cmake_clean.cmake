@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeda_score.dir/aeda_score.cpp.o"
+  "CMakeFiles/aeda_score.dir/aeda_score.cpp.o.d"
+  "aeda_score"
+  "aeda_score.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeda_score.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_csv_dataset.dir/custom_csv_dataset.cpp.o"
+  "CMakeFiles/custom_csv_dataset.dir/custom_csv_dataset.cpp.o.d"
+  "custom_csv_dataset"
+  "custom_csv_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_csv_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyber_attack_hunt.dir/cyber_attack_hunt.cpp.o"
+  "CMakeFiles/cyber_attack_hunt.dir/cyber_attack_hunt.cpp.o.d"
+  "cyber_attack_hunt"
+  "cyber_attack_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyber_attack_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

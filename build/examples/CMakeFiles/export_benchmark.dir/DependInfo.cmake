@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/export_benchmark.cpp" "examples/CMakeFiles/export_benchmark.dir/export_benchmark.cpp.o" "gcc" "examples/CMakeFiles/export_benchmark.dir/export_benchmark.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/atena_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/atena_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/reward/CMakeFiles/atena_reward.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherency/CMakeFiles/atena_coherency.dir/DependInfo.cmake"
+  "/root/repo/build/src/eda/CMakeFiles/atena_eda.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataframe/CMakeFiles/atena_dataframe.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/atena_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

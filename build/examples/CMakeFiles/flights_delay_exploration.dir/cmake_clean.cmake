@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flights_delay_exploration.dir/flights_delay_exploration.cpp.o"
+  "CMakeFiles/flights_delay_exploration.dir/flights_delay_exploration.cpp.o.d"
+  "flights_delay_exploration"
+  "flights_delay_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flights_delay_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_flights.dir/transfer_flights.cpp.o"
+  "CMakeFiles/transfer_flights.dir/transfer_flights.cpp.o.d"
+  "transfer_flights"
+  "transfer_flights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_flights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("dataframe")
+subdirs("data")
+subdirs("eda")
+subdirs("coherency")
+subdirs("reward")
+subdirs("nn")
+subdirs("rl")
+subdirs("core")
+subdirs("baselines")
+subdirs("eval")
+subdirs("viz")
+subdirs("notebook")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atena_baselines.dir/factory.cc.o"
+  "CMakeFiles/atena_baselines.dir/factory.cc.o.d"
+  "CMakeFiles/atena_baselines.dir/flat_policy.cc.o"
+  "CMakeFiles/atena_baselines.dir/flat_policy.cc.o.d"
+  "CMakeFiles/atena_baselines.dir/greedy.cc.o"
+  "CMakeFiles/atena_baselines.dir/greedy.cc.o.d"
+  "libatena_baselines.a"
+  "libatena_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atena_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atena_coherency.dir/classifier.cc.o"
+  "CMakeFiles/atena_coherency.dir/classifier.cc.o.d"
+  "CMakeFiles/atena_coherency.dir/label_model.cc.o"
+  "CMakeFiles/atena_coherency.dir/label_model.cc.o.d"
+  "CMakeFiles/atena_coherency.dir/rules.cc.o"
+  "CMakeFiles/atena_coherency.dir/rules.cc.o.d"
+  "libatena_coherency.a"
+  "libatena_coherency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atena_coherency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atena_common.dir/logging.cc.o"
+  "CMakeFiles/atena_common.dir/logging.cc.o.d"
+  "CMakeFiles/atena_common.dir/math_utils.cc.o"
+  "CMakeFiles/atena_common.dir/math_utils.cc.o.d"
+  "CMakeFiles/atena_common.dir/random.cc.o"
+  "CMakeFiles/atena_common.dir/random.cc.o.d"
+  "CMakeFiles/atena_common.dir/status.cc.o"
+  "CMakeFiles/atena_common.dir/status.cc.o.d"
+  "CMakeFiles/atena_common.dir/string_utils.cc.o"
+  "CMakeFiles/atena_common.dir/string_utils.cc.o.d"
+  "libatena_common.a"
+  "libatena_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atena_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atena_core.dir/atena.cc.o"
+  "CMakeFiles/atena_core.dir/atena.cc.o.d"
+  "CMakeFiles/atena_core.dir/twofold_policy.cc.o"
+  "CMakeFiles/atena_core.dir/twofold_policy.cc.o.d"
+  "libatena_core.a"
+  "libatena_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atena_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/cyber.cc" "src/data/CMakeFiles/atena_data.dir/cyber.cc.o" "gcc" "src/data/CMakeFiles/atena_data.dir/cyber.cc.o.d"
+  "/root/repo/src/data/flights.cc" "src/data/CMakeFiles/atena_data.dir/flights.cc.o" "gcc" "src/data/CMakeFiles/atena_data.dir/flights.cc.o.d"
+  "/root/repo/src/data/registry.cc" "src/data/CMakeFiles/atena_data.dir/registry.cc.o" "gcc" "src/data/CMakeFiles/atena_data.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataframe/CMakeFiles/atena_dataframe.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/atena_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

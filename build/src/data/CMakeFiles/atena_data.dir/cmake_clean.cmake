@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atena_data.dir/cyber.cc.o"
+  "CMakeFiles/atena_data.dir/cyber.cc.o.d"
+  "CMakeFiles/atena_data.dir/flights.cc.o"
+  "CMakeFiles/atena_data.dir/flights.cc.o.d"
+  "CMakeFiles/atena_data.dir/registry.cc.o"
+  "CMakeFiles/atena_data.dir/registry.cc.o.d"
+  "libatena_data.a"
+  "libatena_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atena_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libatena_data.a"
+)

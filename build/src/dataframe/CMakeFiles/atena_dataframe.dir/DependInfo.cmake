@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataframe/column.cc" "src/dataframe/CMakeFiles/atena_dataframe.dir/column.cc.o" "gcc" "src/dataframe/CMakeFiles/atena_dataframe.dir/column.cc.o.d"
+  "/root/repo/src/dataframe/csv.cc" "src/dataframe/CMakeFiles/atena_dataframe.dir/csv.cc.o" "gcc" "src/dataframe/CMakeFiles/atena_dataframe.dir/csv.cc.o.d"
+  "/root/repo/src/dataframe/describe.cc" "src/dataframe/CMakeFiles/atena_dataframe.dir/describe.cc.o" "gcc" "src/dataframe/CMakeFiles/atena_dataframe.dir/describe.cc.o.d"
+  "/root/repo/src/dataframe/ops.cc" "src/dataframe/CMakeFiles/atena_dataframe.dir/ops.cc.o" "gcc" "src/dataframe/CMakeFiles/atena_dataframe.dir/ops.cc.o.d"
+  "/root/repo/src/dataframe/stats.cc" "src/dataframe/CMakeFiles/atena_dataframe.dir/stats.cc.o" "gcc" "src/dataframe/CMakeFiles/atena_dataframe.dir/stats.cc.o.d"
+  "/root/repo/src/dataframe/table.cc" "src/dataframe/CMakeFiles/atena_dataframe.dir/table.cc.o" "gcc" "src/dataframe/CMakeFiles/atena_dataframe.dir/table.cc.o.d"
+  "/root/repo/src/dataframe/value.cc" "src/dataframe/CMakeFiles/atena_dataframe.dir/value.cc.o" "gcc" "src/dataframe/CMakeFiles/atena_dataframe.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/atena_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

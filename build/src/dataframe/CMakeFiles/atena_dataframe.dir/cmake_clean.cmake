@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atena_dataframe.dir/column.cc.o"
+  "CMakeFiles/atena_dataframe.dir/column.cc.o.d"
+  "CMakeFiles/atena_dataframe.dir/csv.cc.o"
+  "CMakeFiles/atena_dataframe.dir/csv.cc.o.d"
+  "CMakeFiles/atena_dataframe.dir/describe.cc.o"
+  "CMakeFiles/atena_dataframe.dir/describe.cc.o.d"
+  "CMakeFiles/atena_dataframe.dir/ops.cc.o"
+  "CMakeFiles/atena_dataframe.dir/ops.cc.o.d"
+  "CMakeFiles/atena_dataframe.dir/stats.cc.o"
+  "CMakeFiles/atena_dataframe.dir/stats.cc.o.d"
+  "CMakeFiles/atena_dataframe.dir/table.cc.o"
+  "CMakeFiles/atena_dataframe.dir/table.cc.o.d"
+  "CMakeFiles/atena_dataframe.dir/value.cc.o"
+  "CMakeFiles/atena_dataframe.dir/value.cc.o.d"
+  "libatena_dataframe.a"
+  "libatena_dataframe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atena_dataframe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eda/binning.cc" "src/eda/CMakeFiles/atena_eda.dir/binning.cc.o" "gcc" "src/eda/CMakeFiles/atena_eda.dir/binning.cc.o.d"
+  "/root/repo/src/eda/display.cc" "src/eda/CMakeFiles/atena_eda.dir/display.cc.o" "gcc" "src/eda/CMakeFiles/atena_eda.dir/display.cc.o.d"
+  "/root/repo/src/eda/environment.cc" "src/eda/CMakeFiles/atena_eda.dir/environment.cc.o" "gcc" "src/eda/CMakeFiles/atena_eda.dir/environment.cc.o.d"
+  "/root/repo/src/eda/observation.cc" "src/eda/CMakeFiles/atena_eda.dir/observation.cc.o" "gcc" "src/eda/CMakeFiles/atena_eda.dir/observation.cc.o.d"
+  "/root/repo/src/eda/operation.cc" "src/eda/CMakeFiles/atena_eda.dir/operation.cc.o" "gcc" "src/eda/CMakeFiles/atena_eda.dir/operation.cc.o.d"
+  "/root/repo/src/eda/session.cc" "src/eda/CMakeFiles/atena_eda.dir/session.cc.o" "gcc" "src/eda/CMakeFiles/atena_eda.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataframe/CMakeFiles/atena_dataframe.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/atena_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/atena_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

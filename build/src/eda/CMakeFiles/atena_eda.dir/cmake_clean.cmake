@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atena_eda.dir/binning.cc.o"
+  "CMakeFiles/atena_eda.dir/binning.cc.o.d"
+  "CMakeFiles/atena_eda.dir/display.cc.o"
+  "CMakeFiles/atena_eda.dir/display.cc.o.d"
+  "CMakeFiles/atena_eda.dir/environment.cc.o"
+  "CMakeFiles/atena_eda.dir/environment.cc.o.d"
+  "CMakeFiles/atena_eda.dir/observation.cc.o"
+  "CMakeFiles/atena_eda.dir/observation.cc.o.d"
+  "CMakeFiles/atena_eda.dir/operation.cc.o"
+  "CMakeFiles/atena_eda.dir/operation.cc.o.d"
+  "CMakeFiles/atena_eda.dir/session.cc.o"
+  "CMakeFiles/atena_eda.dir/session.cc.o.d"
+  "libatena_eda.a"
+  "libatena_eda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atena_eda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/gold.cc" "src/eval/CMakeFiles/atena_eval.dir/gold.cc.o" "gcc" "src/eval/CMakeFiles/atena_eval.dir/gold.cc.o.d"
+  "/root/repo/src/eval/insights.cc" "src/eval/CMakeFiles/atena_eval.dir/insights.cc.o" "gcc" "src/eval/CMakeFiles/atena_eval.dir/insights.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/atena_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/atena_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/ratings.cc" "src/eval/CMakeFiles/atena_eval.dir/ratings.cc.o" "gcc" "src/eval/CMakeFiles/atena_eval.dir/ratings.cc.o.d"
+  "/root/repo/src/eval/script_parser.cc" "src/eval/CMakeFiles/atena_eval.dir/script_parser.cc.o" "gcc" "src/eval/CMakeFiles/atena_eval.dir/script_parser.cc.o.d"
+  "/root/repo/src/eval/traces.cc" "src/eval/CMakeFiles/atena_eval.dir/traces.cc.o" "gcc" "src/eval/CMakeFiles/atena_eval.dir/traces.cc.o.d"
+  "/root/repo/src/eval/view_signature.cc" "src/eval/CMakeFiles/atena_eval.dir/view_signature.cc.o" "gcc" "src/eval/CMakeFiles/atena_eval.dir/view_signature.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eda/CMakeFiles/atena_eda.dir/DependInfo.cmake"
+  "/root/repo/build/src/reward/CMakeFiles/atena_reward.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/atena_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherency/CMakeFiles/atena_coherency.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataframe/CMakeFiles/atena_dataframe.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/atena_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

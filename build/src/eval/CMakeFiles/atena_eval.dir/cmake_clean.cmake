@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atena_eval.dir/gold.cc.o"
+  "CMakeFiles/atena_eval.dir/gold.cc.o.d"
+  "CMakeFiles/atena_eval.dir/insights.cc.o"
+  "CMakeFiles/atena_eval.dir/insights.cc.o.d"
+  "CMakeFiles/atena_eval.dir/metrics.cc.o"
+  "CMakeFiles/atena_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/atena_eval.dir/ratings.cc.o"
+  "CMakeFiles/atena_eval.dir/ratings.cc.o.d"
+  "CMakeFiles/atena_eval.dir/script_parser.cc.o"
+  "CMakeFiles/atena_eval.dir/script_parser.cc.o.d"
+  "CMakeFiles/atena_eval.dir/traces.cc.o"
+  "CMakeFiles/atena_eval.dir/traces.cc.o.d"
+  "CMakeFiles/atena_eval.dir/view_signature.cc.o"
+  "CMakeFiles/atena_eval.dir/view_signature.cc.o.d"
+  "libatena_eval.a"
+  "libatena_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atena_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atena_nn.dir/layers.cc.o"
+  "CMakeFiles/atena_nn.dir/layers.cc.o.d"
+  "CMakeFiles/atena_nn.dir/matrix.cc.o"
+  "CMakeFiles/atena_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/atena_nn.dir/optimizer.cc.o"
+  "CMakeFiles/atena_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/atena_nn.dir/serialization.cc.o"
+  "CMakeFiles/atena_nn.dir/serialization.cc.o.d"
+  "libatena_nn.a"
+  "libatena_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atena_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atena_notebook.dir/render.cc.o"
+  "CMakeFiles/atena_notebook.dir/render.cc.o.d"
+  "libatena_notebook.a"
+  "libatena_notebook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atena_notebook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for atena_notebook.
+# This may be replaced when dependencies are built.

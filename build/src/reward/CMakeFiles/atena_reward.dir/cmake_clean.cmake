@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atena_reward.dir/compound.cc.o"
+  "CMakeFiles/atena_reward.dir/compound.cc.o.d"
+  "CMakeFiles/atena_reward.dir/diversity.cc.o"
+  "CMakeFiles/atena_reward.dir/diversity.cc.o.d"
+  "CMakeFiles/atena_reward.dir/interestingness.cc.o"
+  "CMakeFiles/atena_reward.dir/interestingness.cc.o.d"
+  "libatena_reward.a"
+  "libatena_reward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atena_reward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/parallel_trainer.cc" "src/rl/CMakeFiles/atena_rl.dir/parallel_trainer.cc.o" "gcc" "src/rl/CMakeFiles/atena_rl.dir/parallel_trainer.cc.o.d"
+  "/root/repo/src/rl/policy.cc" "src/rl/CMakeFiles/atena_rl.dir/policy.cc.o" "gcc" "src/rl/CMakeFiles/atena_rl.dir/policy.cc.o.d"
+  "/root/repo/src/rl/rollout.cc" "src/rl/CMakeFiles/atena_rl.dir/rollout.cc.o" "gcc" "src/rl/CMakeFiles/atena_rl.dir/rollout.cc.o.d"
+  "/root/repo/src/rl/trainer.cc" "src/rl/CMakeFiles/atena_rl.dir/trainer.cc.o" "gcc" "src/rl/CMakeFiles/atena_rl.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eda/CMakeFiles/atena_eda.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/atena_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/atena_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataframe/CMakeFiles/atena_dataframe.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/atena_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

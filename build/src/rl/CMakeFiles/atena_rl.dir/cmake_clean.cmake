@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atena_rl.dir/parallel_trainer.cc.o"
+  "CMakeFiles/atena_rl.dir/parallel_trainer.cc.o.d"
+  "CMakeFiles/atena_rl.dir/policy.cc.o"
+  "CMakeFiles/atena_rl.dir/policy.cc.o.d"
+  "CMakeFiles/atena_rl.dir/rollout.cc.o"
+  "CMakeFiles/atena_rl.dir/rollout.cc.o.d"
+  "CMakeFiles/atena_rl.dir/trainer.cc.o"
+  "CMakeFiles/atena_rl.dir/trainer.cc.o.d"
+  "libatena_rl.a"
+  "libatena_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atena_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atena_viz.dir/chart.cc.o"
+  "CMakeFiles/atena_viz.dir/chart.cc.o.d"
+  "CMakeFiles/atena_viz.dir/svg.cc.o"
+  "CMakeFiles/atena_viz.dir/svg.cc.o.d"
+  "libatena_viz.a"
+  "libatena_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atena_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eda_test.dir/eda_test.cc.o"
+  "CMakeFiles/eda_test.dir/eda_test.cc.o.d"
+  "eda_test"
+  "eda_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/notebook_test.dir/notebook_test.cc.o"
+  "CMakeFiles/notebook_test.dir/notebook_test.cc.o.d"
+  "notebook_test"
+  "notebook_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/notebook_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_trainer_test.dir/parallel_trainer_test.cc.o"
+  "CMakeFiles/parallel_trainer_test.dir/parallel_trainer_test.cc.o.d"
+  "parallel_trainer_test"
+  "parallel_trainer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_parser_test.dir/script_parser_test.cc.o"
+  "CMakeFiles/script_parser_test.dir/script_parser_test.cc.o.d"
+  "script_parser_test"
+  "script_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
