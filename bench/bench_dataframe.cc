@@ -1,7 +1,9 @@
 // Micro-benchmarks of the dataframe substrate: filter, group-by/aggregate
 // and column-statistics kernels on the largest experimental dataset.
+// Results are written to BENCH_dataframe.json (see bench_json.h).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "data/registry.h"
 #include "dataframe/ops.h"
 #include "dataframe/stats.h"
@@ -92,7 +94,41 @@ void BM_TokenFrequencies(benchmark::State& state) {
 }
 BENCHMARK(BM_TokenFrequencies);
 
+void BM_FilterStringNeq(benchmark::State& state) {
+  const Table& t = *BigDataset().table;
+  auto rows = AllRows(t);
+  int col = t.FindColumn("tcp_flags");
+  for (auto _ : state) {
+    auto out = FilterRows(t, rows, col, CompareOp::kNeq,
+                          Value(std::string("SYN")));
+    benchmark::DoNotOptimize(out.value().size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_FilterStringNeq);
+
+void BM_GroupByThreeColumns(benchmark::State& state) {
+  const Table& t = *BigDataset().table;
+  auto rows = AllRows(t);
+  GroupSpec spec;
+  spec.group_columns = {t.FindColumn("source_ip"), t.FindColumn("tcp_flags"),
+                        t.FindColumn("destination_port")};
+  for (auto _ : state) {
+    auto out = GroupAggregate(t, rows, spec);
+    benchmark::DoNotOptimize(out.value().groups.size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_GroupByThreeColumns);
+
 }  // namespace
 }  // namespace atena
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  atena::bench::JsonFileReporter reporter("BENCH_dataframe.json");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,9 +1,14 @@
 // Micro-benchmarks of the EDA environment: observation encoding, single
-// steps of each operation type, and the compound-reward evaluation path.
+// steps of each operation type, full episodes on cold (random-action) and
+// hot (converged-policy replay) workloads, and the compound-reward path.
+// Results are written to BENCH_env.json (see bench_json.h), including the
+// display-cache hit rate of each episode workload.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "data/registry.h"
 #include "eda/environment.h"
+#include "eda/session.h"
 #include "reward/compound.h"
 
 namespace atena {
@@ -13,6 +18,18 @@ EnvConfig BenchConfig() {
   EnvConfig config;
   config.episode_length = 1 << 20;  // benches manage episode boundaries
   return config;
+}
+
+/// Cache hit-rate over the benchmark's own lookups (delta across the run).
+void ReportCacheHitRate(benchmark::State& state, const EdaEnvironment& env,
+                        const DisplayCacheStats& before) {
+  if (!env.display_cache()) return;
+  const DisplayCacheStats after = env.display_cache()->stats();
+  const uint64_t hits = after.hits - before.hits;
+  const uint64_t lookups = hits + (after.misses - before.misses);
+  state.counters["cache_hit_rate"] =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(hits) / static_cast<double>(lookups);
 }
 
 void BM_EnvReset(benchmark::State& state) {
@@ -49,10 +66,34 @@ void BM_EnvStepGroup(benchmark::State& state) {
 }
 BENCHMARK(BM_EnvStepGroup);
 
+/// Cold workload: uniformly random actions, never-repeating trajectories.
+/// The display cache helps only when sampled prefixes recur by chance.
 void BM_EnvRandomEpisode(benchmark::State& state) {
   auto dataset = MakeDataset("flights4").value();
   EnvConfig config;
   config.episode_length = 12;
+  EdaEnvironment env(dataset, config);
+  Rng rng(1);
+  const DisplayCacheStats before =
+      env.display_cache() ? env.display_cache()->stats() : DisplayCacheStats{};
+  for (auto _ : state) {
+    env.Reset();
+    while (!env.done()) {
+      env.Step(SampleRandomAction(env.action_space(), &rng));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * config.episode_length);
+  ReportCacheHitRate(state, env, before);
+}
+BENCHMARK(BM_EnvRandomEpisode);
+
+/// Same cold workload with the cache disabled: the recompute-everything
+/// floor the cached variants are compared against.
+void BM_EnvRandomEpisodeNoCache(benchmark::State& state) {
+  auto dataset = MakeDataset("flights4").value();
+  EnvConfig config;
+  config.episode_length = 12;
+  config.display_cache_enabled = false;
   EdaEnvironment env(dataset, config);
   Rng rng(1);
   for (auto _ : state) {
@@ -63,7 +104,36 @@ void BM_EnvRandomEpisode(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * config.episode_length);
 }
-BENCHMARK(BM_EnvRandomEpisode);
+BENCHMARK(BM_EnvRandomEpisodeNoCache);
+
+/// Hot workload: one concrete episode (as produced by a converged policy,
+/// which replays a narrow action set) re-executed with the full compound
+/// reward attached — the regime RL training spends most wall-clock in.
+void BM_EnvConvergedReplay(benchmark::State& state) {
+  auto dataset = MakeDataset("flights4").value();
+  EnvConfig config;
+  config.episode_length = 12;
+  EdaEnvironment env(dataset, config);
+  auto reward = MakeStandardReward(&env).value();
+  env.SetRewardSignal(reward.get());
+  Rng rng(7);
+  std::vector<EdaOperation> ops;
+  env.Reset();
+  while (!env.done()) {
+    ops.push_back(env.Step(SampleRandomAction(env.action_space(), &rng)).op);
+  }
+  const DisplayCacheStats before =
+      env.display_cache() ? env.display_cache()->stats() : DisplayCacheStats{};
+  for (auto _ : state) {
+    env.Reset();
+    double total = 0.0;
+    for (const auto& op : ops) total += env.StepOperation(op).reward;
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * config.episode_length);
+  ReportCacheHitRate(state, env, before);
+}
+BENCHMARK(BM_EnvConvergedReplay);
 
 void BM_CompoundRewardEpisode(benchmark::State& state) {
   auto dataset = MakeDataset("flights4").value();
@@ -73,6 +143,8 @@ void BM_CompoundRewardEpisode(benchmark::State& state) {
   auto reward = MakeStandardReward(&env).value();
   env.SetRewardSignal(reward.get());
   Rng rng(2);
+  const DisplayCacheStats before =
+      env.display_cache() ? env.display_cache()->stats() : DisplayCacheStats{};
   for (auto _ : state) {
     env.Reset();
     while (!env.done()) {
@@ -80,10 +152,18 @@ void BM_CompoundRewardEpisode(benchmark::State& state) {
     }
   }
   state.SetItemsProcessed(state.iterations() * config.episode_length);
+  ReportCacheHitRate(state, env, before);
 }
 BENCHMARK(BM_CompoundRewardEpisode);
 
 }  // namespace
 }  // namespace atena
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  atena::bench::JsonFileReporter reporter("BENCH_env.json");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -206,7 +206,7 @@ std::vector<LabelingFunctionPtr> GeneralCoherencyRules(TablePtr table) {
         const Column& col =
             *ctx.env->table().column(ctx.op->filter.column);
         ColumnStats stats =
-            ComputeColumnStats(col, ctx.env->CapRows(previous.rows));
+            ComputeColumnStats(col, ctx.env->CappedRows(previous));
         if (stats.distinct > 20 && stats.normalized_entropy > 0.95) {
           return LfVote::kIncoherent;
         }

@@ -1,0 +1,50 @@
+#ifndef ATENA_COMMON_HASHING_H_
+#define ATENA_COMMON_HASHING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace atena {
+
+/// 64-bit hashing primitives for cache keys and hash-table kernels.
+///
+/// Requirements here are determinism across platforms/runs (keys feed the
+/// display cache, whose hits must be bit-identical to recomputation) and
+/// good avalanche behaviour — not cryptographic strength. The finalizer is
+/// SplitMix64's, the byte hash is FNV-1a widened through the finalizer.
+
+/// SplitMix64 finalizer: bijective, strong avalanche.
+inline constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-sensitive combiner (boost::hash_combine shape, 64-bit constants).
+inline constexpr uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (Mix64(value) + 0x9E3779B97F4A7C15ULL + (seed << 12) +
+                 (seed >> 4));
+}
+
+/// FNV-1a over raw bytes, strengthened with a final mix.
+inline uint64_t HashBytes(const void* data, size_t length,
+                          uint64_t seed = 0xCBF29CE484222325ULL) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < length; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001B3ULL;
+  }
+  return Mix64(h);
+}
+
+inline uint64_t HashString(std::string_view text,
+                           uint64_t seed = 0xCBF29CE484222325ULL) {
+  return HashBytes(text.data(), text.size(), seed);
+}
+
+}  // namespace atena
+
+#endif  // ATENA_COMMON_HASHING_H_

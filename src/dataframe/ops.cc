@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <map>
 
+#include "common/hashing.h"
+#include "common/logging.h"
 #include "common/string_utils.h"
 
 namespace atena {
@@ -83,6 +84,37 @@ bool IsStringOp(CompareOp op) {
          op == CompareOp::kEndsWith;
 }
 
+/// Scans `rows` keeping the non-null rows that satisfy `pred`. The
+/// predicate is a template parameter so each operator gets its own tight
+/// loop (no per-row switch). The output is reserved from a selectivity
+/// estimate over a small stride sample, so typical filters do zero or one
+/// reallocation instead of log2(n).
+template <typename Pred>
+std::vector<int32_t> ScanRows(const Column& col,
+                              const std::vector<int32_t>& rows, Pred pred) {
+  std::vector<int32_t> out;
+  const size_t n = rows.size();
+  constexpr size_t kSample = 128;
+  if (n <= 4 * kSample) {
+    out.reserve(n);
+  } else {
+    const size_t stride = n / kSample;
+    size_t matched = 0;
+    for (size_t i = 0; i < kSample; ++i) {
+      const int32_t r = rows[i * stride];
+      if (!col.IsNull(r) && pred(r)) ++matched;
+    }
+    // +1 smoothing and a 1/4 head-room margin; a bad estimate only costs a
+    // realloc, never correctness.
+    const size_t estimate = (n * (matched + 1)) / (kSample + 1);
+    out.reserve(std::min(n, estimate + estimate / 4 + 16));
+  }
+  for (const int32_t r : rows) {
+    if (!col.IsNull(r) && pred(r)) out.push_back(r);
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<std::vector<int32_t>> FilterRows(const Table& table,
@@ -93,12 +125,15 @@ Result<std::vector<int32_t>> FilterRows(const Table& table,
     return Status::OutOfRange("FilterRows: column index " +
                               std::to_string(column));
   }
+  if (table.num_rows() > std::numeric_limits<int32_t>::max()) {
+    return Status::OutOfRange(
+        "FilterRows: table exceeds int32 row-index range (" +
+        std::to_string(table.num_rows()) + " rows)");
+  }
   const Column& col = *table.column(column);
   if (term.is_null()) {
     return Status::InvalidArgument("FilterRows: null filter term");
   }
-
-  std::vector<int32_t> out;
 
   if (IsOrderingOp(op)) {
     if (!IsNumericType(col.type())) {
@@ -109,29 +144,24 @@ Result<std::vector<int32_t>> FilterRows(const Table& table,
     if (!term.ToDouble(&threshold)) {
       return Status::TypeMismatch("ordering filter with non-numeric term");
     }
-    for (int32_t r : rows) {
-      if (col.IsNull(r)) continue;
-      double v = col.AsDoubleOrNan(r);
-      bool keep = false;
-      switch (op) {
-        case CompareOp::kGt:
-          keep = v > threshold;
-          break;
-        case CompareOp::kGe:
-          keep = v >= threshold;
-          break;
-        case CompareOp::kLt:
-          keep = v < threshold;
-          break;
-        case CompareOp::kLe:
-          keep = v <= threshold;
-          break;
-        default:
-          break;
-      }
-      if (keep) out.push_back(r);
+    switch (op) {
+      case CompareOp::kGt:
+        return ScanRows(col, rows, [&](int32_t r) {
+          return col.AsDoubleOrNan(r) > threshold;
+        });
+      case CompareOp::kGe:
+        return ScanRows(col, rows, [&](int32_t r) {
+          return col.AsDoubleOrNan(r) >= threshold;
+        });
+      case CompareOp::kLt:
+        return ScanRows(col, rows, [&](int32_t r) {
+          return col.AsDoubleOrNan(r) < threshold;
+        });
+      default:
+        return ScanRows(col, rows, [&](int32_t r) {
+          return col.AsDoubleOrNan(r) <= threshold;
+        });
     }
-    return out;
   }
 
   if (IsStringOp(op)) {
@@ -143,26 +173,20 @@ Result<std::vector<int32_t>> FilterRows(const Table& table,
       return Status::TypeMismatch("substring filter with non-string term");
     }
     const std::string& needle = term.as_string();
-    for (int32_t r : rows) {
-      if (col.IsNull(r)) continue;
-      std::string_view cell = col.GetString(r);
-      bool keep = false;
-      switch (op) {
-        case CompareOp::kContains:
-          keep = Contains(cell, needle);
-          break;
-        case CompareOp::kStartsWith:
-          keep = StartsWith(cell, needle);
-          break;
-        case CompareOp::kEndsWith:
-          keep = EndsWith(cell, needle);
-          break;
-        default:
-          break;
-      }
-      if (keep) out.push_back(r);
+    switch (op) {
+      case CompareOp::kContains:
+        return ScanRows(col, rows, [&](int32_t r) {
+          return Contains(col.GetString(r), needle);
+        });
+      case CompareOp::kStartsWith:
+        return ScanRows(col, rows, [&](int32_t r) {
+          return StartsWith(col.GetString(r), needle);
+        });
+      default:
+        return ScanRows(col, rows, [&](int32_t r) {
+          return EndsWith(col.GetString(r), needle);
+        });
     }
-    return out;
   }
 
   // Equality family.
@@ -173,13 +197,18 @@ Result<std::vector<int32_t>> FilterRows(const Table& table,
                                   col.name() + "' with non-string term");
     }
     // Token filters compare dictionary codes: one lookup, then integer scans.
-    int32_t code = col.FindCode(term.as_string());
-    for (int32_t r : rows) {
-      if (col.IsNull(r)) continue;
-      bool equal = (code >= 0 && col.GetCode(r) == code);
-      if (equal == want_equal) out.push_back(r);
+    const int32_t code = col.FindCode(term.as_string());
+    if (want_equal) {
+      if (code < 0) return std::vector<int32_t>{};  // absent term matches none
+      return ScanRows(col, rows,
+                      [&](int32_t r) { return col.GetCode(r) == code; });
     }
-    return out;
+    if (code < 0) {
+      // Absent term: every non-null row differs from it.
+      return ScanRows(col, rows, [](int32_t) { return true; });
+    }
+    return ScanRows(col, rows,
+                    [&](int32_t r) { return col.GetCode(r) != code; });
   }
 
   double target = 0.0;
@@ -187,12 +216,12 @@ Result<std::vector<int32_t>> FilterRows(const Table& table,
     return Status::TypeMismatch("equality filter on numeric column '" +
                                 col.name() + "' with non-numeric term");
   }
-  for (int32_t r : rows) {
-    if (col.IsNull(r)) continue;
-    bool equal = (col.AsDoubleOrNan(r) == target);
-    if (equal == want_equal) out.push_back(r);
+  if (want_equal) {
+    return ScanRows(col, rows,
+                    [&](int32_t r) { return col.AsDoubleOrNan(r) == target; });
   }
-  return out;
+  return ScanRows(col, rows,
+                  [&](int32_t r) { return col.AsDoubleOrNan(r) != target; });
 }
 
 std::vector<double> GroupedResult::GroupSizes() const {
@@ -251,9 +280,6 @@ Result<GroupedResult> GroupAggregate(const Table& table,
     }
   }
 
-  // Assign rows to groups via composite cell keys. std::map keeps the
-  // grouping deterministic; the final ordering is by boxed key values.
-  std::map<std::vector<int64_t>, size_t> index;
   GroupedResult result;
   result.spec = spec;
   for (int c : spec.group_columns) {
@@ -266,21 +292,101 @@ Result<GroupedResult> GroupAggregate(const Table& table,
                       table.column(spec.agg_column)->name() + ")";
   }
 
-  std::vector<int64_t> key(spec.group_columns.size());
-  for (int32_t r : rows) {
-    for (size_t k = 0; k < spec.group_columns.size(); ++k) {
-      key[k] = table.column(spec.group_columns[k])->CellKey(r);
+  // Row→group assignment via an open-addressing hash table on a combined
+  // 64-bit key hash. Slots store the owning group index; exact composite
+  // keys live contiguously in `key_storage` (k int64s per group) and are
+  // compared on every probe hit, so hash collisions across distinct keys
+  // chain to new slots instead of merging groups. Group discovery order is
+  // row-encounter order, as with the previous std::map implementation, and
+  // the deterministic final ordering comes from the sort below.
+  const size_t k = spec.group_columns.size();
+  const Column* key_cols_buf[4];
+  std::vector<const Column*> key_cols_vec;
+  const Column** key_cols = key_cols_buf;
+  if (k > 4) {
+    key_cols_vec.resize(k);
+    key_cols = key_cols_vec.data();
+  }
+  for (size_t i = 0; i < k; ++i) {
+    key_cols[i] = table.column(spec.group_columns[i]).get();
+  }
+
+  size_t capacity = 64;
+  std::vector<int32_t> slot_group(capacity, -1);
+  std::vector<uint64_t> slot_hash(capacity);
+  std::vector<uint64_t> group_hash;   // per group, for cheap rehashing
+  std::vector<int64_t> key_storage;   // k cell keys per group, flat
+  size_t mask = capacity - 1;
+
+  auto grow = [&]() {
+    capacity *= 2;
+    mask = capacity - 1;
+    slot_group.assign(capacity, -1);
+    slot_hash.assign(capacity, 0);
+    for (size_t g = 0; g < group_hash.size(); ++g) {
+      size_t pos = static_cast<size_t>(group_hash[g]) & mask;
+      while (slot_group[pos] >= 0) pos = (pos + 1) & mask;
+      slot_group[pos] = static_cast<int32_t>(g);
+      slot_hash[pos] = group_hash[g];
     }
-    auto [it, inserted] = index.emplace(key, result.groups.size());
-    if (inserted) {
+  };
+
+  int64_t row_key_buf[4];
+  std::vector<int64_t> row_key_vec;
+  int64_t* row_key = row_key_buf;
+  if (k > 4) {
+    row_key_vec.resize(k);
+    row_key = row_key_vec.data();
+  }
+
+  for (int32_t r : rows) {
+    uint64_t hash;
+    if (k == 1) {
+      row_key[0] = key_cols[0]->CellKey(r);
+      hash = Mix64(static_cast<uint64_t>(row_key[0]));
+    } else {
+      hash = 0x9E3779B97F4A7C15ULL;
+      for (size_t i = 0; i < k; ++i) {
+        row_key[i] = key_cols[i]->CellKey(r);
+        hash = HashCombine(hash, static_cast<uint64_t>(row_key[i]));
+      }
+    }
+
+    size_t pos = static_cast<size_t>(hash) & mask;
+    int32_t group = -1;
+    while (slot_group[pos] >= 0) {
+      if (slot_hash[pos] == hash) {
+        const int64_t* stored =
+            key_storage.data() + static_cast<size_t>(slot_group[pos]) * k;
+        bool equal = true;
+        for (size_t i = 0; i < k; ++i) {
+          if (stored[i] != row_key[i]) {
+            equal = false;
+            break;
+          }
+        }
+        if (equal) {
+          group = slot_group[pos];
+          break;
+        }
+      }
+      pos = (pos + 1) & mask;
+    }
+    if (group < 0) {
+      group = static_cast<int32_t>(result.groups.size());
+      slot_group[pos] = group;
+      slot_hash[pos] = hash;
+      group_hash.push_back(hash);
+      key_storage.insert(key_storage.end(), row_key, row_key + k);
       Group g;
-      g.keys.reserve(spec.group_columns.size());
+      g.keys.reserve(k);
       for (int c : spec.group_columns) {
         g.keys.push_back(table.column(c)->GetValue(r));
       }
       result.groups.push_back(std::move(g));
+      if (result.groups.size() * 4 > capacity * 3) grow();
     }
-    result.groups[it->second].rows.push_back(r);
+    result.groups[static_cast<size_t>(group)].rows.push_back(r);
   }
 
   // Aggregate each group.
@@ -336,6 +442,9 @@ Result<GroupedResult> GroupAggregate(const Table& table,
 }
 
 std::vector<int32_t> AllRows(const Table& table) {
+  ATENA_CHECK(table.num_rows() <= std::numeric_limits<int32_t>::max())
+      << "AllRows: table '" << table.name()
+      << "' exceeds int32 row-index range (" << table.num_rows() << " rows)";
   std::vector<int32_t> rows(static_cast<size_t>(table.num_rows()));
   for (int64_t i = 0; i < table.num_rows(); ++i) {
     rows[static_cast<size_t>(i)] = static_cast<int32_t>(i);

@@ -45,6 +45,9 @@ bool ValueLess(const Value& a, const Value& b);
 ///    string column compare whole tokens.
 ///  * kEq/kNeq between numeric column and numeric term compare by value
 ///    (int 5 == double 5.0).
+///
+/// Returns OutOfRange when the table has more rows than an int32 row index
+/// can address.
 Result<std::vector<int32_t>> FilterRows(const Table& table,
                                         const std::vector<int32_t>& rows,
                                         int column, CompareOp op,
@@ -90,7 +93,8 @@ Result<GroupedResult> GroupAggregate(const Table& table,
                                      const std::vector<int32_t>& rows,
                                      const GroupSpec& spec);
 
-/// Identity row selection [0, num_rows).
+/// Identity row selection [0, num_rows). Checks (fatally) that every row is
+/// addressable by an int32 index instead of silently truncating.
 std::vector<int32_t> AllRows(const Table& table);
 
 }  // namespace atena

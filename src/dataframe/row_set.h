@@ -1,0 +1,58 @@
+#ifndef ATENA_DATAFRAME_ROW_SET_H_
+#define ATENA_DATAFRAME_ROW_SET_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace atena {
+
+/// An immutable, shareable row selection over a table.
+///
+/// A RowSet wraps `shared_ptr<const vector<int32_t>>` behind the read-only
+/// surface of a vector, so displays, the per-step history, environment
+/// snapshots and the display cache all share one row buffer instead of
+/// deep-copying it (copying a RowSet copies a pointer). It converts
+/// implicitly to `const std::vector<int32_t>&`, which keeps the dataframe
+/// kernels' signatures unchanged.
+class RowSet {
+ public:
+  using Storage = std::shared_ptr<const std::vector<int32_t>>;
+
+  RowSet() = default;
+  /// Takes ownership of a freshly computed selection.
+  RowSet(std::vector<int32_t> rows)  // NOLINT(runtime/explicit)
+      : data_(std::make_shared<const std::vector<int32_t>>(std::move(rows))) {}
+  /// Adopts an already shared selection (e.g. a display-cache hit).
+  RowSet(Storage rows)  // NOLINT(runtime/explicit)
+      : data_(std::move(rows)) {}
+
+  RowSet& operator=(std::vector<int32_t> rows) {
+    data_ = std::make_shared<const std::vector<int32_t>>(std::move(rows));
+    return *this;
+  }
+
+  const std::vector<int32_t>& vec() const { return data_ ? *data_ : Empty(); }
+  operator const std::vector<int32_t>&() const { return vec(); }
+  /// The underlying shared buffer (null when default-constructed).
+  const Storage& storage() const { return data_; }
+
+  size_t size() const { return vec().size(); }
+  bool empty() const { return vec().empty(); }
+  int32_t operator[](size_t i) const { return vec()[i]; }
+  std::vector<int32_t>::const_iterator begin() const { return vec().begin(); }
+  std::vector<int32_t>::const_iterator end() const { return vec().end(); }
+
+ private:
+  static const std::vector<int32_t>& Empty() {
+    static const std::vector<int32_t> empty;
+    return empty;
+  }
+
+  Storage data_;
+};
+
+}  // namespace atena
+
+#endif  // ATENA_DATAFRAME_ROW_SET_H_

@@ -2,6 +2,14 @@
 
 namespace atena {
 
+GroupSpec Display::MakeGroupSpec() const {
+  GroupSpec spec;
+  spec.group_columns = group_columns;
+  spec.agg = agg;
+  spec.agg_column = agg_column;
+  return spec;
+}
+
 std::vector<double> Display::AggregateValues() const {
   std::vector<double> out;
   if (!grouped) return out;

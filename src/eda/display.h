@@ -1,10 +1,12 @@
 #ifndef ATENA_EDA_DISPLAY_H_
 #define ATENA_EDA_DISPLAY_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "dataframe/ops.h"
+#include "dataframe/row_set.h"
 #include "eda/operation.h"
 
 namespace atena {
@@ -23,8 +25,13 @@ struct FilterPred {
 struct Display {
   /// Filters applied so far, in application order.
   std::vector<FilterPred> filters;
-  /// Selected rows of the source table after `filters`.
-  std::vector<int32_t> rows;
+  /// Selected rows of the source table after `filters`. Shared storage:
+  /// copying a display (stack push, history entry, snapshot) shares the
+  /// row buffer instead of duplicating it.
+  RowSet rows;
+  /// Canonical signature of the filter set that produced `rows` (see
+  /// display_cache.h); keys the display-execution cache.
+  uint64_t rows_signature = 0;
   /// Grouped attributes in application order; empty = ungrouped display.
   std::vector<int> group_columns;
   /// Aggregation shown for the groups (from the most recent GROUP).
@@ -34,6 +41,9 @@ struct Display {
   std::shared_ptr<const GroupedResult> grouped;
 
   bool is_grouped() const { return !group_columns.empty(); }
+
+  /// The GroupSpec describing this display's grouping state.
+  GroupSpec MakeGroupSpec() const;
 
   /// Aggregate values of all groups (empty when ungrouped); feeds the KL
   /// interestingness reward for grouped displays.

@@ -1,0 +1,180 @@
+#include "eda/display_cache.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/hashing.h"
+#include "common/logging.h"
+
+namespace atena {
+
+namespace {
+
+// Section salts keep the four typed key spaces disjoint even when they are
+// derived from the same operation-path signature.
+constexpr uint64_t kRowsSalt = 0xA1C4E953F0B6D711ULL;
+constexpr uint64_t kGroupSalt = 0xB7E151628AED2A6BULL;
+constexpr uint64_t kTokenSalt = 0x93C467E37DB0C7A4ULL;
+constexpr uint64_t kCappedSalt = 0xD1310BA698DFB5ACULL;
+constexpr uint64_t kVectorSalt = 0xF61E2562C040B340ULL;
+
+uint64_t HashValue(const Value& value) {
+  if (value.is_null()) return Mix64(0x9D2C5680ULL);
+  if (value.is_int()) {
+    return HashCombine(1, static_cast<uint64_t>(value.as_int()));
+  }
+  if (value.is_double()) {
+    return HashCombine(2, std::bit_cast<uint64_t>(value.as_double()));
+  }
+  return HashCombine(3, HashString(value.as_string()));
+}
+
+}  // namespace
+
+DisplayCache::DisplayCache(Options options) {
+  const int shards = std::max(1, options.shards);
+  per_shard_capacity_ =
+      std::max<size_t>(1, options.capacity / static_cast<size_t>(shards));
+  shards_.reserve(static_cast<size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<const void> DisplayCache::Get(uint64_t key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  return it->second.value;
+}
+
+void DisplayCache::Put(uint64_t key, std::shared_ptr<const void> value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    // Another actor raced us to the same computation; both results are
+    // bit-identical, keep the resident one.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    return;
+  }
+  shard.lru.push_front(key);
+  shard.entries.emplace(key, Entry{std::move(value), shard.lru.begin()});
+  while (shard.entries.size() > per_shard_capacity_) {
+    shard.entries.erase(shard.lru.back());
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::shared_ptr<const std::vector<int32_t>> DisplayCache::GetRows(
+    uint64_t key) {
+  return std::static_pointer_cast<const std::vector<int32_t>>(Get(key));
+}
+
+void DisplayCache::PutRows(uint64_t key,
+                           std::shared_ptr<const std::vector<int32_t>> rows) {
+  Put(key, std::move(rows));
+}
+
+std::shared_ptr<const GroupedResult> DisplayCache::GetGrouped(uint64_t key) {
+  return std::static_pointer_cast<const GroupedResult>(Get(key));
+}
+
+void DisplayCache::PutGrouped(uint64_t key,
+                              std::shared_ptr<const GroupedResult> grouped) {
+  Put(key, std::move(grouped));
+}
+
+std::shared_ptr<const std::vector<TokenFreq>> DisplayCache::GetTokens(
+    uint64_t key) {
+  return std::static_pointer_cast<const std::vector<TokenFreq>>(Get(key));
+}
+
+void DisplayCache::PutTokens(
+    uint64_t key, std::shared_ptr<const std::vector<TokenFreq>> tokens) {
+  Put(key, std::move(tokens));
+}
+
+std::shared_ptr<const std::vector<double>> DisplayCache::GetVector(
+    uint64_t key) {
+  return std::static_pointer_cast<const std::vector<double>>(Get(key));
+}
+
+void DisplayCache::PutVector(uint64_t key,
+                             std::shared_ptr<const std::vector<double>> vec) {
+  Put(key, std::move(vec));
+}
+
+void DisplayCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->entries.clear();
+    shard->lru.clear();
+  }
+}
+
+DisplayCacheStats DisplayCache::stats() const {
+  DisplayCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    stats.entries += shard->entries.size();
+  }
+  return stats;
+}
+
+uint64_t RootRowsSignature(const Table& table) {
+  uint64_t sig = HashString(table.name(), kRowsSalt);
+  return HashCombine(sig, static_cast<uint64_t>(table.num_rows()));
+}
+
+uint64_t FilterChildSignature(uint64_t parent_rows_signature,
+                              const FilterPred& pred) {
+  uint64_t h = HashCombine(static_cast<uint64_t>(pred.column),
+                           static_cast<uint64_t>(pred.op));
+  h = HashCombine(h, HashValue(pred.term));
+  // Commutative across predicates: sequential filters select the
+  // conjunction of their predicate set, so reordered paths must collide.
+  return parent_rows_signature + Mix64(h);
+}
+
+uint64_t GroupKey(uint64_t rows_signature, const GroupSpec& spec) {
+  uint64_t key = HashCombine(kGroupSalt, rows_signature);
+  for (int c : spec.group_columns) {
+    key = HashCombine(key, static_cast<uint64_t>(c));
+  }
+  key = HashCombine(key, static_cast<uint64_t>(spec.agg));
+  return HashCombine(key, static_cast<uint64_t>(spec.agg_column));
+}
+
+uint64_t TokenKey(uint64_t rows_signature, int column, int row_cap) {
+  uint64_t key = HashCombine(kTokenSalt, rows_signature);
+  key = HashCombine(key, static_cast<uint64_t>(column));
+  return HashCombine(key, static_cast<uint64_t>(row_cap));
+}
+
+uint64_t CappedRowsKey(uint64_t rows_signature, int row_cap) {
+  uint64_t key = HashCombine(kCappedSalt, rows_signature);
+  return HashCombine(key, static_cast<uint64_t>(row_cap));
+}
+
+uint64_t DisplayVectorKey(const Display& display, int row_cap) {
+  uint64_t key = HashCombine(kVectorSalt, display.rows_signature);
+  key = HashCombine(key, static_cast<uint64_t>(row_cap));
+  for (int c : display.group_columns) {
+    key = HashCombine(key, static_cast<uint64_t>(c));
+  }
+  key = HashCombine(key, static_cast<uint64_t>(display.agg));
+  return HashCombine(key, static_cast<uint64_t>(display.agg_column));
+}
+
+}  // namespace atena

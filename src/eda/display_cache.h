@@ -1,0 +1,135 @@
+#ifndef ATENA_EDA_DISPLAY_CACHE_H_
+#define ATENA_EDA_DISPLAY_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "dataframe/ops.h"
+#include "dataframe/stats.h"
+#include "eda/display.h"
+
+namespace atena {
+
+/// Running counters of one DisplayCache (totals across all shards).
+struct DisplayCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t entries = 0;
+
+  double hit_rate() const {
+    const uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+/// Thread-safe sharded LRU memoization cache for display execution.
+///
+/// RL training replays the same operation prefixes constantly (Boltzmann
+/// exploration concentrates on few actions as the policy converges), so the
+/// environment memoizes the expensive products of a step keyed by a
+/// canonical 64-bit signature of the operation path (see the Signature
+/// functions below): filter row sets, grouped results, per-column token
+/// frequencies, capped row samples and encoded display vectors. One
+/// instance is shared by all actors of ParallelPpoTrainer; each key shard
+/// has its own mutex, so concurrent actors contend only within a shard.
+///
+/// Every cached value is an immutable shared_ptr produced by the exact
+/// deterministic kernel the cache fronts, so a hit is bit-identical to a
+/// recompute — caching never changes observations, rewards or notebooks.
+class DisplayCache {
+ public:
+  struct Options {
+    /// Maximum resident entries across all shards (each shard evicts LRU
+    /// past capacity/shards).
+    size_t capacity = size_t{1} << 16;
+    int shards = 8;
+  };
+
+  explicit DisplayCache(Options options);
+
+  DisplayCache(const DisplayCache&) = delete;
+  DisplayCache& operator=(const DisplayCache&) = delete;
+
+  /// Typed sections. Keys must come from the matching Signature function,
+  /// which salts the operation-path hash per section.
+  std::shared_ptr<const std::vector<int32_t>> GetRows(uint64_t key);
+  void PutRows(uint64_t key, std::shared_ptr<const std::vector<int32_t>> rows);
+
+  std::shared_ptr<const GroupedResult> GetGrouped(uint64_t key);
+  void PutGrouped(uint64_t key, std::shared_ptr<const GroupedResult> grouped);
+
+  std::shared_ptr<const std::vector<TokenFreq>> GetTokens(uint64_t key);
+  void PutTokens(uint64_t key,
+                 std::shared_ptr<const std::vector<TokenFreq>> tokens);
+
+  std::shared_ptr<const std::vector<double>> GetVector(uint64_t key);
+  void PutVector(uint64_t key, std::shared_ptr<const std::vector<double>> vec);
+
+  void Clear();
+  DisplayCacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const void> value;
+    std::list<uint64_t>::iterator lru_it;
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<uint64_t, Entry> entries;
+    /// Most-recently-used front; evictions pop the back.
+    std::list<uint64_t> lru;
+  };
+
+  Shard& ShardFor(uint64_t key) {
+    return *shards_[static_cast<size_t>(key) % shards_.size()];
+  }
+  std::shared_ptr<const void> Get(uint64_t key);
+  void Put(uint64_t key, std::shared_ptr<const void> value);
+
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+/// Canonical operation-path signatures. All are pure functions of the
+/// logical operation chain (never of row contents or pointers), so every
+/// actor sharing a cache derives identical keys for identical work.
+///
+/// The row-set signature is *commutative* over filter predicates: a chain
+/// of filters selects the rows satisfying the conjunction of its predicate
+/// set, independent of application order, so displays reached through
+/// reordered filter paths share one cached row set.
+
+/// Signature of the unfiltered root selection of `table`.
+uint64_t RootRowsSignature(const Table& table);
+
+/// Signature of the selection after applying `pred` to a parent selection.
+uint64_t FilterChildSignature(uint64_t parent_rows_signature,
+                              const FilterPred& pred);
+
+/// Key of the grouped result of `spec` over a selection (Grouped section).
+uint64_t GroupKey(uint64_t rows_signature, const GroupSpec& spec);
+
+/// Key of a column's token-frequency list over the capped selection
+/// (Tokens section). `row_cap` is EnvConfig::stats_row_cap.
+uint64_t TokenKey(uint64_t rows_signature, int column, int row_cap);
+
+/// Key of the stride-sampled capped selection itself (Rows section).
+uint64_t CappedRowsKey(uint64_t rows_signature, int row_cap);
+
+/// Key of the encoded observation vector of `display` (Vector section).
+uint64_t DisplayVectorKey(const Display& display, int row_cap);
+
+}  // namespace atena
+
+#endif  // ATENA_EDA_DISPLAY_CACHE_H_

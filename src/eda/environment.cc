@@ -34,10 +34,17 @@ EdaEnvironment::EdaEnvironment(Dataset dataset, EnvConfig config)
       rng_(config.seed) {
   action_space_.num_columns = dataset_.table->num_columns();
   action_space_.num_term_bins = config_.num_term_bins;
-  auto all_rows = AllRows(*dataset_.table);
+  if (config_.display_cache_enabled && config_.display_cache_capacity > 0) {
+    DisplayCache::Options options;
+    options.capacity = config_.display_cache_capacity;
+    options.shards = config_.display_cache_shards;
+    cache_ = std::make_shared<DisplayCache>(options);
+  }
+  all_rows_ = AllRows(*dataset_.table);
+  root_signature_ = RootRowsSignature(*dataset_.table);
   distinct_ratios_.reserve(static_cast<size_t>(table().num_columns()));
   for (int c = 0; c < table().num_columns(); ++c) {
-    ColumnStats stats = ComputeColumnStats(*table().column(c), all_rows);
+    ColumnStats stats = ComputeColumnStats(*table().column(c), all_rows_);
     distinct_ratios_.push_back(
         table().num_rows() > 0
             ? static_cast<double>(stats.distinct) /
@@ -67,6 +74,20 @@ std::vector<int32_t> EdaEnvironment::CapRows(
   return out;
 }
 
+RowSet EdaEnvironment::CappedRows(const Display& display) const {
+  const int cap = config_.stats_row_cap;
+  if (cap <= 0 || static_cast<int>(display.rows.size()) <= cap) {
+    return display.rows;  // shared storage, no copy
+  }
+  const uint64_t key = CappedRowsKey(display.rows_signature, cap);
+  if (cache_) {
+    if (auto hit = cache_->GetRows(key)) return RowSet(std::move(hit));
+  }
+  RowSet capped(CapRows(display.rows));
+  if (cache_) cache_->PutRows(key, capped.storage());
+  return capped;
+}
+
 std::vector<double> EdaEnvironment::Reset() {
   stack_.clear();
   history_.clear();
@@ -75,13 +96,12 @@ std::vector<double> EdaEnvironment::Reset() {
   step_count_ = 0;
 
   Display root;
-  root.rows = AllRows(*dataset_.table);
+  root.rows = all_rows_;
+  root.rows_signature = root_signature_;
   stack_.push_back(root);
   history_.push_back(root);
 
-  Display capped = root;
-  capped.rows = CapRows(root.rows);
-  display_vectors_.push_back(encoder_.EncodeDisplay(capped));
+  display_vectors_.push_back(EncodeDisplayCached(root));
   return encoder_.EncodeObservation(display_vectors_);
 }
 
@@ -119,12 +139,14 @@ EdaOperation EdaEnvironment::ResolveAction(const EnvAction& action) {
         op = CompareOp::kEq;
       }
       // Sample a concrete token for the chosen frequency bin over the
-      // current display's rows (paper §5).
-      auto tokens = TokenFrequencies(col, CapRows(current_display().rows));
-      TermBinning binning(tokens, config_.num_term_bins);
+      // current display's rows (paper §5). The token list is memoized per
+      // (display row set, column); only the bin sampling consumes rng_.
+      auto tokens = CurrentTokenFrequencies(column);
+      TermBinning binning(*tokens, config_.num_term_bins);
       int token_index = binning.SampleToken(action.filter_bin, &rng_);
-      Value term = token_index >= 0 ? tokens[static_cast<size_t>(token_index)].token
-                                    : Value::Null();
+      Value term = token_index >= 0
+                       ? (*tokens)[static_cast<size_t>(token_index)].token
+                       : Value::Null();
       return EdaOperation::Filter(column, op, std::move(term),
                                   action.filter_bin);
     }
@@ -158,17 +180,10 @@ bool EdaEnvironment::ApplyOperation(const EdaOperation& op) {
       next.group_columns.push_back(p.group_column);
       next.agg = p.agg;
       next.agg_column = p.agg_column;
-      GroupSpec spec;
-      spec.group_columns = next.group_columns;
-      spec.agg = p.agg;
-      spec.agg_column = p.agg_column;
-      auto grouped = GroupAggregate(table(), next.rows, spec);
-      if (!grouped.ok()) {
-        ATENA_LOG(kDebug) << "group failed: " << grouped.status();
-        return false;
-      }
-      next.grouped = std::make_shared<GroupedResult>(
-          std::move(grouped).value());
+      auto grouped = CachedGroupAggregate(next.rows_signature, next.rows,
+                                          next.MakeGroupSpec());
+      if (!grouped) return false;
+      next.grouped = std::move(grouped);
       stack_.push_back(std::move(next));
       return true;
     }
@@ -176,13 +191,23 @@ bool EdaEnvironment::ApplyOperation(const EdaOperation& op) {
       const FilterParams& p = op.filter;
       if (p.column < 0 || p.column >= table().num_columns()) return false;
       if (p.term.is_null()) return false;  // column had no tokens
-      auto filtered = FilterRows(table(), current.rows, p.column, p.op,
-                                 p.term);
-      if (!filtered.ok()) {
-        ATENA_LOG(kDebug) << "filter failed: " << filtered.status();
-        return false;
+      FilterPred pred{p.column, p.op, p.term};
+      const uint64_t child_signature =
+          FilterChildSignature(current.rows_signature, pred);
+      RowSet::Storage filtered_rows;
+      if (cache_) filtered_rows = cache_->GetRows(child_signature);
+      if (!filtered_rows) {
+        auto filtered = FilterRows(table(), current.rows, p.column, p.op,
+                                   p.term);
+        if (!filtered.ok()) {
+          ATENA_LOG(kDebug) << "filter failed: " << filtered.status();
+          return false;
+        }
+        filtered_rows = std::make_shared<const std::vector<int32_t>>(
+            std::move(filtered).value());
+        if (cache_) cache_->PutRows(child_signature, filtered_rows);
       }
-      if (filtered.value().empty()) return false;  // empty result display
+      if (filtered_rows->empty()) return false;  // empty result display
       // Re-applying a predicate that is already part of the display is a
       // no-op (a fresh predicate that happens to keep every row is fine —
       // experts use such filters to confirm a hypothesis).
@@ -193,17 +218,14 @@ bool EdaEnvironment::ApplyOperation(const EdaOperation& op) {
         }
       }
       Display next = current;
-      next.filters.push_back(FilterPred{p.column, p.op, p.term});
-      next.rows = std::move(filtered).value();
+      next.filters.push_back(std::move(pred));
+      next.rows = RowSet(std::move(filtered_rows));
+      next.rows_signature = child_signature;
       if (next.is_grouped()) {
-        GroupSpec spec;
-        spec.group_columns = next.group_columns;
-        spec.agg = next.agg;
-        spec.agg_column = next.agg_column;
-        auto grouped = GroupAggregate(table(), next.rows, spec);
-        if (!grouped.ok()) return false;
-        next.grouped = std::make_shared<GroupedResult>(
-            std::move(grouped).value());
+        auto grouped = CachedGroupAggregate(next.rows_signature, next.rows,
+                                            next.MakeGroupSpec());
+        if (!grouped) return false;
+        next.grouped = std::move(grouped);
       }
       stack_.push_back(std::move(next));
       return true;
@@ -216,10 +238,9 @@ StepOutcome EdaEnvironment::FinishStep(EdaOperation op, bool valid,
                                        bool /*pushed*/) {
   ++step_count_;
   // One history entry per step; invalid steps repeat the current display.
+  // Pushes share the display's row storage (RowSet) — no row copies.
   history_.push_back(stack_.back());
-  Display capped = stack_.back();
-  capped.rows = CapRows(capped.rows);
-  display_vectors_.push_back(encoder_.EncodeDisplay(capped));
+  display_vectors_.push_back(EncodeDisplayCached(stack_.back()));
 
   // The step is pushed before the reward is computed so that reward
   // functions and labeling rules see a consistent session log in which the
@@ -266,25 +287,21 @@ StepOutcome EdaEnvironment::StepOperation(const EdaOperation& op) {
 std::vector<EdaOperation> EdaEnvironment::EnumerateOperations(
     int tokens_per_column) const {
   std::vector<EdaOperation> out;
-  const Display& current = current_display();
-  const auto rows = CapRows(current.rows);
 
   for (int c = 0; c < table().num_columns(); ++c) {
     const Column& col = *table().column(c);
-    auto tokens = TokenFrequencies(col, rows);
+    auto tokens = CurrentTokenFrequencies(c);
     const int limit = std::min<int>(tokens_per_column,
-                                    static_cast<int>(tokens.size()));
+                                    static_cast<int>(tokens->size()));
     const bool string_col = col.type() == DataType::kString;
     for (int i = 0; i < limit; ++i) {
-      out.push_back(EdaOperation::Filter(c, CompareOp::kEq, tokens[i].token));
+      const Value& token = (*tokens)[static_cast<size_t>(i)].token;
+      out.push_back(EdaOperation::Filter(c, CompareOp::kEq, token));
       if (string_col) {
-        out.push_back(
-            EdaOperation::Filter(c, CompareOp::kNeq, tokens[i].token));
+        out.push_back(EdaOperation::Filter(c, CompareOp::kNeq, token));
       } else {
-        out.push_back(
-            EdaOperation::Filter(c, CompareOp::kGt, tokens[i].token));
-        out.push_back(
-            EdaOperation::Filter(c, CompareOp::kLe, tokens[i].token));
+        out.push_back(EdaOperation::Filter(c, CompareOp::kGt, token));
+        out.push_back(EdaOperation::Filter(c, CompareOp::kLe, token));
       }
     }
   }
@@ -300,6 +317,52 @@ std::vector<EdaOperation> EdaEnvironment::EnumerateOperations(
   }
   out.push_back(EdaOperation::Back());
   return out;
+}
+
+std::shared_ptr<const std::vector<TokenFreq>>
+EdaEnvironment::CurrentTokenFrequencies(int column) const {
+  const Display& current = current_display();
+  const uint64_t key =
+      TokenKey(current.rows_signature, column, config_.stats_row_cap);
+  if (cache_) {
+    if (auto hit = cache_->GetTokens(key)) return hit;
+  }
+  auto tokens = std::make_shared<const std::vector<TokenFreq>>(
+      TokenFrequencies(*table().column(column), CappedRows(current)));
+  if (cache_) cache_->PutTokens(key, tokens);
+  return tokens;
+}
+
+std::shared_ptr<const GroupedResult> EdaEnvironment::CachedGroupAggregate(
+    uint64_t rows_signature, const RowSet& rows, const GroupSpec& spec) {
+  const uint64_t key = GroupKey(rows_signature, spec);
+  if (cache_) {
+    if (auto hit = cache_->GetGrouped(key)) return hit;
+  }
+  auto grouped = GroupAggregate(table(), rows, spec);
+  if (!grouped.ok()) {
+    ATENA_LOG(kDebug) << "group failed: " << grouped.status();
+    return nullptr;
+  }
+  auto result =
+      std::make_shared<const GroupedResult>(std::move(grouped).value());
+  if (cache_) cache_->PutGrouped(key, result);
+  return result;
+}
+
+std::vector<double> EdaEnvironment::EncodeDisplayCached(
+    const Display& display) {
+  const uint64_t key = DisplayVectorKey(display, config_.stats_row_cap);
+  if (cache_) {
+    if (auto hit = cache_->GetVector(key)) return *hit;
+  }
+  Display capped = display;
+  capped.rows = CappedRows(display);
+  std::vector<double> vec = encoder_.EncodeDisplay(capped);
+  if (cache_) {
+    cache_->PutVector(key, std::make_shared<const std::vector<double>>(vec));
+  }
+  return vec;
 }
 
 EdaEnvironment::Snapshot EdaEnvironment::SaveSnapshot() const {

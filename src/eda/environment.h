@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "data/dataset.h"
 #include "eda/display.h"
+#include "eda/display_cache.h"
 #include "eda/observation.h"
 #include "eda/operation.h"
 #include "eda/reward_interface.h"
@@ -33,6 +34,13 @@ struct EnvConfig {
   /// attached; also returned when no signal is attached.
   double invalid_action_penalty = -1.0;
   uint64_t seed = 7;
+  /// Display-execution memoization cache (see display_cache.h). Disabled
+  /// caches recompute everything; results are bit-identical either way.
+  bool display_cache_enabled = true;
+  /// Maximum resident cache entries (row sets, grouped results, token
+  /// lists, encoded vectors) before LRU eviction.
+  size_t display_cache_capacity = size_t{1} << 16;
+  int display_cache_shards = 8;
 };
 
 /// Sizes of the parameterized action space. Segment order is the canonical
@@ -147,6 +155,24 @@ class EdaEnvironment {
   /// Stride-sampled view of `rows` respecting config().stats_row_cap.
   std::vector<int32_t> CapRows(const std::vector<int32_t>& rows) const;
 
+  /// Cached, zero-copy variant of CapRows for a display: a selection within
+  /// the cap is returned as-is (shared storage), larger selections are
+  /// stride-sampled once and memoized under the display's row signature.
+  RowSet CappedRows(const Display& display) const;
+
+  /// The display-execution cache; null when disabled by config. All actors
+  /// of a ParallelPpoTrainer share one instance.
+  const std::shared_ptr<DisplayCache>& display_cache() const {
+    return cache_;
+  }
+  /// Replaces the cache (pass null to disable). Sharing one cache across
+  /// environments of the same dataset/config is safe and deterministic:
+  /// keys are canonical operation-path signatures and values are exact
+  /// kernel outputs.
+  void SetDisplayCache(std::shared_ptr<DisplayCache> cache) {
+    cache_ = std::move(cache);
+  }
+
   /// Distinct-value ratio of each column over the full table (distinct
   /// non-null values / rows), computed once. Reward functions and
   /// coherency rules use it to tell key-like/continuous columns (ratio
@@ -171,6 +197,16 @@ class EdaEnvironment {
   StepOutcome FinishStep(EdaOperation op, bool valid, bool pushed);
   /// Applies `op` to the current display; returns false for no-op actions.
   bool ApplyOperation(const EdaOperation& op);
+  /// Token-frequency list of `column` over the current display's capped
+  /// rows, memoized per (row signature, column).
+  std::shared_ptr<const std::vector<TokenFreq>> CurrentTokenFrequencies(
+      int column) const;
+  /// Grouped result of `spec` over `rows`, memoized under `rows_signature`.
+  /// Null when grouping fails (status logged at debug level).
+  std::shared_ptr<const GroupedResult> CachedGroupAggregate(
+      uint64_t rows_signature, const RowSet& rows, const GroupSpec& spec);
+  /// Encoded observation vector of `display`, memoized by display key.
+  std::vector<double> EncodeDisplayCached(const Display& display);
 
   Dataset dataset_;
   EnvConfig config_;
@@ -178,6 +214,10 @@ class EdaEnvironment {
   ObservationEncoder encoder_;
   Rng rng_;
   RewardSignal* reward_ = nullptr;
+  std::shared_ptr<DisplayCache> cache_;
+  /// Shared root selection [0, num_rows), reused by every Reset.
+  RowSet all_rows_;
+  uint64_t root_signature_ = 0;
 
   std::vector<double> distinct_ratios_;
   std::vector<Display> stack_;

@@ -106,8 +106,9 @@ double GroupInterestingness(int64_t num_groups, int num_group_attrs,
 double FilterInterestingness(const EdaEnvironment& env,
                              const Display& current, const Display& previous) {
   const Table& table = env.table();
-  const auto cur_rows = env.CapRows(current.rows);
-  const auto prev_rows = env.CapRows(previous.rows);
+  // Cached, zero-copy capped selections (shared with the encoder's views).
+  const RowSet cur_rows = env.CappedRows(current);
+  const RowSet prev_rows = env.CappedRows(previous);
 
   const double support = SupportFactor(current.rows.size());
   if (current.is_grouped()) {

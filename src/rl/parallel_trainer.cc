@@ -20,6 +20,13 @@ ParallelPpoTrainer::ParallelPpoTrainer(std::vector<EdaEnvironment*> envs,
                                .beta2 = 0.999,
                                .epsilon = 1e-8}) {
   ATENA_CHECK(!envs_.empty()) << "parallel trainer needs at least one env";
+  // All actors explore the same dataset, so they share one display cache:
+  // operation prefixes recomputed by one actor become hits for the others.
+  // Safe because cache keys are canonical operation-path signatures and
+  // values are exact kernel outputs (hit ≡ recompute, bit-identical).
+  if (const auto& shared_cache = envs_[0]->display_cache()) {
+    for (EdaEnvironment* env : envs_) env->SetDisplayCache(shared_cache);
+  }
 }
 
 TrainingResult ParallelPpoTrainer::Train() {

@@ -279,6 +279,88 @@ TEST(FilterTest, OperatesOnGivenSubsetOnly) {
   EXPECT_EQ(out.value().size(), 1u);  // row 2 not in subset
 }
 
+/// Fixture for null-handling edge cases: a string column with a null cell
+/// and a numeric column that is entirely null.
+TablePtr MakeNullableTable() {
+  TableBuilder b("nullable");
+  b.AddColumn("name", DataType::kString);
+  b.AddColumn("score", DataType::kFloat64);
+  EXPECT_TRUE(b.AppendRow({Value(std::string("a")), Value::Null()}).ok());
+  EXPECT_TRUE(b.AppendRow({Value::Null(), Value::Null()}).ok());
+  EXPECT_TRUE(b.AppendRow({Value(std::string("b")), Value::Null()}).ok());
+  EXPECT_TRUE(b.AppendRow({Value(std::string("a")), Value::Null()}).ok());
+  auto t = b.Finish();
+  EXPECT_TRUE(t.ok());
+  return t.value();
+}
+
+TEST(FilterTest, NeqAbsentDictionaryTermKeepsAllNonNullRows) {
+  // "zzz" has no dictionary code (FindCode returns -1): != must keep every
+  // non-null row, and == must select nothing — without scanning strings.
+  auto t = MakeNullableTable();
+  auto rows = AllRows(*t);
+  auto neq = FilterRows(*t, rows, 0, CompareOp::kNeq,
+                        Value(std::string("zzz")));
+  ASSERT_TRUE(neq.ok());
+  EXPECT_EQ(neq.value(), (std::vector<int32_t>{0, 2, 3}));
+  auto eq = FilterRows(*t, rows, 0, CompareOp::kEq,
+                       Value(std::string("zzz")));
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(eq.value().empty());
+}
+
+TEST(FilterTest, NullStringCellsExcludedUnderEveryOpFamily) {
+  auto t = MakeNullableTable();
+  auto rows = AllRows(*t);
+  auto eq = FilterRows(*t, rows, 0, CompareOp::kEq, Value(std::string("a")));
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(eq.value(), (std::vector<int32_t>{0, 3}));
+  auto neq = FilterRows(*t, rows, 0, CompareOp::kNeq,
+                        Value(std::string("a")));
+  ASSERT_TRUE(neq.ok());
+  EXPECT_EQ(neq.value(), (std::vector<int32_t>{2}));  // null row 1 dropped
+  // Substring family: an empty needle matches every string, so only the
+  // null cell keeps a row out.
+  auto contains = FilterRows(*t, rows, 0, CompareOp::kContains,
+                             Value(std::string("")));
+  ASSERT_TRUE(contains.ok());
+  EXPECT_EQ(contains.value(), (std::vector<int32_t>{0, 2, 3}));
+  auto starts = FilterRows(*t, rows, 0, CompareOp::kStartsWith,
+                           Value(std::string("a")));
+  ASSERT_TRUE(starts.ok());
+  EXPECT_EQ(starts.value(), (std::vector<int32_t>{0, 3}));
+  auto ends = FilterRows(*t, rows, 0, CompareOp::kEndsWith,
+                         Value(std::string("b")));
+  ASSERT_TRUE(ends.ok());
+  EXPECT_EQ(ends.value(), (std::vector<int32_t>{2}));
+}
+
+TEST(FilterTest, NullNumericCellsExcludedUnderOrderingOps) {
+  auto t = MakeCityTable();  // population has one null (row 2)
+  auto rows = AllRows(*t);
+  for (CompareOp op :
+       {CompareOp::kGt, CompareOp::kGe, CompareOp::kLt, CompareOp::kLe}) {
+    auto out = FilterRows(*t, rows, 1, op, Value(int64_t{2100}));
+    ASSERT_TRUE(out.ok());
+    for (int32_t r : out.value()) EXPECT_NE(r, 2) << "op " << int(op);
+  }
+  // A threshold below every value: > keeps all four non-null rows only.
+  auto all = FilterRows(*t, rows, 1, CompareOp::kGt, Value(int64_t{0}));
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value(), (std::vector<int32_t>{0, 1, 3, 4}));
+}
+
+TEST(FilterTest, OrderingOpsOnAllNullNumericColumnSelectNothing) {
+  auto t = MakeNullableTable();
+  auto rows = AllRows(*t);
+  for (CompareOp op : {CompareOp::kGt, CompareOp::kGe, CompareOp::kLt,
+                       CompareOp::kLe, CompareOp::kEq, CompareOp::kNeq}) {
+    auto out = FilterRows(*t, rows, 1, op, Value(0.0));
+    ASSERT_TRUE(out.ok()) << "op " << int(op);
+    EXPECT_TRUE(out.value().empty()) << "op " << int(op);
+  }
+}
+
 // -------------------------------------------------------------- GroupBy
 
 TEST(GroupTest, CountPerGroup) {

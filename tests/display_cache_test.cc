@@ -1,0 +1,224 @@
+// Tests of the display-execution memoization cache: LRU/statistics
+// mechanics, signature canonicality, and the determinism guarantee — a
+// cache hit must be bit-identical to a recompute, whether the cache is
+// private, disabled, or shared by every actor of a parallel trainer.
+#include "eda/display_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/twofold_policy.h"
+#include "data/registry.h"
+#include "eda/environment.h"
+#include "reward/compound.h"
+#include "rl/parallel_trainer.h"
+
+namespace atena {
+namespace {
+
+std::shared_ptr<const std::vector<int32_t>> MakeRows(int32_t n) {
+  auto rows = std::make_shared<std::vector<int32_t>>();
+  for (int32_t i = 0; i < n; ++i) rows->push_back(i);
+  return rows;
+}
+
+TEST(DisplayCacheTest, RoundTripAndStats) {
+  DisplayCache cache({/*capacity=*/16, /*shards=*/2});
+  EXPECT_EQ(cache.GetRows(42), nullptr);  // miss
+  cache.PutRows(42, MakeRows(5));
+  auto hit = cache.GetRows(42);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size(), 5u);
+
+  const DisplayCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.GetRows(42), nullptr);
+}
+
+TEST(DisplayCacheTest, EvictsLeastRecentlyUsed) {
+  DisplayCache cache({/*capacity=*/4, /*shards=*/1});
+  for (uint64_t key = 1; key <= 4; ++key) cache.PutRows(key, MakeRows(1));
+  // Touch key 1 so key 2 becomes the least recently used.
+  ASSERT_NE(cache.GetRows(1), nullptr);
+  cache.PutRows(5, MakeRows(1));
+
+  EXPECT_EQ(cache.GetRows(2), nullptr);  // evicted
+  EXPECT_NE(cache.GetRows(1), nullptr);  // kept: recently used
+  EXPECT_NE(cache.GetRows(5), nullptr);
+  const DisplayCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 4u);
+}
+
+TEST(DisplayCacheTest, FilterSignatureIsOrderIndependent) {
+  FilterPred a{/*column=*/0, CompareOp::kEq, Value(std::string("SYN"))};
+  FilterPred b{/*column=*/2, CompareOp::kGe, Value(int64_t{80})};
+  const uint64_t root = 0x9E3779B97F4A7C15ULL;
+  // A filter chain selects the conjunction of its predicate set, so the
+  // signature must not depend on application order...
+  EXPECT_EQ(FilterChildSignature(FilterChildSignature(root, a), b),
+            FilterChildSignature(FilterChildSignature(root, b), a));
+  // ...but must depend on the predicates themselves.
+  EXPECT_NE(FilterChildSignature(root, a), FilterChildSignature(root, b));
+  FilterPred a_neq = a;
+  a_neq.op = CompareOp::kNeq;
+  EXPECT_NE(FilterChildSignature(root, a),
+            FilterChildSignature(root, a_neq));
+}
+
+EnvConfig CacheTestConfig(uint64_t seed, bool cache_enabled) {
+  EnvConfig config;
+  config.episode_length = 8;
+  config.num_term_bins = 4;
+  config.seed = seed;
+  config.display_cache_enabled = cache_enabled;
+  return config;
+}
+
+/// Steps `env` through `actions` and returns (observations ⧺ rewards)
+/// flattened, the full bitwise-comparable trace of the episode.
+std::vector<double> RunTrace(EdaEnvironment* env,
+                             const std::vector<EnvAction>& actions) {
+  std::vector<double> trace = env->Reset();
+  for (const EnvAction& action : actions) {
+    StepOutcome out = env->Step(action);
+    trace.insert(trace.end(), out.observation.begin(), out.observation.end());
+    trace.push_back(out.reward);
+    trace.push_back(out.valid ? 1.0 : 0.0);
+  }
+  return trace;
+}
+
+std::vector<EnvAction> RandomActions(const ActionSpace& space, uint64_t seed,
+                                     int count) {
+  Rng rng(seed);
+  std::vector<EnvAction> actions;
+  for (int i = 0; i < count; ++i) {
+    actions.push_back(SampleRandomAction(space, &rng));
+  }
+  return actions;
+}
+
+TEST(CacheDeterminismTest, CachedEpisodesMatchUncachedBitwise) {
+  auto dataset = MakeDataset("cyber2");
+  ASSERT_TRUE(dataset.ok());
+  EdaEnvironment cached(dataset.value(), CacheTestConfig(3, true));
+  EdaEnvironment uncached(dataset.value(), CacheTestConfig(3, false));
+  ASSERT_NE(cached.display_cache(), nullptr);
+  ASSERT_EQ(uncached.display_cache(), nullptr);
+  auto cached_reward = MakeStandardReward(&cached);
+  auto uncached_reward = MakeStandardReward(&uncached);
+  ASSERT_TRUE(cached_reward.ok());
+  ASSERT_TRUE(uncached_reward.ok());
+  cached.SetRewardSignal(cached_reward.value().get());
+  uncached.SetRewardSignal(uncached_reward.value().get());
+
+  // Several episodes so later ones replay cached prefixes of earlier ones.
+  for (uint64_t episode = 0; episode < 6; ++episode) {
+    auto actions = RandomActions(cached.action_space(), 100 + episode, 8);
+    EXPECT_EQ(RunTrace(&cached, actions), RunTrace(&uncached, actions))
+        << "episode " << episode;
+  }
+  // The cache must actually have been exercised for this test to mean
+  // anything.
+  EXPECT_GT(cached.display_cache()->stats().hits, 0u);
+}
+
+TEST(CacheDeterminismTest, SharedCacheAcrossActorsMatchesUncached) {
+  auto dataset = MakeDataset("cyber2");
+  ASSERT_TRUE(dataset.ok());
+  constexpr int kActors = 4;
+  std::vector<std::unique_ptr<EdaEnvironment>> shared, solo;
+  auto cache = std::make_shared<DisplayCache>(DisplayCache::Options{});
+  for (int i = 0; i < kActors; ++i) {
+    shared.push_back(std::make_unique<EdaEnvironment>(
+        dataset.value(), CacheTestConfig(uint64_t(i + 1), true)));
+    shared.back()->SetDisplayCache(cache);
+    solo.push_back(std::make_unique<EdaEnvironment>(
+        dataset.value(), CacheTestConfig(uint64_t(i + 1), false)));
+  }
+
+  // Interleave actors within each episode the way a synchronous parallel
+  // trainer does, so actors constantly hit entries their peers populated.
+  for (uint64_t episode = 0; episode < 4; ++episode) {
+    std::vector<std::vector<EnvAction>> actions;
+    std::vector<std::vector<double>> shared_traces(kActors), solo_traces(
+                                                                 kActors);
+    for (int i = 0; i < kActors; ++i) {
+      actions.push_back(RandomActions(shared[i]->action_space(),
+                                      200 + episode * kActors + uint64_t(i),
+                                      8));
+      shared_traces[i] = shared[i]->Reset();
+      solo_traces[i] = solo[i]->Reset();
+    }
+    for (size_t step = 0; step < 8; ++step) {
+      for (int i = 0; i < kActors; ++i) {
+        StepOutcome a = shared[i]->Step(actions[i][step]);
+        StepOutcome b = solo[i]->Step(actions[i][step]);
+        shared_traces[i].insert(shared_traces[i].end(),
+                                a.observation.begin(), a.observation.end());
+        shared_traces[i].push_back(a.reward);
+        solo_traces[i].insert(solo_traces[i].end(), b.observation.begin(),
+                              b.observation.end());
+        solo_traces[i].push_back(b.reward);
+      }
+    }
+    for (int i = 0; i < kActors; ++i) {
+      EXPECT_EQ(shared_traces[i], solo_traces[i])
+          << "actor " << i << " episode " << episode;
+    }
+  }
+  EXPECT_GT(cache->stats().hits, 0u);
+}
+
+TrainingResult TrainFourActors(const Dataset& dataset, bool cache_enabled) {
+  std::vector<std::unique_ptr<EdaEnvironment>> owned;
+  std::vector<EdaEnvironment*> envs;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    owned.push_back(std::make_unique<EdaEnvironment>(
+        dataset, CacheTestConfig(seed, cache_enabled)));
+    envs.push_back(owned.back().get());
+  }
+  TwofoldPolicy::Options policy_options;
+  policy_options.hidden = {8};
+  policy_options.seed = 5;
+  TwofoldPolicy policy(envs[0]->observation_dim(), envs[0]->action_space(),
+                       policy_options);
+  TrainerOptions options;
+  options.total_steps = 640;
+  options.rollout_length = 64;
+  options.final_eval_episodes = 2;
+  options.seed = 17;
+  ParallelPpoTrainer trainer(envs, &policy, options);
+  return trainer.Train();
+}
+
+TEST(CacheDeterminismTest, ParallelTrainerIdenticalWithAndWithoutCache) {
+  auto dataset = MakeDataset("cyber2");
+  ASSERT_TRUE(dataset.ok());
+  TrainingResult with_cache = TrainFourActors(dataset.value(), true);
+  TrainingResult without_cache = TrainFourActors(dataset.value(), false);
+
+  EXPECT_EQ(with_cache.episodes, without_cache.episodes);
+  EXPECT_EQ(with_cache.final_mean_reward, without_cache.final_mean_reward);
+  ASSERT_EQ(with_cache.curve.size(), without_cache.curve.size());
+  for (size_t i = 0; i < with_cache.curve.size(); ++i) {
+    EXPECT_EQ(with_cache.curve[i].mean_episode_reward,
+              without_cache.curve[i].mean_episode_reward)
+        << "curve point " << i;
+  }
+  ASSERT_EQ(with_cache.best_episode_ops.size(),
+            without_cache.best_episode_ops.size());
+}
+
+}  // namespace
+}  // namespace atena

@@ -135,7 +135,9 @@ TEST(ObservationTest, MostRecentDisplayFirst) {
   Display root;
   root.rows = AllRows(*d.table);
   Display half = root;
-  half.rows.resize(root.rows.size() / 2);
+  half.rows = std::vector<int32_t>(root.rows.begin(),
+                                   root.rows.begin() +
+                                       root.rows.size() / 2);
   auto v_root = encoder.EncodeDisplay(root);
   auto v_half = encoder.EncodeDisplay(half);
   auto obs = encoder.EncodeObservation({v_root, v_half});
