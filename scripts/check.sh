@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full verification sweep: the tier-1 build + test cycle, then the same
+# suite again under AddressSanitizer (ATENA_SANITIZE=address) in a separate
+# build tree. Run from anywhere; builds land in <repo>/build and
+# <repo>/build-asan.
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B "$repo/build" -S "$repo"
+cmake --build "$repo/build" -j "$jobs"
+ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+
+echo "== asan: configure + build + ctest (ATENA_SANITIZE=address) =="
+cmake -B "$repo/build-asan" -S "$repo" -DATENA_SANITIZE=address
+cmake --build "$repo/build-asan" -j "$jobs"
+ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
+
+echo "== all checks passed =="

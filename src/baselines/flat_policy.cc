@@ -21,13 +21,17 @@ FlatPolicy::FlatPolicy(const EdaEnvironment& env, Options options)
   Rng rng(options_.seed);
   trunk_ = std::make_unique<Sequential>();
   int prev = env.observation_dim();
+  int idx = 0;
   for (int h : options_.hidden) {
-    trunk_->Add(std::make_unique<Dense>(prev, h, &rng));
+    trunk_->Add(std::make_unique<Dense>(prev, h, &store_,
+                                        "trunk." + std::to_string(idx++),
+                                        &rng));
     trunk_->Add(std::make_unique<Relu>());
     prev = h;
   }
-  policy_head_ = std::make_unique<Dense>(prev, num_actions(), &rng);
-  value_head_ = std::make_unique<Dense>(prev, 1, &rng);
+  policy_head_ = std::make_unique<Dense>(prev, num_actions(), &store_,
+                                         "policy_head", &rng);
+  value_head_ = std::make_unique<Dense>(prev, 1, &store_, "value_head", &rng);
 }
 
 void FlatPolicy::BuildActionTable(const EdaEnvironment& env) {
@@ -100,25 +104,29 @@ void FlatPolicy::BuildActionTable(const EdaEnvironment& env) {
                    << " output nodes (" << env.dataset().info.id << ")";
 }
 
-PolicyStep FlatPolicy::MakeStep(const std::vector<double>& observation,
-                                Rng* rng, bool greedy) {
-  Matrix obs = Matrix::FromRow(observation);
-  Matrix h = trunk_->Forward(obs);
-  Matrix logits = policy_head_->Forward(h);
-  Matrix value = value_head_->Forward(h);
-  SoftmaxRangeInPlace(&logits, 0, num_actions());
-  const double* probs = logits.RowPtr(0);
+const Matrix* FlatPolicy::ForwardGraph(const Matrix& observations) {
+  const Matrix& h = trunk_->Forward(observations, &ws_);
+  const Matrix& logits = policy_head_->Forward(h, &ws_);
+  const Matrix& values = value_head_->Forward(h, &ws_);
+  probs_buf_ = logits;
+  SoftmaxRangeInPlace(&probs_buf_, 0, num_actions());
+  ++forward_passes_;
+  return &values;
+}
 
+PolicyStep FlatPolicy::StepFromRow(const double* probs, double value,
+                                   Rng* rng) const {
+  const int n = static_cast<int>(actions_.size());
   int index = 0;
-  if (greedy) {
-    for (int i = 1; i < num_actions(); ++i) {
+  if (rng == nullptr) {
+    for (int i = 1; i < n; ++i) {
       if (probs[i] > probs[index]) index = i;
     }
   } else {
     double target = rng->NextDouble();
     double acc = 0.0;
-    index = num_actions() - 1;
-    for (int i = 0; i < num_actions(); ++i) {
+    index = n - 1;
+    for (int i = 0; i < n; ++i) {
       acc += probs[i];
       if (target < acc) {
         index = i;
@@ -128,7 +136,7 @@ PolicyStep FlatPolicy::MakeStep(const std::vector<double>& observation,
   }
 
   double entropy = 0.0;
-  for (int i = 0; i < num_actions(); ++i) {
+  for (int i = 0; i < n; ++i) {
     if (probs[i] > 0.0) entropy -= probs[i] * SafeLog(probs[i]);
   }
 
@@ -136,25 +144,42 @@ PolicyStep FlatPolicy::MakeStep(const std::vector<double>& observation,
   step.action = actions_[static_cast<size_t>(index)];
   step.log_prob = SafeLog(probs[index]);
   step.entropy = entropy;
-  step.value = value(0, 0);
+  step.value = value;
   return step;
 }
 
+PolicyStep FlatPolicy::MakeStep(const std::vector<double>& observation,
+                                Rng* rng) {
+  Matrix obs = Matrix::FromRow(observation);
+  const Matrix* values = ForwardGraph(obs);
+  return StepFromRow(probs_buf_.RowPtr(0), (*values)(0, 0), rng);
+}
+
 PolicyStep FlatPolicy::Act(const std::vector<double>& observation, Rng* rng) {
-  return MakeStep(observation, rng, /*greedy=*/false);
+  return MakeStep(observation, rng);
 }
 
 PolicyStep FlatPolicy::ActGreedy(const std::vector<double>& observation) {
-  return MakeStep(observation, /*rng=*/nullptr, /*greedy=*/true);
+  return MakeStep(observation, /*rng=*/nullptr);
+}
+
+std::vector<PolicyStep> FlatPolicy::ActBatch(const Matrix& observations,
+                                             Rng* rng) {
+  // One forward pass for every actor; rows are sampled in order, each
+  // consuming `rng` exactly as a per-sample Act would (bit-identical).
+  const Matrix* values = ForwardGraph(observations);
+  std::vector<PolicyStep> steps;
+  steps.reserve(static_cast<size_t>(observations.rows()));
+  for (int r = 0; r < observations.rows(); ++r) {
+    steps.push_back(StepFromRow(probs_buf_.RowPtr(r), (*values)(r, 0), rng));
+  }
+  return steps;
 }
 
 BatchEvaluation FlatPolicy::ForwardBatch(
     const Matrix& observations, const std::vector<ActionRecord>& actions) {
   const int batch = observations.rows();
-  Matrix h = trunk_->Forward(observations);
-  Matrix logits = policy_head_->Forward(h);
-  Matrix values = value_head_->Forward(h);
-  SoftmaxRangeInPlace(&logits, 0, num_actions());
+  const Matrix* values = ForwardGraph(observations);
 
   batch_probs_.clear();
   batch_probs_.reserve(static_cast<size_t>(batch));
@@ -167,7 +192,7 @@ BatchEvaluation FlatPolicy::ForwardBatch(
   eval.entropies.resize(static_cast<size_t>(batch));
   eval.values.resize(static_cast<size_t>(batch));
   for (int b = 0; b < batch; ++b) {
-    const double* probs = logits.RowPtr(b);
+    const double* probs = probs_buf_.RowPtr(b);
     const int index = actions[static_cast<size_t>(b)].flat_index;
     ATENA_CHECK(index >= 0 && index < num_actions())
         << "flat policy evaluated with a foreign action";
@@ -177,7 +202,7 @@ BatchEvaluation FlatPolicy::ForwardBatch(
     }
     eval.log_probs[static_cast<size_t>(b)] = SafeLog(probs[index]);
     eval.entropies[static_cast<size_t>(b)] = entropy;
-    eval.values[static_cast<size_t>(b)] = values(b, 0);
+    eval.values[static_cast<size_t>(b)] = (*values)(b, 0);
     batch_probs_.emplace_back(probs, probs + num_actions());
     batch_indices_.push_back(index);
   }
@@ -211,16 +236,11 @@ void FlatPolicy::BackwardBatch(const std::vector<SampleGrad>& grads) {
       }
     }
   }
-  Matrix grad_h = policy_head_->Backward(dlogits);
-  AxpyInPlace(&grad_h, value_head_->Backward(dvalues), 1.0);
-  trunk_->Backward(grad_h);
+  Matrix grad_h = policy_head_->Backward(dlogits, &ws_);
+  AxpyInPlace(&grad_h, value_head_->Backward(dvalues, &ws_), 1.0);
+  trunk_->Backward(grad_h, &ws_);
 }
 
-std::vector<Parameter*> FlatPolicy::Parameters() {
-  std::vector<Parameter*> params = trunk_->Parameters();
-  for (Parameter* p : policy_head_->Parameters()) params.push_back(p);
-  for (Parameter* p : value_head_->Parameters()) params.push_back(p);
-  return params;
-}
+std::vector<Parameter*> FlatPolicy::Parameters() { return store_.All(); }
 
 }  // namespace atena

@@ -46,13 +46,17 @@ TwofoldPolicy::TwofoldPolicy(int observation_dim, const ActionSpace& space,
   Rng rng(options.seed);
   trunk_ = std::make_unique<Sequential>();
   int prev = observation_dim;
+  int idx = 0;
   for (int h : options.hidden) {
-    trunk_->Add(std::make_unique<Dense>(prev, h, &rng));
+    trunk_->Add(std::make_unique<Dense>(prev, h, &store_,
+                                        "trunk." + std::to_string(idx++),
+                                        &rng));
     trunk_->Add(std::make_unique<Relu>());
     prev = h;
   }
-  policy_head_ = std::make_unique<Dense>(prev, total_nodes_, &rng);
-  value_head_ = std::make_unique<Dense>(prev, 1, &rng);
+  policy_head_ =
+      std::make_unique<Dense>(prev, total_nodes_, &store_, "policy_head", &rng);
+  value_head_ = std::make_unique<Dense>(prev, 1, &store_, "value_head", &rng);
 }
 
 std::vector<int> TwofoldPolicy::OpSegments(int op) {
@@ -141,19 +145,25 @@ double TwofoldPolicy::ActionLogProb(const SegmentProbs& probs,
   return logp;
 }
 
-PolicyStep TwofoldPolicy::MakeStep(const std::vector<double>& observation,
-                                   Rng* rng, bool greedy) {
-  Matrix obs = Matrix::FromRow(observation);
-  Matrix h = trunk_->Forward(obs);
-  Matrix logits = policy_head_->Forward(h);
-  Matrix value = value_head_->Forward(h);
-  SegmentProbs probs = ComputeProbs(logits.RowPtr(0));
+TwofoldPolicy::GraphOutputs TwofoldPolicy::ForwardGraph(
+    const Matrix& observations) {
+  const Matrix& h = trunk_->Forward(observations, &ws_);
+  GraphOutputs out;
+  out.logits = &policy_head_->Forward(h, &ws_);
+  out.values = &value_head_->Forward(h, &ws_);
+  ++forward_passes_;
+  return out;
+}
+
+PolicyStep TwofoldPolicy::StepFromRow(const double* logits, double value,
+                                      Rng* rng) const {
+  SegmentProbs probs = ComputeProbs(logits);
 
   EnvAction action;
   auto pick = [&](int segment) {
     const double* p = probs.probs.data() + segment_offsets_[segment];
     const int n = segment_sizes_[segment];
-    return greedy ? ArgmaxProbs(p, n) : SampleFromProbs(p, n, rng);
+    return rng == nullptr ? ArgmaxProbs(p, n) : SampleFromProbs(p, n, rng);
   };
   const int op = pick(0);
   action.type = static_cast<OpType>(op);
@@ -191,25 +201,46 @@ PolicyStep TwofoldPolicy::MakeStep(const std::vector<double>& observation,
   step.action.is_concrete = false;
   step.log_prob = ActionLogProb(probs, action);
   step.entropy = JointEntropy(probs);
-  step.value = value(0, 0);
+  step.value = value;
   return step;
+}
+
+PolicyStep TwofoldPolicy::MakeStep(const std::vector<double>& observation,
+                                   Rng* rng) {
+  Matrix obs = Matrix::FromRow(observation);
+  GraphOutputs out = ForwardGraph(obs);
+  return StepFromRow(out.logits->RowPtr(0), (*out.values)(0, 0), rng);
 }
 
 PolicyStep TwofoldPolicy::Act(const std::vector<double>& observation,
                               Rng* rng) {
-  return MakeStep(observation, rng, /*greedy=*/false);
+  return MakeStep(observation, rng);
 }
 
 PolicyStep TwofoldPolicy::ActGreedy(const std::vector<double>& observation) {
-  return MakeStep(observation, /*rng=*/nullptr, /*greedy=*/true);
+  return MakeStep(observation, /*rng=*/nullptr);
+}
+
+std::vector<PolicyStep> TwofoldPolicy::ActBatch(const Matrix& observations,
+                                                Rng* rng) {
+  // One forward pass for every actor; rows are then sampled in order, each
+  // consuming `rng` exactly as a per-sample Act would (bit-identical).
+  GraphOutputs out = ForwardGraph(observations);
+  std::vector<PolicyStep> steps;
+  steps.reserve(static_cast<size_t>(observations.rows()));
+  for (int r = 0; r < observations.rows(); ++r) {
+    steps.push_back(
+        StepFromRow(out.logits->RowPtr(r), (*out.values)(r, 0), rng));
+  }
+  return steps;
 }
 
 BatchEvaluation TwofoldPolicy::ForwardBatch(
     const Matrix& observations, const std::vector<ActionRecord>& actions) {
   const int batch = observations.rows();
-  Matrix h = trunk_->Forward(observations);
-  Matrix logits = policy_head_->Forward(h);
-  Matrix values = value_head_->Forward(h);
+  GraphOutputs out = ForwardGraph(observations);
+  const Matrix& logits = *out.logits;
+  const Matrix& values = *out.values;
 
   batch_probs_.clear();
   batch_probs_.reserve(static_cast<size_t>(batch));
@@ -303,16 +334,11 @@ void TwofoldPolicy::BackwardBatch(const std::vector<SampleGrad>& grads) {
     }
   }
 
-  Matrix grad_h = policy_head_->Backward(dlogits);
-  AxpyInPlace(&grad_h, value_head_->Backward(dvalues), 1.0);
-  trunk_->Backward(grad_h);
+  Matrix grad_h = policy_head_->Backward(dlogits, &ws_);
+  AxpyInPlace(&grad_h, value_head_->Backward(dvalues, &ws_), 1.0);
+  trunk_->Backward(grad_h, &ws_);
 }
 
-std::vector<Parameter*> TwofoldPolicy::Parameters() {
-  std::vector<Parameter*> params = trunk_->Parameters();
-  for (Parameter* p : policy_head_->Parameters()) params.push_back(p);
-  for (Parameter* p : value_head_->Parameters()) params.push_back(p);
-  return params;
-}
+std::vector<Parameter*> TwofoldPolicy::Parameters() { return store_.All(); }
 
 }  // namespace atena

@@ -27,6 +27,11 @@ namespace atena {
 ///
 /// A critic value head shares the dense trunk (Advantage Actor-Critic with
 /// PPO, paper §6.1).
+///
+/// All learnable tensors live in one ParameterStore; the layer graph is
+/// stateless, and the policy's own acting/update passes run through an
+/// internal Workspace. ActBatch evaluates any number of actors' current
+/// observations in a single forward pass.
 class TwofoldPolicy final : public Policy {
  public:
   struct Options {
@@ -41,6 +46,8 @@ class TwofoldPolicy final : public Policy {
 
   PolicyStep Act(const std::vector<double>& observation, Rng* rng) override;
   PolicyStep ActGreedy(const std::vector<double>& observation) override;
+  std::vector<PolicyStep> ActBatch(const Matrix& observations,
+                                   Rng* rng) override;
   BatchEvaluation ForwardBatch(
       const Matrix& observations,
       const std::vector<ActionRecord>& actions) override;
@@ -49,6 +56,14 @@ class TwofoldPolicy final : public Policy {
 
   /// Width of the pre-output layer: |OP| + Σ_p |V(p)| (paper §5).
   int pre_output_width() const { return total_nodes_; }
+
+  /// All learnable tensors of the policy (for checkpointing).
+  const ParameterStore& parameter_store() const { return store_; }
+
+  /// Number of full network forward passes executed so far, counting a
+  /// batched pass once regardless of batch size. Lets tests assert that
+  /// multi-actor acting really is one forward per lockstep tick.
+  int64_t forward_passes() const { return forward_passes_; }
 
  private:
   /// Segment layout: 0 = op type; 1..3 = filter params; 4..6 = group params.
@@ -73,16 +88,30 @@ class TwofoldPolicy final : public Policy {
   /// The chosen value index inside segment `segment` for `action`.
   static int ChosenIndex(const EnvAction& action, int segment);
 
-  PolicyStep MakeStep(const std::vector<double>& observation, Rng* rng,
-                      bool greedy);
+  /// Runs trunk + both heads over `observations` through the internal
+  /// workspace; the returned references alias workspace storage.
+  struct GraphOutputs {
+    const Matrix* logits;
+    const Matrix* values;
+  };
+  GraphOutputs ForwardGraph(const Matrix& observations);
+
+  /// Samples (or argmaxes, when `rng` is null) one PolicyStep from a
+  /// logits row and its critic value.
+  PolicyStep StepFromRow(const double* logits, double value, Rng* rng) const;
+
+  PolicyStep MakeStep(const std::vector<double>& observation, Rng* rng);
 
   std::vector<int> segment_sizes_;
   std::vector<int> segment_offsets_;
   int total_nodes_ = 0;
 
+  ParameterStore store_;
   std::unique_ptr<Sequential> trunk_;
   std::unique_ptr<Dense> policy_head_;
   std::unique_ptr<Dense> value_head_;
+  Workspace ws_;
+  int64_t forward_passes_ = 0;
 
   // Caches from the last ForwardBatch for BackwardBatch.
   std::vector<SegmentProbs> batch_probs_;

@@ -3,82 +3,104 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/logging.h"
+
 namespace atena {
 
-Dense::Dense(int in_features, int out_features, Rng* rng) {
-  weight_.value = Matrix(out_features, in_features);
-  weight_.grad = Matrix(out_features, in_features);
-  bias_.value = Matrix(1, out_features);
-  bias_.grad = Matrix(1, out_features);
+Workspace::Slot& Workspace::For(const Layer* layer) {
+  for (auto& [owner, slot] : slots_) {
+    if (owner == layer) return *slot;
+  }
+  slots_.emplace_back(layer, std::make_unique<Slot>());
+  return *slots_.back().second;
+}
+
+Dense::Dense(int in_features, int out_features, ParameterStore* store,
+             const std::string& name, Rng* rng) {
+  weight_ = store->Create(name + ".weight", out_features, in_features);
+  bias_ = store->Create(name + ".bias", 1, out_features);
   // He initialization: N(0, 2/in).
   const double stddev = std::sqrt(2.0 / std::max(1, in_features));
-  for (double& w : weight_.value.data()) {
+  for (double& w : weight_->value.data()) {
     w = rng->NextGaussian() * stddev;
   }
 }
 
-Matrix Dense::Forward(const Matrix& input) {
-  input_cache_ = input;
-  Matrix out = MatMulTransposeB(input, weight_.value);
-  AddRowVectorInPlace(&out, bias_.value);
-  return out;
+const Matrix& Dense::Forward(const Matrix& input, Workspace* ws) const {
+  Workspace::Slot& slot = ws->For(this);
+  slot.input = &input;
+  MatMulTransposeBInto(input, weight_->value, &slot.output);
+  AddRowVectorInPlace(&slot.output, bias_->value);
+  return slot.output;
 }
 
-Matrix Dense::Backward(const Matrix& grad_output) {
+Matrix Dense::Backward(const Matrix& grad_output, Workspace* ws) const {
+  Workspace::Slot& slot = ws->For(this);
+  ATENA_CHECK(slot.input != nullptr)
+      << "Dense::Backward without a matching Forward in this workspace";
   // dL/dW = grad_outᵀ · input ; dL/db = column sums ; dL/din = grad_out · W.
-  AxpyInPlace(&weight_.grad, MatMulTransposeA(grad_output, input_cache_), 1.0);
-  AxpyInPlace(&bias_.grad, ColumnSums(grad_output), 1.0);
-  return MatMul(grad_output, weight_.value);
+  AxpyInPlace(&weight_->grad, MatMulTransposeA(grad_output, *slot.input), 1.0);
+  AxpyInPlace(&bias_->grad, ColumnSums(grad_output), 1.0);
+  return MatMul(grad_output, weight_->value);
 }
 
-Matrix Relu::Forward(const Matrix& input) {
-  input_cache_ = input;
-  Matrix out = input;
-  for (double& x : out.data()) x = std::max(0.0, x);
-  return out;
+const Matrix& Relu::Forward(const Matrix& input, Workspace* ws) const {
+  Workspace::Slot& slot = ws->For(this);
+  slot.input = &input;
+  slot.output.Resize(input.rows(), input.cols());
+  const auto& in = input.data();
+  auto& out = slot.output.data();
+  for (size_t i = 0; i < in.size(); ++i) out[i] = std::max(0.0, in[i]);
+  return slot.output;
 }
 
-Matrix Relu::Backward(const Matrix& grad_output) {
+Matrix Relu::Backward(const Matrix& grad_output, Workspace* ws) const {
+  Workspace::Slot& slot = ws->For(this);
+  ATENA_CHECK(slot.input != nullptr)
+      << "Relu::Backward without a matching Forward in this workspace";
   Matrix grad = grad_output;
   for (size_t i = 0; i < grad.size(); ++i) {
-    if (input_cache_.data()[i] <= 0.0) grad.data()[i] = 0.0;
+    if (slot.input->data()[i] <= 0.0) grad.data()[i] = 0.0;
   }
   return grad;
 }
 
-Matrix TanhLayer::Forward(const Matrix& input) {
-  Matrix out = input;
-  for (double& x : out.data()) x = std::tanh(x);
-  output_cache_ = out;
-  return out;
+const Matrix& TanhLayer::Forward(const Matrix& input, Workspace* ws) const {
+  Workspace::Slot& slot = ws->For(this);
+  slot.output.Resize(input.rows(), input.cols());
+  const auto& in = input.data();
+  auto& out = slot.output.data();
+  for (size_t i = 0; i < in.size(); ++i) out[i] = std::tanh(in[i]);
+  return slot.output;
 }
 
-Matrix TanhLayer::Backward(const Matrix& grad_output) {
+Matrix TanhLayer::Backward(const Matrix& grad_output, Workspace* ws) const {
+  const Workspace::Slot& slot = ws->For(this);
   Matrix grad = grad_output;
   for (size_t i = 0; i < grad.size(); ++i) {
-    const double y = output_cache_.data()[i];
+    const double y = slot.output.data()[i];
     grad.data()[i] *= (1.0 - y * y);
   }
   return grad;
 }
 
-Matrix Sequential::Forward(const Matrix& input) {
-  Matrix x = input;
-  for (auto& layer : layers_) x = layer->Forward(x);
-  return x;
+const Matrix& Sequential::Forward(const Matrix& input, Workspace* ws) const {
+  const Matrix* x = &input;
+  for (const auto& layer : layers_) x = &layer->Forward(*x, ws);
+  return *x;
 }
 
-Matrix Sequential::Backward(const Matrix& grad_output) {
+Matrix Sequential::Backward(const Matrix& grad_output, Workspace* ws) const {
   Matrix g = grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    g = (*it)->Backward(g);
+    g = (*it)->Backward(g, ws);
   }
   return g;
 }
 
-std::vector<Parameter*> Sequential::Parameters() {
+std::vector<Parameter*> Sequential::Parameters() const {
   std::vector<Parameter*> params;
-  for (auto& layer : layers_) {
+  for (const auto& layer : layers_) {
     for (Parameter* p : layer->Parameters()) params.push_back(p);
   }
   return params;
@@ -86,15 +108,19 @@ std::vector<Parameter*> Sequential::Parameters() {
 
 std::unique_ptr<Sequential> MakeMlp(int in_features,
                                     const std::vector<int>& hidden,
-                                    int out_features, Rng* rng) {
+                                    int out_features, ParameterStore* store,
+                                    const std::string& name, Rng* rng) {
   auto net = std::make_unique<Sequential>();
   int prev = in_features;
+  int index = 0;
   for (int h : hidden) {
-    net->Add(std::make_unique<Dense>(prev, h, rng));
+    net->Add(std::make_unique<Dense>(
+        prev, h, store, name + "." + std::to_string(index++), rng));
     net->Add(std::make_unique<Relu>());
     prev = h;
   }
-  net->Add(std::make_unique<Dense>(prev, out_features, rng));
+  net->Add(std::make_unique<Dense>(
+      prev, out_features, store, name + "." + std::to_string(index), rng));
   return net;
 }
 

@@ -2,74 +2,109 @@
 #define ATENA_NN_LAYERS_H_
 
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
 #include "nn/matrix.h"
+#include "nn/parameter.h"
 
 namespace atena {
 
-/// A learnable tensor and its accumulated gradient.
-struct Parameter {
-  Matrix value;
-  Matrix grad;
+class Layer;
+
+/// Per-pass activation storage — the read/write side of the substrate's
+/// parameter/activation split. A layer graph holds only parameters (owned
+/// by a ParameterStore); everything a forward pass produces, and everything
+/// the matching backward pass needs to consume, lives in a Workspace the
+/// caller supplies.
+///
+/// Thread-safety contract: Forward never touches layer state, so any number
+/// of forward passes may run concurrently over one shared graph as long as
+/// each uses its own Workspace. Backward accumulates into the shared
+/// parameter gradients and must be externally serialized. Reusing one
+/// workspace across sequential passes recycles its buffers, so steady-state
+/// acting performs no allocation.
+class Workspace {
+ public:
+  /// Activation state one layer keeps in this workspace.
+  struct Slot {
+    /// Borrowed pointer to the input of the layer's last Forward through
+    /// this workspace. Consumed by the matching Backward; the caller must
+    /// keep the input matrix alive and unmodified until then.
+    const Matrix* input = nullptr;
+    /// The layer's output, owned by the workspace and reused across passes.
+    /// Matrices returned by Forward alias this storage — treat them as
+    /// read-only and consume them before the next pass overwrites them.
+    Matrix output;
+  };
+
+  /// The slot of `layer`, created on first use. References stay stable.
+  Slot& For(const Layer* layer);
+
+ private:
+  // Networks are tiny (≤ ~10 layers); a linear scan beats hashing. Slots
+  // are heap-boxed so references survive vector growth.
+  std::vector<std::pair<const Layer*, std::unique_ptr<Slot>>> slots_;
 };
 
-/// A differentiable layer with manual backprop. Forward caches whatever the
-/// matching Backward needs; layers are therefore stateful per pass and not
-/// thread-safe (each trainer owns its network).
+/// A differentiable layer with manual backprop over a stateless graph:
+/// layers own no activations, only `Parameter*` views into a shared
+/// ParameterStore. All per-pass state goes through the Workspace argument
+/// (see Workspace for the thread-safety contract).
 class Layer {
  public:
   virtual ~Layer() = default;
 
-  /// input: (batch × in_features) -> (batch × out_features).
-  virtual Matrix Forward(const Matrix& input) = 0;
+  /// input: (batch × in_features) -> (batch × out_features). The result is
+  /// stored in `ws` and stays valid until this layer's next Forward through
+  /// the same workspace.
+  virtual const Matrix& Forward(const Matrix& input, Workspace* ws) const = 0;
 
-  /// grad_output: (batch × out_features). Accumulates parameter gradients
-  /// and returns the gradient w.r.t. the layer input.
-  virtual Matrix Backward(const Matrix& grad_output) = 0;
+  /// grad_output: (batch × out_features). Consumes the activations recorded
+  /// in `ws` by the matching Forward, accumulates parameter gradients, and
+  /// returns the gradient w.r.t. the layer input.
+  virtual Matrix Backward(const Matrix& grad_output, Workspace* ws) const = 0;
 
   /// Learnable parameters (may be empty).
-  virtual std::vector<Parameter*> Parameters() { return {}; }
+  virtual std::vector<Parameter*> Parameters() const { return {}; }
 };
 
 /// Fully-connected layer out = in·Wᵀ + b. Weights use He initialization
-/// (suited to the ReLU trunks of the paper's architecture).
+/// (suited to the ReLU trunks of the paper's architecture). The weight and
+/// bias are created in `store` as "<name>.weight" / "<name>.bias".
 class Dense final : public Layer {
  public:
-  Dense(int in_features, int out_features, Rng* rng);
+  Dense(int in_features, int out_features, ParameterStore* store,
+        const std::string& name, Rng* rng);
 
-  Matrix Forward(const Matrix& input) override;
-  Matrix Backward(const Matrix& grad_output) override;
-  std::vector<Parameter*> Parameters() override { return {&weight_, &bias_}; }
+  const Matrix& Forward(const Matrix& input, Workspace* ws) const override;
+  Matrix Backward(const Matrix& grad_output, Workspace* ws) const override;
+  std::vector<Parameter*> Parameters() const override {
+    return {weight_, bias_};
+  }
 
-  int in_features() const { return weight_.value.cols(); }
-  int out_features() const { return weight_.value.rows(); }
+  int in_features() const { return weight_->value.cols(); }
+  int out_features() const { return weight_->value.rows(); }
 
  private:
-  Parameter weight_;  // (out × in)
-  Parameter bias_;    // (1 × out)
-  Matrix input_cache_;
+  Parameter* weight_;  // (out × in)
+  Parameter* bias_;    // (1 × out)
 };
 
 /// Rectified linear unit.
 class Relu final : public Layer {
  public:
-  Matrix Forward(const Matrix& input) override;
-  Matrix Backward(const Matrix& grad_output) override;
-
- private:
-  Matrix input_cache_;
+  const Matrix& Forward(const Matrix& input, Workspace* ws) const override;
+  Matrix Backward(const Matrix& grad_output, Workspace* ws) const override;
 };
 
 /// Hyperbolic tangent.
 class TanhLayer final : public Layer {
  public:
-  Matrix Forward(const Matrix& input) override;
-  Matrix Backward(const Matrix& grad_output) override;
-
- private:
-  Matrix output_cache_;
+  const Matrix& Forward(const Matrix& input, Workspace* ws) const override;
+  Matrix Backward(const Matrix& grad_output, Workspace* ws) const override;
 };
 
 /// A plain sequential network.
@@ -79,9 +114,9 @@ class Sequential final : public Layer {
 
   void Add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
 
-  Matrix Forward(const Matrix& input) override;
-  Matrix Backward(const Matrix& grad_output) override;
-  std::vector<Parameter*> Parameters() override;
+  const Matrix& Forward(const Matrix& input, Workspace* ws) const override;
+  Matrix Backward(const Matrix& grad_output, Workspace* ws) const override;
+  std::vector<Parameter*> Parameters() const override;
 
   size_t num_layers() const { return layers_.size(); }
 
@@ -90,10 +125,12 @@ class Sequential final : public Layer {
 };
 
 /// Builds a ReLU MLP: in -> hidden[0] -> ... -> hidden.back() -> out with
-/// ReLU between all Dense layers (none after the final one).
+/// ReLU between all Dense layers (none after the final one). Dense layers
+/// register their parameters in `store` as "<name>.0", "<name>.1", ...
 std::unique_ptr<Sequential> MakeMlp(int in_features,
                                     const std::vector<int>& hidden,
-                                    int out_features, Rng* rng);
+                                    int out_features, ParameterStore* store,
+                                    const std::string& name, Rng* rng);
 
 /// In-place row-wise numerically-stable softmax over columns [begin, end).
 void SoftmaxRangeInPlace(Matrix* m, int begin, int end);

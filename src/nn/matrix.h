@@ -37,6 +37,12 @@ class Matrix {
   const std::vector<double>& data() const { return data_; }
 
   void Fill(double value);
+
+  /// Reshapes to (rows × cols) without preserving element values. Existing
+  /// capacity is reused, so workspace buffers resized to a recurring shape
+  /// stop allocating after the first pass.
+  void Resize(int rows, int cols);
+
   std::string ShapeString() const;
 
  private:
@@ -47,11 +53,17 @@ class Matrix {
 
 /// out = a (r×k) * b (k×c). Shapes are checked fatally (programmer error).
 Matrix MatMul(const Matrix& a, const Matrix& b);
-/// out = a (r×k) * bᵀ where b is (c×k).
+/// out = a (r×k) * bᵀ where b is (c×k), yielding (r×c).
 Matrix MatMulTransposeB(const Matrix& a, const Matrix& b);
-/// out = aᵀ (k×r) * b (r×c), yielding (k×c) — wait, aᵀ is (k×r) when a is
-/// (r×k); used for weight gradients: gradᵀ·input.
+/// out = aᵀ * b where a is (r×k) and b is (r×c), yielding (k×c). Used for
+/// weight gradients: dW = grad_outputᵀ · input.
 Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
+
+/// Destination-passing variants: resize `out` and write the product into
+/// it, reusing its buffer. Results are bit-identical to the value-returning
+/// forms (each output element accumulates in the same order).
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out);
+void MatMulTransposeBInto(const Matrix& a, const Matrix& b, Matrix* out);
 
 /// Adds `bias` (1×c) to every row of `m` in place.
 void AddRowVectorInPlace(Matrix* m, const Matrix& bias);

@@ -3,7 +3,7 @@
 
 #include <vector>
 
-#include "nn/layers.h"
+#include "nn/parameter.h"
 
 namespace atena {
 

@@ -1,0 +1,41 @@
+#include "nn/parameter.h"
+
+#include "common/logging.h"
+
+namespace atena {
+
+Parameter* ParameterStore::Create(const std::string& name, int rows,
+                                  int cols) {
+  ATENA_CHECK(Find(name) == nullptr)
+      << "duplicate parameter name '" << name << "'";
+  auto param = std::make_unique<Parameter>();
+  param->name = name;
+  param->value = Matrix(rows, cols);
+  param->grad = Matrix(rows, cols);
+  params_.push_back(std::move(param));
+  return params_.back().get();
+}
+
+Parameter* ParameterStore::Find(const std::string& name) const {
+  for (const auto& p : params_) {
+    if (p->name == name) return p.get();
+  }
+  return nullptr;
+}
+
+std::vector<Parameter*> ParameterStore::All() const {
+  std::vector<Parameter*> out;
+  out.reserve(params_.size());
+  for (const auto& p : params_) out.push_back(p.get());
+  return out;
+}
+
+int64_t ParameterStore::NumScalars() const {
+  int64_t total = 0;
+  for (const auto& p : params_) {
+    total += static_cast<int64_t>(p->value.size());
+  }
+  return total;
+}
+
+}  // namespace atena

@@ -1,0 +1,58 @@
+#ifndef ATENA_NN_PARAMETER_H_
+#define ATENA_NN_PARAMETER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace atena {
+
+/// A learnable tensor and its accumulated gradient. `name` identifies the
+/// parameter inside its ParameterStore (and in checkpoints); parameters
+/// created outside a store may leave it empty.
+struct Parameter {
+  Matrix value;
+  Matrix grad;
+  std::string name;
+};
+
+/// Owns every learnable tensor of one network graph.
+///
+/// The store is the write side of the substrate's parameter/activation
+/// split: layers hold `Parameter*` views into it and keep no activation
+/// state of their own (that lives in per-pass Workspaces), so a single
+/// store can serve any number of concurrent or batched forward passes.
+/// Parameter addresses are stable for the lifetime of the store.
+class ParameterStore {
+ public:
+  ParameterStore() = default;
+  ParameterStore(const ParameterStore&) = delete;
+  ParameterStore& operator=(const ParameterStore&) = delete;
+
+  /// Creates a zero-initialized (rows × cols) parameter. `name` must be
+  /// unique within the store and free of whitespace (it is written verbatim
+  /// into checkpoints).
+  Parameter* Create(const std::string& name, int rows, int cols);
+
+  /// The parameter named `name`, or nullptr.
+  Parameter* Find(const std::string& name) const;
+
+  /// All parameters in creation order — the canonical order used by
+  /// optimizers (Adam state is positional) and checkpoints.
+  std::vector<Parameter*> All() const;
+
+  size_t size() const { return params_.size(); }
+
+  /// Total number of scalar values across all parameters.
+  int64_t NumScalars() const;
+
+ private:
+  std::vector<std::unique_ptr<Parameter>> params_;
+};
+
+}  // namespace atena
+
+#endif  // ATENA_NN_PARAMETER_H_

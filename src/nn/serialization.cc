@@ -8,17 +8,19 @@
 namespace atena {
 
 namespace {
-constexpr char kMagic[] = "ATENA-NN v1";
+constexpr char kMagicV1[] = "ATENA-NN v1";
+constexpr char kMagicV2[] = "ATENA-NN v2";
 }  // namespace
 
 Status SaveParameters(const std::vector<Parameter*>& params,
                       const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open '" + path + "' for writing");
-  out << kMagic << "\n" << params.size() << "\n";
+  out << kMagicV2 << "\n" << params.size() << "\n";
   out << std::setprecision(std::numeric_limits<double>::max_digits10);
   for (const Parameter* p : params) {
-    out << p->value.rows() << " " << p->value.cols() << "\n";
+    out << (p->name.empty() ? "_" : p->name) << " " << p->value.rows() << " "
+        << p->value.cols() << "\n";
     const auto& data = p->value.data();
     for (size_t i = 0; i < data.size(); ++i) {
       out << data[i] << (i + 1 == data.size() ? "" : " ");
@@ -35,7 +37,8 @@ Status LoadParameters(const std::vector<Parameter*>& params,
   if (!in) return Status::IOError("cannot open '" + path + "'");
   std::string magic;
   std::getline(in, magic);
-  if (magic != kMagic) {
+  const bool named = magic == kMagicV2;
+  if (!named && magic != kMagicV1) {
     return Status::InvalidArgument("'" + path + "' is not an ATENA-NN file");
   }
   size_t count = 0;
@@ -50,6 +53,17 @@ Status LoadParameters(const std::vector<Parameter*>& params,
   std::vector<Matrix> staged;
   staged.reserve(count);
   for (size_t k = 0; k < count; ++k) {
+    std::string name;
+    if (named) {
+      in >> name;
+      if (!in) return Status::InvalidArgument("'" + path + "' truncated");
+      if (name != "_" && !params[k]->name.empty() &&
+          name != params[k]->name) {
+        return Status::FailedPrecondition(
+            "parameter name mismatch at index " + std::to_string(k) +
+            ": file '" + name + "', network '" + params[k]->name + "'");
+      }
+    }
     int rows = 0, cols = 0;
     in >> rows >> cols;
     if (!in || rows != params[k]->value.rows() ||
@@ -72,6 +86,14 @@ Status LoadParameters(const std::vector<Parameter*>& params,
     params[k]->value = std::move(staged[k]);
   }
   return Status::OK();
+}
+
+Status SaveParameters(const ParameterStore& store, const std::string& path) {
+  return SaveParameters(store.All(), path);
+}
+
+Status LoadParameters(ParameterStore* store, const std::string& path) {
+  return LoadParameters(store->All(), path);
 }
 
 }  // namespace atena

@@ -5,30 +5,39 @@
 #include <vector>
 
 #include "common/status.h"
-#include "nn/layers.h"
+#include "nn/parameter.h"
 
 namespace atena {
 
 /// Serializes a parameter list to a portable text format:
 ///
-///   ATENA-NN v1
+///   ATENA-NN v2
 ///   <param-count>
-///   <rows> <cols>
+///   <name> <rows> <cols>
 ///   <v00> <v01> ...
 ///   ...
 ///
 /// Values round-trip exactly (printed with max_digits10). Gradients are
-/// not saved. Enables checkpointing and transferring a trained policy to
-/// another dataset with the same schema (the paper's future-work item of
-/// generalizing learning across datasets).
+/// not saved. Unnamed parameters serialize their name as "_". Enables
+/// checkpointing and transferring a trained policy to another dataset with
+/// the same schema (the paper's future-work item of generalizing learning
+/// across datasets).
 Status SaveParameters(const std::vector<Parameter*>& params,
                       const std::string& path);
 
-/// Loads parameters saved by SaveParameters into `params`. The count and
-/// every shape must match exactly (mismatch = FailedPrecondition and the
-/// parameters are left unmodified).
+/// Loads a checkpoint saved by SaveParameters into `params`. Both the
+/// current "ATENA-NN v2" format and the legacy nameless "ATENA-NN v1"
+/// format (positional matrices only) are accepted. The count and every
+/// shape must match exactly, and v2 names must match the in-memory
+/// parameter names where both sides have one (mismatch =
+/// FailedPrecondition and the parameters are left unmodified).
 Status LoadParameters(const std::vector<Parameter*>& params,
                       const std::string& path);
+
+/// Store-level conveniences: checkpoint every parameter of a network's
+/// ParameterStore in creation order.
+Status SaveParameters(const ParameterStore& store, const std::string& path);
+Status LoadParameters(ParameterStore* store, const std::string& path);
 
 }  // namespace atena
 

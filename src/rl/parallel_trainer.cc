@@ -1,12 +1,27 @@
 #include "rl/parallel_trainer.h"
 
 #include <algorithm>
-#include <cmath>
 #include <numeric>
 
 #include "common/logging.h"
 
 namespace atena {
+
+namespace {
+
+PpoUpdater::Options UpdaterOptions(const TrainerOptions& options) {
+  PpoUpdater::Options out;
+  out.minibatch_size = options.minibatch_size;
+  out.epochs_per_update = options.epochs_per_update;
+  out.clip_epsilon = options.clip_epsilon;
+  out.entropy_coef = options.entropy_coef;
+  out.value_coef = options.value_coef;
+  out.learning_rate = options.learning_rate;
+  out.max_grad_norm = options.max_grad_norm;
+  return out;
+}
+
+}  // namespace
 
 ParallelPpoTrainer::ParallelPpoTrainer(std::vector<EdaEnvironment*> envs,
                                        Policy* policy,
@@ -14,11 +29,13 @@ ParallelPpoTrainer::ParallelPpoTrainer(std::vector<EdaEnvironment*> envs,
     : envs_(std::move(envs)),
       policy_(policy),
       options_(options),
-      rng_(options.seed ^ 0x5151),
-      optimizer_(Adam::Options{.learning_rate = options.learning_rate,
-                               .beta1 = 0.9,
-                               .beta2 = 0.999,
-                               .epsilon = 1e-8}) {
+      // Multi-actor runs decorrelate their exploration stream from the
+      // single-env trainer's; the 1-actor instance keeps the plain seed
+      // because it IS the single-env trainer (PpoTrainer delegates here and
+      // must reproduce its historical output bit for bit).
+      rng_(envs_.size() > 1 ? options.seed ^ 0x5151 : options.seed),
+      buffer_(envs_.size()),
+      updater_(policy, UpdaterOptions(options)) {
   ATENA_CHECK(!envs_.empty()) << "parallel trainer needs at least one env";
   // All actors explore the same dataset, so they share one display cache:
   // operation prefixes recomputed by one actor become hits for the others.
@@ -43,16 +60,32 @@ TrainingResult ParallelPpoTrainer::Train() {
   // update cadence matches the single-env trainer.
   const int per_actor =
       std::max(1, options_.rollout_length / static_cast<int>(n_envs));
+  const int obs_dim = envs_[0]->observation_dim();
 
+  Matrix obs_batch;  // reused across ticks; steady state allocates nothing
   int steps_done = 0;
   while (steps_done < options_.total_steps) {
-    std::vector<std::vector<Transition>> streams(n_envs);
+    buffer_.Clear();
     for (int i = 0; i < per_actor && steps_done < options_.total_steps; ++i) {
-      for (size_t e = 0; e < n_envs && steps_done < options_.total_steps;
-           ++e, ++steps_done) {
-        ActorState& actor = actors[e];
-        PolicyStep step = policy_->Act(actor.observation, &rng_);
-        StepOutcome outcome = ApplyAction(envs_[e], step.action);
+      // The last tick of a budget may cover only the first `m` actors —
+      // exactly the actors the historical per-step loop would still visit.
+      const int m = std::min(static_cast<int>(n_envs),
+                             options_.total_steps - steps_done);
+      obs_batch.Resize(m, obs_dim);
+      for (int e = 0; e < m; ++e) {
+        std::copy(actors[static_cast<size_t>(e)].observation.begin(),
+                  actors[static_cast<size_t>(e)].observation.end(),
+                  obs_batch.RowPtr(e));
+      }
+      // One batched forward for the whole tick; rows consume rng_ in actor
+      // order, bit-identical to per-actor Act calls.
+      std::vector<PolicyStep> steps = policy_->ActBatch(obs_batch, &rng_);
+
+      for (int e = 0; e < m; ++e, ++steps_done) {
+        ActorState& actor = actors[static_cast<size_t>(e)];
+        PolicyStep& step = steps[static_cast<size_t>(e)];
+        StepOutcome outcome = ApplyAction(envs_[static_cast<size_t>(e)],
+                                          step.action);
 
         Transition transition;
         transition.observation = actor.observation;
@@ -61,7 +94,7 @@ TrainingResult ParallelPpoTrainer::Train() {
         transition.value = step.value;
         transition.reward = outcome.reward;
         transition.episode_end = outcome.done;
-        streams[e].push_back(std::move(transition));
+        buffer_.Add(static_cast<size_t>(e), std::move(transition));
 
         actor.episode_reward += outcome.reward;
         actor.episode_ops.push_back(outcome.op);
@@ -80,12 +113,33 @@ TrainingResult ParallelPpoTrainer::Train() {
           }
           actor.episode_reward = 0.0;
           actor.episode_ops.clear();
-          actor.observation = envs_[e]->Reset();
+          actor.observation = envs_[static_cast<size_t>(e)]->Reset();
         }
       }
     }
 
-    Update(streams, actors);
+    // Bootstrap tail values for every stream that ended mid-episode, again
+    // with a single batched (greedy, rng-free) forward.
+    std::vector<double> bootstrap(n_envs, 0.0);
+    std::vector<size_t> pending;
+    for (size_t e = 0; e < n_envs; ++e) {
+      if (buffer_.StreamNeedsBootstrap(e)) pending.push_back(e);
+    }
+    if (!pending.empty()) {
+      Matrix probe(static_cast<int>(pending.size()), obs_dim);
+      for (size_t k = 0; k < pending.size(); ++k) {
+        std::copy(actors[pending[k]].observation.begin(),
+                  actors[pending[k]].observation.end(),
+                  probe.RowPtr(static_cast<int>(k)));
+      }
+      std::vector<PolicyStep> probes = policy_->ActBatch(probe, nullptr);
+      for (size_t k = 0; k < pending.size(); ++k) {
+        bootstrap[pending[k]] = probes[k].value;
+      }
+    }
+    updater_.Update(
+        buffer_.ComputeGae(bootstrap, options_.gamma, options_.gae_lambda),
+        &rng_);
 
     CurvePoint point;
     point.step = steps_done;
@@ -102,7 +156,10 @@ TrainingResult ParallelPpoTrainer::Train() {
   result_.final_mean_reward =
       result_.curve.empty() ? 0.0 : result_.curve.back().mean_episode_reward;
 
-  // Final evaluation on the first actor's environment (see PpoTrainer).
+  // Final evaluation on the first actor's environment: the published
+  // notebook should reflect the trained policy, so the best of
+  // `final_eval_episodes` post-training episodes competes with the best
+  // episode seen during training.
   for (int episode = 0; episode < options_.final_eval_episodes; ++episode) {
     std::vector<double> obs = envs_[0]->Reset();
     double reward = 0.0;
@@ -120,113 +177,6 @@ TrainingResult ParallelPpoTrainer::Train() {
     }
   }
   return result_;
-}
-
-void ParallelPpoTrainer::Update(
-    const std::vector<std::vector<Transition>>& streams,
-    const std::vector<ActorState>& actors) {
-  // GAE per actor stream (each stream is a contiguous slice of that
-  // actor's trajectory), then one merged PPO update.
-  struct Sample {
-    const Transition* transition;
-    double advantage;
-    double target;
-  };
-  std::vector<Sample> samples;
-
-  for (size_t e = 0; e < streams.size(); ++e) {
-    const auto& stream = streams[e];
-    if (stream.empty()) continue;
-
-    double last_value = 0.0;
-    const bool last_done = stream.back().episode_end;
-    if (!last_done) {
-      // Bootstrap from the critic at the actor's current observation.
-      PolicyStep probe = policy_->ActGreedy(actors[e].observation);
-      last_value = probe.value;
-    }
-
-    double gae = 0.0;
-    double next_value = last_done ? 0.0 : last_value;
-    bool next_terminal = last_done;
-    std::vector<double> advantages(stream.size());
-    for (size_t i = stream.size(); i-- > 0;) {
-      const Transition& t = stream[i];
-      const double bootstrap = next_terminal ? 0.0 : next_value;
-      const double delta = t.reward + options_.gamma * bootstrap - t.value;
-      gae = delta + (next_terminal
-                         ? 0.0
-                         : options_.gamma * options_.gae_lambda * gae);
-      advantages[i] = gae;
-      next_value = t.value;
-      next_terminal = t.episode_end;
-    }
-    for (size_t i = 0; i < stream.size(); ++i) {
-      samples.push_back(
-          Sample{&stream[i], advantages[i], advantages[i] + stream[i].value});
-    }
-  }
-  if (samples.empty()) return;
-
-  // Normalize advantages across the merged batch.
-  double mean = 0.0;
-  for (const auto& s : samples) mean += s.advantage;
-  mean /= static_cast<double>(samples.size());
-  double var = 0.0;
-  for (const auto& s : samples) {
-    var += (s.advantage - mean) * (s.advantage - mean);
-  }
-  const double stddev =
-      std::sqrt(var / static_cast<double>(samples.size())) + 1e-8;
-  for (auto& s : samples) s.advantage = (s.advantage - mean) / stddev;
-
-  std::vector<size_t> order(samples.size());
-  std::iota(order.begin(), order.end(), 0);
-  const int obs_dim =
-      static_cast<int>(samples[0].transition->observation.size());
-
-  for (int epoch = 0; epoch < options_.epochs_per_update; ++epoch) {
-    rng_.Shuffle(order);
-    for (size_t start = 0; start < samples.size();
-         start += static_cast<size_t>(options_.minibatch_size)) {
-      const size_t end = std::min(
-          samples.size(), start + static_cast<size_t>(options_.minibatch_size));
-      const int batch = static_cast<int>(end - start);
-
-      Matrix observations(batch, obs_dim);
-      std::vector<ActionRecord> actions(static_cast<size_t>(batch));
-      for (int b = 0; b < batch; ++b) {
-        const Sample& s = samples[order[start + b]];
-        std::copy(s.transition->observation.begin(),
-                  s.transition->observation.end(), observations.RowPtr(b));
-        actions[static_cast<size_t>(b)] = s.transition->action;
-      }
-      BatchEvaluation eval = policy_->ForwardBatch(observations, actions);
-
-      std::vector<SampleGrad> grads(static_cast<size_t>(batch));
-      const double inv_batch = 1.0 / static_cast<double>(batch);
-      for (int b = 0; b < batch; ++b) {
-        const Sample& s = samples[order[start + b]];
-        const double ratio =
-            std::exp(eval.log_probs[b] - s.transition->log_prob);
-        const double clipped = std::clamp(
-            ratio, 1.0 - options_.clip_epsilon, 1.0 + options_.clip_epsilon);
-        const bool unclipped_active =
-            ratio * s.advantage <= clipped * s.advantage + 1e-12;
-        SampleGrad& g = grads[static_cast<size_t>(b)];
-        g.d_log_prob =
-            unclipped_active ? -ratio * s.advantage * inv_batch : 0.0;
-        g.d_entropy = -options_.entropy_coef * inv_batch;
-        g.d_value =
-            options_.value_coef * 2.0 * (eval.values[b] - s.target) *
-            inv_batch;
-      }
-      ZeroGradients(policy_->Parameters());
-      policy_->BackwardBatch(grads);
-      ClipGradientsByNorm(policy_->Parameters(), options_.max_grad_norm);
-      optimizer_.Step(policy_->Parameters());
-    }
-  }
 }
 
 }  // namespace atena

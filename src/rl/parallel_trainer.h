@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "rl/rollout.h"
 #include "rl/trainer.h"
 
 namespace atena {
@@ -13,6 +14,12 @@ namespace atena {
 /// in lockstep, and every policy update learns from the interleaved
 /// experience of all actors. Unlike true A3C the updates are synchronous
 /// (DESIGN.md substitution #2), which keeps runs deterministic.
+///
+/// Each lockstep tick issues exactly one batched Policy::ActBatch over all
+/// actors' observations — one network forward per tick regardless of the
+/// actor count. The 1-actor instance IS the single-env trainer: PpoTrainer
+/// delegates here, and its training output is bit-identical to the
+/// historical per-step implementation.
 ///
 /// All environments must expose identical observation and action spaces
 /// (same dataset/config); each should carry its own seed.
@@ -28,15 +35,6 @@ class ParallelPpoTrainer {
   TrainingResult Train();
 
  private:
-  struct Transition {
-    std::vector<double> observation;
-    ActionRecord action;
-    double log_prob = 0.0;
-    double value = 0.0;
-    double reward = 0.0;
-    bool episode_end = false;
-  };
-
   /// Per-actor in-flight episode state.
   struct ActorState {
     std::vector<double> observation;
@@ -44,14 +42,12 @@ class ParallelPpoTrainer {
     std::vector<EdaOperation> episode_ops;
   };
 
-  void Update(const std::vector<std::vector<Transition>>& streams,
-              const std::vector<ActorState>& actors);
-
   std::vector<EdaEnvironment*> envs_;
   Policy* policy_;
   TrainerOptions options_;
   Rng rng_;
-  Adam optimizer_;
+  RolloutBuffer buffer_;
+  PpoUpdater updater_;
   std::function<void(const CurvePoint&)> progress_;
 
   TrainingResult result_;

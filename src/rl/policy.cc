@@ -2,6 +2,19 @@
 
 namespace atena {
 
+std::vector<PolicyStep> Policy::ActBatch(const Matrix& observations,
+                                         Rng* rng) {
+  std::vector<PolicyStep> steps;
+  steps.reserve(static_cast<size_t>(observations.rows()));
+  std::vector<double> row(static_cast<size_t>(observations.cols()));
+  for (int r = 0; r < observations.rows(); ++r) {
+    const double* src = observations.RowPtr(r);
+    row.assign(src, src + observations.cols());
+    steps.push_back(rng != nullptr ? Act(row, rng) : ActGreedy(row));
+  }
+  return steps;
+}
+
 int64_t Policy::NumParameters() {
   int64_t total = 0;
   for (Parameter* p : Parameters()) {

@@ -60,6 +60,15 @@ class Policy {
   /// Deterministic argmax action, used when extracting the final notebook.
   virtual PolicyStep ActGreedy(const std::vector<double>& observation) = 0;
 
+  /// Acts on a batch of observations (one per row) at once. Row i consumes
+  /// `rng` exactly as a per-sample Act on row i would, in row order, so a
+  /// batched call is bit-identical to the per-sample loop over the same Rng
+  /// stream; a null `rng` selects the greedy action per row. Network-backed
+  /// policies override this with a single batched forward pass — the hot
+  /// path of multi-actor training; the base implementation just loops.
+  virtual std::vector<PolicyStep> ActBatch(const Matrix& observations,
+                                           Rng* rng);
+
   /// Forward pass over a batch; caches activations for BackwardBatch.
   /// `actions[i]` must have been produced by this policy type.
   virtual BatchEvaluation ForwardBatch(

@@ -1,6 +1,122 @@
 #include "rl/rollout.h"
 
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
 namespace atena {
+
+void RolloutBuffer::Clear() {
+  for (auto& stream : streams_) stream.clear();
+}
+
+std::vector<Sample> RolloutBuffer::ComputeGae(
+    const std::vector<double>& bootstrap_values, double gamma,
+    double lambda) const {
+  std::vector<Sample> samples;
+  for (size_t e = 0; e < streams_.size(); ++e) {
+    const auto& stream = streams_[e];
+    if (stream.empty()) continue;
+
+    const bool last_done = stream.back().episode_end;
+    const double last_value = last_done ? 0.0 : bootstrap_values[e];
+
+    double gae = 0.0;
+    double next_value = last_value;
+    bool next_terminal = last_done;
+    std::vector<double> advantages(stream.size());
+    for (size_t i = stream.size(); i-- > 0;) {
+      const Transition& t = stream[i];
+      const double bootstrap = next_terminal ? 0.0 : next_value;
+      const double delta = t.reward + gamma * bootstrap - t.value;
+      gae = delta + (next_terminal ? 0.0 : gamma * lambda * gae);
+      advantages[i] = gae;
+      next_value = t.value;
+      next_terminal = t.episode_end;
+    }
+    for (size_t i = 0; i < stream.size(); ++i) {
+      samples.push_back(
+          Sample{&stream[i], advantages[i], advantages[i] + stream[i].value});
+    }
+  }
+  return samples;
+}
+
+PpoUpdater::PpoUpdater(Policy* policy, Options options)
+    : policy_(policy),
+      options_(options),
+      optimizer_(Adam::Options{.learning_rate = options.learning_rate,
+                               .beta1 = 0.9,
+                               .beta2 = 0.999,
+                               .epsilon = 1e-8}) {}
+
+void PpoUpdater::Update(std::vector<Sample> samples, Rng* rng) {
+  const size_t n = samples.size();
+  if (n == 0) return;
+
+  // Normalize advantages across the merged batch (standard PPO practice;
+  // keeps gradient scale stable across the compound reward's calibration
+  // regimes).
+  double mean = 0.0;
+  for (const auto& s : samples) mean += s.advantage;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (const auto& s : samples) {
+    var += (s.advantage - mean) * (s.advantage - mean);
+  }
+  const double stddev = std::sqrt(var / static_cast<double>(n)) + 1e-8;
+  for (auto& s : samples) s.advantage = (s.advantage - mean) / stddev;
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const int obs_dim =
+      static_cast<int>(samples[0].transition->observation.size());
+
+  Matrix observations;
+  for (int epoch = 0; epoch < options_.epochs_per_update; ++epoch) {
+    rng->Shuffle(order);
+    for (size_t start = 0; start < n;
+         start += static_cast<size_t>(options_.minibatch_size)) {
+      const size_t end =
+          std::min(n, start + static_cast<size_t>(options_.minibatch_size));
+      const int batch = static_cast<int>(end - start);
+
+      observations.Resize(batch, obs_dim);
+      std::vector<ActionRecord> actions(static_cast<size_t>(batch));
+      for (int b = 0; b < batch; ++b) {
+        const Sample& s = samples[order[start + b]];
+        std::copy(s.transition->observation.begin(),
+                  s.transition->observation.end(), observations.RowPtr(b));
+        actions[static_cast<size_t>(b)] = s.transition->action;
+      }
+      BatchEvaluation eval = policy_->ForwardBatch(observations, actions);
+
+      std::vector<SampleGrad> grads(static_cast<size_t>(batch));
+      const double inv_batch = 1.0 / static_cast<double>(batch);
+      for (int b = 0; b < batch; ++b) {
+        const Sample& s = samples[order[start + b]];
+        const double ratio =
+            std::exp(eval.log_probs[b] - s.transition->log_prob);
+        const double clipped = std::clamp(
+            ratio, 1.0 - options_.clip_epsilon, 1.0 + options_.clip_epsilon);
+        // Surrogate L = min(r·A, clip(r)·A); we minimize -L.
+        // d(-L)/dlogp = -r·A when the unclipped branch is active, else 0.
+        const bool unclipped_active =
+            ratio * s.advantage <= clipped * s.advantage + 1e-12;
+        SampleGrad& g = grads[static_cast<size_t>(b)];
+        g.d_log_prob =
+            unclipped_active ? -ratio * s.advantage * inv_batch : 0.0;
+        g.d_entropy = -options_.entropy_coef * inv_batch;
+        g.d_value = options_.value_coef * 2.0 *
+                    (eval.values[b] - s.target) * inv_batch;
+      }
+      ZeroGradients(policy_->Parameters());
+      policy_->BackwardBatch(grads);
+      ClipGradientsByNorm(policy_->Parameters(), options_.max_grad_norm);
+      optimizer_.Step(policy_->Parameters());
+    }
+  }
+}
 
 EdaNotebook RolloutNotebook(EdaEnvironment* env, Policy* policy, Rng* rng,
                             std::string generator, double* total_reward,

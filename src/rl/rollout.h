@@ -1,10 +1,96 @@
 #ifndef ATENA_RL_ROLLOUT_H_
 #define ATENA_RL_ROLLOUT_H_
 
+#include <memory>
+#include <vector>
+
 #include "eda/session.h"
+#include "nn/optimizer.h"
 #include "rl/policy.h"
 
 namespace atena {
+
+/// One recorded environment step — the unit of experience shared by the
+/// single-env and multi-actor trainers.
+struct Transition {
+  std::vector<double> observation;
+  ActionRecord action;
+  double log_prob = 0.0;
+  double value = 0.0;
+  double reward = 0.0;
+  bool episode_end = false;
+};
+
+/// A transition with its GAE(λ) advantage and discounted value target,
+/// ready for the PPO epochs. `transition` borrows from the RolloutBuffer
+/// that produced it and stays valid until the buffer's next Clear().
+struct Sample {
+  const Transition* transition = nullptr;
+  double advantage = 0.0;
+  double target = 0.0;
+};
+
+/// Experience storage for a fixed set of actor streams. Stream `e` holds a
+/// contiguous slice of actor `e`'s trajectory (possibly spanning several
+/// episode boundaries); the single-env trainer is simply the 1-stream case.
+class RolloutBuffer {
+ public:
+  explicit RolloutBuffer(size_t num_streams) : streams_(num_streams) {}
+
+  size_t num_streams() const { return streams_.size(); }
+  const std::vector<Transition>& stream(size_t e) const { return streams_[e]; }
+
+  /// Drops all transitions but keeps the stream count (and capacity).
+  void Clear();
+
+  void Add(size_t stream, Transition transition) {
+    streams_[stream].push_back(std::move(transition));
+  }
+
+  /// True when stream `e` ends mid-episode, i.e. its GAE tail must be
+  /// bootstrapped from the critic's value of the actor's next observation.
+  bool StreamNeedsBootstrap(size_t e) const {
+    return !streams_[e].empty() && !streams_[e].back().episode_end;
+  }
+
+  /// Runs GAE(λ) independently over each stream and returns the merged
+  /// samples in stream order (empty streams are skipped).
+  /// `bootstrap_values[e]` is the critic value used for stream `e`'s tail;
+  /// it is ignored unless StreamNeedsBootstrap(e).
+  std::vector<Sample> ComputeGae(const std::vector<double>& bootstrap_values,
+                                 double gamma, double lambda) const;
+
+ private:
+  std::vector<std::vector<Transition>> streams_;
+};
+
+/// The PPO learning core shared by PpoTrainer and ParallelPpoTrainer:
+/// normalizes advantages across the merged batch, then runs several
+/// shuffled clipped-surrogate epochs, backpropagating through the policy
+/// and stepping the owned Adam optimizer.
+class PpoUpdater {
+ public:
+  struct Options {
+    int minibatch_size = 64;
+    int epochs_per_update = 4;
+    double clip_epsilon = 0.2;
+    double entropy_coef = 0.02;
+    double value_coef = 0.5;
+    double learning_rate = 3e-3;
+    double max_grad_norm = 5.0;
+  };
+
+  PpoUpdater(Policy* policy, Options options);
+
+  /// Runs one full PPO update over `samples`. `rng` drives the per-epoch
+  /// shuffles (and nothing else). No-op on an empty batch.
+  void Update(std::vector<Sample> samples, Rng* rng);
+
+ private:
+  Policy* policy_;
+  Options options_;
+  Adam optimizer_;
+};
 
 /// Runs one full episode of `policy` on `env` (Boltzmann sampling, or
 /// per-segment argmax when `greedy`), and returns the resulting notebook.

@@ -1,208 +1,21 @@
 #include "rl/trainer.h"
 
-#include <algorithm>
-#include <cmath>
-#include <numeric>
-
-#include "common/logging.h"
+#include "rl/parallel_trainer.h"
 
 namespace atena {
 
 PpoTrainer::PpoTrainer(EdaEnvironment* env, Policy* policy,
                        TrainerOptions options)
-    : env_(env),
-      policy_(policy),
-      options_(options),
-      rng_(options.seed),
-      optimizer_(Adam::Options{.learning_rate = options.learning_rate,
-                               .beta1 = 0.9,
-                               .beta2 = 0.999,
-                               .epsilon = 1e-8}) {}
+    : env_(env), policy_(policy), options_(options) {}
 
 TrainingResult PpoTrainer::Train() {
-  result_ = TrainingResult{};
-  recent_episode_rewards_.clear();
-
-  std::vector<double> observation = env_->Reset();
-  double episode_reward = 0.0;
-  std::vector<EdaOperation> episode_ops;
-
-  int steps_done = 0;
-  while (steps_done < options_.total_steps) {
-    std::vector<Transition> rollout;
-    rollout.reserve(static_cast<size_t>(options_.rollout_length));
-    bool last_done = false;
-
-    for (int i = 0; i < options_.rollout_length &&
-                    steps_done < options_.total_steps;
-         ++i, ++steps_done) {
-      PolicyStep step = policy_->Act(observation, &rng_);
-      StepOutcome outcome = ApplyAction(env_, step.action);
-
-      Transition transition;
-      transition.observation = observation;
-      transition.action = step.action;
-      transition.log_prob = step.log_prob;
-      transition.value = step.value;
-      transition.reward = outcome.reward;
-      transition.episode_end = outcome.done;
-      rollout.push_back(std::move(transition));
-
-      episode_reward += outcome.reward;
-      episode_ops.push_back(outcome.op);
-      observation = std::move(outcome.observation);
-      last_done = outcome.done;
-
-      if (outcome.done) {
-        ++result_.episodes;
-        recent_episode_rewards_.push_back(episode_reward);
-        if (recent_episode_rewards_.size() > 50) {
-          recent_episode_rewards_.erase(recent_episode_rewards_.begin());
-        }
-        if (episode_reward > result_.best_episode_reward ||
-            result_.best_episode_ops.empty()) {
-          result_.best_episode_reward = episode_reward;
-          result_.best_episode_ops = episode_ops;
-        }
-        episode_reward = 0.0;
-        episode_ops.clear();
-        observation = env_->Reset();
-      }
-    }
-
-    // Bootstrap value of the observation after the rollout (0 when the
-    // episode just ended — episodic MDP).
-    double last_value = 0.0;
-    if (!last_done) {
-      PolicyStep probe = policy_->ActGreedy(observation);
-      last_value = probe.value;
-    }
-    Update(rollout, last_value, last_done);
-
-    CurvePoint point;
-    point.step = steps_done;
-    point.mean_episode_reward =
-        recent_episode_rewards_.empty()
-            ? 0.0
-            : std::accumulate(recent_episode_rewards_.begin(),
-                              recent_episode_rewards_.end(), 0.0) /
-                  static_cast<double>(recent_episode_rewards_.size());
-    result_.curve.push_back(point);
-    if (progress_) progress_(point);
-  }
-
-  result_.final_mean_reward =
-      result_.curve.empty() ? 0.0 : result_.curve.back().mean_episode_reward;
-
-  // Final evaluation: the published notebook should reflect the trained
-  // policy, so the best of `final_eval_episodes` post-training episodes
-  // competes with the best episode seen during training.
-  for (int episode = 0; episode < options_.final_eval_episodes; ++episode) {
-    std::vector<double> eval_obs = env_->Reset();
-    double eval_reward = 0.0;
-    std::vector<EdaOperation> eval_ops;
-    while (!env_->done()) {
-      PolicyStep step = policy_->Act(eval_obs, &rng_);
-      StepOutcome outcome = ApplyAction(env_, step.action);
-      eval_reward += outcome.reward;
-      eval_ops.push_back(outcome.op);
-      eval_obs = std::move(outcome.observation);
-    }
-    if (eval_reward > result_.best_episode_reward) {
-      result_.best_episode_reward = eval_reward;
-      result_.best_episode_ops = std::move(eval_ops);
-    }
-  }
-  return result_;
-}
-
-void PpoTrainer::Update(const std::vector<Transition>& rollout,
-                        double last_value, bool last_done) {
-  const size_t n = rollout.size();
-  if (n == 0) return;
-
-  // GAE(λ) advantages and discounted returns.
-  std::vector<double> advantages(n, 0.0);
-  std::vector<double> returns(n, 0.0);
-  double gae = 0.0;
-  double next_value = last_done ? 0.0 : last_value;
-  bool next_is_terminal = last_done;
-  for (size_t i = n; i-- > 0;) {
-    const Transition& t = rollout[i];
-    const double bootstrap = next_is_terminal ? 0.0 : next_value;
-    const double delta =
-        t.reward + options_.gamma * bootstrap - t.value;
-    gae = delta +
-          (next_is_terminal ? 0.0 : options_.gamma * options_.gae_lambda * gae);
-    advantages[i] = gae;
-    returns[i] = advantages[i] + t.value;
-    next_value = t.value;
-    next_is_terminal = t.episode_end;
-  }
-
-  // Normalize advantages (standard PPO practice; keeps gradient scale
-  // stable across the compound reward's calibration regimes).
-  {
-    double mean = std::accumulate(advantages.begin(), advantages.end(), 0.0) /
-                  static_cast<double>(n);
-    double var = 0.0;
-    for (double a : advantages) var += (a - mean) * (a - mean);
-    var /= static_cast<double>(n);
-    const double stddev = std::sqrt(var) + 1e-8;
-    for (double& a : advantages) a = (a - mean) / stddev;
-  }
-
-  std::vector<size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-
-  const int obs_dim = static_cast<int>(rollout[0].observation.size());
-  for (int epoch = 0; epoch < options_.epochs_per_update; ++epoch) {
-    rng_.Shuffle(order);
-    for (size_t start = 0; start < n;
-         start += static_cast<size_t>(options_.minibatch_size)) {
-      const size_t end =
-          std::min(n, start + static_cast<size_t>(options_.minibatch_size));
-      const int batch = static_cast<int>(end - start);
-
-      Matrix observations(batch, obs_dim);
-      std::vector<ActionRecord> actions(static_cast<size_t>(batch));
-      for (int b = 0; b < batch; ++b) {
-        const Transition& t = rollout[order[start + b]];
-        std::copy(t.observation.begin(), t.observation.end(),
-                  observations.RowPtr(b));
-        actions[static_cast<size_t>(b)] = t.action;
-      }
-
-      BatchEvaluation eval = policy_->ForwardBatch(observations, actions);
-
-      std::vector<SampleGrad> grads(static_cast<size_t>(batch));
-      const double inv_batch = 1.0 / static_cast<double>(batch);
-      for (int b = 0; b < batch; ++b) {
-        const size_t idx = order[start + b];
-        const Transition& t = rollout[idx];
-        const double advantage = advantages[idx];
-        const double ratio = std::exp(eval.log_probs[b] - t.log_prob);
-        const double clipped =
-            std::clamp(ratio, 1.0 - options_.clip_epsilon,
-                       1.0 + options_.clip_epsilon);
-        // Surrogate L = min(r·A, clip(r)·A); we minimize -L.
-        // d(-L)/dlogp = -r·A when the unclipped branch is active, else 0.
-        const bool unclipped_active =
-            ratio * advantage <= clipped * advantage + 1e-12;
-        SampleGrad& g = grads[static_cast<size_t>(b)];
-        g.d_log_prob =
-            unclipped_active ? -ratio * advantage * inv_batch : 0.0;
-        g.d_entropy = -options_.entropy_coef * inv_batch;
-        g.d_value = options_.value_coef * 2.0 *
-                    (eval.values[b] - returns[idx]) * inv_batch;
-      }
-
-      ZeroGradients(policy_->Parameters());
-      policy_->BackwardBatch(grads);
-      ClipGradientsByNorm(policy_->Parameters(), options_.max_grad_norm);
-      optimizer_.Step(policy_->Parameters());
-    }
-  }
+  // The single-env trainer is the 1-actor special case of the parallel
+  // trainer: same rollout buffer, GAE, and PPO epochs (rl/rollout.h), same
+  // rng stream (the parallel trainer keeps the plain seed for one actor),
+  // so the output is bit-identical to the historical implementation.
+  ParallelPpoTrainer inner({env_}, policy_, options_);
+  if (progress_) inner.SetProgressCallback(progress_);
+  return inner.Train();
 }
 
 }  // namespace atena

@@ -5,7 +5,6 @@
 #include <vector>
 
 #include "eda/environment.h"
-#include "nn/optimizer.h"
 #include "rl/policy.h"
 
 namespace atena {
@@ -55,6 +54,11 @@ struct TrainingResult {
 /// Synchronous PPO/A2C trainer over one EDA environment. Collects
 /// fixed-length rollouts, computes GAE(λ) advantages, and runs several
 /// clipped-surrogate epochs per rollout.
+///
+/// Since the trainer-core unification this is a thin facade: Train() runs a
+/// 1-actor ParallelPpoTrainer (rl/parallel_trainer.h) over the shared
+/// RolloutBuffer/PpoUpdater machinery in rl/rollout.h, and produces output
+/// bit-identical to the historical standalone implementation.
 class PpoTrainer {
  public:
   PpoTrainer(EdaEnvironment* env, Policy* policy, TrainerOptions options);
@@ -67,27 +71,10 @@ class PpoTrainer {
   TrainingResult Train();
 
  private:
-  struct Transition {
-    std::vector<double> observation;
-    ActionRecord action;
-    double log_prob = 0.0;
-    double value = 0.0;
-    double reward = 0.0;
-    bool episode_end = false;
-  };
-
-  void Update(const std::vector<Transition>& rollout, double last_value,
-              bool last_done);
-
   EdaEnvironment* env_;
   Policy* policy_;
   TrainerOptions options_;
-  Rng rng_;
-  Adam optimizer_;
   std::function<void(const CurvePoint&)> progress_;
-
-  TrainingResult result_;
-  std::vector<double> recent_episode_rewards_;
 };
 
 }  // namespace atena

@@ -4,6 +4,7 @@
 #include "baselines/flat_policy.h"
 #include "baselines/greedy.h"
 #include "data/registry.h"
+#include "nn/optimizer.h"
 #include "reward/compound.h"
 
 namespace atena {

@@ -5,6 +5,7 @@
 #include "core/atena.h"
 #include "core/twofold_policy.h"
 #include "data/registry.h"
+#include "nn/optimizer.h"
 
 namespace atena {
 namespace {

@@ -5,6 +5,7 @@
 #include "nn/layers.h"
 #include "nn/matrix.h"
 #include "nn/optimizer.h"
+#include "nn/parameter.h"
 
 namespace atena {
 namespace {
@@ -76,6 +77,47 @@ TEST(MatrixTest, TransposedProductsAgreeWithPlainMatMul) {
   }
 }
 
+TEST(MatrixTest, IntoVariantsAreBitIdenticalAndReuseBuffers) {
+  // Odd row counts exercise both the blocked and the remainder kernels.
+  Rng rng(21);
+  Matrix a(7, 9), b(9, 5), bt(6, 9);
+  for (double& x : a.data()) x = rng.NextGaussian();
+  for (double& x : b.data()) x = rng.NextGaussian();
+  for (double& x : bt.data()) x = rng.NextGaussian();
+
+  Matrix out;
+  MatMulInto(a, b, &out);
+  Matrix expected = MatMul(a, b);
+  ASSERT_EQ(out.rows(), expected.rows());
+  ASSERT_EQ(out.cols(), expected.cols());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(out.data()[i], expected.data()[i]) << "element " << i;
+  }
+
+  // Re-run into the same (dirty) destination: same result.
+  MatMulInto(a, b, &out);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(out.data()[i], expected.data()[i]);
+  }
+
+  Matrix out2;
+  MatMulTransposeBInto(a, bt, &out2);
+  Matrix expected2 = MatMulTransposeB(a, bt);
+  for (size_t i = 0; i < expected2.size(); ++i) {
+    EXPECT_EQ(out2.data()[i], expected2.data()[i]) << "element " << i;
+  }
+}
+
+TEST(MatrixTest, ResizeReusesCapacityWithoutPreservingValues) {
+  Matrix m(4, 4, 1.0);
+  const double* buffer = m.data().data();
+  m.Resize(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_EQ(m.data().data(), buffer);  // shrink never reallocates
+}
+
 TEST(MatrixTest, RowVectorAndColumnSums) {
   Matrix m(2, 3, 1.0);
   Matrix bias(1, 3);
@@ -103,27 +145,74 @@ TEST(MatrixTest, SoftmaxRangeNormalizes) {
   EXPECT_DOUBLE_EQ(m(0, 3), 100.0);
 }
 
-// ----------------------------------------------------- gradient checks
+// ------------------------------------------------------------ workspace
 
-/// Numerically verifies dL/dparam for L = sum(network(x) .* coeff).
-void CheckGradients(Layer* net, const Matrix& input, double tolerance) {
-  Matrix out = net->Forward(input);
+TEST(WorkspaceTest, SharedGraphSeparateWorkspaces) {
+  // One parameter store, two workspaces: interleaved forward passes must
+  // not clobber each other — the core stateless-graph guarantee.
+  ParameterStore store;
+  Rng rng(31);
+  Dense dense(3, 2, &store, "d", &rng);
+
+  Matrix x1(1, 3, 1.0);
+  Matrix x2(1, 3, -2.0);
+  Workspace ws1, ws2;
+  const Matrix& y1 = dense.Forward(x1, &ws1);
+  const Matrix& y2 = dense.Forward(x2, &ws2);
+  Matrix y1_copy = y1;  // y1 must still be intact after the second pass
+
+  Workspace fresh;
+  const Matrix& y1_again = dense.Forward(x1, &fresh);
+  for (size_t i = 0; i < y1_copy.size(); ++i) {
+    EXPECT_EQ(y1.data()[i], y1_copy.data()[i]);
+    EXPECT_EQ(y1_again.data()[i], y1_copy.data()[i]);
+  }
+  EXPECT_NE(y1.data()[0], y2.data()[0]);
+}
+
+TEST(WorkspaceTest, ParameterStoreNamesAndOrder) {
+  ParameterStore store;
+  Rng rng(32);
+  auto net = MakeMlp(4, {5}, 2, &store, "mlp", &rng);
+  ASSERT_EQ(store.size(), 4u);
+  auto all = store.All();
+  EXPECT_EQ(all[0]->name, "mlp.0.weight");
+  EXPECT_EQ(all[1]->name, "mlp.0.bias");
+  EXPECT_EQ(all[2]->name, "mlp.1.weight");
+  EXPECT_EQ(all[3]->name, "mlp.1.bias");
+  EXPECT_EQ(store.Find("mlp.1.weight"), all[2]);
+  EXPECT_EQ(store.Find("nope"), nullptr);
+  EXPECT_EQ(store.NumScalars(), (4 * 5 + 5) + (5 * 2 + 2));
+  // Layer-reported parameters match store order.
+  EXPECT_EQ(net->Parameters(), all);
+}
+
+// ----------------------------------------------------- gradient checks
+//
+// Finite differences against the manual backprop, under the Workspace API.
+// L = sum(network(x) .* coeff) for fixed random coeff.
+
+void CheckGradients(Layer* net, ParameterStore* store, const Matrix& input,
+                    double tolerance) {
+  Workspace ws;
+  Matrix out = net->Forward(input, &ws);  // copy: workspace will be reused
   Matrix coeff(out.rows(), out.cols());
   Rng rng(11);
   for (double& c : coeff.data()) c = rng.NextGaussian();
 
-  ZeroGradients(net->Parameters());
-  net->Forward(input);
-  net->Backward(coeff);
+  ZeroGradients(store->All());
+  net->Forward(input, &ws);
+  net->Backward(coeff, &ws);
 
-  for (Parameter* p : net->Parameters()) {
+  Workspace fd_ws;
+  for (Parameter* p : store->All()) {
     for (size_t i = 0; i < p->value.size(); i += 7) {  // sample positions
       const double eps = 1e-5;
       const double original = p->value.data()[i];
       p->value.data()[i] = original + eps;
-      Matrix plus = net->Forward(input);
+      Matrix plus = net->Forward(input, &fd_ws);
       p->value.data()[i] = original - eps;
-      Matrix minus = net->Forward(input);
+      Matrix minus = net->Forward(input, &fd_ws);
       p->value.data()[i] = original;
       double numeric = 0.0;
       for (size_t k = 0; k < plus.size(); ++k) {
@@ -131,56 +220,62 @@ void CheckGradients(Layer* net, const Matrix& input, double tolerance) {
       }
       numeric /= 2 * eps;
       EXPECT_NEAR(p->grad.data()[i], numeric, tolerance)
-          << "param element " << i;
+          << p->name << " element " << i;
     }
   }
 }
 
 TEST(GradientTest, DenseLayer) {
+  ParameterStore store;
   Rng rng(5);
-  Dense dense(4, 3, &rng);
+  Dense dense(4, 3, &store, "d", &rng);
   Matrix input(2, 4);
   for (double& x : input.data()) x = rng.NextGaussian();
-  CheckGradients(&dense, input, 1e-6);
+  CheckGradients(&dense, &store, input, 1e-6);
 }
 
 TEST(GradientTest, MlpWithRelu) {
+  ParameterStore store;
   Rng rng(6);
-  auto net = MakeMlp(5, {8, 8}, 3, &rng);
+  auto net = MakeMlp(5, {8, 8}, 3, &store, "mlp", &rng);
   Matrix input(3, 5);
   for (double& x : input.data()) x = rng.NextGaussian() + 0.5;
-  CheckGradients(net.get(), input, 1e-5);
+  CheckGradients(net.get(), &store, input, 1e-5);
 }
 
 TEST(GradientTest, TanhLayerChain) {
+  ParameterStore store;
   Rng rng(7);
   Sequential net;
-  net.Add(std::make_unique<Dense>(4, 6, &rng));
+  net.Add(std::make_unique<Dense>(4, 6, &store, "a", &rng));
   net.Add(std::make_unique<TanhLayer>());
-  net.Add(std::make_unique<Dense>(6, 2, &rng));
+  net.Add(std::make_unique<Dense>(6, 2, &store, "b", &rng));
   Matrix input(2, 4);
   for (double& x : input.data()) x = rng.NextGaussian();
-  CheckGradients(&net, input, 1e-6);
+  CheckGradients(&net, &store, input, 1e-6);
 }
 
 TEST(GradientTest, DenseInputGradient) {
+  ParameterStore store;
   Rng rng(8);
-  Dense dense(3, 2, &rng);
+  Dense dense(3, 2, &store, "d", &rng);
   Matrix input(1, 3);
   for (double& x : input.data()) x = rng.NextGaussian();
-  Matrix out = dense.Forward(input);
+  Workspace ws;
+  dense.Forward(input, &ws);
   Matrix coeff(1, 2);
   coeff(0, 0) = 1.0;
   coeff(0, 1) = -2.0;
-  ZeroGradients(dense.Parameters());
-  Matrix grad_in = dense.Backward(coeff);
+  ZeroGradients(store.All());
+  Matrix grad_in = dense.Backward(coeff, &ws);
+  Workspace fd_ws;
   for (int j = 0; j < 3; ++j) {
     const double eps = 1e-6;
     Matrix bumped = input;
     bumped(0, j) += eps;
-    Matrix plus = dense.Forward(bumped);
+    Matrix plus = dense.Forward(bumped, &fd_ws);
     bumped(0, j) -= 2 * eps;
-    Matrix minus = dense.Forward(bumped);
+    Matrix minus = dense.Forward(bumped, &fd_ws);
     double numeric =
         (coeff(0, 0) * (plus(0, 0) - minus(0, 0)) +
          coeff(0, 1) * (plus(0, 1) - minus(0, 1))) /
@@ -189,30 +284,111 @@ TEST(GradientTest, DenseInputGradient) {
   }
 }
 
+TEST(GradientTest, ReluInputGradient) {
+  // Input gradient of ReLU alone: pass-through on positive inputs, zero on
+  // negative ones (inputs kept away from the kink for clean FD).
+  Relu relu;
+  Matrix input(2, 3);
+  input(0, 0) = 1.5;
+  input(0, 1) = -2.0;
+  input(0, 2) = 0.7;
+  input(1, 0) = -0.4;
+  input(1, 1) = 3.0;
+  input(1, 2) = -1.1;
+  Workspace ws;
+  relu.Forward(input, &ws);
+  Matrix coeff(2, 3);
+  Rng rng(14);
+  for (double& c : coeff.data()) c = rng.NextGaussian();
+  Matrix grad_in = relu.Backward(coeff, &ws);
+  Workspace fd_ws;
+  for (size_t i = 0; i < input.size(); ++i) {
+    const double eps = 1e-6;
+    Matrix bumped = input;
+    bumped.data()[i] += eps;
+    Matrix plus = relu.Forward(bumped, &fd_ws);
+    bumped.data()[i] -= 2 * eps;
+    Matrix minus = relu.Forward(bumped, &fd_ws);
+    double numeric = 0.0;
+    for (size_t k = 0; k < plus.size(); ++k) {
+      numeric += coeff.data()[k] * (plus.data()[k] - minus.data()[k]);
+    }
+    numeric /= 2 * eps;
+    EXPECT_NEAR(grad_in.data()[i], numeric, 1e-6) << "element " << i;
+  }
+}
+
+TEST(GradientTest, SoftmaxHeadLogProb) {
+  // The policies' head structure: Dense -> softmax -> L = log p[chosen],
+  // with the analytic logits gradient (onehot − p) backpropagated through
+  // the Dense layer and checked against finite differences on its params.
+  ParameterStore store;
+  Rng rng(15);
+  Dense head(4, 5, &store, "head", &rng);
+  Matrix input(1, 4);
+  for (double& x : input.data()) x = rng.NextGaussian();
+  const int chosen = 2;
+
+  auto loss = [&](Workspace* ws) {
+    Matrix probs = head.Forward(input, ws);
+    SoftmaxRangeInPlace(&probs, 0, 5);
+    return std::log(probs(0, chosen));
+  };
+
+  Workspace ws;
+  Matrix probs = head.Forward(input, &ws);
+  SoftmaxRangeInPlace(&probs, 0, 5);
+  Matrix dlogits(1, 5);
+  for (int j = 0; j < 5; ++j) {
+    dlogits(0, j) = (j == chosen ? 1.0 : 0.0) - probs(0, j);
+  }
+  ZeroGradients(store.All());
+  head.Backward(dlogits, &ws);
+
+  Workspace fd_ws;
+  for (Parameter* p : store.All()) {
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      const double eps = 1e-5;
+      const double original = p->value.data()[i];
+      p->value.data()[i] = original + eps;
+      const double plus = loss(&fd_ws);
+      p->value.data()[i] = original - eps;
+      const double minus = loss(&fd_ws);
+      p->value.data()[i] = original;
+      const double numeric = (plus - minus) / (2 * eps);
+      EXPECT_NEAR(p->grad.data()[i], numeric, 1e-6)
+          << p->name << " element " << i;
+    }
+  }
+}
+
 // ------------------------------------------------------------ training
 
 TEST(OptimizerTest, ZeroGradientsClears) {
+  ParameterStore store;
   Rng rng(9);
-  Dense dense(2, 2, &rng);
+  Dense dense(2, 2, &store, "d", &rng);
   Matrix input(1, 2, 1.0);
-  dense.Forward(input);
-  dense.Backward(Matrix(1, 2, 1.0));
-  ZeroGradients(dense.Parameters());
-  for (Parameter* p : dense.Parameters()) {
+  Workspace ws;
+  dense.Forward(input, &ws);
+  dense.Backward(Matrix(1, 2, 1.0), &ws);
+  ZeroGradients(store.All());
+  for (Parameter* p : store.All()) {
     for (double g : p->grad.data()) EXPECT_DOUBLE_EQ(g, 0.0);
   }
 }
 
 TEST(OptimizerTest, ClipGradientsByNorm) {
+  ParameterStore store;
   Rng rng(10);
-  Dense dense(2, 2, &rng);
-  for (Parameter* p : dense.Parameters()) {
+  Dense dense(2, 2, &store, "d", &rng);
+  for (Parameter* p : store.All()) {
     for (double& g : p->grad.data()) g = 10.0;
   }
-  double norm_before = ClipGradientsByNorm(dense.Parameters(), 1.0);
+  double norm_before = ClipGradientsByNorm(store.All(), 1.0);
   EXPECT_GT(norm_before, 1.0);
   double sq = 0.0;
-  for (Parameter* p : dense.Parameters()) {
+  for (Parameter* p : store.All()) {
     for (double g : p->grad.data()) sq += g * g;
   }
   EXPECT_NEAR(std::sqrt(sq), 1.0, 1e-9);
@@ -221,8 +397,10 @@ TEST(OptimizerTest, ClipGradientsByNorm) {
 /// Both optimizers should fit y = 2x - 1 with a single Dense unit.
 template <typename Optimizer>
 double FitLinear(Optimizer* optimizer, int steps) {
+  ParameterStore store;
   Rng rng(12);
-  Dense dense(1, 1, &rng);
+  Dense dense(1, 1, &store, "d", &rng);
+  Workspace ws;
   double final_loss = 0.0;
   for (int step = 0; step < steps; ++step) {
     Matrix x(8, 1);
@@ -231,7 +409,7 @@ double FitLinear(Optimizer* optimizer, int steps) {
       x(i, 0) = rng.NextDouble(-1, 1);
       target(i, 0) = 2.0 * x(i, 0) - 1.0;
     }
-    Matrix out = dense.Forward(x);
+    const Matrix& out = dense.Forward(x, &ws);
     Matrix grad(8, 1);
     final_loss = 0.0;
     for (int i = 0; i < 8; ++i) {
@@ -239,9 +417,9 @@ double FitLinear(Optimizer* optimizer, int steps) {
       grad(i, 0) = 2.0 * diff / 8.0;
       final_loss += diff * diff / 8.0;
     }
-    ZeroGradients(dense.Parameters());
-    dense.Backward(grad);
-    optimizer->Step(dense.Parameters());
+    ZeroGradients(store.All());
+    dense.Backward(grad, &ws);
+    optimizer->Step(store.All());
   }
   return final_loss;
 }
@@ -258,14 +436,12 @@ TEST(OptimizerTest, AdamConvergesOnLinearFit) {
 }
 
 TEST(MlpTest, ParameterCountMatchesArchitecture) {
+  ParameterStore store;
   Rng rng(13);
-  auto net = MakeMlp(10, {16, 8}, 4, &rng);
-  int64_t total = 0;
-  for (Parameter* p : net->Parameters()) {
-    total += static_cast<int64_t>(p->value.size());
-  }
+  auto net = MakeMlp(10, {16, 8}, 4, &store, "mlp", &rng);
+  (void)net;
   // (10*16 + 16) + (16*8 + 8) + (8*4 + 4)
-  EXPECT_EQ(total, 176 + 136 + 36);
+  EXPECT_EQ(store.NumScalars(), 176 + 136 + 36);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "baselines/flat_policy.h"
 #include "core/twofold_policy.h"
 #include "data/registry.h"
 #include "rl/parallel_trainer.h"
@@ -73,6 +74,176 @@ TEST(ParallelTrainerTest, EpisodeAccountingMatchesStepBudget) {
   TrainingResult result = trainer.Train();
   EXPECT_EQ(result.episodes, 40);
   EXPECT_EQ(result.curve.back().step, 200);
+}
+
+// Collects `count` distinct observations by running `policy` on `env`.
+std::vector<std::vector<double>> CollectObservations(EdaEnvironment* env,
+                                                     Policy* policy,
+                                                     int count) {
+  Rng rng(404);
+  std::vector<std::vector<double>> observations;
+  std::vector<double> obs = env->Reset();
+  for (int i = 0; i < count; ++i) {
+    observations.push_back(obs);
+    PolicyStep step = policy->Act(obs, &rng);
+    StepOutcome outcome = ApplyAction(env, step.action);
+    obs = outcome.done ? env->Reset() : std::move(outcome.observation);
+  }
+  return observations;
+}
+
+void ExpectStepsBitIdentical(const PolicyStep& a, const PolicyStep& b) {
+  EXPECT_EQ(a.log_prob, b.log_prob);
+  EXPECT_EQ(a.entropy, b.entropy);
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.action.is_concrete, b.action.is_concrete);
+  EXPECT_EQ(a.action.flat_index, b.action.flat_index);
+  EXPECT_EQ(static_cast<int>(a.action.structured.type),
+            static_cast<int>(b.action.structured.type));
+  EXPECT_EQ(a.action.structured.filter_column, b.action.structured.filter_column);
+  EXPECT_EQ(a.action.structured.filter_op, b.action.structured.filter_op);
+  EXPECT_EQ(a.action.structured.filter_bin, b.action.structured.filter_bin);
+  EXPECT_EQ(a.action.structured.group_column, b.action.structured.group_column);
+  EXPECT_EQ(a.action.structured.agg_func, b.action.structured.agg_func);
+  EXPECT_EQ(a.action.structured.agg_column, b.action.structured.agg_column);
+}
+
+// The batched-acting contract: ActBatch over N rows consumes the rng
+// exactly as N per-sample Act calls in row order — identical actions,
+// log-probs, entropies, and critic values, bit for bit.
+TEST(ActBatchTest, MatchesPerSampleActOnSharedRngStream) {
+  auto dataset = MakeDataset("cyber2");
+  ASSERT_TRUE(dataset.ok());
+  EdaEnvironment env(dataset.value(), ConfigWithSeed(21));
+
+  TwofoldPolicy::Options twofold_options;
+  twofold_options.hidden = {12};
+  TwofoldPolicy twofold(env.observation_dim(), env.action_space(),
+                        twofold_options);
+  FlatPolicy::Options flat_options;
+  flat_options.term_mode = FlatPolicy::TermMode::kFrequencyBins;
+  flat_options.hidden = {12};
+  FlatPolicy flat(env, flat_options);
+
+  for (Policy* policy : std::vector<Policy*>{&twofold, &flat}) {
+    auto observations = CollectObservations(&env, policy, 6);
+    const int n = static_cast<int>(observations.size());
+    Matrix batch(n, static_cast<int>(observations[0].size()));
+    for (int r = 0; r < n; ++r) {
+      std::copy(observations[static_cast<size_t>(r)].begin(),
+                observations[static_cast<size_t>(r)].end(), batch.RowPtr(r));
+    }
+
+    Rng rng_batched(777);
+    Rng rng_serial(777);
+    std::vector<PolicyStep> batched = policy->ActBatch(batch, &rng_batched);
+    ASSERT_EQ(batched.size(), static_cast<size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      PolicyStep serial =
+          policy->Act(observations[static_cast<size_t>(r)], &rng_serial);
+      ExpectStepsBitIdentical(batched[static_cast<size_t>(r)], serial);
+    }
+    // Both consumed the same number of draws.
+    EXPECT_EQ(rng_batched.NextDouble(), rng_serial.NextDouble());
+
+    // Null rng = greedy, also row-equivalent.
+    std::vector<PolicyStep> greedy_batched = policy->ActBatch(batch, nullptr);
+    for (int r = 0; r < n; ++r) {
+      PolicyStep greedy =
+          policy->ActGreedy(observations[static_cast<size_t>(r)]);
+      ExpectStepsBitIdentical(greedy_batched[static_cast<size_t>(r)], greedy);
+    }
+  }
+}
+
+// The trainer-core unification contract: a 1-actor ParallelPpoTrainer IS
+// the single-env PpoTrainer — identical rng stream (plain seed), identical
+// rollout/GAE/update machinery, so training output matches bit for bit.
+TEST(ParallelTrainerTest, SingleActorMatchesPpoTrainerBitForBit) {
+  auto dataset = MakeDataset("cyber2");
+  ASSERT_TRUE(dataset.ok());
+  EdaEnvironment env_a(dataset.value(), ConfigWithSeed(7));
+  EdaEnvironment env_b(dataset.value(), ConfigWithSeed(7));
+
+  TwofoldPolicy::Options policy_options;
+  policy_options.hidden = {10};
+  TwofoldPolicy policy_a(env_a.observation_dim(), env_a.action_space(),
+                         policy_options);
+  TwofoldPolicy policy_b(env_b.observation_dim(), env_b.action_space(),
+                         policy_options);
+
+  TrainerOptions options;
+  options.total_steps = 300;
+  options.rollout_length = 60;
+  options.final_eval_episodes = 2;
+  options.seed = 1234;
+
+  PpoTrainer single(&env_a, &policy_a, options);
+  TrainingResult result_single = single.Train();
+  ParallelPpoTrainer parallel({&env_b}, &policy_b, options);
+  TrainingResult result_parallel = parallel.Train();
+
+  EXPECT_EQ(result_single.episodes, result_parallel.episodes);
+  EXPECT_EQ(result_single.best_episode_reward,
+            result_parallel.best_episode_reward);
+  EXPECT_EQ(result_single.final_mean_reward,
+            result_parallel.final_mean_reward);
+  ASSERT_EQ(result_single.curve.size(), result_parallel.curve.size());
+  for (size_t i = 0; i < result_single.curve.size(); ++i) {
+    EXPECT_EQ(result_single.curve[i].step, result_parallel.curve[i].step);
+    EXPECT_EQ(result_single.curve[i].mean_episode_reward,
+              result_parallel.curve[i].mean_episode_reward);
+  }
+  ASSERT_EQ(result_single.best_episode_ops.size(),
+            result_parallel.best_episode_ops.size());
+  for (size_t i = 0; i < result_single.best_episode_ops.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(result_single.best_episode_ops[i].type),
+              static_cast<int>(result_parallel.best_episode_ops[i].type));
+  }
+  // The networks ended up with identical weights.
+  auto params_a = policy_a.Parameters();
+  auto params_b = policy_b.Parameters();
+  ASSERT_EQ(params_a.size(), params_b.size());
+  for (size_t k = 0; k < params_a.size(); ++k) {
+    ASSERT_EQ(params_a[k]->value.size(), params_b[k]->value.size());
+    for (size_t i = 0; i < params_a[k]->value.size(); ++i) {
+      EXPECT_EQ(params_a[k]->value.data()[i], params_b[k]->value.data()[i])
+          << params_a[k]->name << " element " << i;
+    }
+  }
+}
+
+// Multi-actor acting must cost one network forward per lockstep tick, not
+// one per actor — the point of the batched acting path.
+TEST(ParallelTrainerTest, FourActorsOneForwardPerTick) {
+  auto dataset = MakeDataset("cyber2");
+  ASSERT_TRUE(dataset.ok());
+  std::vector<std::unique_ptr<EdaEnvironment>> owned;
+  std::vector<EdaEnvironment*> envs;
+  for (uint64_t seed = 41; seed <= 44; ++seed) {
+    owned.push_back(std::make_unique<EdaEnvironment>(dataset.value(),
+                                                     ConfigWithSeed(seed)));
+    envs.push_back(owned.back().get());
+  }
+  TwofoldPolicy::Options policy_options;
+  policy_options.hidden = {8};
+  TwofoldPolicy policy(envs[0]->observation_dim(), envs[0]->action_space(),
+                       policy_options);
+  TrainerOptions options;
+  options.total_steps = 200;
+  options.rollout_length = 40;  // 10 ticks per rollout across 4 actors
+  options.epochs_per_update = 1;
+  options.minibatch_size = 64;  // one ForwardBatch per update
+  options.final_eval_episodes = 0;
+  ParallelPpoTrainer trainer(envs, &policy, options);
+  trainer.Train();
+
+  // 200 steps / 4 actors = 50 acting ticks; 5 rollouts x 1 update forward.
+  // Episodes (length 5) end exactly at each 10-step stream boundary, so no
+  // bootstrap forwards. Per-actor acting would instead cost 200+ passes.
+  const int64_t acting_ticks = 50;
+  const int64_t update_forwards = 5;
+  EXPECT_EQ(policy.forward_passes(), acting_ticks + update_forwards);
 }
 
 }  // namespace

@@ -14,17 +14,21 @@ std::string TempPath(const char* name) {
 }
 
 TEST(SerializationTest, RoundTripsExactly) {
+  ParameterStore store;
   Rng rng(3);
-  auto net = MakeMlp(7, {5}, 3, &rng);
+  auto net = MakeMlp(7, {5}, 3, &store, "mlp", &rng);
   const std::string path = TempPath("roundtrip.nn");
-  ASSERT_TRUE(SaveParameters(net->Parameters(), path).ok());
+  ASSERT_TRUE(SaveParameters(store, path).ok());
 
+  ParameterStore store2;
   Rng rng2(99);  // different init
-  auto loaded = MakeMlp(7, {5}, 3, &rng2);
-  ASSERT_TRUE(LoadParameters(loaded->Parameters(), path).ok());
+  auto loaded = MakeMlp(7, {5}, 3, &store2, "mlp", &rng2);
+  (void)net;
+  (void)loaded;
+  ASSERT_TRUE(LoadParameters(&store2, path).ok());
 
-  auto a = net->Parameters();
-  auto b = loaded->Parameters();
+  auto a = store.All();
+  auto b = store2.All();
   ASSERT_EQ(a.size(), b.size());
   for (size_t k = 0; k < a.size(); ++k) {
     ASSERT_EQ(a[k]->value.size(), b[k]->value.size());
@@ -35,69 +39,151 @@ TEST(SerializationTest, RoundTripsExactly) {
 }
 
 TEST(SerializationTest, LoadedNetworkComputesIdenticalOutputs) {
+  ParameterStore store;
   Rng rng(4);
-  auto net = MakeMlp(4, {6}, 2, &rng);
+  auto net = MakeMlp(4, {6}, 2, &store, "mlp", &rng);
   const std::string path = TempPath("outputs.nn");
-  ASSERT_TRUE(SaveParameters(net->Parameters(), path).ok());
+  ASSERT_TRUE(SaveParameters(store, path).ok());
+  ParameterStore store2;
   Rng rng2(5);
-  auto loaded = MakeMlp(4, {6}, 2, &rng2);
-  ASSERT_TRUE(LoadParameters(loaded->Parameters(), path).ok());
+  auto loaded = MakeMlp(4, {6}, 2, &store2, "mlp", &rng2);
+  ASSERT_TRUE(LoadParameters(&store2, path).ok());
 
   Matrix input(3, 4);
   Rng data_rng(6);
   for (double& x : input.data()) x = data_rng.NextGaussian();
-  Matrix out_a = net->Forward(input);
-  Matrix out_b = loaded->Forward(input);
+  Workspace ws_a, ws_b;
+  const Matrix& out_a = net->Forward(input, &ws_a);
+  const Matrix& out_b = loaded->Forward(input, &ws_b);
   for (size_t i = 0; i < out_a.size(); ++i) {
     EXPECT_DOUBLE_EQ(out_a.data()[i], out_b.data()[i]);
   }
 }
 
-TEST(SerializationTest, ShapeMismatchIsRejectedWithoutModification) {
-  Rng rng(7);
-  auto small = MakeMlp(4, {3}, 2, &rng);
-  const std::string path = TempPath("mismatch.nn");
-  ASSERT_TRUE(SaveParameters(small->Parameters(), path).ok());
+TEST(SerializationTest, LoadsLegacyV1FixtureWrittenByOldFormat) {
+  // A checkpoint in the historical positional (nameless) v1 format, written
+  // here byte-for-byte as the pre-refactor SaveParameters would have
+  // emitted it for a 2->2->1 MLP. The named parameter store must keep
+  // loading such files.
+  const std::string path = TempPath("legacy_v1.nn");
+  std::ofstream(path) << "ATENA-NN v1\n"
+                         "4\n"
+                         "2 2\n"
+                         "0.5 -0.25 1.5 2\n"
+                         "1 2\n"
+                         "0.125 -1\n"
+                         "1 2\n"
+                         "3 -0.75\n"
+                         "1 1\n"
+                         "0.0625\n";
 
-  auto big = MakeMlp(4, {5}, 2, &rng);
-  std::vector<double> before = big->Parameters()[0]->value.data();
-  Status status = LoadParameters(big->Parameters(), path);
+  ParameterStore store;
+  Rng rng(17);
+  auto net = MakeMlp(2, {2}, 1, &store, "mlp", &rng);
+  (void)net;
+  ASSERT_TRUE(LoadParameters(&store, path).ok());
+  auto all = store.All();
+  EXPECT_DOUBLE_EQ(all[0]->value(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(all[0]->value(0, 1), -0.25);
+  EXPECT_DOUBLE_EQ(all[0]->value(1, 0), 1.5);
+  EXPECT_DOUBLE_EQ(all[0]->value(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(all[1]->value(0, 0), 0.125);
+  EXPECT_DOUBLE_EQ(all[1]->value(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(all[2]->value(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(all[2]->value(0, 1), -0.75);
+  EXPECT_DOUBLE_EQ(all[3]->value(0, 0), 0.0625);
+
+  // And a v2 re-save of the same store round-trips with names.
+  const std::string v2_path = TempPath("legacy_resaved.nn");
+  ASSERT_TRUE(SaveParameters(store, v2_path).ok());
+  std::ifstream in(v2_path);
+  std::string magic, first_name;
+  std::getline(in, magic);
+  EXPECT_EQ(magic, "ATENA-NN v2");
+  std::string count_line;
+  std::getline(in, count_line);
+  in >> first_name;
+  EXPECT_EQ(first_name, "mlp.0.weight");
+  ASSERT_TRUE(LoadParameters(&store, v2_path).ok());
+  EXPECT_DOUBLE_EQ(store.All()[0]->value(0, 0), 0.5);
+}
+
+TEST(SerializationTest, NameMismatchIsRejected) {
+  ParameterStore store;
+  Rng rng(18);
+  auto net = MakeMlp(3, {2}, 1, &store, "actor", &rng);
+  (void)net;
+  const std::string path = TempPath("named.nn");
+  ASSERT_TRUE(SaveParameters(store, path).ok());
+
+  // Same shapes, different parameter names: a v2 checkpoint must not load
+  // into a differently-named network.
+  ParameterStore other;
+  Rng rng2(18);
+  auto other_net = MakeMlp(3, {2}, 1, &other, "critic", &rng2);
+  (void)other_net;
+  Status status = LoadParameters(&other, path);
   EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
-  EXPECT_EQ(big->Parameters()[0]->value.data(), before);
+}
+
+TEST(SerializationTest, ShapeMismatchIsRejectedWithoutModification) {
+  ParameterStore small_store;
+  Rng rng(7);
+  auto small = MakeMlp(4, {3}, 2, &small_store, "mlp", &rng);
+  (void)small;
+  const std::string path = TempPath("mismatch.nn");
+  ASSERT_TRUE(SaveParameters(small_store, path).ok());
+
+  ParameterStore big_store;
+  auto big = MakeMlp(4, {5}, 2, &big_store, "mlp", &rng);
+  (void)big;
+  std::vector<double> before = big_store.All()[0]->value.data();
+  Status status = LoadParameters(&big_store, path);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(big_store.All()[0]->value.data(), before);
 }
 
 TEST(SerializationTest, CountMismatchIsRejected) {
+  ParameterStore store2;
   Rng rng(8);
-  auto two_layer = MakeMlp(4, {3}, 2, &rng);
+  auto two_layer = MakeMlp(4, {3}, 2, &store2, "mlp", &rng);
+  (void)two_layer;
   const std::string path = TempPath("count.nn");
-  ASSERT_TRUE(SaveParameters(two_layer->Parameters(), path).ok());
-  auto three_layer = MakeMlp(4, {3, 3}, 2, &rng);
-  EXPECT_EQ(LoadParameters(three_layer->Parameters(), path).code(),
+  ASSERT_TRUE(SaveParameters(store2, path).ok());
+  ParameterStore store3;
+  auto three_layer = MakeMlp(4, {3, 3}, 2, &store3, "mlp", &rng);
+  (void)three_layer;
+  EXPECT_EQ(LoadParameters(&store3, path).code(),
             StatusCode::kFailedPrecondition);
 }
 
 TEST(SerializationTest, GarbageFileIsRejected) {
   const std::string path = TempPath("garbage.nn");
   std::ofstream(path) << "not a checkpoint\n";
+  ParameterStore store;
   Rng rng(9);
-  auto net = MakeMlp(2, {2}, 1, &rng);
-  EXPECT_EQ(LoadParameters(net->Parameters(), path).code(),
+  auto net = MakeMlp(2, {2}, 1, &store, "mlp", &rng);
+  (void)net;
+  EXPECT_EQ(LoadParameters(&store, path).code(),
             StatusCode::kInvalidArgument);
-  EXPECT_EQ(LoadParameters(net->Parameters(), "/nonexistent/x.nn").code(),
+  EXPECT_EQ(LoadParameters(&store, "/nonexistent/x.nn").code(),
             StatusCode::kIOError);
 }
 
 TEST(SerializationTest, TruncatedFileIsRejected) {
+  ParameterStore store;
   Rng rng(10);
-  auto net = MakeMlp(3, {3}, 2, &rng);
+  auto net = MakeMlp(3, {3}, 2, &store, "mlp", &rng);
+  (void)net;
   const std::string path = TempPath("trunc.nn");
-  ASSERT_TRUE(SaveParameters(net->Parameters(), path).ok());
+  ASSERT_TRUE(SaveParameters(store, path).ok());
   // Chop the file in half.
   std::ifstream in(path);
   std::string content((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
+  in.close();
   std::ofstream(path) << content.substr(0, content.size() / 2);
-  Status status = LoadParameters(net->Parameters(), path);
+  Status status = LoadParameters(&store, path);
   EXPECT_FALSE(status.ok());
 }
 
