@@ -6,7 +6,12 @@
 // with departure/arrival delay as focal attributes, compares it against the
 // gold-standard notebooks with the full A-EDA metric suite, and writes the
 // notebook as Markdown and HTML files next to the binary.
+//
+// Training is crash-safe: Ctrl-C stops at the next update boundary after
+// flushing a checkpoint, and rerunning resumes bit-identically from it.
+// Delete flights4_training.ckpt{,.prev} to retrain from scratch.
 
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 
@@ -21,6 +26,12 @@
 int main(int argc, char** argv) {
   using namespace atena;
   SetLogLevel(LogLevel::kInfo);
+  // First Ctrl-C requests a graceful stop (checkpoint + partial result); a
+  // second one falls back to the default fatal handling.
+  std::signal(SIGINT, [](int) {
+    RequestTrainingStop();
+    std::signal(SIGINT, SIG_DFL);
+  });
 
   auto dataset = MakeDataset("flights4");
   if (!dataset.ok()) {
@@ -30,6 +41,9 @@ int main(int argc, char** argv) {
 
   AtenaOptions options;
   options.trainer.total_steps = 6000;
+  options.trainer.checkpoint_path = "flights4_training.ckpt";
+  options.trainer.checkpoint_every_updates = 5;
+  options.trainer.resume = true;
   ApplyTrainStepsFromEnv(&options);
   if (argc > 1) {
     int64_t steps = 0;
@@ -44,6 +58,12 @@ int main(int argc, char** argv) {
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     return 1;
+  }
+  if (result.value().training.interrupted) {
+    std::printf("training interrupted — checkpoint flushed to %s; rerun to "
+                "resume where it left off\n",
+                options.trainer.checkpoint_path.c_str());
+    return 0;
   }
   const EdaNotebook& notebook = result.value().notebook;
 

@@ -11,6 +11,7 @@
 // policy's episode reward against an untrained policy on the target
 // dataset — zero-shot transfer of exploration skill.
 
+#include <csignal>
 #include <cstdio>
 
 #include "common/logging.h"
@@ -26,6 +27,13 @@
 int main(int argc, char** argv) {
   using namespace atena;
   SetLogLevel(LogLevel::kInfo);
+  // Ctrl-C stops training at the next update boundary after flushing a
+  // checkpoint; rerunning resumes from it bit-identically. A second Ctrl-C
+  // falls back to the default fatal handling.
+  std::signal(SIGINT, [](int) {
+    RequestTrainingStop();
+    std::signal(SIGINT, SIG_DFL);
+  });
 
   int total_steps = 6000;
   if (argc > 1) {
@@ -49,8 +57,17 @@ int main(int argc, char** argv) {
                        source_env.action_space(), policy_options);
   TrainerOptions trainer_options;
   trainer_options.total_steps = total_steps;
+  trainer_options.checkpoint_path = "atena_flights_policy.ckpt";
+  trainer_options.checkpoint_every_updates = 5;
+  trainer_options.resume = true;
   PpoTrainer trainer(&source_env, &policy, trainer_options);
   TrainingResult training = trainer.Train();
+  if (training.interrupted) {
+    std::printf("training interrupted — checkpoint flushed to %s; rerun to "
+                "resume where it left off\n",
+                trainer_options.checkpoint_path.c_str());
+    return 0;
+  }
   std::printf("trained on flights2: final mean episode reward %.3f\n",
               training.final_mean_reward);
 

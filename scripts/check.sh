@@ -1,21 +1,34 @@
 #!/usr/bin/env bash
 # Full verification sweep: the tier-1 build + test cycle, then the same
-# suite again under AddressSanitizer (ATENA_SANITIZE=address) in a separate
-# build tree. Run from anywhere; builds land in <repo>/build and
-# <repo>/build-asan.
+# suite again under AddressSanitizer (ATENA_SANITIZE=address) and
+# UndefinedBehaviorSanitizer (ATENA_SANITIZE=undefined) in separate build
+# trees. Run from anywhere; builds land in <repo>/build, <repo>/build-asan
+# and <repo>/build-ubsan. Every ctest invocation carries a per-test
+# timeout so a hung test fails the sweep instead of wedging it.
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
+test_timeout=600  # seconds per test binary
 
 echo "== tier-1: configure + build + ctest =="
 cmake -B "$repo/build" -S "$repo"
 cmake --build "$repo/build" -j "$jobs"
-ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+ctest --test-dir "$repo/build" --output-on-failure -j "$jobs" \
+  --timeout "$test_timeout"
 
 echo "== asan: configure + build + ctest (ATENA_SANITIZE=address) =="
 cmake -B "$repo/build-asan" -S "$repo" -DATENA_SANITIZE=address
 cmake --build "$repo/build-asan" -j "$jobs"
-ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
+ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs" \
+  --timeout "$test_timeout"
+
+echo "== ubsan: configure + build + ctest (ATENA_SANITIZE=undefined) =="
+cmake -B "$repo/build-ubsan" -S "$repo" -DATENA_SANITIZE=undefined
+cmake --build "$repo/build-ubsan" -j "$jobs"
+# halt_on_error turns any UB report into a test failure rather than a log line.
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --test-dir "$repo/build-ubsan" --output-on-failure -j "$jobs" \
+    --timeout "$test_timeout"
 
 echo "== all checks passed =="

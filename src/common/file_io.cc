@@ -1,0 +1,232 @@
+#include "common/file_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace atena {
+
+namespace {
+
+FileIoFailureHook& FailureHook() {
+  static FileIoFailureHook hook;
+  return hook;
+}
+
+/// Returns true (and synthesizes EIO) when the test hook asks step `op` on
+/// `path` to fail.
+bool InjectFailure(const char* op, const std::string& path) {
+  if (FailureHook() && FailureHook()(op, path)) {
+    errno = EIO;
+    return true;
+  }
+  return false;
+}
+
+std::string ErrnoDetail() {
+  return std::string(std::strerror(errno)) + " (errno " +
+         std::to_string(errno) + ")";
+}
+
+Status StepError(const char* op, const std::string& path) {
+  return Status::IOError(std::string(op) + " failed for '" + path + "': " +
+                         ErrnoDetail());
+}
+
+/// Directory component of `path` ("." when it has none) — the directory
+/// whose entry list the rename mutates, and therefore the one to fsync.
+std::string DirectoryOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+void SetFileIoFailureHookForTesting(FileIoFailureHook hook) {
+  FailureHook() = std::move(hook);
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  int fd = -1;
+  if (InjectFailure("open", path) ||
+      (fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644)) < 0) {
+    return StepError("open", tmp);
+  }
+  // Write the whole buffer, tolerating short writes.
+  const char* data = contents.data();
+  size_t remaining = contents.size();
+  while (remaining > 0) {
+    ssize_t n;
+    if (InjectFailure("write", path) ||
+        (n = ::write(fd, data, remaining)) < 0) {
+      Status error = StepError("write", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return error;
+    }
+    data += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  // fsync before rename: the rename must never publish a file whose data
+  // blocks are still only in the page cache.
+  if (InjectFailure("fsync", path) || ::fsync(fd) != 0) {
+    Status error = StepError("fsync", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return error;
+  }
+  if (::close(fd) != 0) {
+    Status error = StepError("close", tmp);
+    ::unlink(tmp.c_str());
+    return error;
+  }
+  if (InjectFailure("rename", path) ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status error = StepError("rename", tmp);
+    ::unlink(tmp.c_str());
+    return error;
+  }
+  // Make the rename itself durable. Failure here is still reported, but the
+  // target already holds the new contents (no cleanup to do).
+  const std::string dir = DirectoryOf(path);
+  int dir_fd;
+  if (InjectFailure("dirsync", path) ||
+      (dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY)) < 0) {
+    return StepError("dirsync-open", dir);
+  }
+  if (::fsync(dir_fd) != 0) {
+    Status error = StepError("dirsync", dir);
+    ::close(dir_fd);
+    return error;
+  }
+  ::close(dir_fd);
+  return Status::OK();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return StepError("open", path);
+  std::string buffer;
+  char chunk[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      Status error = StepError("read", path);
+      ::close(fd);
+      return error;
+    }
+    if (n == 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  *out = std::move(buffer);
+  return Status::OK();
+}
+
+uint32_t Crc32(std::string_view data) {
+  // Table-driven CRC-32 (reflected polynomial 0xEDB88320). The table is
+  // built once on first use.
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char c : data) {
+    crc = (crc >> 8) ^ table[(crc ^ c) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Status WriteChecksummedFile(const std::string& path, std::string_view magic,
+                            std::string_view payload) {
+  std::ostringstream framed;
+  framed << magic << "\n";
+  char crc_hex[9];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x", Crc32(payload));
+  framed << "crc32 " << crc_hex << " size " << payload.size() << "\n";
+  framed << payload;
+  return AtomicWriteFile(path, framed.str());
+}
+
+Status ReadChecksummedFile(const std::string& path, std::string_view magic,
+                           std::string* payload) {
+  std::string raw;
+  ATENA_RETURN_IF_ERROR(ReadFileToString(path, &raw));
+
+  // Magic line.
+  size_t magic_end = raw.find('\n');
+  if (magic_end == std::string::npos ||
+      std::string_view(raw).substr(0, magic_end) != magic) {
+    return Status::InvalidArgument("'" + path + "' is not a " +
+                                   std::string(magic) + " file");
+  }
+  // Header line: "crc32 <hex> size <n>".
+  size_t header_end = raw.find('\n', magic_end + 1);
+  if (header_end == std::string::npos) {
+    return Status::IOError("'" + path + "' truncated: no checksum header");
+  }
+  std::istringstream header(raw.substr(magic_end + 1,
+                                       header_end - magic_end - 1));
+  std::string crc_key, size_key;
+  std::string crc_hex;
+  uint64_t declared_size = 0;
+  header >> crc_key >> crc_hex >> size_key >> declared_size;
+  // The checksum is written as exactly 8 lowercase hex digits; parse it
+  // strictly so any byte flip inside the digits is itself detected.
+  uint32_t declared_crc = 0;
+  bool crc_ok = header && crc_key == "crc32" && size_key == "size" &&
+                crc_hex.size() == 8;
+  for (char c : crc_hex) {
+    if (c >= '0' && c <= '9') {
+      declared_crc = declared_crc * 16 + static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      declared_crc = declared_crc * 16 + static_cast<uint32_t>(c - 'a' + 10);
+    } else {
+      crc_ok = false;
+      break;
+    }
+  }
+  if (!crc_ok) {
+    return Status::IOError("'" + path + "' has a malformed checksum header");
+  }
+  const size_t body_start = header_end + 1;
+  if (raw.size() - body_start != declared_size) {
+    return Status::IOError(
+        "'" + path + "' truncated: payload has " +
+        std::to_string(raw.size() - body_start) + " bytes, header declares " +
+        std::to_string(declared_size));
+  }
+  std::string body = raw.substr(body_start);
+  const uint32_t actual_crc = Crc32(body);
+  if (actual_crc != declared_crc) {
+    char actual_hex[9];
+    std::snprintf(actual_hex, sizeof(actual_hex), "%08x", actual_crc);
+    return Status::IOError("'" + path + "' checksum mismatch: header " +
+                           crc_hex + ", payload " + actual_hex);
+  }
+  *payload = std::move(body);
+  return Status::OK();
+}
+
+}  // namespace atena

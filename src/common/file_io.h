@@ -1,0 +1,71 @@
+#ifndef ATENA_COMMON_FILE_IO_H_
+#define ATENA_COMMON_FILE_IO_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace atena {
+
+/// Durable, crash-safe file primitives shared by every component that
+/// persists state (network checkpoints, training checkpoints, CSV export).
+/// The invariant all writers get for free: an interrupted write can never
+/// corrupt an existing file — the previous contents of `path` survive any
+/// failure, because new bytes land in a temp file in the same directory and
+/// only an atomic rename() publishes them.
+
+/// True when `path` names an existing filesystem entry.
+bool FileExists(const std::string& path);
+
+/// Atomically replaces `path` with `contents`:
+///   1. write `path + ".tmp"` in the same directory,
+///   2. flush + fsync the temp file,
+///   3. rename() it over `path`,
+///   4. fsync the containing directory so the rename itself is durable.
+/// On any failure the temp file is removed and `path` is untouched; the
+/// returned IOError names the failing step and carries strerror(errno)
+/// detail.
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+/// Reads the whole of `path` into `*out` (binary, no translation). Errors
+/// carry strerror(errno) detail; `*out` is only modified on success.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial) of `data`.
+uint32_t Crc32(std::string_view data);
+
+/// Atomically writes a checksummed container:
+///
+///   <magic>\n
+///   crc32 <8-hex-digits> size <payload-bytes>\n
+///   <payload>
+///
+/// so readers can reject truncated or bit-rotted files before interpreting
+/// a single payload byte. Uses AtomicWriteFile underneath.
+Status WriteChecksummedFile(const std::string& path, std::string_view magic,
+                            std::string_view payload);
+
+/// Reads a container written by WriteChecksummedFile and verifies it end to
+/// end: magic mismatch -> InvalidArgument; short/overlong file or size
+/// mismatch -> IOError("... truncated ..."); checksum mismatch ->
+/// IOError("... checksum mismatch ..."). `*payload` is only modified when
+/// every check passes.
+Status ReadChecksummedFile(const std::string& path, std::string_view magic,
+                           std::string* payload);
+
+/// Fault-injection hook for tests. When set, it is consulted before each
+/// low-level step of AtomicWriteFile — `op` is one of "open", "write",
+/// "fsync", "rename", "dirsync" — and returning true makes that step fail
+/// as if the kernel had returned EIO (temp-file cleanup still runs, so the
+/// atomicity contract can be asserted under every failure point). Pass an
+/// empty function to clear. Not thread-safe; tests only.
+using FileIoFailureHook =
+    std::function<bool(const char* op, const std::string& path)>;
+void SetFileIoFailureHookForTesting(FileIoFailureHook hook);
+
+}  // namespace atena
+
+#endif  // ATENA_COMMON_FILE_IO_H_

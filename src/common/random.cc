@@ -101,6 +101,20 @@ size_t Rng::SampleDiscrete(const std::vector<double>& weights) {
   return weights.size() - 1;
 }
 
+RngState Rng::state() const {
+  RngState out;
+  for (int i = 0; i < 4; ++i) out.words[i] = state_[i];
+  out.has_spare_gaussian = has_spare_gaussian_;
+  out.spare_gaussian = spare_gaussian_;
+  return out;
+}
+
+void Rng::set_state(const RngState& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.words[i];
+  has_spare_gaussian_ = state.has_spare_gaussian;
+  spare_gaussian_ = state.spare_gaussian;
+}
+
 size_t Rng::NextZipf(size_t n, double s) {
   if (n <= 1) return 0;
   // Inverse-CDF sampling over the (small) finite support. The harmonic

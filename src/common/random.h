@@ -8,6 +8,16 @@
 
 namespace atena {
 
+/// Complete serializable state of an Rng: the four xoshiro256** words plus
+/// the Marsaglia-polar spare. Capturing and restoring it resumes the stream
+/// bit-identically — the basis of crash-safe training checkpoints
+/// (rl/checkpoint.h).
+struct RngState {
+  uint64_t words[4] = {0, 0, 0, 0};
+  bool has_spare_gaussian = false;
+  double spare_gaussian = 0.0;
+};
+
 /// Deterministic, seedable PRNG used everywhere in the library so that
 /// experiments are reproducible bit-for-bit across runs and platforms.
 ///
@@ -63,6 +73,11 @@ class Rng {
   /// Zipf-distributed rank in [0, n) with exponent `s` (s > 0). Used by the
   /// synthetic data generators to produce realistic token frequency skew.
   size_t NextZipf(size_t n, double s);
+
+  /// Snapshot of the full generator state; set_state restores it so the
+  /// stream continues exactly where the snapshot was taken.
+  RngState state() const;
+  void set_state(const RngState& state);
 
  private:
   uint64_t state_[4];

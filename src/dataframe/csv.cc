@@ -1,8 +1,6 @@
 #include "dataframe/csv.h"
 
-#include <fstream>
-#include <sstream>
-
+#include "common/file_io.h"
 #include "common/string_utils.h"
 
 namespace atena {
@@ -65,24 +63,35 @@ void AppendCsvField(std::string* out, std::string_view field, char delim) {
 
 Result<TablePtr> ReadCsvString(const std::string& text, std::string table_name,
                                const CsvOptions& options) {
-  // Split into logical records, keeping newlines inside quotes.
+  // Split into logical records, keeping newlines inside quotes. Each
+  // record remembers the 1-based source line it starts on (quoted fields
+  // may span lines, so record index and line number can diverge) — error
+  // messages point at the file, not at an internal index.
   std::vector<std::string> records;
+  std::vector<int64_t> record_lines;
   {
     std::string current;
     bool in_quotes = false;
+    int64_t line = 1;
+    int64_t record_start_line = 1;
     for (char c : text) {
       if (c == '"') in_quotes = !in_quotes;
       if ((c == '\n') && !in_quotes) {
         if (!current.empty() && current.back() == '\r') current.pop_back();
         records.push_back(std::move(current));
+        record_lines.push_back(record_start_line);
         current.clear();
+        ++line;
+        record_start_line = line;
       } else {
+        if (c == '\n') ++line;
         current += c;
       }
     }
     if (!current.empty()) {
       if (current.back() == '\r') current.pop_back();
       records.push_back(std::move(current));
+      record_lines.push_back(record_start_line);
     }
   }
   if (records.empty()) {
@@ -99,9 +108,9 @@ Result<TablePtr> ReadCsvString(const std::string& text, std::string table_name,
     auto fields = ParseCsvRecord(records[i], options.delimiter);
     if (fields.size() != num_cols) {
       return Status::InvalidArgument(
-          "CSV: row " + std::to_string(i) + " has " +
-          std::to_string(fields.size()) + " fields, expected " +
-          std::to_string(num_cols));
+          "CSV: line " + std::to_string(record_lines[i]) + " has " +
+          std::to_string(fields.size()) + " columns, expected " +
+          std::to_string(num_cols) + " (from the header)");
     }
     rows.push_back(std::move(fields));
   }
@@ -183,19 +192,15 @@ Result<TablePtr> ReadCsvString(const std::string& text, std::string table_name,
 
 Result<TablePtr> ReadCsvFile(const std::string& path,
                              const CsvOptions& options) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::IOError("cannot open '" + path + "'");
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
+  std::string text;
+  ATENA_RETURN_IF_ERROR(ReadFileToString(path, &text));
   // Table name: basename without extension.
   std::string name = path;
   size_t slash = name.find_last_of('/');
   if (slash != std::string::npos) name = name.substr(slash + 1);
   size_t dot = name.find_last_of('.');
   if (dot != std::string::npos) name = name.substr(0, dot);
-  return ReadCsvString(buffer.str(), std::move(name), options);
+  return ReadCsvString(std::move(text), std::move(name), options);
 }
 
 std::string WriteCsvString(const Table& table, const CsvOptions& options) {
@@ -219,15 +224,10 @@ std::string WriteCsvString(const Table& table, const CsvOptions& options) {
 
 Status WriteCsvFile(const Table& table, const std::string& path,
                     const CsvOptions& options) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    return Status::IOError("cannot open '" + path + "' for writing");
-  }
-  out << WriteCsvString(table, options);
-  if (!out) {
-    return Status::IOError("write failed for '" + path + "'");
-  }
-  return Status::OK();
+  // Atomic temp-file + rename write (common/file_io.h): an interrupted or
+  // failed export can never truncate or corrupt an existing file at `path`,
+  // and every error carries strerror(errno) detail.
+  return AtomicWriteFile(path, WriteCsvString(table, options));
 }
 
 }  // namespace atena

@@ -193,6 +193,13 @@ class EdaEnvironment {
   Snapshot SaveSnapshot() const;
   void RestoreSnapshot(const Snapshot& snapshot);
 
+  /// The environment's private Rng stream (filter-term bin sampling).
+  /// Training checkpoints capture it at update boundaries and restore it
+  /// after replaying the in-flight episode, so a resumed run samples
+  /// exactly the terms the uninterrupted run would have (rl/checkpoint.h).
+  RngState rng_state() const { return rng_.state(); }
+  void set_rng_state(const RngState& state) { rng_.set_state(state); }
+
  private:
   StepOutcome FinishStep(EdaOperation op, bool valid, bool pushed);
   /// Applies `op` to the current display; returns false for no-op actions.

@@ -17,6 +17,13 @@ double ClipGradientsByNorm(const std::vector<Parameter*>& params,
     for (double g : p->grad.data()) sq += g * g;
   }
   const double norm = std::sqrt(sq);
+  if (!std::isfinite(norm)) {
+    // A single inf/NaN gradient would turn the scaled update into NaNs
+    // across every weight; dropping the update entirely is the only safe
+    // recovery.
+    for (Parameter* p : params) p->grad.Fill(0.0);
+    return norm;
+  }
   if (norm > max_norm && norm > 0.0) {
     const double scale = max_norm / norm;
     for (Parameter* p : params) {
@@ -34,6 +41,22 @@ void Sgd::Step(const std::vector<Parameter*>& params) {
   }
 }
 
+void Adam::SetState(int64_t step, std::vector<Matrix> m,
+                    std::vector<Matrix> v) {
+  ATENA_CHECK(step >= 0) << "Adam step count cannot be negative";
+  ATENA_CHECK(m.size() == v.size())
+      << "Adam moment vectors must be parallel: " << m.size() << " vs "
+      << v.size();
+  for (size_t k = 0; k < m.size(); ++k) {
+    ATENA_CHECK(m[k].rows() == v[k].rows() && m[k].cols() == v[k].cols())
+        << "Adam moment shape mismatch at index " << k << ": "
+        << m[k].ShapeString() << " vs " << v[k].ShapeString();
+  }
+  step_ = step;
+  m_ = std::move(m);
+  v_ = std::move(v);
+}
+
 void Adam::Step(const std::vector<Parameter*>& params) {
   if (m_.empty()) {
     for (Parameter* p : params) {
@@ -43,6 +66,12 @@ void Adam::Step(const std::vector<Parameter*>& params) {
   }
   ATENA_CHECK(m_.size() == params.size())
       << "Adam called with a different parameter list";
+  for (size_t k = 0; k < params.size(); ++k) {
+    ATENA_CHECK(m_[k].rows() == params[k]->value.rows() &&
+                m_[k].cols() == params[k]->value.cols())
+        << "Adam moment shape " << m_[k].ShapeString()
+        << " does not match parameter " << params[k]->value.ShapeString();
+  }
   ++step_;
   const double b1 = options_.beta1, b2 = options_.beta2;
   const double bias1 = 1.0 - std::pow(b1, static_cast<double>(step_));

@@ -11,7 +11,11 @@ namespace atena {
 void ZeroGradients(const std::vector<Parameter*>& params);
 
 /// Rescales gradients so their global L2 norm is at most `max_norm`.
-/// Returns the pre-clipping norm.
+/// Returns the pre-clipping norm. A non-finite norm (an inf/NaN gradient
+/// anywhere, e.g. from a degenerate loss) zeroes every gradient instead of
+/// scaling — the subsequent optimizer step becomes a no-op rather than
+/// poisoning the weights with NaNs — and still returns the non-finite norm
+/// so callers can log it.
 double ClipGradientsByNorm(const std::vector<Parameter*>& params,
                            double max_norm);
 
@@ -44,6 +48,19 @@ class Adam {
 
   void Step(const std::vector<Parameter*>& params);
   int64_t step_count() const { return step_; }
+
+  /// Checkpoint accessors: the first/second moment estimates, positionally
+  /// matching the parameter list of every Step call. Empty until the first
+  /// Step.
+  const std::vector<Matrix>& first_moments() const { return m_; }
+  const std::vector<Matrix>& second_moments() const { return v_; }
+
+  /// Restores state captured via step_count()/first_moments()/
+  /// second_moments(), after which Step continues bit-identically to the
+  /// optimizer the state was captured from. `m` and `v` must be parallel
+  /// vectors; their shapes are validated against the parameter list on the
+  /// next Step.
+  void SetState(int64_t step, std::vector<Matrix> m, std::vector<Matrix> v);
 
  private:
   Options options_;

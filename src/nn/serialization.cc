@@ -1,22 +1,22 @@
 #include "nn/serialization.h"
 
-#include <fstream>
 #include <iomanip>
 #include <limits>
 #include <sstream>
 
+#include "common/file_io.h"
+
 namespace atena {
 
 namespace {
-constexpr char kMagicV1[] = "ATENA-NN v1";
-constexpr char kMagicV2[] = "ATENA-NN v2";
+constexpr char kMagicPrefix[] = "ATENA-NN";
+constexpr char kVersionV1[] = "v1";
+constexpr char kVersionV2[] = "v2";
 }  // namespace
 
-Status SaveParameters(const std::vector<Parameter*>& params,
-                      const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
-  out << kMagicV2 << "\n" << params.size() << "\n";
+std::string SerializeParameters(const std::vector<Parameter*>& params) {
+  std::ostringstream out;
+  out << kMagicPrefix << " " << kVersionV2 << "\n" << params.size() << "\n";
   out << std::setprecision(std::numeric_limits<double>::max_digits10);
   for (const Parameter* p : params) {
     out << (p->name.empty() ? "_" : p->name) << " " << p->value.rows() << " "
@@ -27,36 +27,42 @@ Status SaveParameters(const std::vector<Parameter*>& params,
     }
     out << "\n";
   }
-  if (!out) return Status::IOError("write failed for '" + path + "'");
-  return Status::OK();
+  return out.str();
 }
 
-Status LoadParameters(const std::vector<Parameter*>& params,
+Status SaveParameters(const std::vector<Parameter*>& params,
                       const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open '" + path + "'");
-  std::string magic;
-  std::getline(in, magic);
-  const bool named = magic == kMagicV2;
-  if (!named && magic != kMagicV1) {
-    return Status::InvalidArgument("'" + path + "' is not an ATENA-NN file");
+  return AtomicWriteFile(path, SerializeParameters(params));
+}
+
+Status ParseParametersInto(const std::vector<Parameter*>& params,
+                           std::istream& in, const std::string& source,
+                           std::vector<Matrix>* staged) {
+  std::string prefix, version;
+  in >> prefix >> version;
+  if (!in || prefix != kMagicPrefix ||
+      (version != kVersionV1 && version != kVersionV2)) {
+    return Status::InvalidArgument("'" + source +
+                                   "' is not an ATENA-NN block");
   }
+  const bool named = version == kVersionV2;
   size_t count = 0;
   in >> count;
+  if (!in) return Status::InvalidArgument("'" + source + "' truncated");
   if (count != params.size()) {
     return Status::FailedPrecondition(
         "parameter count mismatch: file has " + std::to_string(count) +
         ", network has " + std::to_string(params.size()));
   }
-  // Stage into a buffer first so a truncated file cannot leave the network
+  // Stage into a buffer first so a truncated block cannot leave the network
   // half-loaded.
-  std::vector<Matrix> staged;
-  staged.reserve(count);
+  std::vector<Matrix> out;
+  out.reserve(count);
   for (size_t k = 0; k < count; ++k) {
     std::string name;
     if (named) {
       in >> name;
-      if (!in) return Status::InvalidArgument("'" + path + "' truncated");
+      if (!in) return Status::InvalidArgument("'" + source + "' truncated");
       if (name != "_" && !params[k]->name.empty() &&
           name != params[k]->name) {
         return Status::FailedPrecondition(
@@ -77,12 +83,23 @@ Status LoadParameters(const std::vector<Parameter*>& params,
     for (double& v : m.data()) {
       in >> v;
       if (!in) {
-        return Status::InvalidArgument("'" + path + "' truncated");
+        return Status::InvalidArgument("'" + source + "' truncated");
       }
     }
-    staged.push_back(std::move(m));
+    out.push_back(std::move(m));
   }
-  for (size_t k = 0; k < count; ++k) {
+  *staged = std::move(out);
+  return Status::OK();
+}
+
+Status LoadParameters(const std::vector<Parameter*>& params,
+                      const std::string& path) {
+  std::string text;
+  ATENA_RETURN_IF_ERROR(ReadFileToString(path, &text));
+  std::istringstream in(text);
+  std::vector<Matrix> staged;
+  ATENA_RETURN_IF_ERROR(ParseParametersInto(params, in, path, &staged));
+  for (size_t k = 0; k < staged.size(); ++k) {
     params[k]->value = std::move(staged[k]);
   }
   return Status::OK();

@@ -1,6 +1,7 @@
 #ifndef ATENA_NN_SERIALIZATION_H_
 #define ATENA_NN_SERIALIZATION_H_
 
+#include <istream>
 #include <string>
 #include <vector>
 
@@ -22,8 +23,26 @@ namespace atena {
 /// checkpointing and transferring a trained policy to another dataset with
 /// the same schema (the paper's future-work item of generalizing learning
 /// across datasets).
+/// Writes via AtomicWriteFile (common/file_io.h): the bytes land in a temp
+/// file and are renamed over `path`, so an interrupted save can never
+/// corrupt an existing checkpoint.
 Status SaveParameters(const std::vector<Parameter*>& params,
                       const std::string& path);
+
+/// Renders the ATENA-NN v2 text block for `params` — the exact bytes
+/// SaveParameters writes. Exposed so container formats (the ATENA-CKPT
+/// training checkpoint, rl/checkpoint.h) can embed a parameter block.
+std::string SerializeParameters(const std::vector<Parameter*>& params);
+
+/// Parses an ATENA-NN v1/v2 block from `in` (a file or a position inside a
+/// container), validating count, names and shapes against `params`, and
+/// stages the matrices into `*staged` in parameter order — the network
+/// itself is never touched, so a failed parse can never leave it
+/// half-loaded. `source` names the origin for error messages. On success
+/// the stream is positioned just past the block's last value.
+Status ParseParametersInto(const std::vector<Parameter*>& params,
+                           std::istream& in, const std::string& source,
+                           std::vector<Matrix>* staged);
 
 /// Loads a checkpoint saved by SaveParameters into `params`. Both the
 /// current "ATENA-NN v2" format and the legacy nameless "ATENA-NN v1"

@@ -3,11 +3,30 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/file_io.h"
 #include "common/logging.h"
+#include "rl/checkpoint.h"
 
 namespace atena {
 
 namespace {
+
+/// True when `op` only references columns that exist in `table` — the one
+/// structural property replaying a checkpointed episode relies on. (Enum
+/// ranges are already validated by the checkpoint decoder.)
+bool OpExecutableOn(const Table& table, const EdaOperation& op) {
+  const int num_cols = table.num_columns();
+  switch (op.type) {
+    case OpType::kBack:
+      return true;
+    case OpType::kFilter:
+      return op.filter.column >= 0 && op.filter.column < num_cols;
+    case OpType::kGroup:
+      return op.group.group_column >= 0 && op.group.group_column < num_cols &&
+             op.group.agg_column >= -1 && op.group.agg_column < num_cols;
+  }
+  return false;
+}
 
 PpoUpdater::Options UpdaterOptions(const TrainerOptions& options) {
   PpoUpdater::Options out;
@@ -47,6 +66,9 @@ ParallelPpoTrainer::ParallelPpoTrainer(std::vector<EdaEnvironment*> envs,
 }
 
 TrainingResult ParallelPpoTrainer::Train() {
+  // A stop request raised before (or during a previous) Train belongs to
+  // that run; this run only honors requests raised after it starts.
+  ClearTrainingStopRequest();
   result_ = TrainingResult{};
   recent_episode_rewards_.clear();
 
@@ -56,6 +78,13 @@ TrainingResult ParallelPpoTrainer::Train() {
     actors[e].observation = envs_[e]->Reset();
   }
 
+  int steps_done = 0;
+  int updates_done = 0;
+  const bool checkpointing = !options_.checkpoint_path.empty();
+  if (checkpointing && options_.resume) {
+    TryResumeFromCheckpoint(&actors, &steps_done, &updates_done);
+  }
+
   // Per-update rollout length is split evenly across the actors so the
   // update cadence matches the single-env trainer.
   const int per_actor =
@@ -63,7 +92,6 @@ TrainingResult ParallelPpoTrainer::Train() {
   const int obs_dim = envs_[0]->observation_dim();
 
   Matrix obs_batch;  // reused across ticks; steady state allocates nothing
-  int steps_done = 0;
   while (steps_done < options_.total_steps) {
     buffer_.Clear();
     for (int i = 0; i < per_actor && steps_done < options_.total_steps; ++i) {
@@ -151,10 +179,32 @@ TrainingResult ParallelPpoTrainer::Train() {
                   static_cast<double>(recent_episode_rewards_.size());
     result_.curve.push_back(point);
     if (progress_) progress_(point);
+
+    ++updates_done;
+    bool saved_this_update = false;
+    if (checkpointing && options_.checkpoint_every_updates > 0 &&
+        updates_done % options_.checkpoint_every_updates == 0) {
+      SaveCheckpointNow(actors, steps_done, updates_done);
+      saved_this_update = true;
+    }
+    // Cooperative interruption (SIGINT in the examples): flush a final
+    // snapshot and hand back the partial result. Resuming from that
+    // snapshot continues the run bit-identically.
+    if (TrainingStopRequested()) {
+      if (checkpointing && !saved_this_update) {
+        SaveCheckpointNow(actors, steps_done, updates_done);
+      }
+      result_.interrupted = true;
+      ATENA_LOG(kInfo) << "training interrupted at step " << steps_done
+                       << " (update " << updates_done << ")"
+                       << (checkpointing ? ", checkpoint flushed" : "");
+      break;
+    }
   }
 
   result_.final_mean_reward =
       result_.curve.empty() ? 0.0 : result_.curve.back().mean_episode_reward;
+  if (result_.interrupted) return result_;
 
   // Final evaluation on the first actor's environment: the published
   // notebook should reflect the trained policy, so the best of
@@ -177,6 +227,136 @@ TrainingResult ParallelPpoTrainer::Train() {
     }
   }
   return result_;
+}
+
+void ParallelPpoTrainer::SaveCheckpointNow(
+    const std::vector<ActorState>& actors, int steps_done, int updates_done) {
+  TrainingCheckpoint ckpt;
+  ckpt.steps_done = steps_done;
+  ckpt.updates_done = updates_done;
+  ckpt.trainer_rng = rng_.state();
+  Adam* adam = updater_.optimizer();
+  ckpt.adam_step = adam->step_count();
+  ckpt.adam_m = adam->first_moments();
+  ckpt.adam_v = adam->second_moments();
+  ckpt.curve = result_.curve;
+  ckpt.recent_episode_rewards = recent_episode_rewards_;
+  ckpt.best_episode_ops = result_.best_episode_ops;
+  ckpt.best_episode_reward = result_.best_episode_reward;
+  ckpt.episodes = result_.episodes;
+  ckpt.actors.reserve(actors.size());
+  for (size_t e = 0; e < actors.size(); ++e) {
+    ActorCheckpoint actor;
+    actor.env_seed = envs_[e]->config().seed;
+    actor.env_rng = envs_[e]->rng_state();
+    actor.episode_reward = actors[e].episode_reward;
+    actor.episode_ops = actors[e].episode_ops;
+    ckpt.actors.push_back(std::move(actor));
+  }
+  Status status = SaveTrainingCheckpoint(options_.checkpoint_path,
+                                         policy_->Parameters(), ckpt);
+  if (!status.ok()) {
+    // A failing disk should not abort training that may still complete (or
+    // reach a healthier later snapshot) in memory.
+    ATENA_LOG(kWarning) << "checkpoint save failed: " << status;
+  } else {
+    ATENA_LOG(kDebug) << "checkpoint written to " << options_.checkpoint_path
+                      << " at step " << steps_done;
+  }
+}
+
+bool ParallelPpoTrainer::TryResumeFromCheckpoint(
+    std::vector<ActorState>* actors, int* steps_done, int* updates_done) {
+  const std::string& path = options_.checkpoint_path;
+  if (!FileExists(path) && !FileExists(path + ".prev")) {
+    ATENA_LOG(kInfo) << "no checkpoint at " << path << ", starting fresh";
+    return false;
+  }
+  std::vector<Parameter*> params = policy_->Parameters();
+  TrainingCheckpoint ckpt;
+  CheckpointLoadInfo info;
+  Status status = LoadTrainingCheckpoint(path, params, &ckpt, &info);
+  if (!status.ok()) {
+    ATENA_LOG(kWarning) << "resume failed, starting fresh: " << status;
+    return false;
+  }
+  if (info.recovered_from_prev) {
+    ATENA_LOG(kWarning) << "checkpoint " << path
+                        << " unreadable, recovered from .prev ("
+                        << info.primary_error << ")";
+  }
+
+  // Validate the snapshot against this trainer's configuration before
+  // touching any state, so a mismatched checkpoint can never leave the
+  // network or environments half-restored.
+  if (ckpt.actors.size() != envs_.size()) {
+    ATENA_LOG(kWarning) << "resume failed, starting fresh: checkpoint has "
+                        << ckpt.actors.size() << " actors, trainer has "
+                        << envs_.size();
+    return false;
+  }
+  for (size_t e = 0; e < envs_.size(); ++e) {
+    if (ckpt.actors[e].env_seed != envs_[e]->config().seed) {
+      ATENA_LOG(kWarning)
+          << "resume failed, starting fresh: actor " << e
+          << " env seed mismatch (checkpoint " << ckpt.actors[e].env_seed
+          << ", trainer " << envs_[e]->config().seed << ")";
+      return false;
+    }
+    const auto& ops = ckpt.actors[e].episode_ops;
+    if (static_cast<int>(ops.size()) >= envs_[e]->config().episode_length) {
+      ATENA_LOG(kWarning) << "resume failed, starting fresh: actor " << e
+                          << " episode has " << ops.size()
+                          << " ops but episodes are only "
+                          << envs_[e]->config().episode_length << " steps";
+      return false;
+    }
+    for (const EdaOperation& op : ops) {
+      if (!OpExecutableOn(envs_[e]->table(), op)) {
+        ATENA_LOG(kWarning) << "resume failed, starting fresh: actor " << e
+                            << " episode references a column outside the "
+                               "dataset schema";
+        return false;
+      }
+    }
+  }
+
+  // Commit: network weights, optimizer moments, trainer rng and progress.
+  for (size_t k = 0; k < params.size(); ++k) {
+    params[k]->value = std::move(ckpt.param_values[k]);
+  }
+  updater_.optimizer()->SetState(ckpt.adam_step, std::move(ckpt.adam_m),
+                                 std::move(ckpt.adam_v));
+  rng_.set_state(ckpt.trainer_rng);
+  result_.curve = std::move(ckpt.curve);
+  result_.best_episode_ops = std::move(ckpt.best_episode_ops);
+  result_.best_episode_reward = ckpt.best_episode_reward;
+  result_.episodes = ckpt.episodes;
+  recent_episode_rewards_ = std::move(ckpt.recent_episode_rewards);
+
+  // Rebuild each environment's mid-episode state by replaying the resolved
+  // operations of the in-flight episode. Replay goes through StepOperation,
+  // which consumes no randomness, and the env Rng stream is restored
+  // afterwards — so the next sampled filter term is exactly the one the
+  // uninterrupted run would have drawn.
+  for (size_t e = 0; e < envs_.size(); ++e) {
+    ActorState& actor = (*actors)[e];
+    actor.observation = envs_[e]->Reset();
+    for (const EdaOperation& op : ckpt.actors[e].episode_ops) {
+      StepOutcome outcome = envs_[e]->StepOperation(op);
+      actor.observation = std::move(outcome.observation);
+    }
+    envs_[e]->set_rng_state(ckpt.actors[e].env_rng);
+    actor.episode_reward = ckpt.actors[e].episode_reward;
+    actor.episode_ops = std::move(ckpt.actors[e].episode_ops);
+  }
+
+  *steps_done = ckpt.steps_done;
+  *updates_done = ckpt.updates_done;
+  ATENA_LOG(kInfo) << "resumed from " << path << " at step "
+                   << ckpt.steps_done << " (update " << ckpt.updates_done
+                   << ", " << result_.episodes << " episodes)";
+  return true;
 }
 
 }  // namespace atena

@@ -42,6 +42,21 @@ class ParallelPpoTrainer {
     std::vector<EdaOperation> episode_ops;
   };
 
+  /// Writes a rotating ATENA-CKPT v1 snapshot to options_.checkpoint_path.
+  /// Failures are logged as warnings — a broken disk should not kill hours
+  /// of training that may still finish in memory.
+  void SaveCheckpointNow(const std::vector<ActorState>& actors,
+                         int steps_done, int updates_done);
+
+  /// Restores the newest readable snapshot (falling back to `.prev` with a
+  /// logged warning) into the trainer, policy, optimizer and environments.
+  /// Environments are rebuilt by replaying each actor's in-flight episode
+  /// operations (which consumes no randomness) and then restoring the env
+  /// Rng streams. Returns false — leaving everything in its fresh-start
+  /// state — when no snapshot exists or none can be applied.
+  bool TryResumeFromCheckpoint(std::vector<ActorState>* actors,
+                               int* steps_done, int* updates_done);
+
   std::vector<EdaEnvironment*> envs_;
   Policy* policy_;
   TrainerOptions options_;

@@ -86,6 +86,11 @@ class PpoUpdater {
   /// shuffles (and nothing else). No-op on an empty batch.
   void Update(std::vector<Sample> samples, Rng* rng);
 
+  /// The owned Adam optimizer — exposed so training checkpoints
+  /// (rl/checkpoint.h) can capture and restore its moments/step, which a
+  /// bare weight file silently loses.
+  Adam* optimizer() { return &optimizer_; }
+
  private:
   Policy* policy_;
   Options options_;

@@ -2,6 +2,7 @@
 #define ATENA_RL_TRAINER_H_
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "eda/environment.h"
@@ -32,7 +33,35 @@ struct TrainerOptions {
   /// representative than lucky exploration noise from early training.
   int final_eval_episodes = 16;
   uint64_t seed = 31337;
+
+  /// Durable crash-safe checkpointing (rl/checkpoint.h, DESIGN.md §8).
+  /// Empty disables. When set, Train() writes rotating `<path>` +
+  /// `<path>.prev` ATENA-CKPT v1 snapshots at update boundaries and on
+  /// cooperative interruption (RequestTrainingStop), so a crash, OOM-kill
+  /// or Ctrl-C loses at most `checkpoint_every_updates` updates of work.
+  std::string checkpoint_path;
+  /// Snapshot cadence in policy updates; values < 1 checkpoint only on
+  /// interruption.
+  int checkpoint_every_updates = 1;
+  /// When true (and checkpoint_path is set), Train() first restores the
+  /// newest readable snapshot — falling back to `.prev` with a logged
+  /// warning when the primary is truncated or corrupt — and continues
+  /// bit-identically to the run that wrote it: same learning curve, same
+  /// TrainingResult as if it had never been interrupted. Missing
+  /// checkpoints (or ones for a different env/policy configuration) log a
+  /// warning and start fresh.
+  bool resume = false;
 };
+
+/// Cooperative interruption for long training runs. RequestTrainingStop is
+/// async-signal-safe (it only sets a sig_atomic_t flag), so examples
+/// install it directly as a SIGINT handler. Trainers poll the flag at
+/// update boundaries: they flush a final checkpoint (when configured),
+/// mark the TrainingResult as interrupted, and return the partial result.
+/// Train() clears the flag when it starts.
+void RequestTrainingStop();
+bool TrainingStopRequested();
+void ClearTrainingStopRequest();
 
 /// One (step, mean recent episode reward) sample of the learning curve —
 /// what Figure 5 plots.
@@ -49,6 +78,11 @@ struct TrainingResult {
   double best_episode_reward = 0.0;
   double final_mean_reward = 0.0;
   int episodes = 0;
+  /// True when training stopped early at an update boundary because of
+  /// RequestTrainingStop(). The result holds the partial progress (no final
+  /// greedy evaluation pass is run); resuming from the flushed checkpoint
+  /// completes the run bit-identically.
+  bool interrupted = false;
 };
 
 /// Synchronous PPO/A2C trainer over one EDA environment. Collects

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/file_io.h"
 #include "dataframe/csv.h"
 #include "dataframe/ops.h"
 #include "dataframe/stats.h"
@@ -567,6 +568,74 @@ TEST(CsvTest, MissingFileIsIOError) {
   auto r = ReadCsvFile("/nonexistent/definitely_missing.csv");
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  // The message carries the OS-level reason.
+  EXPECT_NE(r.status().message().find("No such file"), std::string::npos)
+      << r.status();
+}
+
+TEST(CsvTest, RaggedRowErrorNamesLineAndCounts) {
+  // Row on (1-based) line 3 has 3 cells against a 2-column header.
+  auto r = ReadCsvString("a,b\n1,2\n1,2,3\n", "t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  const std::string& message = r.status().message();
+  EXPECT_NE(message.find("line 3"), std::string::npos) << r.status();
+  EXPECT_NE(message.find("3 columns"), std::string::npos) << r.status();
+  EXPECT_NE(message.find("expected 2"), std::string::npos) << r.status();
+}
+
+TEST(CsvTest, RaggedRowLineNumberCountsQuotedNewlines) {
+  // The quoted cell on line 2 spans lines 2-3, so the ragged record is
+  // reported at the physical line where it starts: line 4.
+  auto r = ReadCsvString("a,b\n\"multi\nline\",2\n5\n", "t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 4"), std::string::npos)
+      << r.status();
+}
+
+TEST(CsvTest, MissingTrailingNewlineParsesLastRow) {
+  auto t = ReadCsvString("a,b\n1,2\n3,4", "t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value()->num_rows(), 2);
+  EXPECT_EQ(t.value()->column(1)->GetInt(1), 4);
+}
+
+TEST(CsvTest, QuotedDelimiterDoesNotSplitCell) {
+  auto t = ReadCsvString("a,b\n\"1,000\",2\n", "t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value()->num_columns(), 2);
+  EXPECT_EQ(t.value()->column(0)->GetString(0), "1,000");
+}
+
+TEST(CsvTest, MalformedNumericOutsideInferenceWindowBecomesNull) {
+  // With a 2-row inference window the column types as int64; the "oops" on
+  // a later row cannot retroactively change the type, so it lands as null
+  // instead of corrupting the column or aborting the load.
+  CsvOptions options;
+  options.inference_rows = 2;
+  auto t = ReadCsvString("a\n1\n2\noops\n4\n", "t", options);
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t.value()->column(0)->type(), DataType::kInt64);
+  EXPECT_EQ(t.value()->column(0)->GetInt(1), 2);
+  EXPECT_TRUE(t.value()->column(0)->IsNull(2));
+  EXPECT_EQ(t.value()->column(0)->GetInt(3), 4);
+}
+
+TEST(CsvTest, WriteFailurePreservesExistingFile) {
+  auto t = MakeCityTable();
+  const std::string path = ::testing::TempDir() + "/atena_cities_keep.csv";
+  ASSERT_TRUE(WriteCsvFile(*t, path).ok());
+  SetFileIoFailureHookForTesting(
+      [](const char* op, const std::string&) {
+        return std::string(op) == "write";
+      });
+  Status failed = WriteCsvFile(*t, path);
+  SetFileIoFailureHookForTesting({});
+  EXPECT_EQ(failed.code(), StatusCode::kIOError);
+  // The previous contents survived the failed overwrite.
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value()->num_rows(), 5);
 }
 
 }  // namespace

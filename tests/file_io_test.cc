@@ -1,0 +1,126 @@
+#include "common/file_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace atena {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string MustRead(const std::string& path) {
+  std::string out;
+  Status status = ReadFileToString(path, &out);
+  EXPECT_TRUE(status.ok()) << status;
+  return out;
+}
+
+class FileIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetFileIoFailureHookForTesting({}); }
+};
+
+TEST_F(FileIoTest, AtomicWriteRoundTrip) {
+  const std::string path = TempPath("atomic_roundtrip.txt");
+  ASSERT_TRUE(AtomicWriteFile(path, "hello\nworld\n").ok());
+  EXPECT_EQ(MustRead(path), "hello\nworld\n");
+  // Overwrite replaces the contents completely.
+  ASSERT_TRUE(AtomicWriteFile(path, "x").ok());
+  EXPECT_EQ(MustRead(path), "x");
+  // No temp file left behind.
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+}
+
+TEST_F(FileIoTest, ReadMissingFileCarriesErrnoDetail) {
+  std::string out = "sentinel";
+  Status status = ReadFileToString(TempPath("does_not_exist.txt"), &out);
+  ASSERT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_NE(status.message().find("No such file"), std::string::npos)
+      << status;
+  EXPECT_NE(status.message().find("errno"), std::string::npos) << status;
+  EXPECT_EQ(out, "sentinel");  // untouched on failure
+}
+
+TEST_F(FileIoTest, FailureAtEveryStepPreservesExistingFile) {
+  const std::string path = TempPath("atomic_failure.txt");
+  ASSERT_TRUE(AtomicWriteFile(path, "previous good contents").ok());
+
+  for (const char* failing_op : {"open", "write", "fsync", "rename"}) {
+    SetFileIoFailureHookForTesting(
+        [failing_op](const char* op, const std::string&) {
+          return std::string(op) == failing_op;
+        });
+    Status status = AtomicWriteFile(path, "new contents that must not land");
+    ASSERT_EQ(status.code(), StatusCode::kIOError) << failing_op;
+    EXPECT_NE(status.message().find(failing_op), std::string::npos) << status;
+    SetFileIoFailureHookForTesting({});
+    // The atomicity contract: the old file survives every failure point,
+    // and the temp file is cleaned up.
+    EXPECT_EQ(MustRead(path), "previous good contents") << failing_op;
+    EXPECT_FALSE(FileExists(path + ".tmp")) << failing_op;
+  }
+}
+
+TEST_F(FileIoTest, Crc32KnownVectors) {
+  // The canonical IEEE 802.3 check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  EXPECT_NE(Crc32("a"), Crc32("b"));
+}
+
+TEST_F(FileIoTest, ChecksummedRoundTrip) {
+  const std::string path = TempPath("framed.bin");
+  const std::string payload("line one\nline two\nbinary \0 byte", 31);
+  ASSERT_TRUE(WriteChecksummedFile(path, "TEST-MAGIC v1", payload).ok());
+  std::string decoded;
+  ASSERT_TRUE(ReadChecksummedFile(path, "TEST-MAGIC v1", &decoded).ok());
+  EXPECT_EQ(decoded, payload);
+}
+
+TEST_F(FileIoTest, ChecksummedRejectsWrongMagic) {
+  const std::string path = TempPath("framed_magic.bin");
+  ASSERT_TRUE(WriteChecksummedFile(path, "TEST-MAGIC v1", "payload").ok());
+  std::string decoded = "sentinel";
+  Status status = ReadChecksummedFile(path, "OTHER-MAGIC v1", &decoded);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(decoded, "sentinel");
+}
+
+TEST_F(FileIoTest, ChecksummedDetectsTruncationAtEveryOffset) {
+  const std::string path = TempPath("framed_trunc.bin");
+  ASSERT_TRUE(
+      WriteChecksummedFile(path, "TEST-MAGIC v1", "0123456789abcdef").ok());
+  const std::string full = MustRead(path);
+  const std::string cut_path = TempPath("framed_cut.bin");
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    ASSERT_TRUE(AtomicWriteFile(cut_path, full.substr(0, cut)).ok());
+    std::string decoded = "sentinel";
+    Status status = ReadChecksummedFile(cut_path, "TEST-MAGIC v1", &decoded);
+    EXPECT_FALSE(status.ok()) << "truncation at byte " << cut << " accepted";
+    EXPECT_EQ(decoded, "sentinel") << "payload modified at cut " << cut;
+  }
+}
+
+TEST_F(FileIoTest, ChecksummedDetectsEverySingleByteCorruption) {
+  const std::string path = TempPath("framed_corrupt.bin");
+  ASSERT_TRUE(
+      WriteChecksummedFile(path, "TEST-MAGIC v1", "0123456789abcdef").ok());
+  const std::string full = MustRead(path);
+  const std::string bad_path = TempPath("framed_bad.bin");
+  for (size_t i = 0; i < full.size(); ++i) {
+    std::string corrupted = full;
+    corrupted[i] = static_cast<char>(corrupted[i] ^ 0x20);
+    if (corrupted[i] == full[i]) continue;
+    ASSERT_TRUE(AtomicWriteFile(bad_path, corrupted).ok());
+    std::string decoded;
+    Status status = ReadChecksummedFile(bad_path, "TEST-MAGIC v1", &decoded);
+    EXPECT_FALSE(status.ok()) << "byte flip at offset " << i << " accepted";
+  }
+}
+
+}  // namespace
+}  // namespace atena
