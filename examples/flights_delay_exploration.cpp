@@ -1,11 +1,16 @@
 // Domain example: investigating flight delays (the paper's Example 1.1).
 //
-//   ./flights_delay_exploration [train_steps]
+//   ./flights_delay_exploration [train_steps] [--actors N] [--threads N]
 //
 // Generates an ATENA notebook for the "short, night-time flights" dataset
 // with departure/arrival delay as focal attributes, compares it against the
 // gold-standard notebooks with the full A-EDA metric suite, and writes the
 // notebook as Markdown and HTML files next to the binary.
+//
+// --actors N runs N parallel exploration actors (default 1, the historical
+// single-env run); --threads N sets the environment-stepping concurrency
+// (default: one thread per actor, capped at the hardware concurrency).
+// Thread count never changes the training output — see DESIGN.md §9.
 //
 // Training is crash-safe: Ctrl-C stops at the next update boundary after
 // flushing a checkpoint, and rerunning resumes bit-identically from it.
@@ -14,6 +19,7 @@
 #include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <string>
 
 #include "common/logging.h"
 #include "common/string_utils.h"
@@ -45,10 +51,21 @@ int main(int argc, char** argv) {
   options.trainer.checkpoint_every_updates = 5;
   options.trainer.resume = true;
   ApplyTrainStepsFromEnv(&options);
-  if (argc > 1) {
-    int64_t steps = 0;
-    if (ParseInt64(argv[1], &steps) && steps > 0) {
-      options.trainer.total_steps = static_cast<int>(steps);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    int64_t value = 0;
+    if ((arg == "--actors" || arg == "--threads") && i + 1 < argc &&
+        ParseInt64(argv[i + 1], &value) && value > 0) {
+      (arg == "--actors" ? options.num_actors : options.trainer.num_threads) =
+          static_cast<int>(value);
+      ++i;
+    } else if (ParseInt64(arg, &value) && value > 0) {
+      options.trainer.total_steps = static_cast<int>(value);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [train_steps] [--actors N] [--threads N]\n",
+                   argv[0]);
+      return 1;
     }
   }
 

@@ -2,7 +2,12 @@
 // paper's future-work item "generalizing its learning process across
 // datasets", §7).
 //
-//   ./transfer_flights [train_steps]
+//   ./transfer_flights [train_steps] [--actors N] [--threads N]
+//
+// --actors N trains with N parallel exploration actors on the source
+// dataset; --threads N sets the environment-stepping concurrency (default:
+// one thread per actor, capped at the hardware concurrency). The thread
+// count never changes the trained weights — see DESIGN.md §9.
 //
 // All flights datasets share one schema, so their observation and action
 // spaces are identical. This example trains ATENA's twofold policy on
@@ -13,6 +18,9 @@
 
 #include <csignal>
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/string_utils.h"
@@ -21,6 +29,7 @@
 #include "nn/serialization.h"
 #include "notebook/render.h"
 #include "reward/compound.h"
+#include "rl/parallel_trainer.h"
 #include "rl/rollout.h"
 #include "rl/trainer.h"
 
@@ -36,31 +45,64 @@ int main(int argc, char** argv) {
   });
 
   int total_steps = 6000;
-  if (argc > 1) {
-    int64_t steps = 0;
-    if (ParseInt64(argv[1], &steps) && steps > 0) {
-      total_steps = static_cast<int>(steps);
+  int num_actors = 1;
+  int num_threads = 0;  // auto: one per actor, capped at hardware threads
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    int64_t value = 0;
+    if ((arg == "--actors" || arg == "--threads") && i + 1 < argc &&
+        ParseInt64(argv[i + 1], &value) && value > 0) {
+      (arg == "--actors" ? num_actors : num_threads) =
+          static_cast<int>(value);
+      ++i;
+    } else if (ParseInt64(arg, &value) && value > 0) {
+      total_steps = static_cast<int>(value);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [train_steps] [--actors N] [--threads N]\n",
+                   argv[0]);
+      return 1;
     }
   }
 
   EnvConfig env_config;
   TwofoldPolicy::Options policy_options;
 
-  // --- 1. Train on the source dataset (Flights #2).
+  // --- 1. Train on the source dataset (Flights #2), optionally with
+  // several parallel exploration actors sharing one trained coherency
+  // classifier and display cache (each actor keeps its own stateful reward
+  // clone; see core/atena.cc for the same wiring behind RunAtena).
   auto source = MakeDataset("flights2");
   if (!source.ok()) return 1;
-  EdaEnvironment source_env(source.value(), env_config);
+  std::vector<std::unique_ptr<EdaEnvironment>> source_envs;
+  for (int e = 0; e < num_actors; ++e) {
+    EnvConfig config = env_config;
+    config.seed = env_config.seed + static_cast<uint64_t>(e);
+    source_envs.push_back(
+        std::make_unique<EdaEnvironment>(source.value(), config));
+  }
+  EdaEnvironment& source_env = *source_envs[0];
   auto source_reward = MakeStandardReward(&source_env);
   if (!source_reward.ok()) return 1;
   source_env.SetRewardSignal(source_reward.value().get());
+  std::vector<std::unique_ptr<CompoundReward>> actor_rewards;
+  for (int e = 1; e < num_actors; ++e) {
+    actor_rewards.push_back(std::make_unique<CompoundReward>(
+        source_reward.value()->coherency(), source_reward.value()->options()));
+    source_envs[static_cast<size_t>(e)]->SetRewardSignal(
+        actor_rewards.back().get());
+  }
   TwofoldPolicy policy(source_env.observation_dim(),
                        source_env.action_space(), policy_options);
   TrainerOptions trainer_options;
   trainer_options.total_steps = total_steps;
+  trainer_options.num_threads = num_threads;
   trainer_options.checkpoint_path = "atena_flights_policy.ckpt";
   trainer_options.checkpoint_every_updates = 5;
   trainer_options.resume = true;
-  PpoTrainer trainer(&source_env, &policy, trainer_options);
+  std::vector<EdaEnvironment*> env_ptrs;
+  for (const auto& e : source_envs) env_ptrs.push_back(e.get());
+  ParallelPpoTrainer trainer(env_ptrs, &policy, trainer_options);
   TrainingResult training = trainer.Train();
   if (training.interrupted) {
     std::printf("training interrupted — checkpoint flushed to %s; rerun to "

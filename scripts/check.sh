@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Full verification sweep: the tier-1 build + test cycle, then the same
 # suite again under AddressSanitizer (ATENA_SANITIZE=address) and
-# UndefinedBehaviorSanitizer (ATENA_SANITIZE=undefined) in separate build
-# trees. Run from anywhere; builds land in <repo>/build, <repo>/build-asan
-# and <repo>/build-ubsan. Every ctest invocation carries a per-test
-# timeout so a hung test fails the sweep instead of wedging it.
+# UndefinedBehaviorSanitizer (ATENA_SANITIZE=undefined), and finally the
+# concurrency-sensitive test binaries under ThreadSanitizer
+# (ATENA_SANITIZE=thread) — all in separate build trees. Run from
+# anywhere; builds land in <repo>/build, <repo>/build-asan,
+# <repo>/build-ubsan and <repo>/build-tsan. Every ctest invocation
+# carries a per-test timeout so a hung test fails the sweep instead of
+# wedging it.
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -30,5 +33,19 @@ cmake --build "$repo/build-ubsan" -j "$jobs"
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   ctest --test-dir "$repo/build-ubsan" --output-on-failure -j "$jobs" \
     --timeout "$test_timeout"
+
+echo "== tsan: configure + build + threaded tests (ATENA_SANITIZE=thread) =="
+cmake -B "$repo/build-tsan" -S "$repo" -DATENA_SANITIZE=thread
+cmake --build "$repo/build-tsan" -j "$jobs" \
+  --target thread_pool_test parallel_trainer_test display_cache_test \
+           checkpoint_test
+# Only the binaries that actually spin up threads (the pool itself, the
+# parallel trainer's stepping path, the shared display cache, and the
+# thread-crossing checkpoint resume) — TSan's ~10x slowdown makes a full
+# suite sweep disproportionate.
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" \
+    --timeout "$test_timeout" \
+    -R 'thread_pool_test|parallel_trainer_test|display_cache_test|checkpoint_test'
 
 echo "== all checks passed =="

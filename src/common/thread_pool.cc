@@ -1,0 +1,85 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace atena {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int workers = std::max(0, num_threads - 1);
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  job_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ThreadPool::DefaultThreads(int tasks) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int cores = hw == 0 ? 1 : static_cast<int>(hw);
+  return std::max(1, std::min(tasks, cores));
+}
+
+void ThreadPool::RunJobShare(std::unique_lock<std::mutex>& lock) {
+  // Indices are claimed one at a time under the lock: tasks are few and
+  // coarse (an environment step dwarfs a mutex acquisition), and claiming
+  // under the lock makes the job state trivially consistent — a worker that
+  // wakes late can never run a stale job or steal from the next one.
+  while (next_index_ < job_size_) {
+    const int index = next_index_++;
+    const std::function<void(int)>* fn = job_fn_;
+    lock.unlock();
+    (*fn)(index);
+    lock.lock();
+    // job_fn_ stays valid throughout fn: ParallelFor only clears it once
+    // remaining_ hits 0, and this task's decrement has not happened yet.
+    if (--remaining_ == 0) job_done_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    job_ready_.wait(lock, [&] {
+      return shutdown_ ||
+             (job_generation_ != seen_generation && next_index_ < job_size_);
+    });
+    if (shutdown_) return;
+    seen_generation = job_generation_;
+    RunJobShare(lock);
+  }
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (workers_.empty() || n == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  ATENA_CHECK(job_fn_ == nullptr) << "reentrant ParallelFor on one pool";
+  job_fn_ = &fn;
+  job_size_ = n;
+  next_index_ = 0;
+  remaining_ = n;
+  ++job_generation_;
+  job_ready_.notify_all();
+  // The caller is one of the pool's threads: it claims indices alongside
+  // the workers, then waits out the stragglers.
+  RunJobShare(lock);
+  job_done_.wait(lock, [&] { return remaining_ == 0; });
+  job_fn_ = nullptr;
+  job_size_ = 0;
+}
+
+}  // namespace atena

@@ -1,0 +1,87 @@
+#ifndef ATENA_COMMON_THREAD_POOL_H_
+#define ATENA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace atena {
+
+/// A small persistent worker pool with a blocking parallel-for, built for
+/// the trainer's lockstep env stepping (DESIGN.md §9).
+///
+/// Determinism contract: ParallelFor(n, fn) runs fn(0..n-1) exactly once
+/// each and returns only when all have finished. Which thread runs which
+/// index (and in what order) is scheduling-dependent, so callers must keep
+/// tasks independent — each task may only write state owned by its index
+/// (plus properly synchronized shared structures such as DisplayCache).
+/// Outputs are gathered into index-addressed slots and any floating-point
+/// reduction over them is performed by the caller afterwards, in index
+/// order — which is what makes pool-driven results bit-identical to a
+/// serial loop at any thread count.
+///
+/// Tasks must not throw: the pool runs fn on plain worker threads and an
+/// escaping exception terminates the process (this codebase reports errors
+/// through Status, never exceptions).
+///
+/// The calling thread participates in the work, so a pool constructed with
+/// `num_threads` applies at most `num_threads` concurrent tasks while
+/// holding only `num_threads - 1` OS threads.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (clamped below at 0). A pool of one
+  /// thread has no workers: ParallelFor degenerates to an inline loop on
+  /// the caller.
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins all workers. Must not race an in-flight ParallelFor.
+  ~ThreadPool();
+
+  /// Total concurrency (workers + the participating caller).
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(0), ..., fn(n-1) across the pool and blocks until every call
+  /// has returned. Indices are claimed dynamically (load-balanced); see the
+  /// class comment for the determinism contract. Reentrant calls (fn itself
+  /// calling ParallelFor on the same pool) are not supported.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+  /// The default thread count for `tasks` parallel tasks: the task count
+  /// capped at the hardware concurrency (and at least 1). Explicit user
+  /// thread counts may exceed this — useful for tests that interleave more
+  /// threads than cores — but the default never oversubscribes.
+  static int DefaultThreads(int tasks);
+
+ private:
+  void WorkerLoop();
+  /// Claims and runs job indices until the current job is exhausted.
+  /// Expects `lock` held on `mutex_`; drops it around each task body.
+  void RunJobShare(std::unique_lock<std::mutex>& lock);
+
+  std::mutex mutex_;
+  std::condition_variable job_ready_;
+  std::condition_variable job_done_;
+  /// Incremented per ParallelFor; workers use it to detect fresh jobs.
+  uint64_t job_generation_ = 0;
+  bool shutdown_ = false;
+
+  // Current job. All fields are read and written under `mutex_`; the task
+  // bodies themselves run unlocked.
+  const std::function<void(int)>* job_fn_ = nullptr;
+  int job_size_ = 0;
+  int next_index_ = 0;
+  /// Claimed-but-unfinished plus unclaimed tasks; the final decrement
+  /// signals `job_done_`.
+  int remaining_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace atena
+
+#endif  // ATENA_COMMON_THREAD_POOL_H_

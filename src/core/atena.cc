@@ -1,19 +1,41 @@
 #include "core/atena.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/string_utils.h"
+#include "rl/parallel_trainer.h"
 
 namespace atena {
 
 Result<AtenaResult> RunAtena(const Dataset& dataset,
                              const AtenaOptions& options) {
-  EdaEnvironment env(dataset, options.env);
+  const int num_actors = std::max(1, options.num_actors);
+  std::vector<std::unique_ptr<EdaEnvironment>> envs;
+  envs.reserve(static_cast<size_t>(num_actors));
+  for (int e = 0; e < num_actors; ++e) {
+    EnvConfig config = options.env;
+    config.seed = options.env.seed + static_cast<uint64_t>(e);
+    envs.push_back(std::make_unique<EdaEnvironment>(dataset, config));
+  }
+  EdaEnvironment& env = *envs[0];
 
+  // The coherency classifier is trained and the component weights are
+  // calibrated once, on the first actor's environment; the extra actors
+  // reuse both. Reward signals themselves are stateful (they remember the
+  // previous display), so each actor gets its own CompoundReward clone —
+  // a shared instance would be stepped concurrently.
   ATENA_ASSIGN_OR_RETURN(auto reward,
                          MakeStandardReward(&env, options.reward));
   env.SetRewardSignal(reward.get());
+  std::vector<std::unique_ptr<CompoundReward>> actor_rewards;
+  for (int e = 1; e < num_actors; ++e) {
+    actor_rewards.push_back(std::make_unique<CompoundReward>(
+        reward->coherency(), reward->options()));
+    envs[static_cast<size_t>(e)]->SetRewardSignal(actor_rewards.back().get());
+  }
 
   TwofoldPolicy policy(env.observation_dim(), env.action_space(),
                        options.policy);
@@ -21,7 +43,15 @@ Result<AtenaResult> RunAtena(const Dataset& dataset,
                    << "): pre-output width=" << policy.pre_output_width()
                    << ", parameters=" << policy.NumParameters();
 
-  PpoTrainer trainer(&env, &policy, options.trainer);
+  std::vector<EdaEnvironment*> env_ptrs;
+  env_ptrs.reserve(envs.size());
+  for (const auto& e : envs) env_ptrs.push_back(e.get());
+  ParallelPpoTrainer trainer(env_ptrs, &policy, options.trainer);
+  if (num_actors > 1) {
+    ATENA_LOG(kInfo) << "ATENA(" << dataset.info.id << "): " << num_actors
+                     << " actors, " << trainer.num_threads()
+                     << " stepping threads";
+  }
   AtenaResult result;
   result.training = trainer.Train();
   result.reward = reward;

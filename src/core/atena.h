@@ -19,6 +19,12 @@ struct AtenaOptions {
   TrainerOptions trainer;
   TwofoldPolicy::Options policy;
   CompoundReward::Options reward;
+  /// Parallel exploration actors (rl/parallel_trainer.h). Actor `e` runs
+  /// its own environment seeded `env.seed + e` with its own reward-signal
+  /// clone; all actors share one display cache and one trained coherency
+  /// classifier. 1 reproduces the historical single-env run bit for bit.
+  /// Environment stepping concurrency is `trainer.num_threads`.
+  int num_actors = 1;
 };
 
 /// Everything an ATENA run produces.

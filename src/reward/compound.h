@@ -59,6 +59,15 @@ class CompoundReward final : public RewardSignal {
   const Components& last_components() const { return last_; }
   const Options& options() const { return options_; }
 
+  /// The trained coherency classifier. Scoring is const (thread-safe), so
+  /// multi-actor training builds one per-actor CompoundReward clone around
+  /// this shared classifier instead of re-training it per actor — Compute
+  /// itself is stateful (`last_components`) and must never be shared across
+  /// concurrently stepped environments.
+  const std::shared_ptr<CoherencyClassifier>& coherency() const {
+    return coherency_;
+  }
+
  private:
   Components Measure(const RewardContext& context) const;
 

@@ -5,7 +5,6 @@
 
 #include "common/file_io.h"
 #include "common/logging.h"
-#include "rl/checkpoint.h"
 
 namespace atena {
 
@@ -40,6 +39,15 @@ PpoUpdater::Options UpdaterOptions(const TrainerOptions& options) {
   return out;
 }
 
+/// Stepping concurrency: 0 = auto (one thread per actor, capped at the
+/// hardware concurrency); explicit values are clamped to [1, actors] — more
+/// threads than actors can never run, but explicit values may exceed the
+/// core count (tests interleave 4 threads on 1-core machines).
+int ResolveThreads(int requested, int num_actors) {
+  if (requested <= 0) return ThreadPool::DefaultThreads(num_actors);
+  return std::max(1, std::min(requested, num_actors));
+}
+
 }  // namespace
 
 ParallelPpoTrainer::ParallelPpoTrainer(std::vector<EdaEnvironment*> envs,
@@ -59,9 +67,16 @@ ParallelPpoTrainer::ParallelPpoTrainer(std::vector<EdaEnvironment*> envs,
   // All actors explore the same dataset, so they share one display cache:
   // operation prefixes recomputed by one actor become hits for the others.
   // Safe because cache keys are canonical operation-path signatures and
-  // values are exact kernel outputs (hit ≡ recompute, bit-identical).
+  // values are exact kernel outputs (hit ≡ recompute, bit-identical) — the
+  // cache is the one mutable structure concurrent actor steps share, and it
+  // is internally synchronized (DESIGN.md §9).
   if (const auto& shared_cache = envs_[0]->display_cache()) {
     for (EdaEnvironment* env : envs_) env->SetDisplayCache(shared_cache);
+  }
+  num_threads_ = ResolveThreads(options_.num_threads,
+                                static_cast<int>(envs_.size()));
+  if (num_threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(num_threads_);
   }
 }
 
@@ -85,6 +100,18 @@ TrainingResult ParallelPpoTrainer::Train() {
     TryResumeFromCheckpoint(&actors, &steps_done, &updates_done);
   }
 
+  // In-memory snapshot of the last update boundary, refreshed after every
+  // update. A stop between lockstep ticks flushes THIS snapshot, not the
+  // mid-rollout state: checkpoints are only meaningful at boundaries (the
+  // rollout buffer is empty, and network weights / Adam moments — which the
+  // snapshot reads live at flush time via policy_->Parameters() — have not
+  // moved since). Resuming from it replays the abandoned partial rollout,
+  // so the completed run stays bit-identical to an uninterrupted one.
+  TrainingCheckpoint boundary;
+  if (checkpointing) {
+    boundary = BuildCheckpoint(actors, steps_done, updates_done);
+  }
+
   // Per-update rollout length is split evenly across the actors so the
   // update cadence matches the single-env trainer.
   const int per_actor =
@@ -92,6 +119,8 @@ TrainingResult ParallelPpoTrainer::Train() {
   const int obs_dim = envs_[0]->observation_dim();
 
   Matrix obs_batch;  // reused across ticks; steady state allocates nothing
+  std::vector<StepOutcome> outcomes;
+  bool stopped_mid_rollout = false;
   while (steps_done < options_.total_steps) {
     buffer_.Clear();
     for (int i = 0; i < per_actor && steps_done < options_.total_steps; ++i) {
@@ -109,14 +138,33 @@ TrainingResult ParallelPpoTrainer::Train() {
       // order, bit-identical to per-actor Act calls.
       std::vector<PolicyStep> steps = policy_->ActBatch(obs_batch, &rng_);
 
+      // Step every actor's environment concurrently. Each task touches only
+      // its own environment (own display stack, own Rng stream, own reward
+      // signal) plus the internally synchronized shared display cache, and
+      // writes its result into its own slot — so the outcome of each step
+      // is independent of thread scheduling, and bit-identical to the
+      // serial loop.
+      outcomes.resize(static_cast<size_t>(m));
+      auto step_actor = [&](int e) {
+        outcomes[static_cast<size_t>(e)] = ApplyAction(
+            envs_[static_cast<size_t>(e)], steps[static_cast<size_t>(e)].action);
+      };
+      if (pool_) {
+        pool_->ParallelFor(m, step_actor);
+      } else {
+        for (int e = 0; e < m; ++e) step_actor(e);
+      }
+
+      // Ordered commit: transitions enter the buffer and every
+      // floating-point reduction (episode rewards, best-episode record,
+      // recent-reward window) runs serially in fixed actor order.
       for (int e = 0; e < m; ++e, ++steps_done) {
         ActorState& actor = actors[static_cast<size_t>(e)];
         PolicyStep& step = steps[static_cast<size_t>(e)];
-        StepOutcome outcome = ApplyAction(envs_[static_cast<size_t>(e)],
-                                          step.action);
+        StepOutcome& outcome = outcomes[static_cast<size_t>(e)];
 
         Transition transition;
-        transition.observation = actor.observation;
+        transition.observation = std::move(actor.observation);
         transition.action = step.action;
         transition.log_prob = step.log_prob;
         transition.value = step.value;
@@ -144,6 +192,27 @@ TrainingResult ParallelPpoTrainer::Train() {
           actor.observation = envs_[static_cast<size_t>(e)]->Reset();
         }
       }
+
+      // Between-tick stop poll: SIGINT latency is bounded by one lockstep
+      // tick, not one full rollout. The partial rollout is abandoned — the
+      // flushed checkpoint is the last update boundary, and resume replays
+      // the rollout from there. A stop raised on the budget's final tick
+      // falls through so the closing update still runs, exactly as an
+      // uninterrupted run would.
+      if (TrainingStopRequested() && steps_done < options_.total_steps) {
+        stopped_mid_rollout = true;
+        break;
+      }
+    }
+    if (stopped_mid_rollout) {
+      if (checkpointing) WriteCheckpoint(boundary);
+      result_.interrupted = true;
+      ATENA_LOG(kInfo) << "training interrupted mid-rollout at step "
+                       << steps_done << (checkpointing
+                                             ? ", checkpoint flushed at update "
+                                             : " (update ")
+                       << updates_done << (checkpointing ? "" : ")");
+      break;
     }
 
     // Bootstrap tail values for every stream that ended mid-episode, again
@@ -182,18 +251,19 @@ TrainingResult ParallelPpoTrainer::Train() {
 
     ++updates_done;
     bool saved_this_update = false;
-    if (checkpointing && options_.checkpoint_every_updates > 0 &&
-        updates_done % options_.checkpoint_every_updates == 0) {
-      SaveCheckpointNow(actors, steps_done, updates_done);
-      saved_this_update = true;
+    if (checkpointing) {
+      boundary = BuildCheckpoint(actors, steps_done, updates_done);
+      if (options_.checkpoint_every_updates > 0 &&
+          updates_done % options_.checkpoint_every_updates == 0) {
+        WriteCheckpoint(boundary);
+        saved_this_update = true;
+      }
     }
     // Cooperative interruption (SIGINT in the examples): flush a final
     // snapshot and hand back the partial result. Resuming from that
     // snapshot continues the run bit-identically.
     if (TrainingStopRequested()) {
-      if (checkpointing && !saved_this_update) {
-        SaveCheckpointNow(actors, steps_done, updates_done);
-      }
+      if (checkpointing && !saved_this_update) WriteCheckpoint(boundary);
       result_.interrupted = true;
       ATENA_LOG(kInfo) << "training interrupted at step " << steps_done
                        << " (update " << updates_done << ")"
@@ -229,13 +299,14 @@ TrainingResult ParallelPpoTrainer::Train() {
   return result_;
 }
 
-void ParallelPpoTrainer::SaveCheckpointNow(
-    const std::vector<ActorState>& actors, int steps_done, int updates_done) {
+TrainingCheckpoint ParallelPpoTrainer::BuildCheckpoint(
+    const std::vector<ActorState>& actors, int steps_done,
+    int updates_done) const {
   TrainingCheckpoint ckpt;
   ckpt.steps_done = steps_done;
   ckpt.updates_done = updates_done;
   ckpt.trainer_rng = rng_.state();
-  Adam* adam = updater_.optimizer();
+  const Adam* adam = updater_.optimizer();
   ckpt.adam_step = adam->step_count();
   ckpt.adam_m = adam->first_moments();
   ckpt.adam_v = adam->second_moments();
@@ -253,6 +324,10 @@ void ParallelPpoTrainer::SaveCheckpointNow(
     actor.episode_ops = actors[e].episode_ops;
     ckpt.actors.push_back(std::move(actor));
   }
+  return ckpt;
+}
+
+void ParallelPpoTrainer::WriteCheckpoint(const TrainingCheckpoint& ckpt) const {
   Status status = SaveTrainingCheckpoint(options_.checkpoint_path,
                                          policy_->Parameters(), ckpt);
   if (!status.ok()) {
@@ -261,7 +336,7 @@ void ParallelPpoTrainer::SaveCheckpointNow(
     ATENA_LOG(kWarning) << "checkpoint save failed: " << status;
   } else {
     ATENA_LOG(kDebug) << "checkpoint written to " << options_.checkpoint_path
-                      << " at step " << steps_done;
+                      << " at step " << ckpt.steps_done;
   }
 }
 
@@ -288,7 +363,9 @@ bool ParallelPpoTrainer::TryResumeFromCheckpoint(
 
   // Validate the snapshot against this trainer's configuration before
   // touching any state, so a mismatched checkpoint can never leave the
-  // network or environments half-restored.
+  // network or environments half-restored. The stepping thread count is
+  // deliberately NOT part of a checkpoint: any num_threads resumes any
+  // snapshot bit-identically (DESIGN.md §9).
   if (ckpt.actors.size() != envs_.size()) {
     ATENA_LOG(kWarning) << "resume failed, starting fresh: checkpoint has "
                         << ckpt.actors.size() << " actors, trainer has "

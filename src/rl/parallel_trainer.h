@@ -1,8 +1,11 @@
 #ifndef ATENA_RL_PARALLEL_TRAINER_H_
 #define ATENA_RL_PARALLEL_TRAINER_H_
 
+#include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
+#include "rl/checkpoint.h"
 #include "rl/rollout.h"
 #include "rl/trainer.h"
 
@@ -17,12 +20,22 @@ namespace atena {
 ///
 /// Each lockstep tick issues exactly one batched Policy::ActBatch over all
 /// actors' observations — one network forward per tick regardless of the
-/// actor count. The 1-actor instance IS the single-env trainer: PpoTrainer
-/// delegates here, and its training output is bit-identical to the
-/// historical per-step implementation.
+/// actor count — and then steps every actor's environment (FILTER/GROUP
+/// execution, display diffing, compound reward) concurrently on a
+/// persistent worker pool (TrainerOptions::num_threads, DESIGN.md §9).
+/// Training output is bit-identical at any thread count: each actor owns
+/// its environment and Rng stream, step outcomes land in index-addressed
+/// slots, and the commit into the RolloutBuffer — with every floating-point
+/// reduction (episode rewards, best-episode tracking, reward windows) —
+/// runs serially in fixed actor order. The 1-actor instance IS the
+/// single-env trainer: PpoTrainer delegates here, and its training output
+/// is bit-identical to the historical per-step implementation.
 ///
 /// All environments must expose identical observation and action spaces
-/// (same dataset/config); each should carry its own seed.
+/// (same dataset/config); each should carry its own seed, and each must
+/// have its own RewardSignal instance (a shared stateful signal would be
+/// stepped concurrently). The display cache is shared across actors — it
+/// is internally thread-safe and a hit is bit-identical to a recompute.
 class ParallelPpoTrainer {
  public:
   ParallelPpoTrainer(std::vector<EdaEnvironment*> envs, Policy* policy,
@@ -31,6 +44,10 @@ class ParallelPpoTrainer {
   void SetProgressCallback(std::function<void(const CurvePoint&)> callback) {
     progress_ = std::move(callback);
   }
+
+  /// The resolved stepping concurrency (options.num_threads with 0 = auto,
+  /// clamped to the actor count).
+  int num_threads() const { return num_threads_; }
 
   TrainingResult Train();
 
@@ -42,11 +59,15 @@ class ParallelPpoTrainer {
     std::vector<EdaOperation> episode_ops;
   };
 
-  /// Writes a rotating ATENA-CKPT v1 snapshot to options_.checkpoint_path.
-  /// Failures are logged as warnings — a broken disk should not kill hours
-  /// of training that may still finish in memory.
-  void SaveCheckpointNow(const std::vector<ActorState>& actors,
-                         int steps_done, int updates_done);
+  /// Builds the full ATENA-CKPT v1 snapshot of the current trainer state.
+  /// Valid only at update boundaries (the rollout buffer must be empty).
+  TrainingCheckpoint BuildCheckpoint(const std::vector<ActorState>& actors,
+                                     int steps_done, int updates_done) const;
+
+  /// Durably writes `ckpt` (rotating `<path>` + `.prev`). Failures are
+  /// logged as warnings — a broken disk should not kill hours of training
+  /// that may still finish in memory.
+  void WriteCheckpoint(const TrainingCheckpoint& ckpt) const;
 
   /// Restores the newest readable snapshot (falling back to `.prev` with a
   /// logged warning) into the trainer, policy, optimizer and environments.
@@ -64,6 +85,10 @@ class ParallelPpoTrainer {
   RolloutBuffer buffer_;
   PpoUpdater updater_;
   std::function<void(const CurvePoint&)> progress_;
+
+  /// Resolved stepping concurrency; the pool exists only when > 1.
+  int num_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
 
   TrainingResult result_;
   std::vector<double> recent_episode_rewards_;

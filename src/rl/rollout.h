@@ -90,6 +90,7 @@ class PpoUpdater {
   /// (rl/checkpoint.h) can capture and restore its moments/step, which a
   /// bare weight file silently loses.
   Adam* optimizer() { return &optimizer_; }
+  const Adam* optimizer() const { return &optimizer_; }
 
  private:
   Policy* policy_;

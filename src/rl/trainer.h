@@ -34,6 +34,17 @@ struct TrainerOptions {
   int final_eval_episodes = 16;
   uint64_t seed = 31337;
 
+  /// Worker threads for environment stepping in ParallelPpoTrainer
+  /// (DESIGN.md §9). 0 = auto: one thread per actor, capped at the hardware
+  /// concurrency. Explicit values are clamped to [1, actor count] — more
+  /// threads than actors can never be used; they may exceed the core count
+  /// (useful for interleaving tests on small machines). The thread count
+  /// NEVER changes training output: stepping results are committed in fixed
+  /// actor order and every floating-point reduction runs serially, so any
+  /// value here (including across a checkpoint resume) is bit-identical to
+  /// num_threads = 1.
+  int num_threads = 0;
+
   /// Durable crash-safe checkpointing (rl/checkpoint.h, DESIGN.md §8).
   /// Empty disables. When set, Train() writes rotating `<path>` +
   /// `<path>.prev` ATENA-CKPT v1 snapshots at update boundaries and on
@@ -55,9 +66,12 @@ struct TrainerOptions {
 
 /// Cooperative interruption for long training runs. RequestTrainingStop is
 /// async-signal-safe (it only sets a sig_atomic_t flag), so examples
-/// install it directly as a SIGINT handler. Trainers poll the flag at
-/// update boundaries: they flush a final checkpoint (when configured),
-/// mark the TrainingResult as interrupted, and return the partial result.
+/// install it directly as a SIGINT handler. Trainers poll the flag between
+/// lockstep ticks and at update boundaries, so stop latency is bounded by
+/// one tick (one step per actor), not one full rollout. On stop they flush
+/// a final checkpoint (when configured) capturing the last update
+/// boundary, mark the TrainingResult as interrupted, and return the
+/// partial result; resuming from that checkpoint continues bit-identically.
 /// Train() clears the flag when it starts.
 void RequestTrainingStop();
 bool TrainingStopRequested();

@@ -127,13 +127,19 @@ void ExpectResultsIdentical(const TrainingResult& a, const TrainingResult& b) {
 /// Interrupts training after `stop_after_updates` updates (checkpoint
 /// flushed), then resumes with a fresh trainer/policy/envs and runs to
 /// completion. The combined run must be bit-identical to `baseline`.
-void CheckResumeBitIdentity(int n_actors, int stop_after_updates) {
+/// `first_threads`/`second_threads` set the env-stepping concurrency of the
+/// interrupted and the resumed run — snapshots are thread-count agnostic,
+/// so any combination must reproduce the serial baseline.
+void CheckResumeBitIdentity(int n_actors, int stop_after_updates,
+                            int first_threads = 1, int second_threads = 1) {
   const std::string path =
       TempPath("resume_" + std::to_string(n_actors) + "_" +
-               std::to_string(stop_after_updates) + ".ckpt");
+               std::to_string(stop_after_updates) + "_" +
+               std::to_string(first_threads) + "_" +
+               std::to_string(second_threads) + ".ckpt");
   RemoveCheckpointFamily(path);
 
-  // Uninterrupted reference run (no checkpointing).
+  // Uninterrupted reference run (no checkpointing, serial stepping).
   TrainSetup ref = MakeSetup(n_actors);
   ParallelPpoTrainer ref_trainer(ref.envs, ref.policy.get(), BaseOptions());
   TrainingResult baseline = ref_trainer.Train();
@@ -143,6 +149,7 @@ void CheckResumeBitIdentity(int n_actors, int stop_after_updates) {
   TrainerOptions options = BaseOptions();
   options.checkpoint_path = path;
   options.checkpoint_every_updates = 1;
+  options.num_threads = first_threads;
   ParallelPpoTrainer first_trainer(first.envs, first.policy.get(), options);
   int updates_seen = 0;
   first_trainer.SetProgressCallback(
@@ -163,6 +170,7 @@ void CheckResumeBitIdentity(int n_actors, int stop_after_updates) {
   // Resumed run: fresh everything, state restored from the checkpoint.
   TrainSetup second = MakeSetup(n_actors);
   options.resume = true;
+  options.num_threads = second_threads;
   ParallelPpoTrainer second_trainer(second.envs, second.policy.get(),
                                     options);
   TrainingResult resumed = second_trainer.Train();
@@ -177,6 +185,93 @@ TEST(CheckpointResumeTest, BitIdenticalSingleActor) {
 
 TEST(CheckpointResumeTest, BitIdenticalFourActors) {
   CheckResumeBitIdentity(/*n_actors=*/4, /*stop_after_updates=*/2);
+}
+
+// The stepping thread count is a pure wall-clock knob (DESIGN.md §9) and
+// deliberately not part of the snapshot: a checkpoint written by a serial
+// run resumes bit-identically on 4 threads, and vice versa.
+TEST(CheckpointResumeTest, ThreadCountMayChangeAcrossResume) {
+  CheckResumeBitIdentity(/*n_actors=*/4, /*stop_after_updates=*/2,
+                         /*first_threads=*/1, /*second_threads=*/4);
+  CheckResumeBitIdentity(/*n_actors=*/4, /*stop_after_updates=*/2,
+                         /*first_threads=*/4, /*second_threads=*/1);
+}
+
+/// Counts Compute calls and raises the cooperative stop flag at the Nth —
+/// placing the stop request in the middle of a rollout, where only the
+/// between-tick poll can see it. `n <= 0` never fires (same reward values,
+/// used for the baseline and resumed runs).
+class StopAtNthRewardSignal final : public RewardSignal {
+ public:
+  explicit StopAtNthRewardSignal(int n) : remaining_(n) {}
+  double Compute(const RewardContext&) override {
+    if (remaining_ > 0 && --remaining_ == 0) RequestTrainingStop();
+    return 0.25;  // a constant so every run in the family sees equal rewards
+  }
+
+ private:
+  int remaining_;
+};
+
+// Between-tick stop polling: a stop raised mid-rollout must take effect at
+// the next lockstep tick — abandoning the partial rollout, flushing the
+// last update-boundary snapshot — and resuming must still complete
+// bit-identically. (Boundary-only polling would have run the rollout to
+// its end and published one more curve point first.)
+TEST(CheckpointResumeTest, MidRolloutStopFlushesLastBoundaryAndResumes) {
+  const std::string path = TempPath("mid_rollout_stop.ckpt");
+  RemoveCheckpointFamily(path);
+  constexpr int kActors = 2;
+
+  auto attach = [](TrainSetup* setup, int stop_at) {
+    // Signal on actor 0 only; the other actor gets a never-firing clone so
+    // all actors' reward streams are identical across the run family.
+    auto signals =
+        std::make_shared<std::vector<std::unique_ptr<StopAtNthRewardSignal>>>();
+    signals->push_back(std::make_unique<StopAtNthRewardSignal>(stop_at));
+    signals->push_back(std::make_unique<StopAtNthRewardSignal>(0));
+    for (int e = 0; e < kActors; ++e) {
+      setup->envs[static_cast<size_t>(e)]->SetRewardSignal(
+          (*signals)[static_cast<size_t>(e)].get());
+    }
+    return signals;
+  };
+
+  // Uninterrupted baseline (stop never fires).
+  TrainSetup ref = MakeSetup(kActors);
+  auto ref_signals = attach(&ref, 0);
+  ParallelPpoTrainer ref_trainer(ref.envs, ref.policy.get(), BaseOptions());
+  TrainingResult baseline = ref_trainer.Train();
+
+  // Interrupted run: actor 0 computes one reward per tick, so firing at
+  // its 45th Compute raises the flag at global step 90 — strictly inside
+  // the third rollout (boundaries at 80 and 120 with rollout_length 40).
+  TrainSetup first = MakeSetup(kActors);
+  auto first_signals = attach(&first, 45);
+  TrainerOptions options = BaseOptions();
+  options.checkpoint_path = path;
+  options.checkpoint_every_updates = 1;
+  ParallelPpoTrainer first_trainer(first.envs, first.policy.get(), options);
+  TrainingResult partial = first_trainer.Train();
+
+  ASSERT_TRUE(partial.interrupted);
+  // Stopped at the tick after step 90, NOT at the next update boundary:
+  // only the two completed updates are published.
+  ASSERT_EQ(partial.curve.size(), 2u);
+  EXPECT_EQ(partial.curve.back().step, 80);
+  ASSERT_TRUE(FileExists(path));
+
+  // Resume (never-firing signals) must finish the run bit-identically —
+  // including re-collecting the abandoned partial rollout.
+  TrainSetup second = MakeSetup(kActors);
+  auto second_signals = attach(&second, 0);
+  options.resume = true;
+  ParallelPpoTrainer second_trainer(second.envs, second.policy.get(),
+                                    options);
+  TrainingResult resumed = second_trainer.Train();
+  EXPECT_FALSE(resumed.interrupted);
+  ExpectResultsIdentical(baseline, resumed);
+  RemoveCheckpointFamily(path);
 }
 
 TEST(CheckpointResumeTest, ResumeAfterEveryUpdateBoundary) {

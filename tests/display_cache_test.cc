@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/twofold_policy.h"
@@ -106,6 +107,52 @@ std::vector<EnvAction> RandomActions(const ActionSpace& space, uint64_t seed,
     actions.push_back(SampleRandomAction(space, &rng));
   }
   return actions;
+}
+
+// Statistics counters under concurrency: hammer one cache from several
+// threads while the main thread polls stats(). The counters are atomics
+// aggregated per shard, so the totals must add up exactly once the workers
+// join, every interim poll must be monotone, and the run must be clean
+// under TSan (scripts/check.sh sweeps this binary).
+TEST(DisplayCacheTest, ConcurrentStatsAreExactAndMonotone) {
+  DisplayCache cache({/*capacity=*/64, /*shards=*/4});
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 4000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      // Overlapping key ranges: plenty of hits, misses and (capacity 64,
+      // keys up to ~1064) evictions from every thread.
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const uint64_t key =
+            static_cast<uint64_t>((i * (t + 3)) % 1064);
+        if (cache.GetRows(key) == nullptr) {
+          cache.PutRows(key, MakeRows(static_cast<int32_t>(key % 7 + 1)));
+        }
+      }
+    });
+  }
+  uint64_t last_lookups = 0;
+  // Poll until every worker's lookups are visible (each op is exactly one
+  // GetRows, so the total converges to kThreads * kOpsPerThread).
+  while (true) {
+    const DisplayCacheStats stats = cache.stats();
+    const uint64_t lookups = stats.hits + stats.misses;
+    EXPECT_GE(lookups, last_lookups);
+    EXPECT_LE(stats.entries, 64u);
+    last_lookups = lookups;
+    if (lookups >= static_cast<uint64_t>(kThreads * kOpsPerThread)) break;
+    std::this_thread::yield();
+  }
+  for (auto& worker : workers) worker.join();
+
+  const DisplayCacheStats stats = cache.stats();
+  // Every GetRows call is counted exactly once, no lost updates.
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads * kOpsPerThread));
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.entries, 64u);
 }
 
 TEST(CacheDeterminismTest, CachedEpisodesMatchUncachedBitwise) {

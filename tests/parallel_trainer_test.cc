@@ -5,6 +5,7 @@
 #include "baselines/flat_policy.h"
 #include "core/twofold_policy.h"
 #include "data/registry.h"
+#include "reward/compound.h"
 #include "rl/parallel_trainer.h"
 
 namespace atena {
@@ -211,6 +212,151 @@ TEST(ParallelTrainerTest, SingleActorMatchesPpoTrainerBitForBit) {
           << params_a[k]->name << " element " << i;
     }
   }
+}
+
+void ExpectResultsBitIdentical(const TrainingResult& a,
+                               const TrainingResult& b) {
+  EXPECT_EQ(a.episodes, b.episodes);
+  EXPECT_EQ(a.best_episode_reward, b.best_episode_reward);
+  EXPECT_EQ(a.final_mean_reward, b.final_mean_reward);
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (size_t i = 0; i < a.curve.size(); ++i) {
+    EXPECT_EQ(a.curve[i].step, b.curve[i].step);
+    EXPECT_EQ(a.curve[i].mean_episode_reward, b.curve[i].mean_episode_reward);
+  }
+  ASSERT_EQ(a.best_episode_ops.size(), b.best_episode_ops.size());
+  for (size_t i = 0; i < a.best_episode_ops.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(a.best_episode_ops[i].type),
+              static_cast<int>(b.best_episode_ops[i].type));
+  }
+}
+
+void ExpectWeightsBitIdentical(TwofoldPolicy& a, TwofoldPolicy& b) {
+  auto params_a = a.Parameters();
+  auto params_b = b.Parameters();
+  ASSERT_EQ(params_a.size(), params_b.size());
+  for (size_t k = 0; k < params_a.size(); ++k) {
+    ASSERT_EQ(params_a[k]->value.size(), params_b[k]->value.size());
+    for (size_t i = 0; i < params_a[k]->value.size(); ++i) {
+      ASSERT_EQ(params_a[k]->value.data()[i], params_b[k]->value.data()[i])
+          << params_a[k]->name << " element " << i;
+    }
+  }
+}
+
+// The central determinism guarantee of the parallel stepping path
+// (DESIGN.md §9): the worker-thread count is a pure wall-clock knob.
+// Training 4 actors at 1, 2 and 4 stepping threads must produce the same
+// TrainingResult and the same final network weights, bit for bit.
+TEST(ParallelTrainerTest, ThreadCountNeverChangesTrainingOutput) {
+  auto dataset = MakeDataset("cyber2");
+  ASSERT_TRUE(dataset.ok());
+
+  struct Run {
+    TrainingResult result;
+    std::unique_ptr<TwofoldPolicy> policy;
+  };
+  auto train = [&](int num_threads) {
+    std::vector<std::unique_ptr<EdaEnvironment>> owned;
+    std::vector<EdaEnvironment*> envs;
+    for (uint64_t seed = 61; seed <= 64; ++seed) {
+      owned.push_back(std::make_unique<EdaEnvironment>(dataset.value(),
+                                                       ConfigWithSeed(seed)));
+      envs.push_back(owned.back().get());
+    }
+    TwofoldPolicy::Options policy_options;
+    policy_options.hidden = {10};
+    Run run;
+    run.policy = std::make_unique<TwofoldPolicy>(
+        envs[0]->observation_dim(), envs[0]->action_space(), policy_options);
+    TrainerOptions options;
+    options.total_steps = 400;
+    options.rollout_length = 80;
+    options.final_eval_episodes = 2;
+    options.seed = 97;
+    options.num_threads = num_threads;
+    ParallelPpoTrainer trainer(envs, run.policy.get(), options);
+    EXPECT_EQ(trainer.num_threads(), num_threads);
+    run.result = trainer.Train();
+    return run;
+  };
+
+  Run serial = train(1);
+  for (int num_threads : {2, 4}) {
+    SCOPED_TRACE("num_threads = " + std::to_string(num_threads));
+    Run threaded = train(num_threads);
+    ExpectResultsBitIdentical(serial.result, threaded.result);
+    ExpectWeightsBitIdentical(*serial.policy, *threaded.policy);
+  }
+}
+
+// Same guarantee with the full compound reward attached: each actor owns a
+// stateful CompoundReward clone around one shared trained classifier — the
+// exact wiring RunAtena uses — and concurrent stepping through the shared
+// display cache must not perturb a single bit of the result.
+TEST(ParallelTrainerTest, ThreadedCompoundRewardMatchesSerial) {
+  auto dataset = MakeDataset("cyber2");
+  ASSERT_TRUE(dataset.ok());
+
+  // Train the classifier and calibrate the weights once, off to the side.
+  EdaEnvironment proto_env(dataset.value(), ConfigWithSeed(71));
+  CompoundReward::Options reward_options;
+  reward_options.calibration_episodes = 3;
+  auto proto = MakeStandardReward(&proto_env, reward_options);
+  ASSERT_TRUE(proto.ok());
+
+  auto train = [&](int num_threads) {
+    std::vector<std::unique_ptr<EdaEnvironment>> owned;
+    std::vector<std::unique_ptr<CompoundReward>> rewards;
+    std::vector<EdaEnvironment*> envs;
+    for (uint64_t seed = 71; seed <= 73; ++seed) {
+      owned.push_back(std::make_unique<EdaEnvironment>(dataset.value(),
+                                                       ConfigWithSeed(seed)));
+      rewards.push_back(std::make_unique<CompoundReward>(
+          proto.value()->coherency(), proto.value()->options()));
+      owned.back()->SetRewardSignal(rewards.back().get());
+      envs.push_back(owned.back().get());
+    }
+    TwofoldPolicy::Options policy_options;
+    policy_options.hidden = {8};
+    auto policy = std::make_unique<TwofoldPolicy>(
+        envs[0]->observation_dim(), envs[0]->action_space(), policy_options);
+    TrainerOptions options;
+    options.total_steps = 150;
+    options.rollout_length = 30;
+    options.final_eval_episodes = 1;
+    options.seed = 3;
+    options.num_threads = num_threads;
+    ParallelPpoTrainer trainer(envs, policy.get(), options);
+    return trainer.Train();
+  };
+
+  TrainingResult serial = train(1);
+  TrainingResult threaded = train(3);
+  ExpectResultsBitIdentical(serial, threaded);
+}
+
+// Thread-count resolution: 0 = auto (capped at hardware concurrency),
+// explicit values clamp to the actor count.
+TEST(ParallelTrainerTest, ThreadCountResolution) {
+  auto dataset = MakeDataset("cyber2");
+  ASSERT_TRUE(dataset.ok());
+  EdaEnvironment env_a(dataset.value(), ConfigWithSeed(81));
+  EdaEnvironment env_b(dataset.value(), ConfigWithSeed(82));
+  TwofoldPolicy::Options policy_options;
+  policy_options.hidden = {8};
+  TwofoldPolicy policy(env_a.observation_dim(), env_a.action_space(),
+                       policy_options);
+
+  TrainerOptions options;
+  options.num_threads = 16;  // explicit: clamped to the 2 actors
+  ParallelPpoTrainer clamped({&env_a, &env_b}, &policy, options);
+  EXPECT_EQ(clamped.num_threads(), 2);
+
+  options.num_threads = 0;  // auto: min(actors, hardware concurrency)
+  ParallelPpoTrainer automatic({&env_a, &env_b}, &policy, options);
+  EXPECT_EQ(automatic.num_threads(), ThreadPool::DefaultThreads(2));
+  EXPECT_LE(automatic.num_threads(), 2);
 }
 
 // Multi-actor acting must cost one network forward per lockstep tick, not
