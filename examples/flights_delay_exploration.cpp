@@ -1,6 +1,7 @@
 // Domain example: investigating flight delays (the paper's Example 1.1).
 //
 //   ./flights_delay_exploration [train_steps] [--actors N] [--threads N]
+//                                [--guardrails]
 //
 // Generates an ATENA notebook for the "short, night-time flights" dataset
 // with departure/arrival delay as focal attributes, compares it against the
@@ -15,6 +16,13 @@
 // Training is crash-safe: Ctrl-C stops at the next update boundary after
 // flushing a checkpoint, and rerunning resumes bit-identically from it.
 // Delete flights4_training.ckpt{,.prev} to retrain from scratch.
+//
+// --guardrails arms the training guard for unattended runs: anomalous
+// updates (non-finite loss/gradients, exploding gradient norm, entropy
+// collapse, reward divergence) roll back to the last good snapshot and
+// retry with a backed-off learning rate; guard events land in
+// flights4_health.jsonl and an end-of-run summary prints below. See
+// DESIGN.md §10.
 
 #include <csignal>
 #include <cstdio>
@@ -59,11 +67,15 @@ int main(int argc, char** argv) {
       (arg == "--actors" ? options.num_actors : options.trainer.num_threads) =
           static_cast<int>(value);
       ++i;
+    } else if (arg == "--guardrails") {
+      options.trainer.guardrails.enabled = true;
+      options.trainer.guardrails.health_log_path = "flights4_health.jsonl";
     } else if (ParseInt64(arg, &value) && value > 0) {
       options.trainer.total_steps = static_cast<int>(value);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [train_steps] [--actors N] [--threads N]\n",
+                   "usage: %s [train_steps] [--actors N] [--threads N] "
+                   "[--guardrails]\n",
                    argv[0]);
       return 1;
     }
@@ -74,6 +86,22 @@ int main(int argc, char** argv) {
   auto result = RunAtena(dataset.value(), options);
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const TrainingResult& training = result.value().training;
+  if (options.trainer.guardrails.enabled) {
+    std::printf("training guard: %lld event(s), %d rollback(s), final LR "
+                "scale %.4g%s\n",
+                static_cast<long long>(training.guard.events),
+                training.guard.rollbacks, training.guard.lr_scale,
+                training.guard.events > 0 ? " — see flights4_health.jsonl"
+                                          : "");
+  }
+  if (!training.guard_status.ok()) {
+    std::fprintf(stderr,
+                 "training aborted by guard: %s\nweights were rolled back "
+                 "to the last good update; see flights4_health.jsonl\n",
+                 training.guard_status.ToString().c_str());
     return 1;
   }
   if (result.value().training.interrupted) {

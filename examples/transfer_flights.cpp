@@ -3,11 +3,15 @@
 // datasets", §7).
 //
 //   ./transfer_flights [train_steps] [--actors N] [--threads N]
+//                      [--guardrails]
 //
 // --actors N trains with N parallel exploration actors on the source
 // dataset; --threads N sets the environment-stepping concurrency (default:
 // one thread per actor, capped at the hardware concurrency). The thread
 // count never changes the trained weights — see DESIGN.md §9.
+// --guardrails arms the training guard (DESIGN.md §10): anomalous updates
+// roll back to the last good snapshot and retry with a backed-off learning
+// rate; guard events land in transfer_flights_health.jsonl.
 //
 // All flights datasets share one schema, so their observation and action
 // spaces are identical. This example trains ATENA's twofold policy on
@@ -47,6 +51,7 @@ int main(int argc, char** argv) {
   int total_steps = 6000;
   int num_actors = 1;
   int num_threads = 0;  // auto: one per actor, capped at hardware threads
+  bool guardrails = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     int64_t value = 0;
@@ -55,11 +60,14 @@ int main(int argc, char** argv) {
       (arg == "--actors" ? num_actors : num_threads) =
           static_cast<int>(value);
       ++i;
+    } else if (arg == "--guardrails") {
+      guardrails = true;
     } else if (ParseInt64(arg, &value) && value > 0) {
       total_steps = static_cast<int>(value);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [train_steps] [--actors N] [--threads N]\n",
+                   "usage: %s [train_steps] [--actors N] [--threads N] "
+                   "[--guardrails]\n",
                    argv[0]);
       return 1;
     }
@@ -100,10 +108,32 @@ int main(int argc, char** argv) {
   trainer_options.checkpoint_path = "atena_flights_policy.ckpt";
   trainer_options.checkpoint_every_updates = 5;
   trainer_options.resume = true;
+  if (guardrails) {
+    trainer_options.guardrails.enabled = true;
+    trainer_options.guardrails.health_log_path =
+        "transfer_flights_health.jsonl";
+  }
   std::vector<EdaEnvironment*> env_ptrs;
   for (const auto& e : source_envs) env_ptrs.push_back(e.get());
   ParallelPpoTrainer trainer(env_ptrs, &policy, trainer_options);
   TrainingResult training = trainer.Train();
+  if (guardrails) {
+    std::printf("training guard: %lld event(s), %d rollback(s), final LR "
+                "scale %.4g%s\n",
+                static_cast<long long>(training.guard.events),
+                training.guard.rollbacks, training.guard.lr_scale,
+                training.guard.events > 0
+                    ? " — see transfer_flights_health.jsonl"
+                    : "");
+  }
+  if (!training.guard_status.ok()) {
+    std::fprintf(stderr,
+                 "training aborted by guard: %s\nweights were rolled back "
+                 "to the last good update; see "
+                 "transfer_flights_health.jsonl\n",
+                 training.guard_status.ToString().c_str());
+    return 1;
+  }
   if (training.interrupted) {
     std::printf("training interrupted — checkpoint flushed to %s; rerun to "
                 "resume where it left off\n",

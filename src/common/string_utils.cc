@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 
 namespace atena {
@@ -85,6 +86,11 @@ bool ParseDouble(std::string_view text, double* out) {
   auto [ptr, ec] =
       std::from_chars(text.data(), text.data() + text.size(), value);
   if (ec != std::errc() || ptr != text.data() + text.size()) return false;
+  // from_chars' general format accepts "nan"/"inf"/"infinity". Numeric
+  // data (CSV cells, script literals) must never smuggle a non-finite
+  // value in as if it were a measurement — callers treat a false return
+  // as null-or-error, which is the honest reading of such a field.
+  if (!std::isfinite(value)) return false;
   *out = value;
   return true;
 }

@@ -25,7 +25,9 @@ bool EndsWith(std::string_view text, std::string_view suffix);
 bool Contains(std::string_view text, std::string_view needle);
 
 /// Parses a decimal integer / double. Returns false (leaving *out untouched)
-/// on any trailing garbage or empty input.
+/// on any trailing garbage, empty input, out-of-range magnitude, or — for
+/// ParseDouble — a non-finite spelling ("nan"/"inf"/"infinity"): hostile or
+/// corrupt numeric fields must surface as null-or-error, never as a value.
 bool ParseInt64(std::string_view text, int64_t* out);
 bool ParseDouble(std::string_view text, double* out);
 

@@ -271,8 +271,68 @@ StepOutcome EdaEnvironment::FinishStep(EdaOperation op, bool valid,
   return outcome;
 }
 
+Status EdaEnvironment::ValidateAction(const EnvAction& action) const {
+  auto out_of_range = [](const char* segment, int value, int bound) {
+    return Status::OutOfRange(std::string(segment) + " index " +
+                              std::to_string(value) + " outside [0, " +
+                              std::to_string(bound) + ")");
+  };
+  const int type_index = static_cast<int>(action.type);
+  if (type_index < 0 || type_index >= action_space_.num_op_types) {
+    return out_of_range("op type", type_index, action_space_.num_op_types);
+  }
+  switch (action.type) {
+    case OpType::kBack:
+      return Status::OK();
+    case OpType::kFilter:
+      if (action.filter_column < 0 ||
+          action.filter_column >= action_space_.num_columns) {
+        return out_of_range("filter column", action.filter_column,
+                            action_space_.num_columns);
+      }
+      if (action.filter_op < 0 ||
+          action.filter_op >= action_space_.num_filter_ops) {
+        return out_of_range("filter operator", action.filter_op,
+                            action_space_.num_filter_ops);
+      }
+      if (action.filter_bin < 0 ||
+          action.filter_bin >= action_space_.num_term_bins) {
+        return out_of_range("filter bin", action.filter_bin,
+                            action_space_.num_term_bins);
+      }
+      return Status::OK();
+    case OpType::kGroup:
+      if (action.group_column < 0 ||
+          action.group_column >= action_space_.num_columns) {
+        return out_of_range("group column", action.group_column,
+                            action_space_.num_columns);
+      }
+      if (action.agg_func < 0 ||
+          action.agg_func >= action_space_.num_agg_funcs) {
+        return out_of_range("agg function", action.agg_func,
+                            action_space_.num_agg_funcs);
+      }
+      if (action.agg_column < 0 ||
+          action.agg_column >= action_space_.num_columns) {
+        return out_of_range("agg column", action.agg_column,
+                            action_space_.num_columns);
+      }
+      return Status::OK();
+  }
+  return out_of_range("op type", type_index, action_space_.num_op_types);
+}
+
 StepOutcome EdaEnvironment::Step(const EnvAction& action) {
   ATENA_CHECK(!done()) << "Step called on a finished episode";
+  // Malformed actions (out-of-range segment indices) must not reach
+  // ResolveAction: it would index columns out of bounds, and its filter
+  // path consumes rng_ — an invalid action may do neither. They become
+  // penalized no-ops, like BACK at the root.
+  Status status = ValidateAction(action);
+  if (!status.ok()) {
+    ATENA_LOG(kDebug) << "invalid action rejected: " << status;
+    return FinishStep(EdaOperation::Back(), /*valid=*/false, false);
+  }
   EdaOperation op = ResolveAction(action);
   bool valid = ApplyOperation(op);
   return FinishStep(std::move(op), valid, valid);

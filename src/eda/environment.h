@@ -118,8 +118,19 @@ class EdaEnvironment {
   /// Starts a new episode; returns the initial observation (root display).
   std::vector<double> Reset();
 
+  /// Checks every index of `action` against the action space (the op type,
+  /// and the parameter segments the type actually uses) without resolving
+  /// or executing anything — consumes no randomness. OutOfRange names the
+  /// offending segment and bound.
+  Status ValidateAction(const EnvAction& action) const;
+
   /// Resolves `action` into a concrete operation (sampling a filter term
-  /// from the chosen frequency bin) and executes it.
+  /// from the chosen frequency bin) and executes it. A malformed action
+  /// (ValidateAction non-OK) is not resolved at all: it takes the
+  /// penalized no-op path — recorded as an invalid BACK, reward
+  /// config().invalid_action_penalty — and consumes no randomness, so a
+  /// buggy or adversarial action id can never crash an episode or shift
+  /// the Rng stream.
   StepOutcome Step(const EnvAction& action);
 
   /// Executes an explicit concrete operation (used by gold notebooks,

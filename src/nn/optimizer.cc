@@ -10,27 +10,32 @@ void ZeroGradients(const std::vector<Parameter*>& params) {
   for (Parameter* p : params) p->grad.Fill(0.0);
 }
 
-double ClipGradientsByNorm(const std::vector<Parameter*>& params,
-                           double max_norm) {
+GradClipResult ClipGradientsByNorm(const std::vector<Parameter*>& params,
+                                   double max_norm) {
+  GradClipResult result;
   double sq = 0.0;
   for (Parameter* p : params) {
-    for (double g : p->grad.data()) sq += g * g;
+    for (double g : p->grad.data()) {
+      if (!std::isfinite(g)) ++result.nonfinite_count;
+      sq += g * g;
+    }
   }
-  const double norm = std::sqrt(sq);
-  if (!std::isfinite(norm)) {
+  result.pre_clip_norm = std::sqrt(sq);
+  if (!std::isfinite(result.pre_clip_norm)) {
     // A single inf/NaN gradient would turn the scaled update into NaNs
     // across every weight; dropping the update entirely is the only safe
     // recovery.
     for (Parameter* p : params) p->grad.Fill(0.0);
-    return norm;
+    return result;
   }
-  if (norm > max_norm && norm > 0.0) {
-    const double scale = max_norm / norm;
+  if (result.pre_clip_norm > max_norm && result.pre_clip_norm > 0.0) {
+    const double scale = max_norm / result.pre_clip_norm;
     for (Parameter* p : params) {
       for (double& g : p->grad.data()) g *= scale;
     }
+    result.clipped = true;
   }
-  return norm;
+  return result;
 }
 
 void Sgd::Step(const std::vector<Parameter*>& params) {

@@ -10,14 +10,25 @@ namespace atena {
 /// Zeroes all accumulated gradients.
 void ZeroGradients(const std::vector<Parameter*>& params);
 
+/// Outcome of one ClipGradientsByNorm call. `pre_clip_norm` is the global
+/// L2 norm before any rescaling (non-finite when any gradient was NaN/inf);
+/// `nonfinite_count` is how many individual gradient values were NaN/inf
+/// (all zeroed when > 0), so callers can tell "clipped" from "zeroed-NaN";
+/// `clipped` is true when gradients were rescaled to fit `max_norm`.
+struct GradClipResult {
+  double pre_clip_norm = 0.0;
+  int64_t nonfinite_count = 0;
+  bool clipped = false;
+};
+
 /// Rescales gradients so their global L2 norm is at most `max_norm`.
-/// Returns the pre-clipping norm. A non-finite norm (an inf/NaN gradient
-/// anywhere, e.g. from a degenerate loss) zeroes every gradient instead of
-/// scaling — the subsequent optimizer step becomes a no-op rather than
-/// poisoning the weights with NaNs — and still returns the non-finite norm
-/// so callers can log it.
-double ClipGradientsByNorm(const std::vector<Parameter*>& params,
-                           double max_norm);
+/// A non-finite norm (an inf/NaN gradient anywhere, e.g. from a degenerate
+/// loss) zeroes every gradient instead of scaling — the subsequent
+/// optimizer step becomes a no-op rather than poisoning the weights with
+/// NaNs — and reports the damage in the returned GradClipResult instead of
+/// hiding it.
+GradClipResult ClipGradientsByNorm(const std::vector<Parameter*>& params,
+                                   double max_norm);
 
 /// Plain SGD: value -= lr * grad.
 class Sgd {
@@ -48,6 +59,11 @@ class Adam {
 
   void Step(const std::vector<Parameter*>& params);
   int64_t step_count() const { return step_; }
+
+  /// The effective learning rate. Mutable so training guardrails can back
+  /// it off after a rollback without rebuilding optimizer state.
+  double learning_rate() const { return options_.learning_rate; }
+  void set_learning_rate(double lr) { options_.learning_rate = lr; }
 
   /// Checkpoint accessors: the first/second moment estimates, positionally
   /// matching the parameter list of every Step call. Empty until the first

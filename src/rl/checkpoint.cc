@@ -1,6 +1,7 @@
 #include "rl/checkpoint.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <iomanip>
@@ -278,6 +279,14 @@ std::string EncodeCheckpointPayload(const std::vector<Parameter*>& params,
     EncodeMatrix(out, ckpt.adam_v[k]);
   }
 
+  // Guard recovery state travels only once an anomaly has occurred (see
+  // TrainingCheckpoint::guard).
+  if (!ckpt.guard.IsDefault()) {
+    out << "guard " << ckpt.guard.retries_used << " " << ckpt.guard.lr_scale
+        << " " << ckpt.guard.last_good_update << " "
+        << ckpt.guard.events_logged << "\n";
+  }
+
   // The network weights, embedded as a verbatim ATENA-NN v2 block.
   out << "params\n" << SerializeParameters(params);
   out << "end\n";
@@ -360,7 +369,28 @@ Status DecodeCheckpointPayload(const std::string& payload,
     ckpt.adam_v.push_back(std::move(v));
   }
 
-  ATENA_RETURN_IF_ERROR(reader.ExpectKeyword("params"));
+  // The optional guard section sits between the Adam moments and the
+  // parameter block; its absence means "no guard event ever happened".
+  std::string section;
+  ATENA_RETURN_IF_ERROR(reader.Read(&section, "section keyword"));
+  if (section == "guard") {
+    ATENA_RETURN_IF_ERROR(
+        reader.Read(&ckpt.guard.retries_used, "guard retries"));
+    ATENA_RETURN_IF_ERROR(reader.Read(&ckpt.guard.lr_scale, "guard lr scale"));
+    ATENA_RETURN_IF_ERROR(
+        reader.Read(&ckpt.guard.last_good_update, "guard last good update"));
+    ATENA_RETURN_IF_ERROR(
+        reader.Read(&ckpt.guard.events_logged, "guard events"));
+    if (ckpt.guard.retries_used < 0 || ckpt.guard.last_good_update < 0 ||
+        ckpt.guard.events_logged < 0 || !(ckpt.guard.lr_scale > 0.0) ||
+        !std::isfinite(ckpt.guard.lr_scale)) {
+      return reader.Fail("implausible guard state");
+    }
+    ATENA_RETURN_IF_ERROR(reader.Read(&section, "section keyword"));
+  }
+  if (section != "params") {
+    return reader.Fail("expected section 'params', got '" + section + "'");
+  }
   ATENA_RETURN_IF_ERROR(
       ParseParametersInto(params, reader.stream(), source,
                           &ckpt.param_values));

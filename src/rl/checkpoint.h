@@ -73,6 +73,13 @@ struct TrainingCheckpoint {
   int episodes = 0;
 
   std::vector<ActorCheckpoint> actors;
+
+  /// Training-guard recovery state (rl/guardrails.h). Serialized as an
+  /// optional section only when non-default — i.e. only once a guard event
+  /// has actually occurred — so checkpoints from anomaly-free runs stay
+  /// byte-identical whether guardrails were enabled or not, and older
+  /// readers' payloads stay parseable by this one.
+  GuardCheckpointState guard;
 };
 
 /// Renders the checkpoint payload (the bytes inside the checksummed frame).

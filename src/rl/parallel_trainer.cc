@@ -78,6 +78,9 @@ ParallelPpoTrainer::ParallelPpoTrainer(std::vector<EdaEnvironment*> envs,
   if (num_threads_ > 1) {
     pool_ = std::make_unique<ThreadPool>(num_threads_);
   }
+  if (options_.guardrails.enabled) {
+    guard_ = std::make_unique<TrainingGuard>(options_.guardrails);
+  }
 }
 
 TrainingResult ParallelPpoTrainer::Train() {
@@ -110,6 +113,15 @@ TrainingResult ParallelPpoTrainer::Train() {
   TrainingCheckpoint boundary;
   if (checkpointing) {
     boundary = BuildCheckpoint(actors, steps_done, updates_done);
+  }
+
+  // The guard's rollback target: the last anomaly-free update boundary,
+  // with an explicit copy of the network weights (unlike `boundary`, which
+  // reads them live at save time — useless once an update has poisoned
+  // them). Refreshed after every clean update.
+  TrainingCheckpoint last_good;
+  if (guard_) {
+    last_good = BuildGuardSnapshot(actors, steps_done, updates_done);
   }
 
   // Per-update rollout length is split evenly across the actors so the
@@ -234,22 +246,56 @@ TrainingResult ParallelPpoTrainer::Train() {
         bootstrap[pending[k]] = probes[k].value;
       }
     }
-    updater_.Update(
+    UpdateStats stats = updater_.Update(
         buffer_.ComputeGae(bootstrap, options_.gamma, options_.gae_lambda),
         &rng_);
 
+    const bool has_reward = !recent_episode_rewards_.empty();
+    const double mean_reward =
+        !has_reward ? 0.0
+                    : std::accumulate(recent_episode_rewards_.begin(),
+                                      recent_episode_rewards_.end(), 0.0) /
+                          static_cast<double>(recent_episode_rewards_.size());
+
+    // Serial post-update guard hook (DESIGN.md §10). On an anomaly the
+    // update that just ran — weights, Adam moments, Rng draws, rollout
+    // progress, everything — is undone by re-applying the last-good
+    // snapshot, the learning rate is backed off, and the loop re-collects
+    // the rollout from the rollback point with the checkpointed Rng
+    // streams (deterministically: a crash-resume from the persisted guard
+    // state replays the identical recovery).
+    if (guard_) {
+      GuardTrigger trigger =
+          guard_->Check(updates_done, stats, mean_reward, has_reward);
+      if (trigger != GuardTrigger::kNone) {
+        Status verdict =
+            guard_->OnAnomaly(trigger, updates_done, stats, mean_reward);
+        ApplyCheckpoint(last_good, &actors, &steps_done, &updates_done);
+        updater_.SetLearningRateScale(guard_->lr_scale());
+        if (checkpointing) {
+          boundary = BuildCheckpoint(actors, steps_done, updates_done);
+          WriteCheckpoint(boundary);
+        }
+        if (!verdict.ok()) {
+          result_.guard_status = verdict;
+          ATENA_LOG(kError) << "training aborted by guard: " << verdict;
+          break;
+        }
+        continue;
+      }
+    }
+
     CurvePoint point;
     point.step = steps_done;
-    point.mean_episode_reward =
-        recent_episode_rewards_.empty()
-            ? 0.0
-            : std::accumulate(recent_episode_rewards_.begin(),
-                              recent_episode_rewards_.end(), 0.0) /
-                  static_cast<double>(recent_episode_rewards_.size());
+    point.mean_episode_reward = mean_reward;
     result_.curve.push_back(point);
     if (progress_) progress_(point);
 
     ++updates_done;
+    if (guard_) {
+      guard_->NoteGoodUpdate(updates_done);
+      last_good = BuildGuardSnapshot(actors, steps_done, updates_done);
+    }
     bool saved_this_update = false;
     if (checkpointing) {
       boundary = BuildCheckpoint(actors, steps_done, updates_done);
@@ -274,7 +320,11 @@ TrainingResult ParallelPpoTrainer::Train() {
 
   result_.final_mean_reward =
       result_.curve.empty() ? 0.0 : result_.curve.back().mean_episode_reward;
-  if (result_.interrupted) return result_;
+  if (guard_) result_.guard = guard_->summary();
+  // A guard abort skips the final evaluation like an interruption does:
+  // the result carries the rolled-back (all-finite) weights' progress and
+  // the structured guard_status.
+  if (result_.interrupted || !result_.guard_status.ok()) return result_;
 
   // Final evaluation on the first actor's environment: the published
   // notebook should reflect the trained policy, so the best of
@@ -324,7 +374,58 @@ TrainingCheckpoint ParallelPpoTrainer::BuildCheckpoint(
     actor.episode_ops = actors[e].episode_ops;
     ckpt.actors.push_back(std::move(actor));
   }
+  if (guard_) ckpt.guard = guard_->checkpoint_state();
   return ckpt;
+}
+
+TrainingCheckpoint ParallelPpoTrainer::BuildGuardSnapshot(
+    const std::vector<ActorState>& actors, int steps_done,
+    int updates_done) const {
+  TrainingCheckpoint ckpt = BuildCheckpoint(actors, steps_done, updates_done);
+  const std::vector<Parameter*> params = policy_->Parameters();
+  ckpt.param_values.reserve(params.size());
+  for (const Parameter* p : params) ckpt.param_values.push_back(p->value);
+  return ckpt;
+}
+
+void ParallelPpoTrainer::ApplyCheckpoint(const TrainingCheckpoint& ckpt,
+                                         std::vector<ActorState>* actors,
+                                         int* steps_done, int* updates_done) {
+  // Commit: network weights, optimizer moments, trainer rng and progress.
+  std::vector<Parameter*> params = policy_->Parameters();
+  ATENA_CHECK(ckpt.param_values.size() == params.size())
+      << "checkpoint param count " << ckpt.param_values.size()
+      << " does not match network " << params.size();
+  for (size_t k = 0; k < params.size(); ++k) {
+    params[k]->value = ckpt.param_values[k];
+  }
+  updater_.optimizer()->SetState(ckpt.adam_step, ckpt.adam_m, ckpt.adam_v);
+  rng_.set_state(ckpt.trainer_rng);
+  result_.curve = ckpt.curve;
+  result_.best_episode_ops = ckpt.best_episode_ops;
+  result_.best_episode_reward = ckpt.best_episode_reward;
+  result_.episodes = ckpt.episodes;
+  recent_episode_rewards_ = ckpt.recent_episode_rewards;
+
+  // Rebuild each environment's mid-episode state by replaying the resolved
+  // operations of the in-flight episode. Replay goes through StepOperation,
+  // which consumes no randomness, and the env Rng stream is restored
+  // afterwards — so the next sampled filter term is exactly the one the
+  // snapshotted run would have drawn.
+  for (size_t e = 0; e < envs_.size(); ++e) {
+    ActorState& actor = (*actors)[e];
+    actor.observation = envs_[e]->Reset();
+    for (const EdaOperation& op : ckpt.actors[e].episode_ops) {
+      StepOutcome outcome = envs_[e]->StepOperation(op);
+      actor.observation = std::move(outcome.observation);
+    }
+    envs_[e]->set_rng_state(ckpt.actors[e].env_rng);
+    actor.episode_reward = ckpt.actors[e].episode_reward;
+    actor.episode_ops = ckpt.actors[e].episode_ops;
+  }
+
+  *steps_done = ckpt.steps_done;
+  *updates_done = ckpt.updates_done;
 }
 
 void ParallelPpoTrainer::WriteCheckpoint(const TrainingCheckpoint& ckpt) const {
@@ -398,38 +499,22 @@ bool ParallelPpoTrainer::TryResumeFromCheckpoint(
     }
   }
 
-  // Commit: network weights, optimizer moments, trainer rng and progress.
-  for (size_t k = 0; k < params.size(); ++k) {
-    params[k]->value = std::move(ckpt.param_values[k]);
-  }
-  updater_.optimizer()->SetState(ckpt.adam_step, std::move(ckpt.adam_m),
-                                 std::move(ckpt.adam_v));
-  rng_.set_state(ckpt.trainer_rng);
-  result_.curve = std::move(ckpt.curve);
-  result_.best_episode_ops = std::move(ckpt.best_episode_ops);
-  result_.best_episode_reward = ckpt.best_episode_reward;
-  result_.episodes = ckpt.episodes;
-  recent_episode_rewards_ = std::move(ckpt.recent_episode_rewards);
+  ApplyCheckpoint(ckpt, actors, steps_done, updates_done);
 
-  // Rebuild each environment's mid-episode state by replaying the resolved
-  // operations of the in-flight episode. Replay goes through StepOperation,
-  // which consumes no randomness, and the env Rng stream is restored
-  // afterwards — so the next sampled filter term is exactly the one the
-  // uninterrupted run would have drawn.
-  for (size_t e = 0; e < envs_.size(); ++e) {
-    ActorState& actor = (*actors)[e];
-    actor.observation = envs_[e]->Reset();
-    for (const EdaOperation& op : ckpt.actors[e].episode_ops) {
-      StepOutcome outcome = envs_[e]->StepOperation(op);
-      actor.observation = std::move(outcome.observation);
-    }
-    envs_[e]->set_rng_state(ckpt.actors[e].env_rng);
-    actor.episode_reward = ckpt.actors[e].episode_reward;
-    actor.episode_ops = std::move(ckpt.actors[e].episode_ops);
+  // Guard recovery state: a crash mid-recovery resumes with the same spent
+  // retry budget and backed-off learning rate it would have kept running
+  // with, so the recovered run is bit-identical either way.
+  if (guard_) {
+    guard_->RestoreCheckpointState(ckpt.guard, ckpt.updates_done);
+    updater_.SetLearningRateScale(guard_->lr_scale());
+  } else if (!ckpt.guard.IsDefault()) {
+    ATENA_LOG(kWarning)
+        << "checkpoint carries training-guard state (lr_scale "
+        << ckpt.guard.lr_scale << ", " << ckpt.guard.retries_used
+        << " retries used) but guardrails are disabled; continuing "
+           "unguarded at the full learning rate";
   }
 
-  *steps_done = ckpt.steps_done;
-  *updates_done = ckpt.updates_done;
   ATENA_LOG(kInfo) << "resumed from " << path << " at step "
                    << ckpt.steps_done << " (update " << ckpt.updates_done
                    << ", " << result_.episodes << " episodes)";

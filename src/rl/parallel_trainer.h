@@ -64,6 +64,23 @@ class ParallelPpoTrainer {
   TrainingCheckpoint BuildCheckpoint(const std::vector<ActorState>& actors,
                                      int steps_done, int updates_done) const;
 
+  /// BuildCheckpoint plus a copy of the live network weights into
+  /// `param_values` — the in-memory last-good snapshot the training guard
+  /// rolls back to (a disk checkpoint reads live weights at save time, so
+  /// the plain snapshot alone cannot undo a poisoned update).
+  TrainingCheckpoint BuildGuardSnapshot(const std::vector<ActorState>& actors,
+                                        int steps_done,
+                                        int updates_done) const;
+
+  /// Commits a fully validated snapshot into the trainer, policy, optimizer
+  /// and environments (replaying each actor's in-flight episode, which
+  /// consumes no randomness, then restoring the env Rng streams). Copies —
+  /// never moves — from `ckpt`, so the guard can roll back to the same
+  /// snapshot repeatedly. `ckpt.param_values` must be populated.
+  void ApplyCheckpoint(const TrainingCheckpoint& ckpt,
+                       std::vector<ActorState>* actors, int* steps_done,
+                       int* updates_done);
+
   /// Durably writes `ckpt` (rotating `<path>` + `.prev`). Failures are
   /// logged as warnings — a broken disk should not kill hours of training
   /// that may still finish in memory.
@@ -84,6 +101,10 @@ class ParallelPpoTrainer {
   Rng rng_;
   RolloutBuffer buffer_;
   PpoUpdater updater_;
+  /// Anomaly watchdog (DESIGN.md §10); null unless guardrails are enabled.
+  /// Runs serially after each update, so it never affects bit-identity
+  /// across thread counts.
+  std::unique_ptr<TrainingGuard> guard_;
   std::function<void(const CurvePoint&)> progress_;
 
   /// Resolved stepping concurrency; the pool exists only when > 1.

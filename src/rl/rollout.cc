@@ -2,9 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
+#include <utility>
 
 namespace atena {
+namespace {
+
+PpoFaultHook* FaultHook() {
+  static PpoFaultHook hook;
+  return &hook;
+}
+
+}  // namespace
+
+void SetPpoFaultInjectionHookForTesting(PpoFaultHook hook) {
+  *FaultHook() = std::move(hook);
+}
 
 void RolloutBuffer::Clear() {
   for (auto& stream : streams_) stream.clear();
@@ -50,9 +64,18 @@ PpoUpdater::PpoUpdater(Policy* policy, Options options)
                                .beta2 = 0.999,
                                .epsilon = 1e-8}) {}
 
-void PpoUpdater::Update(std::vector<Sample> samples, Rng* rng) {
+void PpoUpdater::SetLearningRateScale(double scale) {
+  optimizer_.set_learning_rate(options_.learning_rate * scale);
+}
+
+UpdateStats PpoUpdater::Update(std::vector<Sample> samples, Rng* rng) {
+  UpdateStats stats;
+  const GuardFault fault =
+      *FaultHook() ? (*FaultHook())(update_calls_) : GuardFault::kNone;
+  ++update_calls_;
+
   const size_t n = samples.size();
-  if (n == 0) return;
+  if (n == 0) return stats;
 
   // Normalize advantages across the merged batch (standard PPO practice;
   // keeps gradient scale stable across the compound reward's calibration
@@ -73,6 +96,9 @@ void PpoUpdater::Update(std::vector<Sample> samples, Rng* rng) {
       static_cast<int>(samples[0].transition->observation.size());
 
   Matrix observations;
+  double loss_policy = 0.0;
+  double loss_value = 0.0;
+  double entropy_sum = 0.0;
   for (int epoch = 0; epoch < options_.epochs_per_update; ++epoch) {
     rng->Shuffle(order);
     for (size_t start = 0; start < n;
@@ -109,13 +135,42 @@ void PpoUpdater::Update(std::vector<Sample> samples, Rng* rng) {
         g.d_entropy = -options_.entropy_coef * inv_batch;
         g.d_value = options_.value_coef * 2.0 *
                     (eval.values[b] - s.target) * inv_batch;
+        // Observation only: the losses the gradients above descend.
+        loss_policy -= std::min(ratio * s.advantage, clipped * s.advantage);
+        loss_value += (eval.values[b] - s.target) * (eval.values[b] - s.target);
+        entropy_sum += eval.entropies[b];
       }
       ZeroGradients(policy_->Parameters());
       policy_->BackwardBatch(grads);
-      ClipGradientsByNorm(policy_->Parameters(), options_.max_grad_norm);
+      if (fault == GuardFault::kInfGradient && stats.minibatches == 0 &&
+          !policy_->Parameters().empty()) {
+        policy_->Parameters()[0]->grad.data()[0] =
+            std::numeric_limits<double>::infinity();
+      }
+      GradClipResult clip =
+          ClipGradientsByNorm(policy_->Parameters(), options_.max_grad_norm);
+      if (!std::isfinite(clip.pre_clip_norm)) {
+        stats.grad_norm_max = clip.pre_clip_norm;
+      } else if (std::isfinite(stats.grad_norm_max)) {
+        stats.grad_norm_max = std::max(stats.grad_norm_max, clip.pre_clip_norm);
+      }
+      stats.nonfinite_grad_values += clip.nonfinite_count;
       optimizer_.Step(policy_->Parameters());
+      ++stats.minibatches;
     }
   }
+  const double inv_seen =
+      1.0 / (static_cast<double>(options_.epochs_per_update) *
+             static_cast<double>(n));
+  stats.policy_loss = loss_policy * inv_seen;
+  stats.value_loss = loss_value * inv_seen;
+  stats.entropy = entropy_sum * inv_seen;
+  if (fault == GuardFault::kNanLoss) {
+    stats.policy_loss = std::numeric_limits<double>::quiet_NaN();
+  } else if (fault == GuardFault::kEntropyCollapse) {
+    stats.entropy = 0.0;
+  }
+  return stats;
 }
 
 EdaNotebook RolloutNotebook(EdaEnvironment* env, Policy* policy, Rng* rng,

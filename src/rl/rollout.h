@@ -1,11 +1,14 @@
 #ifndef ATENA_RL_ROLLOUT_H_
 #define ATENA_RL_ROLLOUT_H_
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "eda/session.h"
 #include "nn/optimizer.h"
+#include "rl/guardrails.h"
 #include "rl/policy.h"
 
 namespace atena {
@@ -83,8 +86,15 @@ class PpoUpdater {
   PpoUpdater(Policy* policy, Options options);
 
   /// Runs one full PPO update over `samples`. `rng` drives the per-epoch
-  /// shuffles (and nothing else). No-op on an empty batch.
-  void Update(std::vector<Sample> samples, Rng* rng);
+  /// shuffles (and nothing else). No-op on an empty batch. The returned
+  /// statistics are pure observations of the update (rl/guardrails.h) —
+  /// computing them changes no weight, gradient or Rng byte.
+  UpdateStats Update(std::vector<Sample> samples, Rng* rng);
+
+  /// Scales the effective Adam learning rate to `scale` times the
+  /// configured Options::learning_rate. Used by training guardrails to
+  /// back off after a rollback; idempotent (absolute, not cumulative).
+  void SetLearningRateScale(double scale);
 
   /// The owned Adam optimizer — exposed so training checkpoints
   /// (rl/checkpoint.h) can capture and restore its moments/step, which a
@@ -96,7 +106,21 @@ class PpoUpdater {
   Policy* policy_;
   Options options_;
   Adam optimizer_;
+  /// Raw Update-call counter fed to the fault-injection hook. Counts
+  /// calls, not successful updates, so a retried update is a fresh index
+  /// and a persistent fault must keep injecting to keep failing.
+  int64_t update_calls_ = 0;
 };
+
+/// Fault-injection hook for guardrail tests. When set, it is consulted at
+/// the start of every PpoUpdater::Update with the raw call index (0-based,
+/// monotonic per updater) and the returned fault is injected into that
+/// update: kNanLoss poisons the reported policy loss, kInfGradient writes
+/// inf into one gradient slot before clipping (zeroing the whole step),
+/// kEntropyCollapse forces the reported mean entropy to zero. Pass an
+/// empty function to clear. Not thread-safe; tests only.
+using PpoFaultHook = std::function<GuardFault(int64_t update_call)>;
+void SetPpoFaultInjectionHookForTesting(PpoFaultHook hook);
 
 /// Runs one full episode of `policy` on `env` (Boltzmann sampling, or
 /// per-segment argmax when `greedy`), and returns the resulting notebook.

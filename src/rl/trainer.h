@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "eda/environment.h"
+#include "rl/guardrails.h"
 #include "rl/policy.h"
 
 namespace atena {
@@ -62,6 +63,13 @@ struct TrainerOptions {
   /// checkpoints (or ones for a different env/policy configuration) log a
   /// warning and start fresh.
   bool resume = false;
+
+  /// Training guardrails (rl/guardrails.h, DESIGN.md §10): anomaly
+  /// detection with automatic rollback-to-last-good, learning-rate backoff
+  /// and a bounded retry budget. Off by default (guardrails.enabled);
+  /// when enabled and no anomaly fires, training output stays
+  /// byte-identical to guardrails-off.
+  GuardrailOptions guardrails;
 };
 
 /// Cooperative interruption for long training runs. RequestTrainingStop is
@@ -97,6 +105,13 @@ struct TrainingResult {
   /// greedy evaluation pass is run); resuming from the flushed checkpoint
   /// completes the run bit-identically.
   bool interrupted = false;
+  /// OK unless the training guard exhausted its retry budget, in which
+  /// case this carries the kResourceExhausted status naming the trigger
+  /// (the weights are still rolled back to the last good update, and no
+  /// final evaluation pass is run).
+  Status guard_status;
+  /// Guardrail accounting for the run (zeroes when guardrails are off).
+  GuardrailSummary guard;
 };
 
 /// Synchronous PPO/A2C trainer over one EDA environment. Collects

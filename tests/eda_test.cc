@@ -443,6 +443,117 @@ TEST(EnvironmentTest, RewardSignalReceivesConsistentContext) {
   EXPECT_TRUE(probe.ok);
 }
 
+// --------------------------------------------------- Malformed actions
+
+// Every parameterized head, probed at and past its bound: a malformed
+// action id must take the penalized no-op path — never assert, never index
+// out of range, never consume randomness.
+TEST(EnvironmentTest, ValidateActionRejectsEveryOutOfRangeHead) {
+  Dataset d = SmallDataset();
+  EdaEnvironment env(d, SmallConfig());
+  const ActionSpace& space = env.action_space();
+
+  EnvAction ok_filter;
+  ok_filter.type = OpType::kFilter;
+  EXPECT_TRUE(env.ValidateAction(ok_filter).ok());
+  EnvAction ok_group;
+  ok_group.type = OpType::kGroup;
+  EXPECT_TRUE(env.ValidateAction(ok_group).ok());
+  EXPECT_TRUE(env.ValidateAction(EnvAction{}).ok());  // kBack
+
+  // The op-type head, exactly at its bound. (Values far outside the
+  // enum's bit range would be UB to even form, so the decoder bound is
+  // the interesting edge.)
+  EnvAction action;
+  action.type = static_cast<OpType>(space.num_op_types);
+  EXPECT_EQ(env.ValidateAction(action).code(), StatusCode::kOutOfRange);
+
+  struct HeadCase {
+    const char* name;
+    OpType type;
+    int EnvAction::*field;
+    int bound;
+  };
+  const HeadCase cases[] = {
+      {"filter column", OpType::kFilter, &EnvAction::filter_column,
+       space.num_columns},
+      {"filter operator", OpType::kFilter, &EnvAction::filter_op,
+       space.num_filter_ops},
+      {"filter bin", OpType::kFilter, &EnvAction::filter_bin,
+       space.num_term_bins},
+      {"group column", OpType::kGroup, &EnvAction::group_column,
+       space.num_columns},
+      {"agg function", OpType::kGroup, &EnvAction::agg_func,
+       space.num_agg_funcs},
+      {"agg column", OpType::kGroup, &EnvAction::agg_column,
+       space.num_columns},
+  };
+  for (const HeadCase& c : cases) {
+    SCOPED_TRACE(c.name);
+    for (int bad : {-1, c.bound, c.bound + 100}) {
+      SCOPED_TRACE(bad);
+      EnvAction probe;
+      probe.type = c.type;
+      probe.*(c.field) = bad;
+      Status status = env.ValidateAction(probe);
+      EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+      EXPECT_NE(status.message().find(c.name), std::string::npos)
+          << status.message();
+    }
+    // The head's last valid index still passes validation.
+    EnvAction valid;
+    valid.type = c.type;
+    valid.*(c.field) = c.bound - 1;
+    EXPECT_TRUE(env.ValidateAction(valid).ok());
+  }
+}
+
+TEST(EnvironmentTest, StepWithMalformedActionIsPenalizedNoOp) {
+  Dataset d = SmallDataset();
+  EdaEnvironment env(d, SmallConfig());
+  env.Reset();
+
+  EnvAction bad;
+  bad.type = OpType::kFilter;
+  bad.filter_column = env.action_space().num_columns;  // at the bound
+
+  const RngState rng_before = env.rng_state();
+  StepOutcome outcome = env.Step(bad);
+  EXPECT_FALSE(outcome.valid);
+  EXPECT_DOUBLE_EQ(outcome.reward, env.config().invalid_action_penalty);
+  EXPECT_FALSE(outcome.done);
+  EXPECT_EQ(outcome.op.type, OpType::kBack);  // recorded as a no-op
+  // Rejection happens before term sampling: zero randomness consumed, so
+  // agents emitting garbage ids cannot desynchronize a deterministic run.
+  const RngState rng_after = env.rng_state();
+  for (int w = 0; w < 4; ++w) EXPECT_EQ(rng_after.words[w], rng_before.words[w]);
+  EXPECT_EQ(rng_after.has_spare_gaussian, rng_before.has_spare_gaussian);
+  ASSERT_EQ(env.steps().size(), 1u);
+  EXPECT_FALSE(env.steps()[0].valid);
+
+  // The episode continues: a subsequent well-formed action still executes.
+  EnvAction good;
+  good.type = OpType::kGroup;
+  StepOutcome next = env.Step(good);
+  EXPECT_TRUE(next.valid);
+  EXPECT_EQ(env.steps().size(), 2u);
+}
+
+TEST(EnvironmentTest, MalformedActionsStillEndTheEpisode) {
+  Dataset d = SmallDataset();
+  EnvConfig config = SmallConfig();
+  config.episode_length = 3;
+  EdaEnvironment env(d, config);
+  env.Reset();
+  EnvAction bad;
+  bad.type = OpType::kGroup;
+  bad.agg_func = -7;
+  StepOutcome outcome;
+  for (int i = 0; i < 3; ++i) outcome = env.Step(bad);
+  EXPECT_TRUE(outcome.done);
+  EXPECT_FALSE(outcome.valid);
+}
+
 // -------------------------------------------------------------- Session
 
 TEST(SessionTest, NotebookSkipsInvalidSteps) {

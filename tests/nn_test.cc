@@ -386,8 +386,10 @@ TEST(OptimizerTest, ClipGradientsByNorm) {
   for (Parameter* p : store.All()) {
     for (double& g : p->grad.data()) g = 10.0;
   }
-  double norm_before = ClipGradientsByNorm(store.All(), 1.0);
-  EXPECT_GT(norm_before, 1.0);
+  GradClipResult clip = ClipGradientsByNorm(store.All(), 1.0);
+  EXPECT_GT(clip.pre_clip_norm, 1.0);
+  EXPECT_TRUE(clip.clipped);
+  EXPECT_EQ(clip.nonfinite_count, 0);
   double sq = 0.0;
   for (Parameter* p : store.All()) {
     for (double g : p->grad.data()) sq += g * g;
@@ -399,8 +401,10 @@ TEST(OptimizerTest, ClipGradientsZeroNormIsNoOp) {
   ParameterStore store;
   Parameter* p = store.Create("w", 2, 2);
   // All gradients zero: the norm is 0, nothing to scale, no 0/0 NaNs.
-  double norm = ClipGradientsByNorm(store.All(), 1.0);
-  EXPECT_EQ(norm, 0.0);
+  GradClipResult clip = ClipGradientsByNorm(store.All(), 1.0);
+  EXPECT_EQ(clip.pre_clip_norm, 0.0);
+  EXPECT_FALSE(clip.clipped);
+  EXPECT_EQ(clip.nonfinite_count, 0);
   for (double g : p->grad.data()) EXPECT_EQ(g, 0.0);
 }
 
@@ -411,10 +415,13 @@ TEST(OptimizerTest, ClipGradientsNonFiniteZeroesEverything) {
   for (double& g : a->grad.data()) g = 1.0;
   b->grad.data()[0] = std::numeric_limits<double>::infinity();
   b->grad.data()[1] = std::numeric_limits<double>::quiet_NaN();
-  double norm = ClipGradientsByNorm(store.All(), 1.0);
-  // The poisoned norm is reported, and every gradient — including the
-  // finite ones — is zeroed so the next optimizer step is a safe no-op.
-  EXPECT_FALSE(std::isfinite(norm));
+  GradClipResult clip = ClipGradientsByNorm(store.All(), 1.0);
+  // The poisoned norm is reported together with exactly how many gradient
+  // values were non-finite, and every gradient — including the finite
+  // ones — is zeroed so the next optimizer step is a safe no-op.
+  EXPECT_FALSE(std::isfinite(clip.pre_clip_norm));
+  EXPECT_EQ(clip.nonfinite_count, 2);
+  EXPECT_FALSE(clip.clipped);
   for (Parameter* p : store.All()) {
     for (double g : p->grad.data()) EXPECT_EQ(g, 0.0);
   }

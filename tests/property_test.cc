@@ -5,8 +5,11 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "core/twofold_policy.h"
+#include "dataframe/csv.h"
 #include "data/registry.h"
 #include "eval/metrics.h"
 #include "eval/view_signature.h"
@@ -204,6 +207,98 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PolicyInvariantTest,
                          ::testing::Values(7, 17, 27));
 
 // ----------------------------------------------- snapshot determinism
+
+// ------------------------------------------------ hostile CSV numerics
+
+// Every hostile spelling a numeric CSV cell can carry. The invariant: a
+// hostile field parses as null or flips the column to string — it must
+// never materialize as a non-finite or garbage numeric value.
+std::vector<std::string> HostileNumericFields() {
+  return {
+      "nan",
+      "NaN",
+      "-nan",
+      "inf",
+      "-inf",
+      "infinity",
+      "INF",
+      "1e999999",    // double overflow
+      "-1e999999",
+      std::string("12\0 34", 6),  // embedded NUL
+      "-",           // lone sign
+      "+",
+      "0x10",        // hex is not CSV-numeric
+      "1.2.3",
+      "--5",
+  };
+}
+
+void ExpectNoGarbageNumerics(const Table& table) {
+  for (int c = 0; c < table.num_columns(); ++c) {
+    const Column& col = *table.column(c);
+    if (col.type() == DataType::kString) continue;
+    for (int64_t r = 0; r < col.length(); ++r) {
+      if (col.IsNull(r)) continue;
+      const double v = col.type() == DataType::kInt64
+                           ? static_cast<double>(col.GetInt(r))
+                           : col.GetDouble(r);
+      EXPECT_TRUE(std::isfinite(v))
+          << "column " << col.name() << " row " << r
+          << " holds a non-finite numeric";
+    }
+  }
+}
+
+TEST(CsvHostileFieldTest, HostileCellInsideInferenceWindow) {
+  // With the hostile cell inside the inference window the column cannot be
+  // inferred numeric (ParseDouble rejects the spelling), so it degrades to
+  // a string column — lossless and never non-finite.
+  for (const std::string& hostile : HostileNumericFields()) {
+    SCOPED_TRACE(hostile);
+    const std::string csv = "x,y\n1,1.5\n" + hostile + ",2.5\n3,3.5\n";
+    auto table = ReadCsvString(csv, "hostile");
+    ASSERT_TRUE(table.ok()) << table.status();
+    ASSERT_EQ(table.value()->num_rows(), 3);
+    const Column& x = *table.value()->column(0);
+    EXPECT_EQ(x.type(), DataType::kString);
+    ExpectNoGarbageNumerics(*table.value());
+    // The clean neighbour column is unaffected.
+    EXPECT_EQ(table.value()->column(1)->type(), DataType::kFloat64);
+  }
+}
+
+TEST(CsvHostileFieldTest, HostileCellOutsideInferenceWindow) {
+  // With inference limited to the clean prefix the column is committed to
+  // float64 before the hostile cell arrives; the cell must become null,
+  // not a smuggled non-finite.
+  CsvOptions options;
+  options.inference_rows = 2;
+  for (const std::string& hostile : HostileNumericFields()) {
+    SCOPED_TRACE(hostile);
+    const std::string csv = "x\n1.5\n2.5\n" + hostile + "\n4.5\n";
+    auto table = ReadCsvString(csv, "hostile", options);
+    ASSERT_TRUE(table.ok()) << table.status();
+    const Column& x = *table.value()->column(0);
+    ASSERT_EQ(x.type(), DataType::kFloat64);
+    ASSERT_EQ(x.length(), 4);
+    EXPECT_TRUE(x.IsNull(2)) << "hostile cell must surface as null";
+    EXPECT_EQ(x.null_count(), 1);
+    ExpectNoGarbageNumerics(*table.value());
+    EXPECT_DOUBLE_EQ(x.GetDouble(3), 4.5);  // parsing resumes cleanly
+  }
+}
+
+TEST(CsvHostileFieldTest, IntOverflowDegradesToFloatNotWraparound) {
+  // 2^63 overflows int64 but is a perfectly finite double: inference must
+  // pick float64, never wrap the integer.
+  const std::string csv = "x\n1\n9223372036854775808\n3\n";
+  auto table = ReadCsvString(csv, "overflow");
+  ASSERT_TRUE(table.ok()) << table.status();
+  const Column& x = *table.value()->column(0);
+  ASSERT_EQ(x.type(), DataType::kFloat64);
+  EXPECT_DOUBLE_EQ(x.GetDouble(1), 9223372036854775808.0);
+  ExpectNoGarbageNumerics(*table.value());
+}
 
 TEST(DeterminismTest, IdenticalSeedsYieldIdenticalEpisodes) {
   auto dataset = MakeDataset("cyber3");
