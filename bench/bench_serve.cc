@@ -1,0 +1,195 @@
+// Macro-benchmark of the multi-session serving runtime (src/serve/): N
+// concurrent EDA sessions driven by one shared policy snapshot, with
+// mixed arrival/departure — sessions get staggered step budgets and every
+// retirement admits a replacement until the simulated workload is
+// exhausted, so the batch composition changes while the clock runs.
+//
+// Each config runs both acting modes: batched=1 issues one ActBatch
+// forward per tick across every live session (the point of the runtime),
+// batched=0 falls back to one forward per session per tick. The
+// batched_speedup counter is aggregate steps/sec relative to the
+// batched=0 run of the same session count (benchmarks run in
+// registration order, so the baseline always lands first). Results go to
+// BENCH_serve.json with sessions_per_sec, steps_per_sec, p50/p95/p99
+// per-step latency and the shared display cache's hit rate.
+//
+// Sessions are served without a reward signal: reward scoring is
+// per-session work whose cost is measured by bench_env, and it would only
+// dilute what this bench isolates — the serial-act/parallel-step
+// scheduler and cross-session batched inference. Per-step latency is
+// sampled per tick (every session stepped in a tick experiences that
+// tick's duration as its step latency).
+//
+// Scale overrides: ATENA_SERVE_SESSIONS adds a large run at the given
+// concurrency (e.g. 100000) on top of the registered 4/64/1024 configs;
+// ATENA_SERVE_STEPS replaces the default 12-step session budget.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench_json.h"
+#include "bench_util.h"
+#include "data/registry.h"
+#include "serve/session_manager.h"
+#include "serve/snapshot.h"
+
+namespace atena {
+namespace {
+
+constexpr uint64_t kSeedBase = 4242;
+
+int StepsPerSession() {
+  if (const char* env = std::getenv("ATENA_SERVE_STEPS")) {
+    const int steps = std::atoi(env);
+    if (steps > 0) return steps;
+  }
+  return 12;
+}
+
+/// Session step budgets are staggered so retirements (and the admissions
+/// replacing them) spread across ticks instead of emptying the runtime in
+/// one step — the mixed arrival/departure pattern the runtime exists for.
+SessionConfig SessionAt(uint64_t index, int base_steps) {
+  SessionConfig config;
+  config.seed = kSeedBase + index;
+  config.max_steps = base_steps + static_cast<int>(index % 5);
+  // Serving extracts notebooks with greedy acting (sampling is the
+  // training-time mode; its per-row-stream batching is covered by
+  // tests/serve_test.cc). Greedy also mirrors a *trained* policy's
+  // serving profile: sessions repeat each other's operation paths, so
+  // the shared cache absorbs most display work.
+  config.greedy = true;
+  return config;
+}
+
+const std::shared_ptr<const PolicySnapshot>& SharedSnapshot() {
+  static const auto* snapshot = [] {
+    SnapshotOptions options;
+    options.env.episode_length = 12;
+    options.env.num_term_bins = 8;
+    // Serving-shaped workload: a trained-policy-sized network and tightly
+    // capped per-display statistics keep the tick inference-bound — the
+    // regime cross-session batching exists for (display execution costs
+    // are measured on their own in bench_env).
+    options.env.stats_row_cap = 256;
+    return new std::shared_ptr<const PolicySnapshot>(
+        std::make_shared<PolicySnapshot>(MakeDataset("flights4").value(),
+                                         options));
+  }();
+  return *snapshot;
+}
+
+/// steps_per_sec of the batched=0 run per session count — the
+/// batched_speedup baseline.
+std::map<int, double>& BaselineStepsPerSec() {
+  static std::map<int, double> baselines;
+  return baselines;
+}
+
+void BM_ServeSessions(benchmark::State& state) {
+  const int concurrent = static_cast<int>(state.range(0));
+  const bool batched = state.range(1) != 0;
+  const int base_steps = StepsPerSession();
+  // 50% churn beyond the initial cohort.
+  const uint64_t total_sessions =
+      static_cast<uint64_t>(concurrent) + static_cast<uint64_t>(concurrent) / 2;
+
+  double measured_seconds = 0.0;
+  int64_t total_steps = 0;
+  uint64_t total_finished = 0;
+  std::vector<double> tick_seconds;
+  double hit_rate = 0.0;
+  // One manager for the whole run, like a production serving runtime:
+  // iterations drain and re-admit sessions, so after the first iteration
+  // the display cache is warm and admissions recycle pooled environments —
+  // the steady state this bench measures. Only Tick() calls are timed.
+  ServeOptions options;
+  options.batched_acting = batched;
+  SessionManager manager(SharedSnapshot(), options);
+  for (auto _ : state) {
+    uint64_t admitted = 0;
+    for (; admitted < static_cast<uint64_t>(concurrent); ++admitted) {
+      manager.Admit(SessionAt(admitted, base_steps));
+    }
+
+    double iteration_seconds = 0.0;
+    while (manager.active_sessions() > 0) {
+      const auto start = std::chrono::steady_clock::now();
+      total_steps += manager.Tick();
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      iteration_seconds += elapsed.count();
+      tick_seconds.push_back(elapsed.count());
+      // Departure → arrival: keep concurrency level until the simulated
+      // workload runs out of sessions.
+      const auto finished = manager.TakeCompleted();
+      total_finished += finished.size();
+      for (size_t f = 0; f < finished.size() && admitted < total_sessions;
+           ++f, ++admitted) {
+        manager.Admit(SessionAt(admitted, base_steps));
+      }
+    }
+    state.SetIterationTime(iteration_seconds);
+    measured_seconds += iteration_seconds;
+    hit_rate = manager.display_cache()->Snapshot().totals.hit_rate();
+  }
+
+  state.counters["concurrent_sessions"] = static_cast<double>(concurrent);
+  state.counters["cache_hit_rate"] = hit_rate;
+  state.SetItemsProcessed(total_steps);
+  const double steps_per_sec =
+      measured_seconds > 0.0
+          ? static_cast<double>(total_steps) / measured_seconds
+          : 0.0;
+  state.counters["steps_per_sec"] = steps_per_sec;
+  state.counters["sessions_per_sec"] =
+      measured_seconds > 0.0
+          ? static_cast<double>(total_finished) / measured_seconds
+          : 0.0;
+  bench::AddLatencyPercentiles(state, tick_seconds, "step_latency");
+
+  auto& baselines = BaselineStepsPerSec();
+  if (!batched) baselines[concurrent] = steps_per_sec;
+  const auto baseline = baselines.find(concurrent);
+  if (baseline != baselines.end() && baseline->second > 0.0) {
+    state.counters["batched_speedup"] = steps_per_sec / baseline->second;
+  }
+}
+BENCHMARK(BM_ServeSessions)
+    ->ArgNames({"sessions", "batched"})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace atena
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (const char* env = std::getenv("ATENA_SERVE_SESSIONS")) {
+    const long scale = std::atol(env);
+    if (scale > 0) {
+      benchmark::RegisterBenchmark("BM_ServeSessions",
+                                   atena::BM_ServeSessions)
+          ->ArgNames({"sessions", "batched"})
+          ->Args({scale, 0})
+          ->Args({scale, 1})
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  atena::bench::JsonFileReporter reporter("BENCH_serve.json");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

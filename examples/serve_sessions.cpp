@@ -1,0 +1,200 @@
+// Multi-session policy-serving demo (src/serve/): one immutable policy
+// snapshot shared by N concurrent EDA sessions, stepped in lockstep ticks
+// with one batched forward per tick (DESIGN.md §11).
+//
+//   ./serve_sessions [--sessions N] [--threads T] [--ckpt PATH]
+//                    [--dataset ID] [--steps S] [--greedy]
+//
+//   --sessions N   concurrent sessions to keep admitted (default 16)
+//   --threads T    environment-stepping worker threads (default: cores)
+//   --ckpt PATH    trained weights: a bare ATENA-NN parameter file or a
+//                  full ATENA-CKPT training checkpoint. Without it, the
+//                  demo serves a freshly initialized (untrained) policy.
+//   --dataset ID   registry dataset to explore (default flights4)
+//   --steps S      environment steps per session (default 24 — two
+//                  episodes at the default episode length of 12)
+//   --total M      total sessions to serve before exiting (default
+//                  4 x sessions; 0 = keep serving until Ctrl-C)
+//   --greedy       argmax acting instead of Boltzmann sampling
+//
+// SIGINT (Ctrl-C) triggers a graceful drain: no new sessions are admitted,
+// in-flight sessions finish their remaining steps, then the runtime
+// reports totals and exits. A second SIGINT exits immediately.
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "data/registry.h"
+#include "serve/session_manager.h"
+#include "serve/snapshot.h"
+
+namespace {
+
+// Written by the signal handler, polled between ticks by the serving loop.
+volatile std::sig_atomic_t g_drain_requested = 0;
+
+void HandleSigint(int) {
+  if (g_drain_requested) std::_Exit(130);  // Second Ctrl-C: hard exit.
+  g_drain_requested = 1;
+}
+
+struct Args {
+  int sessions = 16;
+  int threads = 0;
+  int steps = 24;
+  long total = -1;  // -1 = default (4 x sessions); 0 = until Ctrl-C.
+  bool greedy = false;
+  std::string ckpt;
+  std::string dataset = "flights4";
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--sessions") {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) <= 0) return false;
+      args->sessions = std::atoi(v);
+    } else if (flag == "--threads") {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) <= 0) return false;
+      args->threads = std::atoi(v);
+    } else if (flag == "--steps") {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) <= 0) return false;
+      args->steps = std::atoi(v);
+    } else if (flag == "--total") {
+      const char* v = next();
+      if (v == nullptr || std::atol(v) < 0) return false;
+      args->total = std::atol(v);
+    } else if (flag == "--ckpt") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->ckpt = v;
+    } else if (flag == "--dataset") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->dataset = v;
+    } else if (flag == "--greedy") {
+      args->greedy = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace atena;
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    std::fprintf(stderr,
+                 "usage: %s [--sessions N] [--threads T] [--ckpt PATH] "
+                 "[--dataset ID] [--steps S] [--greedy]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  auto dataset = MakeDataset(args.dataset);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "unknown dataset '%s': %s\n", args.dataset.c_str(),
+                 dataset.status().message().c_str());
+    return 1;
+  }
+
+  SnapshotOptions options;
+  std::shared_ptr<const PolicySnapshot> snapshot;
+  if (!args.ckpt.empty()) {
+    auto loaded =
+        LoadPolicySnapshot(std::move(dataset).value(), options, args.ckpt);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load '%s': %s\n", args.ckpt.c_str(),
+                   loaded.status().message().c_str());
+      return 1;
+    }
+    snapshot = std::move(loaded).value();
+    std::printf("serving trained policy from %s\n", args.ckpt.c_str());
+  } else {
+    snapshot = std::make_shared<PolicySnapshot>(std::move(dataset).value(),
+                                                options);
+    std::printf(
+        "serving a freshly initialized policy (pass --ckpt for trained "
+        "weights)\n");
+  }
+
+  std::signal(SIGINT, HandleSigint);
+
+  ServeOptions serve_options;
+  serve_options.num_threads = args.threads;
+  SessionManager manager(snapshot, serve_options);
+
+  const uint64_t total_sessions =
+      args.total < 0 ? static_cast<uint64_t>(args.sessions) * 4
+                     : static_cast<uint64_t>(args.total);
+  uint64_t admitted = 0;
+  auto admit_one = [&]() {
+    SessionConfig config;
+    config.seed = 1000 + admitted;
+    config.max_steps = args.steps;
+    config.greedy = args.greedy;
+    manager.Admit(config);
+    ++admitted;
+  };
+  auto may_admit = [&]() {
+    return total_sessions == 0 || admitted < total_sessions;
+  };
+  for (int i = 0; i < args.sessions && may_admit(); ++i) admit_one();
+
+  std::printf(
+      "%d concurrent sessions on %s, %d steps each — Ctrl-C drains "
+      "gracefully\n",
+      args.sessions, args.dataset.c_str(), args.steps);
+
+  uint64_t finished = 0;
+  double total_reward = 0.0;
+  while (manager.active_sessions() > 0) {
+    manager.Tick();
+    for (const SessionTrace& trace : manager.TakeCompleted()) {
+      ++finished;
+      total_reward += trace.total_reward;
+      if (finished <= 3) {
+        std::printf("session %llu (seed %llu): %zu steps, reward %.3f\n",
+                    static_cast<unsigned long long>(trace.id),
+                    static_cast<unsigned long long>(trace.seed),
+                    trace.steps.size(), trace.total_reward);
+      } else if (finished == 4) {
+        std::printf("...\n");
+      }
+      // Steady state: every departure admits a replacement — until the
+      // workload is exhausted or a drain is requested, after which
+      // in-flight sessions just finish.
+      if (!g_drain_requested && may_admit()) admit_one();
+    }
+    if (g_drain_requested && manager.active_sessions() > 0) {
+      static bool announced = false;
+      if (!announced) {
+        announced = true;
+        std::printf("\ndraining %d in-flight sessions...\n",
+                    manager.active_sessions());
+      }
+    }
+  }
+
+  const auto cache_stats = manager.display_cache()->Snapshot();
+  std::printf(
+      "\nserved %llu sessions (%lld steps total), cache hit rate %.3f\n",
+      static_cast<unsigned long long>(finished),
+      static_cast<long long>(manager.steps_served()),
+      cache_stats.totals.hit_rate());
+  return 0;
+}

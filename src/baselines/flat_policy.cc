@@ -176,6 +176,25 @@ std::vector<PolicyStep> FlatPolicy::ActBatch(const Matrix& observations,
   return steps;
 }
 
+std::vector<PolicyStep> FlatPolicy::ActBatch(const Matrix& observations,
+                                             const std::vector<Rng*>& rngs) {
+  ATENA_CHECK(static_cast<int>(rngs.size()) == observations.rows())
+      << "ActBatch needs one Rng slot per observation row ("
+      << rngs.size() << " vs " << observations.rows() << ")";
+  // One forward pass; each row samples from its own stream (null = greedy),
+  // so a row's step is independent of the batch composition (src/serve/).
+  const Matrix* values = ForwardGraph(observations);
+  std::vector<PolicyStep> steps;
+  steps.reserve(static_cast<size_t>(observations.rows()));
+  for (int r = 0; r < observations.rows(); ++r) {
+    steps.push_back(StepFromRow(probs_buf_.RowPtr(r), (*values)(r, 0),
+                                rngs[static_cast<size_t>(r)]));
+    // Per the overload's contract, entropy is not part of the result.
+    steps.back().entropy = 0.0;
+  }
+  return steps;
+}
+
 BatchEvaluation FlatPolicy::ForwardBatch(
     const Matrix& observations, const std::vector<ActionRecord>& actions) {
   const int batch = observations.rows();
@@ -242,5 +261,11 @@ void FlatPolicy::BackwardBatch(const std::vector<SampleGrad>& grads) {
 }
 
 std::vector<Parameter*> FlatPolicy::Parameters() { return store_.All(); }
+
+void FlatPolicy::PrepareForServing() {
+  trunk_->PrepareForServing();
+  policy_head_->PrepareForServing();
+  value_head_->PrepareForServing();
+}
 
 }  // namespace atena

@@ -44,11 +44,14 @@ class FlatPolicy final : public Policy {
   PolicyStep ActGreedy(const std::vector<double>& observation) override;
   std::vector<PolicyStep> ActBatch(const Matrix& observations,
                                    Rng* rng) override;
+  std::vector<PolicyStep> ActBatch(const Matrix& observations,
+                                   const std::vector<Rng*>& rngs) override;
   BatchEvaluation ForwardBatch(
       const Matrix& observations,
       const std::vector<ActionRecord>& actions) override;
   void BackwardBatch(const std::vector<SampleGrad>& grads) override;
   std::vector<Parameter*> Parameters() override;
+  void PrepareForServing() override;
 
   /// All learnable tensors of the policy (for checkpointing).
   const ParameterStore& parameter_store() const { return store_; }

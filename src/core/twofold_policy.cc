@@ -205,6 +205,73 @@ PolicyStep TwofoldPolicy::StepFromRow(const double* logits, double value,
   return step;
 }
 
+PolicyStep TwofoldPolicy::ServeStepFromRow(const double* logits, double value,
+                                           Rng* rng) const {
+  // Unused segments stay 0 — ActionLogProb only reads the chosen ones.
+  SegmentProbs probs;
+  probs.probs.assign(static_cast<size_t>(total_nodes_), 0.0);
+  // Bit-identical to the matching slice of ComputeProbs: same max shift,
+  // same exp/accumulate/divide order.
+  auto softmax_segment = [&](int segment) {
+    const int begin = segment_offsets_[segment];
+    const int end = begin + segment_sizes_[segment];
+    double max_logit = logits[begin];
+    for (int j = begin; j < end; ++j) {
+      max_logit = std::max(max_logit, logits[j]);
+    }
+    double total = 0.0;
+    for (int j = begin; j < end; ++j) {
+      probs.probs[j] = std::exp(logits[j] - max_logit);
+      total += probs.probs[j];
+    }
+    for (int j = begin; j < end; ++j) probs.probs[j] /= total;
+  };
+  auto pick = [&](int segment) {
+    const double* p = probs.probs.data() + segment_offsets_[segment];
+    const int n = segment_sizes_[segment];
+    return rng == nullptr ? ArgmaxProbs(p, n) : SampleFromProbs(p, n, rng);
+  };
+
+  EnvAction action;
+  softmax_segment(0);
+  const int op = pick(0);
+  action.type = static_cast<OpType>(op);
+  for (int s : OpSegments(op)) {
+    softmax_segment(s);
+    const int k = pick(s);
+    switch (s) {
+      case 1:
+        action.filter_column = k;
+        break;
+      case 2:
+        action.filter_op = k;
+        break;
+      case 3:
+        action.filter_bin = k;
+        break;
+      case 4:
+        action.group_column = k;
+        break;
+      case 5:
+        action.agg_func = k;
+        break;
+      case 6:
+        action.agg_column = k;
+        break;
+      default:
+        break;
+    }
+  }
+
+  PolicyStep step;
+  step.action.structured = action;
+  step.action.is_concrete = false;
+  step.log_prob = ActionLogProb(probs, action);
+  step.entropy = 0.0;
+  step.value = value;
+  return step;
+}
+
 PolicyStep TwofoldPolicy::MakeStep(const std::vector<double>& observation,
                                    Rng* rng) {
   Matrix obs = Matrix::FromRow(observation);
@@ -231,6 +298,27 @@ std::vector<PolicyStep> TwofoldPolicy::ActBatch(const Matrix& observations,
   for (int r = 0; r < observations.rows(); ++r) {
     steps.push_back(
         StepFromRow(out.logits->RowPtr(r), (*out.values)(r, 0), rng));
+  }
+  return steps;
+}
+
+std::vector<PolicyStep> TwofoldPolicy::ActBatch(const Matrix& observations,
+                                                const std::vector<Rng*>& rngs) {
+  ATENA_CHECK(static_cast<int>(rngs.size()) == observations.rows())
+      << "ActBatch needs one Rng slot per observation row ("
+      << rngs.size() << " vs " << observations.rows() << ")";
+  // One forward pass for all sessions; each row is then sampled from its
+  // own private stream (null = greedy), so a row's action, log_prob and
+  // value are bit-identical to a per-sample Act regardless of which other
+  // rows share the batch — the cross-session batched-serving contract
+  // (src/serve/). Entropy is skipped per the overload's contract.
+  GraphOutputs out = ForwardGraph(observations);
+  std::vector<PolicyStep> steps;
+  steps.reserve(static_cast<size_t>(observations.rows()));
+  for (int r = 0; r < observations.rows(); ++r) {
+    steps.push_back(ServeStepFromRow(out.logits->RowPtr(r),
+                                     (*out.values)(r, 0),
+                                     rngs[static_cast<size_t>(r)]));
   }
   return steps;
 }
@@ -340,5 +428,11 @@ void TwofoldPolicy::BackwardBatch(const std::vector<SampleGrad>& grads) {
 }
 
 std::vector<Parameter*> TwofoldPolicy::Parameters() { return store_.All(); }
+
+void TwofoldPolicy::PrepareForServing() {
+  trunk_->PrepareForServing();
+  policy_head_->PrepareForServing();
+  value_head_->PrepareForServing();
+}
 
 }  // namespace atena

@@ -48,11 +48,14 @@ class TwofoldPolicy final : public Policy {
   PolicyStep ActGreedy(const std::vector<double>& observation) override;
   std::vector<PolicyStep> ActBatch(const Matrix& observations,
                                    Rng* rng) override;
+  std::vector<PolicyStep> ActBatch(const Matrix& observations,
+                                   const std::vector<Rng*>& rngs) override;
   BatchEvaluation ForwardBatch(
       const Matrix& observations,
       const std::vector<ActionRecord>& actions) override;
   void BackwardBatch(const std::vector<SampleGrad>& grads) override;
   std::vector<Parameter*> Parameters() override;
+  void PrepareForServing() override;
 
   /// Width of the pre-output layer: |OP| + Σ_p |V(p)| (paper §5).
   int pre_output_width() const { return total_nodes_; }
@@ -99,6 +102,16 @@ class TwofoldPolicy final : public Policy {
   /// Samples (or argmaxes, when `rng` is null) one PolicyStep from a
   /// logits row and its critic value.
   PolicyStep StepFromRow(const double* logits, double value, Rng* rng) const;
+
+  /// Serving-lean StepFromRow: softmaxes only the op segment plus the
+  /// chosen operation's parameter segments (segments are independent, so
+  /// the values — and hence the action, log_prob and value — are
+  /// bit-identical to the full pass) and skips the joint entropy, the
+  /// training-only exploration diagnostic (reported as 0). Roughly halves
+  /// the exp count and drops ~60 log calls per action, which is most of
+  /// the per-row cost left after the batched forward.
+  PolicyStep ServeStepFromRow(const double* logits, double value,
+                              Rng* rng) const;
 
   PolicyStep MakeStep(const std::vector<double>& observation, Rng* rng);
 

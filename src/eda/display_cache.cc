@@ -46,10 +46,10 @@ std::shared_ptr<const void> DisplayCache::Get(uint64_t key) {
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    ++shard.misses;
     return nullptr;
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  ++shard.hits;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
   return it->second.value;
 }
@@ -69,7 +69,7 @@ void DisplayCache::Put(uint64_t key, std::shared_ptr<const void> value) {
   while (shard.entries.size() > per_shard_capacity_) {
     shard.entries.erase(shard.lru.back());
     shard.lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    ++shard.evictions;
   }
 }
 
@@ -122,14 +122,35 @@ void DisplayCache::Clear() {
 
 DisplayCacheStats DisplayCache::stats() const {
   DisplayCacheStats stats;
-  stats.hits = hits_.load(std::memory_order_relaxed);
-  stats.misses = misses_.load(std::memory_order_relaxed);
-  stats.evictions = evictions_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.evictions += shard->evictions;
     stats.entries += shard->entries.size();
   }
   return stats;
+}
+
+DisplayCacheSnapshot DisplayCache::Snapshot() const {
+  // Acquire every shard lock (index order — the only multi-lock site, so
+  // the ordering can never deadlock against single-shard Get/Put) and only
+  // then read, so all counters describe one instant.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    locks.emplace_back(shard->mutex);
+  }
+  DisplayCacheSnapshot snapshot;
+  snapshot.shard_entries.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    snapshot.totals.hits += shard->hits;
+    snapshot.totals.misses += shard->misses;
+    snapshot.totals.evictions += shard->evictions;
+    snapshot.totals.entries += shard->entries.size();
+    snapshot.shard_entries.push_back(shard->entries.size());
+  }
+  return snapshot;
 }
 
 uint64_t RootRowsSignature(const Table& table) {

@@ -1,7 +1,6 @@
 #ifndef ATENA_EDA_DISPLAY_CACHE_H_
 #define ATENA_EDA_DISPLAY_CACHE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -28,6 +27,16 @@ struct DisplayCacheStats {
                         : static_cast<double>(hits) /
                               static_cast<double>(lookups);
   }
+};
+
+/// A single consistent observation of a DisplayCache: the totals plus the
+/// per-shard resident entry counts, all read at one instant (every shard
+/// lock held simultaneously). Unlike polling stats() fields across separate
+/// loads, a snapshot's hit rate and occupancy always describe the same
+/// moment — what bench_serve and the serving example report.
+struct DisplayCacheSnapshot {
+  DisplayCacheStats totals;
+  std::vector<uint64_t> shard_entries;
 };
 
 /// Thread-safe sharded LRU memoization cache for display execution.
@@ -74,7 +83,18 @@ class DisplayCache {
   void PutVector(uint64_t key, std::shared_ptr<const std::vector<double>> vec);
 
   void Clear();
+
+  /// Aggregated counters. Each shard's contribution is internally
+  /// consistent (read under its lock), but shards are visited one after
+  /// another, so totals may mix instants under concurrent load. Exact once
+  /// the writers have quiesced.
   DisplayCacheStats stats() const;
+
+  /// One consistent observation of the whole cache: all shard locks are
+  /// acquired (in index order) before anything is read, so the returned
+  /// hit rate, totals and per-shard occupancy describe a single instant —
+  /// no torn multi-counter reads even while other threads keep serving.
+  DisplayCacheSnapshot Snapshot() const;
 
  private:
   struct Entry {
@@ -86,6 +106,12 @@ class DisplayCache {
     std::unordered_map<uint64_t, Entry> entries;
     /// Most-recently-used front; evictions pop the back.
     std::list<uint64_t> lru;
+    // Per-shard counters, guarded by `mutex` (updated while it is already
+    // held by Get/Put, so they cost no extra synchronization and a reader
+    // holding the lock sees hit/miss/occupancy move together).
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
   };
 
   Shard& ShardFor(uint64_t key) {
@@ -96,9 +122,6 @@ class DisplayCache {
 
   size_t per_shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> evictions_{0};
 };
 
 /// Canonical operation-path signatures. All are pure functions of the

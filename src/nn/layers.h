@@ -69,6 +69,14 @@ class Layer {
 
   /// Learnable parameters (may be empty).
   virtual std::vector<Parameter*> Parameters() const { return {}; }
+
+  /// Declares the layer's parameters frozen and lets it precompute
+  /// inference-only caches (Dense caches Wᵀ so batched forwards can use the
+  /// register-tiled straight-GEMM kernel). The caller promises parameters
+  /// will not change afterwards; Backward through a frozen layer is a fatal
+  /// error. Safe to call again after a deliberate parameter mutation (e.g.
+  /// a checkpoint load) to rebuild the caches.
+  virtual void PrepareForServing() {}
 };
 
 /// Fully-connected layer out = in·Wᵀ + b. Weights use He initialization
@@ -84,6 +92,7 @@ class Dense final : public Layer {
   std::vector<Parameter*> Parameters() const override {
     return {weight_, bias_};
   }
+  void PrepareForServing() override;
 
   int in_features() const { return weight_->value.cols(); }
   int out_features() const { return weight_->value.rows(); }
@@ -91,6 +100,12 @@ class Dense final : public Layer {
  private:
   Parameter* weight_;  // (out × in)
   Parameter* bias_;    // (1 × out)
+  // Wᵀ (in × out), cached by PrepareForServing so multi-row forwards can
+  // run the tiled MatMulInto kernel instead of per-output dot products.
+  // Bit-identical results either way: both kernels accumulate each output
+  // element over k in ascending order. Empty until frozen.
+  Matrix weight_t_;
+  bool serving_frozen_ = false;
 };
 
 /// Rectified linear unit.
@@ -117,6 +132,7 @@ class Sequential final : public Layer {
   const Matrix& Forward(const Matrix& input, Workspace* ws) const override;
   Matrix Backward(const Matrix& grad_output, Workspace* ws) const override;
   std::vector<Parameter*> Parameters() const override;
+  void PrepareForServing() override;
 
   size_t num_layers() const { return layers_.size(); }
 

@@ -65,6 +65,9 @@ Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
 void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out);
 void MatMulTransposeBInto(const Matrix& a, const Matrix& b, Matrix* out);
 
+/// out = mᵀ, resizing `out` to (cols × rows) and reusing its buffer.
+void TransposeInto(const Matrix& m, Matrix* out);
+
 /// Adds `bias` (1×c) to every row of `m` in place.
 void AddRowVectorInPlace(Matrix* m, const Matrix& bias);
 /// Column sums of `m` as a (1×c) matrix.

@@ -455,4 +455,68 @@ Status LoadTrainingCheckpoint(const std::string& path,
                          fallback.ToString() + ")");
 }
 
+bool OpExecutableOn(const Table& table, const EdaOperation& op) {
+  const int num_cols = table.num_columns();
+  switch (op.type) {
+    case OpType::kBack:
+      return true;
+    case OpType::kFilter:
+      return op.filter.column >= 0 && op.filter.column < num_cols;
+    case OpType::kGroup:
+      return op.group.group_column >= 0 && op.group.group_column < num_cols &&
+             op.group.agg_column >= -1 && op.group.agg_column < num_cols;
+  }
+  return false;
+}
+
+Status LoadPolicyParameters(const std::string& path,
+                            const std::vector<Parameter*>& params) {
+  std::string text;
+  const Status read = ReadFileToString(path, &text);
+  if (read.ok() && text.rfind("ATENA-NN", 0) == 0) {
+    std::istringstream in(text);
+    std::vector<Matrix> staged;
+    Status parsed = ParseParametersInto(params, in, path, &staged);
+    if (!parsed.ok()) {
+      if (parsed.code() == StatusCode::kFailedPrecondition) {
+        // Architecture mismatch: the container was trained with a network
+        // this policy was not constructed as. Keep the shape detail and
+        // say what to fix.
+        return Status::FailedPrecondition(
+            "'" + path + "': " + parsed.message() +
+            " — the policy must be constructed with the hidden sizes and "
+            "dataset schema the container was trained with");
+      }
+      return parsed;
+    }
+    for (size_t k = 0; k < staged.size(); ++k) {
+      params[k]->value = std::move(staged[k]);
+    }
+    return Status::OK();
+  }
+
+  // Anything else is treated as an ATENA-CKPT container; the loader
+  // recovers from `<path>.prev` when the primary is corrupt, and its
+  // decoder validates the embedded parameter block against `params`.
+  const bool looks_like_ckpt =
+      read.ok() && text.rfind("ATENA-CKPT", 0) == 0;
+  TrainingCheckpoint ckpt;
+  Status loaded = LoadTrainingCheckpoint(path, params, &ckpt);
+  if (!loaded.ok()) {
+    if (!looks_like_ckpt) {
+      return Status::InvalidArgument(
+          "'" + path + "' is neither an ATENA-NN parameter file nor an "
+          "ATENA-CKPT training checkpoint: " +
+          (read.ok() ? loaded.ToString() : read.ToString()));
+    }
+    return loaded;
+  }
+  // ParseParametersInto (inside the decoder) guarantees one staged matrix
+  // per network parameter, already shape-checked.
+  for (size_t k = 0; k < params.size(); ++k) {
+    params[k]->value = std::move(ckpt.param_values[k]);
+  }
+  return Status::OK();
+}
+
 }  // namespace atena

@@ -128,6 +128,29 @@ Status LoadTrainingCheckpoint(const std::string& path,
                               TrainingCheckpoint* out,
                               CheckpointLoadInfo* info = nullptr);
 
+/// True when `op` only references columns that exist in `table` — the one
+/// structural property executing a container-sourced operation relies on
+/// (enum ranges are already validated by the payload decoder). Checkpoint
+/// resume and the serving snapshot loader use it to reject — instead of
+/// execute — operations from a container recorded against a different
+/// schema, which would otherwise index columns out of bounds.
+bool OpExecutableOn(const Table& table, const EdaOperation& op);
+
+/// Loads ONLY the network weights from `path` into `params`, accepting
+/// either container this project writes:
+///  - a bare ATENA-NN v1/v2 parameter file (nn/serialization.h), or
+///  - a full ATENA-CKPT v1 training checkpoint, whose embedded parameter
+///    block is used (with the same `.prev` fallback as
+///    LoadTrainingCheckpoint when the primary is corrupt).
+/// The container's architecture is validated against the constructed
+/// network (parameter count, names, shapes): a policy built with different
+/// hidden sizes or over a different dataset schema fails with a
+/// descriptive Status naming the first mismatch — never undefined
+/// behavior — and `params` is untouched on any failure. This is the
+/// serving runtime's load path (src/serve/snapshot.h).
+Status LoadPolicyParameters(const std::string& path,
+                            const std::vector<Parameter*>& params);
+
 }  // namespace atena
 
 #endif  // ATENA_RL_CHECKPOINT_H_

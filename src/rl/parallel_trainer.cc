@@ -10,23 +10,6 @@ namespace atena {
 
 namespace {
 
-/// True when `op` only references columns that exist in `table` — the one
-/// structural property replaying a checkpointed episode relies on. (Enum
-/// ranges are already validated by the checkpoint decoder.)
-bool OpExecutableOn(const Table& table, const EdaOperation& op) {
-  const int num_cols = table.num_columns();
-  switch (op.type) {
-    case OpType::kBack:
-      return true;
-    case OpType::kFilter:
-      return op.filter.column >= 0 && op.filter.column < num_cols;
-    case OpType::kGroup:
-      return op.group.group_column >= 0 && op.group.group_column < num_cols &&
-             op.group.agg_column >= -1 && op.group.agg_column < num_cols;
-  }
-  return false;
-}
-
 PpoUpdater::Options UpdaterOptions(const TrainerOptions& options) {
   PpoUpdater::Options out;
   out.minibatch_size = options.minibatch_size;
@@ -496,6 +479,17 @@ bool ParallelPpoTrainer::TryResumeFromCheckpoint(
                                "dataset schema";
         return false;
       }
+    }
+  }
+  // The best-episode record is replayed too (RunAtena turns it into the
+  // published notebook), so its operations face the same schema check as
+  // the in-flight episodes — a container recorded against a different
+  // dataset must be rejected here, not crash inside a replay.
+  for (const EdaOperation& op : ckpt.best_episode_ops) {
+    if (!OpExecutableOn(envs_[0]->table(), op)) {
+      ATENA_LOG(kWarning) << "resume failed, starting fresh: best episode "
+                             "references a column outside the dataset schema";
+      return false;
     }
   }
 

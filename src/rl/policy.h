@@ -69,6 +69,23 @@ class Policy {
   virtual std::vector<PolicyStep> ActBatch(const Matrix& observations,
                                            Rng* rng);
 
+  /// Acts on a batch of observations where every row owns its own Rng
+  /// stream: row i consumes `rngs[i]` exactly as a per-sample Act on row i
+  /// would (a null entry selects the greedy action for that row). Because
+  /// no row ever touches another row's stream, a row's action, log_prob
+  /// and value are independent of the batch composition — the same
+  /// observation + Rng state yields bit-identical results whether the row
+  /// is batched with thousands of others or evaluated alone. Entropy, a
+  /// training-only exploration diagnostic nothing on the serving path
+  /// consumes, is NOT computed by this overload and reported as 0. This is
+  /// the primitive behind cross-session batched serving (src/serve/): one
+  /// forward pass amortized over many concurrent sessions, each with a
+  /// private stream. `rngs.size()` must equal `observations.rows()`.
+  /// Network-backed policies override this with a single batched forward
+  /// pass; the base implementation loops per sample.
+  virtual std::vector<PolicyStep> ActBatch(const Matrix& observations,
+                                           const std::vector<Rng*>& rngs);
+
   /// Forward pass over a batch; caches activations for BackwardBatch.
   /// `actions[i]` must have been produced by this policy type.
   virtual BatchEvaluation ForwardBatch(
@@ -80,6 +97,11 @@ class Policy {
   virtual void BackwardBatch(const std::vector<SampleGrad>& grads) = 0;
 
   virtual std::vector<Parameter*> Parameters() = 0;
+
+  /// Declares the parameters frozen and precomputes inference-only caches
+  /// (see Layer::PrepareForServing). Serving snapshots call this once after
+  /// loading weights; attempting to train a frozen policy is a fatal error.
+  virtual void PrepareForServing() {}
 
   /// Number of scalar parameters (for reporting network sizes, paper §5's
   /// pre-output vs flat output comparison).

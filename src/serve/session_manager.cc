@@ -1,0 +1,203 @@
+#include "serve/session_manager.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "rl/policy.h"
+
+namespace atena {
+
+uint64_t ActingStreamSeed(uint64_t session_seed) {
+  // Any fixed non-zero salt works: SplitMix64 seeding decorrelates the
+  // resulting stream from the environment's (seeded with the raw value).
+  return session_seed ^ 0xA3EC4155D1E5ULL;
+}
+
+namespace {
+
+int EffectiveMaxSteps(const SessionConfig& config, const EnvConfig& env) {
+  return config.max_steps > 0 ? config.max_steps : env.episode_length;
+}
+
+ServedStep RecordStep(const StepOutcome& out, const EdaEnvironment& env) {
+  return ServedStep{out.op, out.valid, out.reward,
+                    DisplayVectorKey(env.current_display(),
+                                     env.config().stats_row_cap)};
+}
+
+}  // namespace
+
+SessionManager::SessionManager(std::shared_ptr<const PolicySnapshot> snapshot,
+                               ServeOptions options)
+    : snapshot_(std::move(snapshot)), options_(std::move(options)) {
+  if (options_.cache_capacity > 0) {
+    cache_ = std::make_shared<DisplayCache>(DisplayCache::Options{
+        options_.cache_capacity, options_.cache_shards});
+  }
+  const int threads =
+      options_.num_threads > 0
+          ? options_.num_threads
+          : ThreadPool::DefaultThreads(std::numeric_limits<int>::max());
+  pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+SessionManager::~SessionManager() = default;
+
+std::unique_ptr<EdaEnvironment> SessionManager::AcquireEnv(uint64_t seed) {
+  if (!env_pool_.empty()) {
+    std::unique_ptr<EdaEnvironment> env = std::move(env_pool_.back());
+    env_pool_.pop_back();
+    // Reseeding the term stream (plus the Reset in Admit) makes a recycled
+    // environment observationally identical to a freshly constructed one;
+    // the expensive dataset-derived state (distinct-value ratios, encoder
+    // layout) depends only on the dataset and carries over untouched.
+    env->set_rng_state(Rng(seed).state());
+    return env;
+  }
+  EnvConfig config = snapshot_->options().env;
+  config.seed = seed;
+  // All sessions share the manager's cache, injected in Admit.
+  config.display_cache_enabled = false;
+  return std::make_unique<EdaEnvironment>(snapshot_->dataset(), config);
+}
+
+uint64_t SessionManager::Admit(const SessionConfig& config) {
+  auto session = std::make_unique<Session>();
+  session->id = next_id_++;
+  session->config = config;
+  session->effective_max_steps =
+      EffectiveMaxSteps(config, snapshot_->options().env);
+  session->env = AcquireEnv(config.seed);
+  session->env->SetDisplayCache(cache_);
+  if (options_.reward_factory) {
+    session->reward = options_.reward_factory();
+  }
+  session->env->SetRewardSignal(session->reward.get());
+  session->act_rng = Rng(ActingStreamSeed(config.seed));
+  session->observation = session->env->Reset();
+  session->trace.id = session->id;
+  session->trace.seed = config.seed;
+  session->trace.steps.reserve(
+      static_cast<size_t>(session->effective_max_steps));
+  const uint64_t id = session->id;
+  sessions_.push_back(std::move(session));
+  return id;
+}
+
+int SessionManager::Tick() {
+  const int live = static_cast<int>(sessions_.size());
+  if (live == 0) return 0;
+  TwofoldPolicy* policy = snapshot_->policy();
+
+  // 1. Serial act: one batched forward over every live session, each row
+  // drawing from its session's private stream (or none when greedy).
+  std::vector<PolicyStep> acts;
+  if (options_.batched_acting) {
+    // Pad the batch up to the forward pass's 4-row register-tile width so a
+    // draining runtime (1–3 live sessions) keeps the tiled GEMM instead of
+    // falling back to per-row dot products. GEMM rows are independent, and
+    // a padded row carries a null Rng, so live rows' results are
+    // bit-identical with or without padding; padded outputs are dropped.
+    constexpr int kTileRows = 4;
+    const int rows = std::max(live, kTileRows);
+    obs_batch_.Resize(rows, snapshot_->observation_dim());
+    rngs_.assign(static_cast<size_t>(rows), nullptr);
+    for (int i = 0; i < live; ++i) {
+      Session& s = *sessions_[static_cast<size_t>(i)];
+      std::copy(s.observation.begin(), s.observation.end(),
+                obs_batch_.RowPtr(i));
+      if (!s.config.greedy) rngs_[static_cast<size_t>(i)] = &s.act_rng;
+    }
+    for (int i = live; i < rows; ++i) {
+      std::copy(obs_batch_.RowPtr(0),
+                obs_batch_.RowPtr(0) + obs_batch_.cols(), obs_batch_.RowPtr(i));
+    }
+    acts = policy->ActBatch(obs_batch_, rngs_);
+    acts.resize(static_cast<size_t>(live));
+  } else {
+    // Baseline path: one forward per session (what bench_serve compares
+    // the batched path against).
+    acts.reserve(static_cast<size_t>(live));
+    for (int i = 0; i < live; ++i) {
+      Session& s = *sessions_[static_cast<size_t>(i)];
+      acts.push_back(s.config.greedy ? policy->ActGreedy(s.observation)
+                                     : policy->Act(s.observation, &s.act_rng));
+    }
+  }
+
+  // 2. Parallel step: index-addressed slots; a worker touches only its
+  // session's environment plus the internally synchronized cache.
+  outcomes_.resize(static_cast<size_t>(live));
+  pool_->ParallelFor(live, [&](int i) {
+    outcomes_[static_cast<size_t>(i)] =
+        ApplyAction(sessions_[static_cast<size_t>(i)]->env.get(),
+                    acts[static_cast<size_t>(i)].action);
+  });
+
+  // 3. Serial commit in admission order: record, retire, reset.
+  for (int i = 0; i < live; ++i) {
+    Session& s = *sessions_[static_cast<size_t>(i)];
+    StepOutcome& out = outcomes_[static_cast<size_t>(i)];
+    s.trace.steps.push_back(RecordStep(out, *s.env));
+    s.trace.total_reward += out.reward;
+    ++s.steps_done;
+    ++steps_served_;
+    if (s.steps_done >= s.effective_max_steps) {
+      completed_.push_back(std::move(s.trace));
+      s.env->SetRewardSignal(nullptr);
+      env_pool_.push_back(std::move(s.env));
+      sessions_[static_cast<size_t>(i)].reset();
+    } else if (out.done) {
+      // Episode boundary inside a longer session: start the next notebook.
+      s.observation = s.env->Reset();
+    } else {
+      s.observation = std::move(out.observation);
+    }
+  }
+  sessions_.erase(std::remove(sessions_.begin(), sessions_.end(), nullptr),
+                  sessions_.end());
+  return live;
+}
+
+void SessionManager::Drain() {
+  while (!sessions_.empty()) Tick();
+}
+
+std::vector<SessionTrace> SessionManager::TakeCompleted() {
+  std::vector<SessionTrace> out = std::move(completed_);
+  completed_.clear();
+  return out;
+}
+
+SessionTrace ServeSingleSessionSerial(const PolicySnapshot& snapshot,
+                                      const SessionConfig& config,
+                                      RewardSignal* reward) {
+  EnvConfig env_config = snapshot.options().env;
+  env_config.seed = config.seed;
+  EdaEnvironment env(snapshot.dataset(), env_config);
+  env.SetRewardSignal(reward);
+  Rng act_rng(ActingStreamSeed(config.seed));
+  const int max_steps = EffectiveMaxSteps(config, env_config);
+
+  SessionTrace trace;
+  trace.seed = config.seed;
+  trace.steps.reserve(static_cast<size_t>(max_steps));
+  std::vector<double> observation = env.Reset();
+  TwofoldPolicy* policy = snapshot.policy();
+  for (int step = 0; step < max_steps; ++step) {
+    const PolicyStep act = config.greedy ? policy->ActGreedy(observation)
+                                         : policy->Act(observation, &act_rng);
+    StepOutcome out = ApplyAction(&env, act.action);
+    trace.steps.push_back(RecordStep(out, env));
+    trace.total_reward += out.reward;
+    if (out.done && step + 1 < max_steps) {
+      observation = env.Reset();
+    } else {
+      observation = std::move(out.observation);
+    }
+  }
+  return trace;
+}
+
+}  // namespace atena

@@ -1,0 +1,176 @@
+#ifndef ATENA_SERVE_SESSION_MANAGER_H_
+#define ATENA_SERVE_SESSION_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "eda/display_cache.h"
+#include "eda/environment.h"
+#include "nn/matrix.h"
+#include "serve/snapshot.h"
+
+namespace atena {
+
+/// Everything that identifies one served exploration session. Two sessions
+/// with equal configs produce bit-identical traces, no matter how many
+/// other sessions they were batched with, which thread count stepped them,
+/// or when they joined (test-enforced, tests/serve_test.cc).
+struct SessionConfig {
+  /// Derives both of the session's private streams: the environment's
+  /// filter-term stream (EnvConfig::seed) and the acting stream
+  /// (ActingStreamSeed below).
+  uint64_t seed = 1;
+  /// Total environment steps to serve. When it exceeds the episode length
+  /// the session spans several episodes — the environment is reset in
+  /// between, like an analyst opening a fresh notebook. 0 = one episode.
+  int max_steps = 0;
+  /// Greedy (argmax) acting instead of Boltzmann sampling.
+  bool greedy = false;
+};
+
+/// One served step of a session's trace.
+struct ServedStep {
+  EdaOperation op;
+  bool valid = true;
+  double reward = 0.0;
+  /// Canonical signature of the display the step landed on — a pure
+  /// function of the logical display (DisplayVectorKey), so traces can be
+  /// compared bit-exactly without retaining row sets.
+  uint64_t display_signature = 0;
+};
+
+/// The complete record of one finished session.
+struct SessionTrace {
+  uint64_t id = 0;
+  uint64_t seed = 0;
+  std::vector<ServedStep> steps;
+  double total_reward = 0.0;
+};
+
+/// The acting stream seed derived from a session seed. Kept distinct from
+/// the environment stream (which uses the seed directly) so term sampling
+/// and action sampling never alias.
+uint64_t ActingStreamSeed(uint64_t session_seed);
+
+/// Runtime knobs of a SessionManager. None of them changes any session's
+/// trace — they only move work around.
+struct ServeOptions {
+  /// Worker threads for environment stepping; 0 = all hardware cores.
+  int num_threads = 0;
+  /// One batched forward per tick across every pending session (the point
+  /// of this runtime). False falls back to one forward per session per
+  /// tick — the baseline bench_serve measures the speedup against.
+  bool batched_acting = true;
+  /// The display cache shared by all sessions (capacity 0 disables it).
+  size_t cache_capacity = size_t{1} << 16;
+  int cache_shards = 8;
+  /// Builds the per-session reward signal. Each session needs its own
+  /// instance because Compute is stateful; share only internally-const
+  /// state (e.g. one trained CoherencyClassifier) across the factory's
+  /// products. Null → rewards are 0 / the invalid penalty.
+  std::function<std::shared_ptr<RewardSignal>()> reward_factory;
+};
+
+/// Multi-session policy-serving runtime: one immutable PolicySnapshot,
+/// N concurrent EDA sessions, one batched forward per scheduler tick
+/// (DESIGN.md §11).
+///
+/// Tick() runs the lockstep discipline proven out by ParallelPpoTrainer:
+///   1. serial act   — gather every live session's observation into one
+///                     Matrix and issue a single Policy::ActBatch with the
+///                     sessions' private Rng streams (row i consumes only
+///                     rngs[i], so a row's result is independent of who
+///                     else is in the batch);
+///   2. parallel step — fan the environment steps out on a ThreadPool,
+///                     each worker writing an index-addressed slot;
+///   3. serial commit — record steps, retire finished sessions and reset
+///                     episode boundaries in admission order.
+/// Sessions touch only their own environment plus the shared DisplayCache,
+/// whose hits are bit-identical to recomputes — so every session's trace
+/// equals the single-session serial reference (ServeSingleSessionSerial),
+/// bit for bit, at any thread count and under any join/leave pattern.
+///
+/// Not thread-safe itself: Admit/Tick/Drain/TakeCompleted must be called
+/// from one scheduler thread.
+class SessionManager {
+ public:
+  SessionManager(std::shared_ptr<const PolicySnapshot> snapshot,
+                 ServeOptions options);
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Admits a session (recycling a pooled environment when one is free);
+  /// it starts stepping on the next Tick. Returns the session id.
+  uint64_t Admit(const SessionConfig& config);
+
+  /// Advances every live session by one environment step. Returns the
+  /// number of steps executed (0 when no session is live).
+  int Tick();
+
+  /// Ticks until every admitted session has finished — the graceful-drain
+  /// path of the serving binary (finish in-flight sessions, admit none).
+  void Drain();
+
+  /// Moves out the traces of sessions finished since the last call, in
+  /// completion order.
+  std::vector<SessionTrace> TakeCompleted();
+
+  int active_sessions() const { return static_cast<int>(sessions_.size()); }
+  int64_t steps_served() const { return steps_served_; }
+  const std::shared_ptr<DisplayCache>& display_cache() const {
+    return cache_;
+  }
+
+ private:
+  struct Session {
+    uint64_t id = 0;
+    SessionConfig config;
+    int effective_max_steps = 0;
+    int steps_done = 0;
+    Rng act_rng;
+    std::vector<double> observation;
+    std::unique_ptr<EdaEnvironment> env;
+    std::shared_ptr<RewardSignal> reward;
+    SessionTrace trace;
+  };
+
+  std::unique_ptr<EdaEnvironment> AcquireEnv(uint64_t seed);
+
+  std::shared_ptr<const PolicySnapshot> snapshot_;
+  ServeOptions options_;
+  std::shared_ptr<DisplayCache> cache_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::vector<std::unique_ptr<Session>> sessions_;  // admission order
+  std::vector<SessionTrace> completed_;
+  /// Retired sessions' environments, reseeded and reused by Admit: the
+  /// per-environment setup (distinct-value ratios, encoder layout) depends
+  /// only on the dataset, so recycling skips it entirely.
+  std::vector<std::unique_ptr<EdaEnvironment>> env_pool_;
+
+  uint64_t next_id_ = 1;
+  int64_t steps_served_ = 0;
+
+  // Tick scratch, reused across calls.
+  Matrix obs_batch_;
+  std::vector<Rng*> rngs_;
+  std::vector<StepOutcome> outcomes_;
+};
+
+/// Serves one session start to finish with per-sample acting on a private
+/// environment and a private cache — the serial reference every served
+/// trace must match bit-for-bit. `reward` may be null; like the manager's
+/// sessions it must be a fresh instance per call (Compute is stateful).
+SessionTrace ServeSingleSessionSerial(const PolicySnapshot& snapshot,
+                                      const SessionConfig& config,
+                                      RewardSignal* reward);
+
+}  // namespace atena
+
+#endif  // ATENA_SERVE_SESSION_MANAGER_H_

@@ -1,0 +1,36 @@
+#include "serve/snapshot.h"
+
+#include <utility>
+
+#include "eda/observation.h"
+#include "rl/checkpoint.h"
+
+namespace atena {
+
+PolicySnapshot::PolicySnapshot(Dataset dataset, SnapshotOptions options)
+    : dataset_(std::move(dataset)), options_(std::move(options)) {
+  action_space_.num_columns = dataset_.table->num_columns();
+  action_space_.num_term_bins = options_.env.num_term_bins;
+  // The encoder is only needed to size the input layer; sessions build
+  // their own inside EdaEnvironment.
+  ObservationEncoder encoder(dataset_.table, options_.env.history_displays);
+  observation_dim_ = encoder.observation_dim();
+  policy_ = std::make_unique<TwofoldPolicy>(observation_dim_, action_space_,
+                                            options_.policy);
+  // Snapshots are immutable: freeze the network so batched forwards run the
+  // tiled-GEMM inference path. LoadPolicySnapshot re-freezes after loading.
+  policy_->PrepareForServing();
+}
+
+Result<std::shared_ptr<PolicySnapshot>> LoadPolicySnapshot(
+    Dataset dataset, SnapshotOptions options, const std::string& path) {
+  auto snapshot = std::make_shared<PolicySnapshot>(std::move(dataset),
+                                                   std::move(options));
+  ATENA_RETURN_IF_ERROR(
+      LoadPolicyParameters(path, snapshot->policy()->Parameters()));
+  // The load replaced the weights; rebuild the frozen inference caches.
+  snapshot->policy()->PrepareForServing();
+  return snapshot;
+}
+
+}  // namespace atena

@@ -155,6 +155,53 @@ TEST(DisplayCacheTest, ConcurrentStatsAreExactAndMonotone) {
   EXPECT_LE(stats.entries, 64u);
 }
 
+// Snapshot() takes every shard lock before reading anything, so a snapshot
+// is one consistent instant: its per-shard occupancy breakdown must always
+// sum to its own totals, even while writer threads keep mutating the cache
+// (stats(), by contrast, may mix instants across shards). Also swept by
+// the TSan run in scripts/check.sh.
+TEST(DisplayCacheTest, SnapshotIsInternallyConsistentUnderLoad) {
+  DisplayCache cache({/*capacity=*/64, /*shards=*/4});
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 4000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const uint64_t key = static_cast<uint64_t>((i * (t + 3)) % 1064);
+        if (cache.GetRows(key) == nullptr) {
+          cache.PutRows(key, MakeRows(static_cast<int32_t>(key % 7 + 1)));
+        }
+      }
+    });
+  }
+  uint64_t last_lookups = 0;
+  while (true) {
+    const DisplayCacheSnapshot snapshot = cache.Snapshot();
+    ASSERT_EQ(snapshot.shard_entries.size(), 4u);
+    uint64_t shard_sum = 0;
+    for (uint64_t entries : snapshot.shard_entries) shard_sum += entries;
+    EXPECT_EQ(snapshot.totals.entries, shard_sum);
+    EXPECT_LE(snapshot.totals.entries, 64u);
+    const uint64_t lookups = snapshot.totals.hits + snapshot.totals.misses;
+    EXPECT_GE(lookups, last_lookups);
+    last_lookups = lookups;
+    if (lookups >= static_cast<uint64_t>(kThreads * kOpsPerThread)) break;
+    std::this_thread::yield();
+  }
+  for (auto& worker : workers) worker.join();
+
+  // Quiesced: the snapshot and the unlocked aggregate must agree exactly.
+  const DisplayCacheSnapshot snapshot = cache.Snapshot();
+  const DisplayCacheStats stats = cache.stats();
+  EXPECT_EQ(snapshot.totals.hits, stats.hits);
+  EXPECT_EQ(snapshot.totals.misses, stats.misses);
+  EXPECT_EQ(snapshot.totals.evictions, stats.evictions);
+  EXPECT_EQ(snapshot.totals.entries, stats.entries);
+  EXPECT_EQ(snapshot.totals.hits + snapshot.totals.misses,
+            static_cast<uint64_t>(kThreads * kOpsPerThread));
+}
+
 TEST(CacheDeterminismTest, CachedEpisodesMatchUncachedBitwise) {
   auto dataset = MakeDataset("cyber2");
   ASSERT_TRUE(dataset.ok());

@@ -1,0 +1,392 @@
+// Determinism and load-path tests for the multi-session serving runtime
+// (src/serve/). The contract under test: a session's trace is a pure
+// function of its SessionConfig and the snapshot — bit-identical to the
+// single-session serial reference no matter how many sessions share the
+// batch, which thread count steps them, when they join or leave, or
+// whether acting is batched at all.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/file_io.h"
+#include "core/twofold_policy.h"
+#include "data/registry.h"
+#include "nn/serialization.h"
+#include "reward/compound.h"
+#include "rl/checkpoint.h"
+#include "serve/session_manager.h"
+#include "serve/snapshot.h"
+
+namespace atena {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void RemoveIfExists(const std::string& path) {
+  if (FileExists(path)) std::remove(path.c_str());
+}
+
+SnapshotOptions SmallOptions() {
+  SnapshotOptions options;
+  options.env.episode_length = 6;
+  options.env.num_term_bins = 4;
+  options.policy.hidden = {24, 24};
+  return options;
+}
+
+std::shared_ptr<PolicySnapshot> SmallSnapshot(
+    const std::string& dataset = "cyber2") {
+  return std::make_shared<PolicySnapshot>(MakeDataset(dataset).value(),
+                                          SmallOptions());
+}
+
+// The mixed workload every determinism test serves: staggered step budgets
+// (some spanning several episodes), interleaved greedy and sampling
+// sessions.
+std::vector<SessionConfig> MixedConfigs(int count) {
+  std::vector<SessionConfig> configs;
+  for (int i = 0; i < count; ++i) {
+    SessionConfig config;
+    config.seed = 900 + static_cast<uint64_t>(i);
+    config.max_steps = 4 + (i % 3) * 5;  // 4, 9 or 14 steps; episodes are 6.
+    config.greedy = (i % 2) == 0;
+    configs.push_back(config);
+  }
+  return configs;
+}
+
+void ExpectTracesEqual(const SessionTrace& got, const SessionTrace& want,
+                       const Table& table, const std::string& context) {
+  ASSERT_EQ(got.steps.size(), want.steps.size()) << context;
+  for (size_t i = 0; i < got.steps.size(); ++i) {
+    const ServedStep& g = got.steps[i];
+    const ServedStep& w = want.steps[i];
+    EXPECT_EQ(g.op.Describe(table), w.op.Describe(table))
+        << context << " step " << i;
+    EXPECT_EQ(g.valid, w.valid) << context << " step " << i;
+    EXPECT_EQ(g.reward, w.reward) << context << " step " << i;
+    EXPECT_EQ(g.display_signature, w.display_signature)
+        << context << " step " << i;
+  }
+  EXPECT_EQ(got.total_reward, want.total_reward) << context;
+}
+
+std::map<uint64_t, SessionTrace> BySeed(std::vector<SessionTrace> traces) {
+  std::map<uint64_t, SessionTrace> by_seed;
+  for (auto& trace : traces) {
+    by_seed[trace.seed] = std::move(trace);
+  }
+  return by_seed;
+}
+
+TEST(ServeDeterminismTest, BatchedTracesMatchSerialReference) {
+  auto snapshot = SmallSnapshot();
+  SessionManager manager(snapshot, ServeOptions{});
+  const auto configs = MixedConfigs(6);
+  for (const auto& config : configs) manager.Admit(config);
+  manager.Drain();
+  auto by_seed = BySeed(manager.TakeCompleted());
+  ASSERT_EQ(by_seed.size(), configs.size());
+
+  const Table& table = *snapshot->dataset().table;
+  for (const auto& config : configs) {
+    SessionTrace reference =
+        ServeSingleSessionSerial(*snapshot, config, /*reward=*/nullptr);
+    ExpectTracesEqual(by_seed.at(config.seed), reference, table,
+                      "seed " + std::to_string(config.seed));
+  }
+}
+
+TEST(ServeDeterminismTest, ThreadCountDoesNotChangeTraces) {
+  auto snapshot = SmallSnapshot();
+  const auto configs = MixedConfigs(5);
+  std::map<uint64_t, SessionTrace> reference;
+  const Table& table = *snapshot->dataset().table;
+  for (int threads : {1, 2, 4}) {
+    ServeOptions options;
+    options.num_threads = threads;
+    SessionManager manager(snapshot, options);
+    for (const auto& config : configs) manager.Admit(config);
+    manager.Drain();
+    auto by_seed = BySeed(manager.TakeCompleted());
+    ASSERT_EQ(by_seed.size(), configs.size()) << threads << " threads";
+    if (reference.empty()) {
+      reference = std::move(by_seed);
+      continue;
+    }
+    for (const auto& [seed, trace] : by_seed) {
+      ExpectTracesEqual(trace, reference.at(seed), table,
+                        std::to_string(threads) + " threads, seed " +
+                            std::to_string(seed));
+    }
+  }
+}
+
+// Sessions joining mid-serving (changing every later batch's composition
+// and row order) must not perturb anyone's trace — neither the sessions
+// already running nor the late arrivals.
+TEST(ServeDeterminismTest, MidServingAdmissionsDoNotChangeTraces) {
+  auto snapshot = SmallSnapshot();
+  const auto configs = MixedConfigs(6);
+
+  SessionManager manager(snapshot, ServeOptions{});
+  size_t admitted = 0;
+  for (; admitted < 2; ++admitted) manager.Admit(configs[admitted]);
+  // Two ticks alone, then two more joiners, two further ticks, the rest.
+  manager.Tick();
+  manager.Tick();
+  for (; admitted < 4; ++admitted) manager.Admit(configs[admitted]);
+  manager.Tick();
+  manager.Tick();
+  for (; admitted < configs.size(); ++admitted) {
+    manager.Admit(configs[admitted]);
+  }
+  manager.Drain();
+  auto by_seed = BySeed(manager.TakeCompleted());
+  ASSERT_EQ(by_seed.size(), configs.size());
+
+  const Table& table = *snapshot->dataset().table;
+  for (const auto& config : configs) {
+    SessionTrace reference =
+        ServeSingleSessionSerial(*snapshot, config, /*reward=*/nullptr);
+    ExpectTracesEqual(by_seed.at(config.seed), reference, table,
+                      "staggered seed " + std::to_string(config.seed));
+  }
+}
+
+TEST(ServeDeterminismTest, UnbatchedActingProducesIdenticalTraces) {
+  auto snapshot = SmallSnapshot();
+  const auto configs = MixedConfigs(5);
+  std::map<uint64_t, SessionTrace> batched;
+  const Table& table = *snapshot->dataset().table;
+  for (bool batch : {true, false}) {
+    ServeOptions options;
+    options.batched_acting = batch;
+    SessionManager manager(snapshot, options);
+    for (const auto& config : configs) manager.Admit(config);
+    manager.Drain();
+    auto by_seed = BySeed(manager.TakeCompleted());
+    ASSERT_EQ(by_seed.size(), configs.size());
+    if (batch) {
+      batched = std::move(by_seed);
+      continue;
+    }
+    for (const auto& [seed, trace] : by_seed) {
+      ExpectTracesEqual(trace, batched.at(seed), table,
+                        "unbatched seed " + std::to_string(seed));
+    }
+  }
+}
+
+// Same contract with real reward scoring attached: per-session rewards are
+// part of the trace and must be batch-composition-independent too.
+TEST(ServeDeterminismTest, RewardScoredTracesMatchSerialReference) {
+  auto snapshot = SmallSnapshot();
+  // Train the coherency classifier once; each session gets its own
+  // CompoundReward clone around the shared (const) classifier, mirroring
+  // what multi-actor training does.
+  EnvConfig env_config = snapshot->options().env;
+  EdaEnvironment proto_env(snapshot->dataset(), env_config);
+  auto proto = MakeStandardReward(&proto_env);
+  ASSERT_TRUE(proto.ok()) << proto.status().message();
+  auto classifier = proto.value()->coherency();
+
+  ServeOptions options;
+  options.reward_factory = [classifier]() {
+    return std::make_shared<CompoundReward>(classifier);
+  };
+  SessionManager manager(snapshot, options);
+  const auto configs = MixedConfigs(4);
+  for (const auto& config : configs) manager.Admit(config);
+  manager.Drain();
+  auto by_seed = BySeed(manager.TakeCompleted());
+  ASSERT_EQ(by_seed.size(), configs.size());
+
+  const Table& table = *snapshot->dataset().table;
+  for (const auto& config : configs) {
+    CompoundReward reward(classifier);
+    SessionTrace reference =
+        ServeSingleSessionSerial(*snapshot, config, &reward);
+    ExpectTracesEqual(by_seed.at(config.seed), reference, table,
+                      "reward seed " + std::to_string(config.seed));
+    EXPECT_NE(by_seed.at(config.seed).total_reward, 0.0);
+  }
+}
+
+TEST(ServeDeterminismTest, RecycledEnvironmentsServeIdenticalTraces) {
+  auto snapshot = SmallSnapshot();
+  SessionConfig config;
+  config.seed = 77;
+  config.max_steps = 9;
+  SessionManager manager(snapshot, ServeOptions{});
+  // Serve the same session twice: the second admission recycles the first
+  // one's environment from the pool and must reproduce the trace exactly.
+  manager.Admit(config);
+  manager.Drain();
+  auto first = manager.TakeCompleted();
+  manager.Admit(config);
+  manager.Drain();
+  auto second = manager.TakeCompleted();
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(second.size(), 1u);
+  ExpectTracesEqual(second[0], first[0], *snapshot->dataset().table,
+                    "recycled env");
+}
+
+// The serving primitive under the runtime: every row of the per-row-stream
+// ActBatch overload is bit-identical to a per-sample Act on that row, and
+// entropy (training-only, skipped on the serving path) reads 0.
+TEST(ServeActBatchTest, RowsMatchPerSampleActBitExactly) {
+  auto snapshot = SmallSnapshot();
+  TwofoldPolicy* policy = snapshot->policy();
+  EnvConfig env_config = snapshot->options().env;
+  EdaEnvironment env(snapshot->dataset(), env_config);
+
+  const int rows = 7;
+  Matrix observations(rows, snapshot->observation_dim());
+  std::vector<double> obs = env.Reset();
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < snapshot->observation_dim(); ++c) {
+      observations(r, c) = obs[static_cast<size_t>(c)] + 0.01 * r;
+    }
+  }
+
+  // Odd rows sample from private streams, even rows are greedy (null).
+  std::vector<Rng> streams(rows);
+  std::vector<Rng*> rngs(rows, nullptr);
+  for (int r = 1; r < rows; r += 2) {
+    streams[static_cast<size_t>(r)] = Rng(5000 + static_cast<uint64_t>(r));
+    rngs[static_cast<size_t>(r)] = &streams[static_cast<size_t>(r)];
+  }
+  // Per-sample reference with copies of the same stream states.
+  std::vector<Rng> reference_streams = streams;
+
+  std::vector<PolicyStep> batched = policy->ActBatch(observations, rngs);
+  ASSERT_EQ(batched.size(), static_cast<size_t>(rows));
+  for (int r = 0; r < rows; ++r) {
+    std::vector<double> row(observations.RowPtr(r),
+                            observations.RowPtr(r) +
+                                snapshot->observation_dim());
+    const PolicyStep single =
+        rngs[static_cast<size_t>(r)] == nullptr
+            ? policy->ActGreedy(row)
+            : policy->Act(row, &reference_streams[static_cast<size_t>(r)]);
+    const PolicyStep& got = batched[static_cast<size_t>(r)];
+    EXPECT_EQ(got.action.structured.type, single.action.structured.type)
+        << "row " << r;
+    EXPECT_EQ(got.action.structured.filter_column,
+              single.action.structured.filter_column)
+        << "row " << r;
+    EXPECT_EQ(got.action.structured.group_column,
+              single.action.structured.group_column)
+        << "row " << r;
+    EXPECT_EQ(got.log_prob, single.log_prob) << "row " << r;
+    EXPECT_EQ(got.value, single.value) << "row " << r;
+    EXPECT_EQ(got.entropy, 0.0) << "row " << r;
+    // The batched row consumed exactly the same stream draws.
+    if (rngs[static_cast<size_t>(r)] != nullptr) {
+      EXPECT_EQ(streams[static_cast<size_t>(r)].state().words[0],
+                reference_streams[static_cast<size_t>(r)].state().words[0])
+          << "row " << r;
+    }
+  }
+}
+
+TEST(ServeSnapshotTest, LoadRoundTripsBareParameterFile) {
+  const std::string path = TempPath("serve_nn_roundtrip.bin");
+  RemoveIfExists(path);
+  auto source = SmallSnapshot();
+  ASSERT_TRUE(
+      SaveParameters(source->policy()->Parameters(), path).ok());
+
+  SnapshotOptions options = SmallOptions();
+  options.policy.seed = 999;  // Different init; the load must overwrite it.
+  auto loaded =
+      LoadPolicySnapshot(MakeDataset("cyber2").value(), options, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+
+  SessionConfig config;
+  config.seed = 31;
+  config.max_steps = 8;
+  SessionTrace from_source =
+      ServeSingleSessionSerial(*source, config, nullptr);
+  SessionTrace from_loaded =
+      ServeSingleSessionSerial(*loaded.value(), config, nullptr);
+  ExpectTracesEqual(from_loaded, from_source, *source->dataset().table,
+                    "nn round trip");
+  RemoveIfExists(path);
+}
+
+TEST(ServeSnapshotTest, LoadRoundTripsTrainingCheckpoint) {
+  const std::string path = TempPath("serve_ckpt_roundtrip.bin");
+  for (const char* suffix : {"", ".prev", ".new"}) {
+    RemoveIfExists(path + suffix);
+  }
+  auto source = SmallSnapshot();
+  TrainingCheckpoint ckpt;  // Weights travel separately; rest is default.
+  ASSERT_TRUE(
+      SaveTrainingCheckpoint(path, source->policy()->Parameters(), ckpt)
+          .ok());
+
+  auto loaded = LoadPolicySnapshot(MakeDataset("cyber2").value(),
+                                   SmallOptions(), path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+
+  SessionConfig config;
+  config.seed = 32;
+  config.max_steps = 8;
+  ExpectTracesEqual(ServeSingleSessionSerial(*loaded.value(), config, nullptr),
+                    ServeSingleSessionSerial(*source, config, nullptr),
+                    *source->dataset().table, "ckpt round trip");
+  for (const char* suffix : {"", ".prev", ".new"}) {
+    RemoveIfExists(path + suffix);
+  }
+}
+
+TEST(ServeSnapshotTest, LoadRejectsMismatchedArchitecture) {
+  const std::string path = TempPath("serve_nn_mismatch.bin");
+  RemoveIfExists(path);
+  auto source = SmallSnapshot();  // hidden {24, 24}
+  ASSERT_TRUE(
+      SaveParameters(source->policy()->Parameters(), path).ok());
+
+  SnapshotOptions narrow = SmallOptions();
+  narrow.policy.hidden = {8};
+  auto loaded =
+      LoadPolicySnapshot(MakeDataset("cyber2").value(), narrow, path);
+  ASSERT_FALSE(loaded.ok());
+  // The error must describe the mismatch, not just fail.
+  EXPECT_NE(loaded.status().message().find("mismatch"), std::string::npos)
+      << loaded.status().message();
+  EXPECT_NE(loaded.status().message().find("hidden sizes"), std::string::npos)
+      << loaded.status().message();
+  RemoveIfExists(path);
+}
+
+TEST(ServeSnapshotTest, LoadRejectsGarbageFile) {
+  const std::string path = TempPath("serve_nn_garbage.bin");
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      << "not a parameter container";
+  auto loaded = LoadPolicySnapshot(MakeDataset("cyber2").value(),
+                                   SmallOptions(), path);
+  EXPECT_FALSE(loaded.ok());
+  RemoveIfExists(path);
+}
+
+TEST(ServeSnapshotTest, LoadRejectsMissingFile) {
+  auto loaded =
+      LoadPolicySnapshot(MakeDataset("cyber2").value(), SmallOptions(),
+                         TempPath("serve_nn_nonexistent.bin"));
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace atena
