@@ -1,10 +1,17 @@
 // Micro-benchmarks of the dataframe substrate: filter, group-by/aggregate
-// and column-statistics kernels on the largest experimental dataset.
-// Results are written to BENCH_dataframe.json (see bench_json.h).
+// and column-statistics kernels on the largest experimental dataset, plus
+// million-row scalar-vs-kernel pairs on a scaled variant (row count
+// overridable via ATENA_BENCH_ROWS). Results are written to
+// BENCH_dataframe.json (see bench_json.h).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "bench_json.h"
+#include "common/thread_pool.h"
 #include "data/registry.h"
+#include "dataframe/kernels.h"
 #include "dataframe/ops.h"
 #include "dataframe/stats.h"
 
@@ -17,9 +24,29 @@ const Dataset& BigDataset() {
   return dataset;
 }
 
+/// cyber4 scaled to at least ATENA_BENCH_ROWS rows (default 1M). The env
+/// override lets the ctest smoke run keep this to a few thousand rows.
+const Dataset& MillionRowDataset() {
+  static const Dataset& dataset = *[] {
+    int64_t target = 1'000'000;
+    if (const char* env = std::getenv("ATENA_BENCH_ROWS")) {
+      target = std::max<int64_t>(int64_t{1}, std::atoll(env));
+    }
+    const int scale = static_cast<int>((target + 13624) / 13625);
+    return new Dataset(MakeDataset("cyber4", scale).value());
+  }();
+  return dataset;
+}
+
+void ReportSkipRate(benchmark::State& state, const FilterKernelStats& stats) {
+  state.counters["skip_rate"] = stats.skip_rate();
+  state.counters["chunks_all_match"] =
+      static_cast<double>(stats.chunks_all_match);
+}
+
 void BM_FilterStringEq(benchmark::State& state) {
   const Table& t = *BigDataset().table;
-  auto rows = AllRows(t);
+  auto rows = AllRows(t).value();
   int col = t.FindColumn("tcp_flags");
   for (auto _ : state) {
     auto out = FilterRows(t, rows, col, CompareOp::kEq,
@@ -32,7 +59,7 @@ BENCHMARK(BM_FilterStringEq);
 
 void BM_FilterNumericRange(benchmark::State& state) {
   const Table& t = *BigDataset().table;
-  auto rows = AllRows(t);
+  auto rows = AllRows(t).value();
   int col = t.FindColumn("destination_port");
   for (auto _ : state) {
     auto out = FilterRows(t, rows, col, CompareOp::kLe, Value(int64_t{1024}));
@@ -44,7 +71,7 @@ BENCHMARK(BM_FilterNumericRange);
 
 void BM_GroupBySingleColumn(benchmark::State& state) {
   const Table& t = *BigDataset().table;
-  auto rows = AllRows(t);
+  auto rows = AllRows(t).value();
   GroupSpec spec;
   spec.group_columns = {t.FindColumn("source_ip")};
   for (auto _ : state) {
@@ -57,7 +84,7 @@ BENCHMARK(BM_GroupBySingleColumn);
 
 void BM_GroupByTwoColumnsAvg(benchmark::State& state) {
   const Table& t = *BigDataset().table;
-  auto rows = AllRows(t);
+  auto rows = AllRows(t).value();
   GroupSpec spec;
   spec.group_columns = {t.FindColumn("source_ip"), t.FindColumn("tcp_flags")};
   spec.agg = AggFunc::kAvg;
@@ -72,7 +99,7 @@ BENCHMARK(BM_GroupByTwoColumnsAvg);
 
 void BM_ColumnStats(benchmark::State& state) {
   const Table& t = *BigDataset().table;
-  auto rows = AllRows(t);
+  auto rows = AllRows(t).value();
   const Column& col = *t.column(t.FindColumn("destination_port"));
   for (auto _ : state) {
     auto stats = ComputeColumnStats(col, rows);
@@ -84,7 +111,7 @@ BENCHMARK(BM_ColumnStats);
 
 void BM_TokenFrequencies(benchmark::State& state) {
   const Table& t = *BigDataset().table;
-  auto rows = AllRows(t);
+  auto rows = AllRows(t).value();
   const Column& col = *t.column(t.FindColumn("source_ip"));
   for (auto _ : state) {
     auto tokens = TokenFrequencies(col, rows);
@@ -96,7 +123,7 @@ BENCHMARK(BM_TokenFrequencies);
 
 void BM_FilterStringNeq(benchmark::State& state) {
   const Table& t = *BigDataset().table;
-  auto rows = AllRows(t);
+  auto rows = AllRows(t).value();
   int col = t.FindColumn("tcp_flags");
   for (auto _ : state) {
     auto out = FilterRows(t, rows, col, CompareOp::kNeq,
@@ -109,7 +136,7 @@ BENCHMARK(BM_FilterStringNeq);
 
 void BM_GroupByThreeColumns(benchmark::State& state) {
   const Table& t = *BigDataset().table;
-  auto rows = AllRows(t);
+  auto rows = AllRows(t).value();
   GroupSpec spec;
   spec.group_columns = {t.FindColumn("source_ip"), t.FindColumn("tcp_flags"),
                         t.FindColumn("destination_port")};
@@ -120,6 +147,186 @@ void BM_GroupByThreeColumns(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * t.num_rows());
 }
 BENCHMARK(BM_GroupByThreeColumns);
+
+// ------------------------------------------- million-row scalar vs kernel
+//
+// Each pair runs the identical operation through the retained scalar
+// reference and the chunked selection-vector kernel on the scaled table;
+// items_per_second is the rows/sec figure the roadmap tracks, and kernel
+// variants report the zone-map skip rate.
+
+void BM_Filter1M_NumericRange_Scalar(benchmark::State& state) {
+  const Table& t = *MillionRowDataset().table;
+  auto rows = AllRows(t).value();
+  int col = t.FindColumn("destination_port");
+  for (auto _ : state) {
+    auto out = ScalarFilterRows(t, rows, col, CompareOp::kLe,
+                                Value(int64_t{1024}));
+    benchmark::DoNotOptimize(out.value().size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_Filter1M_NumericRange_Scalar);
+
+void BM_Filter1M_NumericRange_Kernel(benchmark::State& state) {
+  const Table& t = *MillionRowDataset().table;
+  auto rows = AllRows(t).value();
+  int col = t.FindColumn("destination_port");
+  FilterKernelStats stats;
+  for (auto _ : state) {
+    stats = {};
+    auto out = FilterRowsKernel(t, rows, col, CompareOp::kLe,
+                                Value(int64_t{1024}), &stats);
+    benchmark::DoNotOptimize(out.value().size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+  ReportSkipRate(state, stats);
+}
+BENCHMARK(BM_Filter1M_NumericRange_Kernel);
+
+void BM_Filter1M_StringEq_Scalar(benchmark::State& state) {
+  const Table& t = *MillionRowDataset().table;
+  auto rows = AllRows(t).value();
+  int col = t.FindColumn("tcp_flags");
+  for (auto _ : state) {
+    auto out = ScalarFilterRows(t, rows, col, CompareOp::kEq,
+                                Value(std::string("SYN")));
+    benchmark::DoNotOptimize(out.value().size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_Filter1M_StringEq_Scalar);
+
+void BM_Filter1M_StringEq_Kernel(benchmark::State& state) {
+  const Table& t = *MillionRowDataset().table;
+  auto rows = AllRows(t).value();
+  int col = t.FindColumn("tcp_flags");
+  FilterKernelStats stats;
+  for (auto _ : state) {
+    stats = {};
+    auto out = FilterRowsKernel(t, rows, col, CompareOp::kEq,
+                                Value(std::string("SYN")), &stats);
+    benchmark::DoNotOptimize(out.value().size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+  ReportSkipRate(state, stats);
+}
+BENCHMARK(BM_Filter1M_StringEq_Kernel);
+
+void BM_Filter1M_Contains_Scalar(benchmark::State& state) {
+  const Table& t = *MillionRowDataset().table;
+  auto rows = AllRows(t).value();
+  int col = t.FindColumn("tcp_flags");
+  for (auto _ : state) {
+    auto out = ScalarFilterRows(t, rows, col, CompareOp::kContains,
+                                Value(std::string("ACK")));
+    benchmark::DoNotOptimize(out.value().size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_Filter1M_Contains_Scalar);
+
+void BM_Filter1M_Contains_Kernel(benchmark::State& state) {
+  const Table& t = *MillionRowDataset().table;
+  auto rows = AllRows(t).value();
+  int col = t.FindColumn("tcp_flags");
+  FilterKernelStats stats;
+  for (auto _ : state) {
+    stats = {};
+    auto out = FilterRowsKernel(t, rows, col, CompareOp::kContains,
+                                Value(std::string("ACK")), &stats);
+    benchmark::DoNotOptimize(out.value().size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+  ReportSkipRate(state, stats);
+}
+BENCHMARK(BM_Filter1M_Contains_Kernel);
+
+void BM_GroupBy1M_Count_Scalar(benchmark::State& state) {
+  const Table& t = *MillionRowDataset().table;
+  auto rows = AllRows(t).value();
+  GroupSpec spec;
+  spec.group_columns = {t.FindColumn("source_ip")};
+  for (auto _ : state) {
+    auto out = ScalarGroupAggregate(t, rows, spec);
+    benchmark::DoNotOptimize(out.value().groups.size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_GroupBy1M_Count_Scalar);
+
+void BM_GroupBy1M_Count_Kernel(benchmark::State& state) {
+  const Table& t = *MillionRowDataset().table;
+  auto rows = AllRows(t).value();
+  GroupSpec spec;
+  spec.group_columns = {t.FindColumn("source_ip")};
+  for (auto _ : state) {
+    auto out = GroupAggregateKernel(t, rows, spec, nullptr);
+    benchmark::DoNotOptimize(out.value().groups.size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_GroupBy1M_Count_Kernel);
+
+void BM_GroupBy1M_Count_Parallel(benchmark::State& state) {
+  const Table& t = *MillionRowDataset().table;
+  auto rows = AllRows(t).value();
+  ThreadPool pool(ThreadPool::DefaultThreads(4));
+  GroupSpec spec;
+  spec.group_columns = {t.FindColumn("source_ip")};
+  for (auto _ : state) {
+    auto out = GroupAggregateKernel(t, rows, spec, &pool);
+    benchmark::DoNotOptimize(out.value().groups.size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_GroupBy1M_Count_Parallel);
+
+void BM_GroupBy1M_Avg_Scalar(benchmark::State& state) {
+  const Table& t = *MillionRowDataset().table;
+  auto rows = AllRows(t).value();
+  GroupSpec spec;
+  spec.group_columns = {t.FindColumn("source_ip")};
+  spec.agg = AggFunc::kAvg;
+  spec.agg_column = t.FindColumn("length");
+  for (auto _ : state) {
+    auto out = ScalarGroupAggregate(t, rows, spec);
+    benchmark::DoNotOptimize(out.value().groups.size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_GroupBy1M_Avg_Scalar);
+
+void BM_GroupBy1M_Avg_Kernel(benchmark::State& state) {
+  const Table& t = *MillionRowDataset().table;
+  auto rows = AllRows(t).value();
+  GroupSpec spec;
+  spec.group_columns = {t.FindColumn("source_ip")};
+  spec.agg = AggFunc::kAvg;
+  spec.agg_column = t.FindColumn("length");
+  for (auto _ : state) {
+    auto out = GroupAggregateKernel(t, rows, spec, nullptr);
+    benchmark::DoNotOptimize(out.value().groups.size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_GroupBy1M_Avg_Kernel);
+
+void BM_GroupBy1M_Avg_Parallel(benchmark::State& state) {
+  const Table& t = *MillionRowDataset().table;
+  auto rows = AllRows(t).value();
+  ThreadPool pool(ThreadPool::DefaultThreads(4));
+  GroupSpec spec;
+  spec.group_columns = {t.FindColumn("source_ip")};
+  spec.agg = AggFunc::kAvg;
+  spec.agg_column = t.FindColumn("length");
+  for (auto _ : state) {
+    auto out = GroupAggregateKernel(t, rows, spec, &pool);
+    benchmark::DoNotOptimize(out.value().groups.size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_GroupBy1M_Avg_Parallel);
 
 }  // namespace
 }  // namespace atena

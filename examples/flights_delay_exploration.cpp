@@ -1,7 +1,7 @@
 // Domain example: investigating flight delays (the paper's Example 1.1).
 //
 //   ./flights_delay_exploration [train_steps] [--actors N] [--threads N]
-//                                [--guardrails]
+//                                [--scale N] [--guardrails]
 //
 // Generates an ATENA notebook for the "short, night-time flights" dataset
 // with departure/arrival delay as focal attributes, compares it against the
@@ -12,6 +12,9 @@
 // single-env run); --threads N sets the environment-stepping concurrency
 // (default: one thread per actor, capped at the hardware concurrency).
 // Thread count never changes the training output — see DESIGN.md §9.
+// --scale N generates the dataset at N x the paper's toy row count
+// (deterministic per scale; see DESIGN.md §12) — the million-row regime
+// the chunked kernels are built for, e.g. --scale 100.
 //
 // Training is crash-safe: Ctrl-C stops at the next update boundary after
 // flushing a checkpoint, and rerunning resumes bit-identically from it.
@@ -47,18 +50,13 @@ int main(int argc, char** argv) {
     std::signal(SIGINT, SIG_DFL);
   });
 
-  auto dataset = MakeDataset("flights4");
-  if (!dataset.ok()) {
-    std::fprintf(stderr, "error: %s\n", dataset.status().ToString().c_str());
-    return 1;
-  }
-
   AtenaOptions options;
   options.trainer.total_steps = 6000;
   options.trainer.checkpoint_path = "flights4_training.ckpt";
   options.trainer.checkpoint_every_updates = 5;
   options.trainer.resume = true;
   ApplyTrainStepsFromEnv(&options);
+  int scale_factor = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     int64_t value = 0;
@@ -66,6 +64,10 @@ int main(int argc, char** argv) {
         ParseInt64(argv[i + 1], &value) && value > 0) {
       (arg == "--actors" ? options.num_actors : options.trainer.num_threads) =
           static_cast<int>(value);
+      ++i;
+    } else if (arg == "--scale" && i + 1 < argc &&
+               ParseInt64(argv[i + 1], &value) && value > 0) {
+      scale_factor = static_cast<int>(value);
       ++i;
     } else if (arg == "--guardrails") {
       options.trainer.guardrails.enabled = true;
@@ -75,10 +77,16 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [train_steps] [--actors N] [--threads N] "
-                   "[--guardrails]\n",
+                   "[--scale N] [--guardrails]\n",
                    argv[0]);
       return 1;
     }
+  }
+
+  auto dataset = MakeDataset("flights4", scale_factor);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "error: %s\n", dataset.status().ToString().c_str());
+    return 1;
   }
 
   std::printf("Exploring %s — goal: investigate flight delays\n",

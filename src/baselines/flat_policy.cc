@@ -37,7 +37,7 @@ FlatPolicy::FlatPolicy(const EdaEnvironment& env, Options options)
 void FlatPolicy::BuildActionTable(const EdaEnvironment& env) {
   const Table& table = env.table();
   const ActionSpace& space = env.action_space();
-  auto all_rows = AllRows(table);
+  auto all_rows = AllRows(table).value();
 
   // FILTER actions.
   for (int c = 0; c < table.num_columns(); ++c) {

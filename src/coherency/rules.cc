@@ -14,7 +14,7 @@ namespace {
 /// "id-like" (nearly unique). Computed once per rule set.
 std::vector<double> DistinctRatios(const Table& table) {
   std::vector<double> ratios(static_cast<size_t>(table.num_columns()), 0.0);
-  auto rows = AllRows(table);
+  auto rows = AllRows(table).value();
   for (int c = 0; c < table.num_columns(); ++c) {
     ColumnStats stats = ComputeColumnStats(*table.column(c), rows);
     ratios[static_cast<size_t>(c)] =

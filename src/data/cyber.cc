@@ -38,16 +38,20 @@ Result<Dataset> FinishDataset(DatasetInfo info, TableBuilder* builder) {
 
 }  // namespace
 
-Result<Dataset> MakeCyber1(uint64_t seed) {
+Result<Dataset> MakeCyber1(uint64_t seed, int scale_factor) {
+  const int scale = std::max(1, scale_factor);
   Rng rng(seed * 0x100001 + 11);
   const std::string attacker = Ip(10, 0, 66, 66);
   const std::vector<int> exposed = {5, 17, 33};  // hosts answering the sweep
 
   std::vector<Row> rows;
-  rows.reserve(8648);
+  rows.reserve(static_cast<size_t>(8648) * static_cast<size_t>(scale));
 
-  // The sweep: 20 passes over 192.168.1.1..254 in a burst window. 5080 rows.
-  for (int pass = 0; pass < 20; ++pass) {
+  // The sweep: 20·scale passes over 192.168.1.1..254 in a burst window.
+  // 5080·scale rows. Scaling multiplies loop bounds (and the background
+  // capture window below) only, so scale == 1 reproduces the legacy table
+  // bit-for-bit and the RNG consumption order per section is unchanged.
+  for (int pass = 0; pass < 20 * scale; ++pass) {
     for (int host = 1; host <= 254; ++host) {
       double t = 200.0 + pass * 6.0 + host * 0.02 + rng.NextDouble() * 0.01;
       rows.push_back({Value(int64_t{0}), Value(t), Value(attacker),
@@ -56,8 +60,8 @@ Result<Dataset> MakeCyber1(uint64_t seed) {
                       Value(std::string("Echo (ping) request"))});
     }
   }
-  // Replies from the three exposed hosts. 60 rows.
-  for (int pass = 0; pass < 20; ++pass) {
+  // Replies from the three exposed hosts. 60·scale rows.
+  for (int pass = 0; pass < 20 * scale; ++pass) {
     for (int host : exposed) {
       double t = 200.0 + pass * 6.0 + host * 0.02 + 0.005;
       rows.push_back({Value(int64_t{0}), Value(t), Value(Ip(192, 168, 1, host)),
@@ -66,7 +70,7 @@ Result<Dataset> MakeCyber1(uint64_t seed) {
                       Value(std::string("Echo (ping) reply"))});
     }
   }
-  // Background office traffic. 3508 rows.
+  // Background office traffic. 3508·scale rows over a scale× window.
   const std::vector<std::string> protocols = {"TCP", "DNS", "ARP", "UDP"};
   const std::vector<double> proto_weights = {0.62, 0.22, 0.06, 0.10};
   const std::vector<std::string> tcp_infos = {"SYN", "SYN, ACK", "ACK",
@@ -74,8 +78,8 @@ Result<Dataset> MakeCyber1(uint64_t seed) {
                                               "HTTP GET /index.html"};
   const std::vector<std::string> dns_hosts = {
       "corp.local", "update.vendor.com", "mail.corp.local", "www.news.org"};
-  for (int i = 0; i < 3508; ++i) {
-    double t = rng.NextDouble() * 600.0;
+  for (int i = 0; i < 3508 * scale; ++i) {
+    double t = rng.NextDouble() * (600.0 * scale);
     int src = static_cast<int>(rng.NextInt(10, 60));
     int dst = static_cast<int>(rng.NextInt(10, 60));
     const std::string& proto = protocols[rng.SampleDiscrete(proto_weights)];
@@ -123,7 +127,8 @@ Result<Dataset> MakeCyber1(uint64_t seed) {
   return FinishDataset(std::move(info), &builder);
 }
 
-Result<Dataset> MakeCyber2(uint64_t seed) {
+Result<Dataset> MakeCyber2(uint64_t seed, int scale_factor) {
+  const int scale = std::max(1, scale_factor);
   Rng rng(seed * 0x100003 + 13);
   const std::string attacker = Ip(203, 0, 113, 99);
   const std::string server = Ip(192, 168, 2, 10);
@@ -131,17 +136,17 @@ Result<Dataset> MakeCyber2(uint64_t seed) {
       "() { :; }; /bin/bash -c 'cat /etc/passwd'";
 
   std::vector<Row> rows;
-  rows.reserve(348);
+  rows.reserve(static_cast<size_t>(348) * static_cast<size_t>(scale));
 
-  // Normal browsing: 308 requests from a dozen internal clients.
+  // Normal browsing: 308·scale requests from a dozen internal clients.
   const std::vector<std::string> uris = {"/index.html",      "/news.html",
                                          "/about.html",      "/products.html",
                                          "/images/logo.png", "/style.css"};
   const std::vector<std::string> agents = {
       "Mozilla/5.0 (Windows NT 10.0)", "Mozilla/5.0 (X11; Linux x86_64)",
       "Mozilla/5.0 (Macintosh; Intel Mac OS X)"};
-  for (int i = 0; i < 308; ++i) {
-    double t = rng.NextDouble() * 3600.0;
+  for (int i = 0; i < 308 * scale; ++i) {
+    double t = rng.NextDouble() * (3600.0 * scale);
     int client = static_cast<int>(rng.NextInt(20, 31));
     const std::string& uri = uris[rng.NextZipf(uris.size(), 1.1)];
     int64_t status = rng.NextBool(0.94) ? 200 : 404;
@@ -151,12 +156,12 @@ Result<Dataset> MakeCyber2(uint64_t seed) {
          Value(agents[rng.NextBounded(agents.size())]), Value(status),
          Value(rng.NextInt(300, 24000))});
   }
-  // The attack: 40 shellshock-style requests against the CGI endpoint,
-  // concentrated in a ten-minute window, with growing response sizes as the
-  // attacker moves from probing to exfiltration.
-  for (int i = 0; i < 40; ++i) {
+  // The attack: 40·scale shellshock-style requests against the CGI
+  // endpoint, with growing response sizes as the attacker moves from
+  // probing to exfiltration.
+  for (int i = 0; i < 40 * scale; ++i) {
     double t = 1800.0 + i * 14.0 + rng.NextDouble() * 3.0;
-    bool exfil = i >= 25;
+    bool exfil = i >= 25 * scale;
     rows.push_back(
         {Value(int64_t{0}), Value(t), Value(attacker), Value(server),
          Value(std::string(exfil ? "POST" : "GET")),
@@ -190,22 +195,23 @@ Result<Dataset> MakeCyber2(uint64_t seed) {
   return FinishDataset(std::move(info), &builder);
 }
 
-Result<Dataset> MakeCyber3(uint64_t seed) {
+Result<Dataset> MakeCyber3(uint64_t seed, int scale_factor) {
+  const int scale = std::max(1, scale_factor);
   Rng rng(seed * 0x100005 + 17);
   const std::string phish_host = "secure-bank1-login.xyz";
   const std::string lure_referrer = "mail.corp.local/inbox";
 
   std::vector<Row> rows;
-  rows.reserve(745);
+  rows.reserve(static_cast<size_t>(745) * static_cast<size_t>(scale));
 
-  // Normal browsing: 690 proxy events.
+  // Normal browsing: 690·scale proxy events.
   const std::vector<std::string> hosts = {"bank1.com", "mail.corp.local",
                                           "news.site.com", "search.engine.com",
                                           "intranet.corp.local"};
   const std::vector<std::string> paths = {"/", "/inbox", "/article",
                                           "/login", "/search", "/dashboard"};
-  for (int i = 0; i < 690; ++i) {
-    double t = rng.NextDouble() * 28800.0;  // one working day
+  for (int i = 0; i < 690 * scale; ++i) {
+    double t = rng.NextDouble() * (28800.0 * scale);  // scale working days
     int client = static_cast<int>(rng.NextInt(50, 89));
     const std::string& host = hosts[rng.NextZipf(hosts.size(), 0.9)];
     const std::string& path = paths[rng.NextBounded(paths.size())];
@@ -217,14 +223,15 @@ Result<Dataset> MakeCyber3(uint64_t seed) {
                                                         : "direct")),
                     Value(int64_t{200}), Value(rng.NextInt(500, 60000))});
   }
-  // The phish: 55 events. Six victims arrive from the webmail lure, load the
-  // fake page, and five of them POST credentials.
+  // The phish: 55·scale events. Six victims arrive from the webmail lure,
+  // load the fake page, and five of them POST credentials.
+  const int phish_total = 55 * scale;
   const std::vector<int> victims = {52, 57, 61, 70, 77, 83};
   int emitted = 0;
-  for (size_t v = 0; v < victims.size() && emitted < 55; ++v) {
+  for (size_t v = 0; v < victims.size() && emitted < phish_total; ++v) {
     double t0 = 9000.0 + static_cast<double>(v) * 1200.0;
     // Landing page + assets.
-    for (int a = 0; a < 7 && emitted < 55; ++a, ++emitted) {
+    for (int a = 0; a < 7 && emitted < phish_total; ++a, ++emitted) {
       rows.push_back({Value(int64_t{0}), Value(t0 + a * 0.8),
                       Value(Ip(192, 168, 3, victims[v])), Value(phish_host),
                       Value(std::string(a == 0 ? "/login.php" : "/assets/bank1.css")),
@@ -232,7 +239,7 @@ Result<Dataset> MakeCyber3(uint64_t seed) {
                       Value(int64_t{200}), Value(rng.NextInt(2000, 30000))});
     }
     // Credential POST for five of the six victims.
-    if (v != 3 && emitted < 55) {
+    if (v != 3 && emitted < phish_total) {
       rows.push_back({Value(int64_t{0}), Value(t0 + 45.0),
                       Value(Ip(192, 168, 3, victims[v])), Value(phish_host),
                       Value(std::string("/login.php")),
@@ -241,8 +248,8 @@ Result<Dataset> MakeCyber3(uint64_t seed) {
       ++emitted;
     }
   }
-  // Top up to exactly 55 phishing events with repeated victim visits.
-  while (emitted < 55) {
+  // Top up to exactly 55·scale phishing events with repeated victim visits.
+  while (emitted < phish_total) {
     double t = 16000.0 + emitted * 37.0;
     rows.push_back({Value(int64_t{0}), Value(t),
                     Value(Ip(192, 168, 3, victims[emitted % victims.size()])),
@@ -277,23 +284,24 @@ Result<Dataset> MakeCyber3(uint64_t seed) {
   return FinishDataset(std::move(info), &builder);
 }
 
-Result<Dataset> MakeCyber4(uint64_t seed) {
+Result<Dataset> MakeCyber4(uint64_t seed, int scale_factor) {
+  const int scale = std::max(1, scale_factor);
   Rng rng(seed * 0x100007 + 19);
   const std::string attacker = Ip(172, 16, 0, 99);
   const std::string victim = Ip(192, 168, 10, 5);
   const std::vector<int> open_ports = {22, 80, 443, 445};
 
   std::vector<Row> rows;
-  rows.reserve(13625);
+  rows.reserve(static_cast<size_t>(13625) * static_cast<size_t>(scale));
 
   auto is_open = [&open_ports](int port) {
     return std::find(open_ports.begin(), open_ports.end(), port) !=
            open_ports.end();
   };
 
-  // The scan: two SYN passes over ports 1..1024 (2048 SYNs), RST replies
-  // from the 1020 closed ports per pass, SYN-ACK from the 4 open ports.
-  for (int pass = 0; pass < 2; ++pass) {
+  // The scan: 2·scale SYN passes over ports 1..1024, RST replies from the
+  // 1020 closed ports per pass, SYN-ACK from the 4 open ports.
+  for (int pass = 0; pass < 2 * scale; ++pass) {
     for (int port = 1; port <= 1024; ++port) {
       double t = 500.0 + pass * 40.0 + port * 0.03;
       rows.push_back({Value(int64_t{0}), Value(t), Value(attacker),
@@ -310,13 +318,14 @@ Result<Dataset> MakeCyber4(uint64_t seed) {
                       Value(int64_t{60})});
     }
   }
-  // 4096 scan rows so far; 9529 background rows round out 13625.
+  // 4096·scale scan rows so far; 9529·scale background rows round out
+  // 13625·scale.
   const std::vector<std::string> flags = {"ACK", "PSH, ACK", "SYN", "SYN, ACK",
                                           "FIN, ACK"};
   const std::vector<double> flag_weights = {0.45, 0.3, 0.08, 0.08, 0.09};
   const std::vector<int> service_ports = {80, 443, 53, 25, 8080};
-  for (int i = 0; i < 9529; ++i) {
-    double t = rng.NextDouble() * 1200.0;
+  for (int i = 0; i < 9529 * scale; ++i) {
+    double t = rng.NextDouble() * (1200.0 * scale);
     int a = static_cast<int>(rng.NextInt(20, 99));
     bool udp = rng.NextBool(0.12);
     int service = service_ports[rng.NextZipf(service_ports.size(), 1.0)];

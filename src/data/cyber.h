@@ -10,26 +10,32 @@ namespace atena {
 /// datasets [43]. Each plants a specific attack inside realistic background
 /// traffic; the planted facts double as the ground-truth insight lists used
 /// by the Figure 4b benchmark (see eval/insights.h). Row counts match
-/// Table 1. Generation is deterministic in `seed`.
+/// Table 1. Generation is deterministic in (seed, scale_factor).
+///
+/// `scale_factor` multiplies every section's row count (sweep passes,
+/// background events, capture window) so the same attack story plays out
+/// over scale× the traffic — the paper's real workloads are millions of
+/// rows, and the dataframe kernels are benchmarked at that size. A factor
+/// of 1 reproduces the legacy table bit-for-bit; 100–1000 reach 1M+ rows.
 
-/// Cyber #1 — 8648 rows. ICMP scan: attacker 10.0.66.66 ping-sweeps
+/// Cyber #1 — 8648·scale rows. ICMP scan: attacker 10.0.66.66 ping-sweeps
 /// 192.168.1.0/24; three exposed hosts reply; normal TCP/DNS background.
-Result<Dataset> MakeCyber1(uint64_t seed = 1);
+Result<Dataset> MakeCyber1(uint64_t seed = 1, int scale_factor = 1);
 
-/// Cyber #2 — 348 rows. Remote-code-execution attack: 203.0.113.99 posts
-/// shellshock-style payloads to /cgi-bin/status.cgi on web server
+/// Cyber #2 — 348·scale rows. Remote-code-execution attack: 203.0.113.99
+/// posts shellshock-style payloads to /cgi-bin/status.cgi on web server
 /// 192.168.2.10, then exfiltrates; normal browsing background.
-Result<Dataset> MakeCyber2(uint64_t seed = 2);
+Result<Dataset> MakeCyber2(uint64_t seed = 2, int scale_factor = 1);
 
-/// Cyber #3 — 745 rows. Web phishing: employees are lured from a webmail
-/// referrer to secure-bank1-login.xyz, which mimics bank1.com and harvests
-/// credentials via POST /login.php.
-Result<Dataset> MakeCyber3(uint64_t seed = 3);
+/// Cyber #3 — 745·scale rows. Web phishing: employees are lured from a
+/// webmail referrer to secure-bank1-login.xyz, which mimics bank1.com and
+/// harvests credentials via POST /login.php.
+Result<Dataset> MakeCyber3(uint64_t seed = 3, int scale_factor = 1);
 
-/// Cyber #4 — 13625 rows. TCP port scan: 172.16.0.99 SYN-scans ports
+/// Cyber #4 — 13625·scale rows. TCP port scan: 172.16.0.99 SYN-scans ports
 /// 1..1024 on 192.168.10.5; open ports 22/80/443/445 answer SYN-ACK,
 /// closed ports answer RST.
-Result<Dataset> MakeCyber4(uint64_t seed = 4);
+Result<Dataset> MakeCyber4(uint64_t seed = 4, int scale_factor = 1);
 
 }  // namespace atena
 

@@ -170,37 +170,41 @@ DatasetInfo FlightsInfo(std::string id, std::string title,
 
 }  // namespace
 
-Result<Dataset> MakeFlights1(uint64_t seed) {
+Result<Dataset> MakeFlights1(uint64_t seed, int scale_factor) {
   FlightConstraints cons;
   cons.airline = "AA";
   cons.day_of_week = "Sunday";
   return MakeFlights(FlightsInfo("flights1", "Flights #1",
                                  "AA Flights on Sundays"),
-                     5661, cons, seed);
+                     5661 * static_cast<int64_t>(std::max(1, scale_factor)),
+                     cons, seed);
 }
 
-Result<Dataset> MakeFlights2(uint64_t seed) {
+Result<Dataset> MakeFlights2(uint64_t seed, int scale_factor) {
   FlightConstraints cons;
   cons.origin = "BOS";
   return MakeFlights(FlightsInfo("flights2", "Flights #2",
                                  "Flights departing from BOS"),
-                     8172, cons, seed);
+                     8172 * static_cast<int64_t>(std::max(1, scale_factor)),
+                     cons, seed);
 }
 
-Result<Dataset> MakeFlights3(uint64_t seed) {
+Result<Dataset> MakeFlights3(uint64_t seed, int scale_factor) {
   FlightConstraints cons;
   cons.origin = "SFO";
   cons.destination = "LAX";
   return MakeFlights(FlightsInfo("flights3", "Flights #3", "From SFO to LAX"),
-                     1082, cons, seed);
+                     1082 * static_cast<int64_t>(std::max(1, scale_factor)),
+                     cons, seed);
 }
 
-Result<Dataset> MakeFlights4(uint64_t seed) {
+Result<Dataset> MakeFlights4(uint64_t seed, int scale_factor) {
   FlightConstraints cons;
   cons.short_night_only = true;
   return MakeFlights(FlightsInfo("flights4", "Flights #4",
                                  "Short, night-time flights"),
-                     2175, cons, seed);
+                     2175 * static_cast<int64_t>(std::max(1, scale_factor)),
+                     cons, seed);
 }
 
 }  // namespace atena

@@ -12,19 +12,25 @@ namespace atena {
 /// longest in June (Example 1.1), LAX and ATL suffer extra June delays,
 /// Thursdays are the worst weekday (Figure 1), budget carriers (NK, B6) run
 /// later than legacy ones, and night departures are slightly earlier than
-/// daytime. Row counts match Table 1; generation is deterministic in `seed`.
+/// daytime. Row counts match Table 1; generation is deterministic in
+/// (seed, scale_factor).
+///
+/// `scale_factor` multiplies the target row count (the delay model is
+/// per-row, so a scaled table is just scale× more draws from the same
+/// population). A factor of 1 reproduces the legacy table bit-for-bit;
+/// 100–1000 reach the million-row sizes the dataframe kernels target.
 
-/// Flights #1 — 5661 rows: American Airlines flights on Sundays.
-Result<Dataset> MakeFlights1(uint64_t seed = 101);
+/// Flights #1 — 5661·scale rows: American Airlines flights on Sundays.
+Result<Dataset> MakeFlights1(uint64_t seed = 101, int scale_factor = 1);
 
-/// Flights #2 — 8172 rows: flights departing from BOS.
-Result<Dataset> MakeFlights2(uint64_t seed = 102);
+/// Flights #2 — 8172·scale rows: flights departing from BOS.
+Result<Dataset> MakeFlights2(uint64_t seed = 102, int scale_factor = 1);
 
-/// Flights #3 — 1082 rows: flights from SFO to LAX.
-Result<Dataset> MakeFlights3(uint64_t seed = 103);
+/// Flights #3 — 1082·scale rows: flights from SFO to LAX.
+Result<Dataset> MakeFlights3(uint64_t seed = 103, int scale_factor = 1);
 
-/// Flights #4 — 2175 rows: short, night-time flights.
-Result<Dataset> MakeFlights4(uint64_t seed = 104);
+/// Flights #4 — 2175·scale rows: short, night-time flights.
+Result<Dataset> MakeFlights4(uint64_t seed = 104, int scale_factor = 1);
 
 }  // namespace atena
 

@@ -10,22 +10,22 @@ std::vector<std::string> ExperimentalDatasetIds() {
           "flights1", "flights2", "flights3", "flights4"};
 }
 
-Result<Dataset> MakeDataset(const std::string& id) {
-  if (id == "cyber1") return MakeCyber1();
-  if (id == "cyber2") return MakeCyber2();
-  if (id == "cyber3") return MakeCyber3();
-  if (id == "cyber4") return MakeCyber4();
-  if (id == "flights1") return MakeFlights1();
-  if (id == "flights2") return MakeFlights2();
-  if (id == "flights3") return MakeFlights3();
-  if (id == "flights4") return MakeFlights4();
+Result<Dataset> MakeDataset(const std::string& id, int scale_factor) {
+  if (id == "cyber1") return MakeCyber1(1, scale_factor);
+  if (id == "cyber2") return MakeCyber2(2, scale_factor);
+  if (id == "cyber3") return MakeCyber3(3, scale_factor);
+  if (id == "cyber4") return MakeCyber4(4, scale_factor);
+  if (id == "flights1") return MakeFlights1(101, scale_factor);
+  if (id == "flights2") return MakeFlights2(102, scale_factor);
+  if (id == "flights3") return MakeFlights3(103, scale_factor);
+  if (id == "flights4") return MakeFlights4(104, scale_factor);
   return Status::NotFound("unknown dataset id '" + id + "'");
 }
 
-Result<std::vector<Dataset>> MakeAllDatasets() {
+Result<std::vector<Dataset>> MakeAllDatasets(int scale_factor) {
   std::vector<Dataset> out;
   for (const auto& id : ExperimentalDatasetIds()) {
-    ATENA_ASSIGN_OR_RETURN(Dataset d, MakeDataset(id));
+    ATENA_ASSIGN_OR_RETURN(Dataset d, MakeDataset(id, scale_factor));
     out.push_back(std::move(d));
   }
   return out;

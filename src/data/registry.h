@@ -14,11 +14,13 @@ namespace atena {
 std::vector<std::string> ExperimentalDatasetIds();
 
 /// Generates the dataset with the given id (see ExperimentalDatasetIds).
-/// Generation is deterministic: the same id always yields the same table.
-Result<Dataset> MakeDataset(const std::string& id);
+/// Generation is deterministic: the same (id, scale_factor) always yields
+/// the same table. `scale_factor` multiplies every dataset's row count
+/// (see data/cyber.h and data/flights.h); 1 reproduces the legacy tables.
+Result<Dataset> MakeDataset(const std::string& id, int scale_factor = 1);
 
 /// Generates all 8 experimental datasets in Table 1 order.
-Result<std::vector<Dataset>> MakeAllDatasets();
+Result<std::vector<Dataset>> MakeAllDatasets(int scale_factor = 1);
 
 }  // namespace atena
 

@@ -138,6 +138,68 @@ ColumnPtr ColumnBuilder::Finish() {
   column_ = std::shared_ptr<Column>(new Column());
   column_->name_ = finished->name_;
   column_->type_ = finished->type_;
+
+  // Materialize the per-chunk zone maps. One pass over the cells at build
+  // time buys chunk skipping on every later filter over the column.
+  const int64_t n = finished->length();
+  const int64_t num_chunks = (n + kColumnChunkSize - 1) >> kColumnChunkShift;
+  finished->chunk_stats_.resize(static_cast<size_t>(num_chunks));
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    ColumnChunkStats& cs = finished->chunk_stats_[static_cast<size_t>(c)];
+    cs.min = std::numeric_limits<double>::infinity();
+    cs.max = -std::numeric_limits<double>::infinity();
+    cs.min_int = std::numeric_limits<int64_t>::max();
+    cs.max_int = std::numeric_limits<int64_t>::min();
+    cs.min_code = std::numeric_limits<int32_t>::max();
+    cs.max_code = -1;
+    const int64_t lo = c << kColumnChunkShift;
+    const int64_t hi = std::min(n, lo + kColumnChunkSize);
+    switch (finished->type_) {
+      case DataType::kInt64:
+        for (int64_t r = lo; r < hi; ++r) {
+          if (!finished->validity_[static_cast<size_t>(r)]) {
+            ++cs.null_count;
+            continue;
+          }
+          const int64_t v = finished->ints_[static_cast<size_t>(r)];
+          cs.min_int = std::min(cs.min_int, v);
+          cs.max_int = std::max(cs.max_int, v);
+        }
+        // int64→double is monotonic, so the cast bounds bound exactly the
+        // cast values predicate kernels compare (AsDoubleOrNan semantics).
+        if (cs.min_int <= cs.max_int) {
+          cs.min = static_cast<double>(cs.min_int);
+          cs.max = static_cast<double>(cs.max_int);
+        }
+        break;
+      case DataType::kFloat64:
+        for (int64_t r = lo; r < hi; ++r) {
+          if (!finished->validity_[static_cast<size_t>(r)]) {
+            ++cs.null_count;
+            continue;
+          }
+          const double v = finished->doubles_[static_cast<size_t>(r)];
+          if (std::isnan(v)) {
+            ++cs.nan_count;
+            continue;
+          }
+          if (v < cs.min) cs.min = v;
+          if (v > cs.max) cs.max = v;
+        }
+        break;
+      case DataType::kString:
+        for (int64_t r = lo; r < hi; ++r) {
+          if (!finished->validity_[static_cast<size_t>(r)]) {
+            ++cs.null_count;
+            continue;
+          }
+          const int32_t code = finished->codes_[static_cast<size_t>(r)];
+          cs.min_code = std::min(cs.min_code, code);
+          cs.max_code = std::max(cs.max_code, code);
+        }
+        break;
+    }
+  }
   return finished;
 }
 

@@ -13,12 +13,50 @@
 
 namespace atena {
 
+/// Rows per column chunk. Chunking is logical: cell storage stays one
+/// contiguous array (so row ids keep addressing it directly and the
+/// Table/RowSet interfaces are untouched), and chunk c summarizes rows
+/// [c * kColumnChunkSize, (c + 1) * kColumnChunkSize). Must stay a power of
+/// two — kernels derive chunk ids by shifting row ids.
+constexpr int64_t kColumnChunkSize = 4096;
+constexpr int kColumnChunkShift = 12;
+static_assert(kColumnChunkSize == int64_t{1} << kColumnChunkShift);
+
+/// Zone map of one column chunk, computed once when the column is built.
+/// Filter kernels consult it to skip chunks that cannot match a predicate
+/// (or to emit whole chunks that provably match without testing rows).
+struct ColumnChunkStats {
+  /// Min/max over the chunk's non-null cells *as doubles* — the exact
+  /// numeric view predicate rows are compared under (AsDoubleOrNan), so
+  /// zone-map conclusions are consistent with per-row comparisons even for
+  /// int64 values beyond double's integer range. Ignores NaN cells (see
+  /// nan_count). +inf/-inf when the chunk has no non-null numeric cell.
+  double min = 0.0;
+  double max = 0.0;
+  /// Exact integer bounds for int64 columns (feeds the dense group-by fast
+  /// path, which must not round). INT64_MAX/INT64_MIN when empty.
+  int64_t min_int = 0;
+  int64_t max_int = 0;
+  /// Dictionary-code bounds for string columns. INT32_MAX/-1 when the
+  /// chunk has no non-null string cell.
+  int32_t min_code = 0;
+  int32_t max_code = 0;
+  /// Null cells in the chunk; == chunk length means the chunk never
+  /// matches any predicate.
+  int32_t null_count = 0;
+  /// Non-null NaN cells (float columns only). NaN escapes min/max, so an
+  /// "every row matches" zone-map proof additionally requires nan_count==0.
+  int32_t nan_count = 0;
+};
+
 /// Immutable typed column. String columns are dictionary-encoded: each cell
 /// stores a 32-bit code into a per-column dictionary, so equality filters and
 /// group-bys run on integer codes. Nulls are tracked in a validity vector.
 ///
 /// Columns are built once via ColumnBuilder and then shared (shared_ptr)
-/// between tables/views; they are never mutated after construction.
+/// between tables/views; they are never mutated after construction. Building
+/// also materializes per-chunk zone maps (see ColumnChunkStats), which the
+/// selection-vector kernels in dataframe/kernels.h use for chunk skipping.
 class Column {
  public:
   DataType type() const { return type_; }
@@ -59,6 +97,23 @@ class Column {
   /// Looks up the dictionary code of `token`; returns -1 when absent.
   int32_t FindCode(std::string_view token) const;
 
+  /// Number of kColumnChunkSize-row chunks (⌈length / kColumnChunkSize⌉).
+  int64_t num_chunks() const {
+    return (length() + kColumnChunkSize - 1) >> kColumnChunkShift;
+  }
+  /// Per-chunk zone maps, one entry per chunk (see ColumnChunkStats).
+  const std::vector<ColumnChunkStats>& chunk_stats() const {
+    return chunk_stats_;
+  }
+
+  /// Raw cell storage for kernels — contiguous across all chunks, indexed
+  /// directly by row id. Only the array matching type() holds cells;
+  /// validity_data()[r] != 0 ⇔ row r is non-null.
+  const int64_t* int_data() const { return ints_.data(); }
+  const double* double_data() const { return doubles_.data(); }
+  const int32_t* code_data() const { return codes_.data(); }
+  const uint8_t* validity_data() const { return validity_.data(); }
+
  private:
   friend class ColumnBuilder;
   Column() = default;
@@ -71,6 +126,7 @@ class Column {
   std::vector<std::string> dictionary_;
   std::unordered_map<std::string, int32_t> dictionary_index_;
   std::vector<uint8_t> validity_;
+  std::vector<ColumnChunkStats> chunk_stats_;
   int64_t null_count_ = 0;
 };
 

@@ -76,7 +76,7 @@ Result<TablePtr> DescribeTable(const Table& table) {
   ColumnBuilder top("top_value", DataType::kString);
   ColumnBuilder top_count("top_count", DataType::kInt64);
 
-  auto rows = AllRows(table);
+  ATENA_ASSIGN_OR_RETURN(const std::vector<int32_t> rows, AllRows(table));
   for (int c = 0; c < table.num_columns(); ++c) {
     const Column& col = *table.column(c);
     ColumnStats stats = ComputeColumnStats(col, rows);

@@ -1,0 +1,1626 @@
+#include "dataframe/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <type_traits>
+
+#include "common/hashing.h"
+#include "common/string_utils.h"
+#include "common/thread_pool.h"
+
+namespace atena {
+
+namespace {
+
+bool IsNumericType(DataType type) {
+  return type == DataType::kInt64 || type == DataType::kFloat64;
+}
+
+bool IsOrderingOp(CompareOp op) {
+  return op == CompareOp::kGt || op == CompareOp::kGe ||
+         op == CompareOp::kLt || op == CompareOp::kLe;
+}
+
+bool IsStringOp(CompareOp op) {
+  return op == CompareOp::kContains || op == CompareOp::kStartsWith ||
+         op == CompareOp::kEndsWith;
+}
+
+// ---------------------------------------------------------------------------
+// Shared filter validation. Both the kernel and the scalar reference resolve
+// a call through PlanFilter so their error statuses can never drift apart.
+// ---------------------------------------------------------------------------
+
+struct FilterPlan {
+  enum class Mode {
+    kNumeric,     // ordering or numeric equality: AsDoubleOrNan vs threshold
+    kStringCode,  // string kEq/kNeq: dictionary-code compare
+    kSubstring,   // kContains/kStartsWith/kEndsWith over the dictionary
+  };
+  Mode mode = Mode::kNumeric;
+  CompareOp op = CompareOp::kEq;
+  double threshold = 0.0;               // kNumeric
+  int32_t code = -1;                    // kStringCode; -1 = term not in dict
+  const std::string* needle = nullptr;  // kSubstring; borrowed from the term
+};
+
+Result<FilterPlan> PlanFilter(const Table& table, int column, CompareOp op,
+                              const Value& term) {
+  if (column < 0 || column >= table.num_columns()) {
+    return Status::OutOfRange("FilterRows: column index " +
+                              std::to_string(column));
+  }
+  if (table.num_rows() > std::numeric_limits<int32_t>::max()) {
+    return Status::OutOfRange(
+        "FilterRows: table exceeds int32 row-index range (" +
+        std::to_string(table.num_rows()) + " rows)");
+  }
+  const Column& col = *table.column(column);
+  if (term.is_null()) {
+    return Status::InvalidArgument("FilterRows: null filter term");
+  }
+
+  FilterPlan plan;
+  plan.op = op;
+  if (IsOrderingOp(op)) {
+    if (!IsNumericType(col.type())) {
+      return Status::TypeMismatch("ordering filter on non-numeric column '" +
+                                  col.name() + "'");
+    }
+    if (!term.ToDouble(&plan.threshold)) {
+      return Status::TypeMismatch("ordering filter with non-numeric term");
+    }
+    plan.mode = FilterPlan::Mode::kNumeric;
+    return plan;
+  }
+
+  if (IsStringOp(op)) {
+    if (col.type() != DataType::kString) {
+      return Status::TypeMismatch("substring filter on non-string column '" +
+                                  col.name() + "'");
+    }
+    if (!term.is_string()) {
+      return Status::TypeMismatch("substring filter with non-string term");
+    }
+    plan.mode = FilterPlan::Mode::kSubstring;
+    plan.needle = &term.as_string();
+    return plan;
+  }
+
+  // Equality family.
+  if (col.type() == DataType::kString) {
+    if (!term.is_string()) {
+      return Status::TypeMismatch("equality filter on string column '" +
+                                  col.name() + "' with non-string term");
+    }
+    plan.mode = FilterPlan::Mode::kStringCode;
+    plan.code = col.FindCode(term.as_string());
+    return plan;
+  }
+  if (!term.ToDouble(&plan.threshold)) {
+    return Status::TypeMismatch("equality filter on numeric column '" +
+                                col.name() + "' with non-numeric term");
+  }
+  plan.mode = FilterPlan::Mode::kNumeric;
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference path (the pre-kernel implementation, retained verbatim).
+// ---------------------------------------------------------------------------
+
+/// Scans `rows` keeping the non-null rows that satisfy `pred`. The
+/// predicate is a template parameter so each operator gets its own tight
+/// loop (no per-row switch). The output is reserved from a selectivity
+/// estimate over a small stride sample, so typical filters do zero or one
+/// reallocation instead of log2(n).
+template <typename Pred>
+std::vector<int32_t> ScanRows(const Column& col,
+                              const std::vector<int32_t>& rows, Pred pred) {
+  std::vector<int32_t> out;
+  const size_t n = rows.size();
+  constexpr size_t kSample = 128;
+  if (n <= 4 * kSample) {
+    out.reserve(n);
+  } else {
+    const size_t stride = n / kSample;
+    size_t matched = 0;
+    for (size_t i = 0; i < kSample; ++i) {
+      const int32_t r = rows[i * stride];
+      if (!col.IsNull(r) && pred(r)) ++matched;
+    }
+    // +1 smoothing and a 1/4 head-room margin; a bad estimate only costs a
+    // realloc, never correctness.
+    const size_t estimate = (n * (matched + 1)) / (kSample + 1);
+    out.reserve(std::min(n, estimate + estimate / 4 + 16));
+  }
+  for (const int32_t r : rows) {
+    if (!col.IsNull(r) && pred(r)) out.push_back(r);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Chunked kernel path.
+// ---------------------------------------------------------------------------
+
+enum class ChunkDecision { kSkip, kScan, kAllMatch };
+
+// Numeric comparison policies. Row() is the per-row test on the double view
+// of the cell; Any()/All() are the zone-map forms over the chunk's non-NaN
+// value range [mn, mx]. kNanMatches marks operators a NaN cell satisfies
+// (only !=, since NaN != t is true); NaN cells are invisible to mn/mx, so
+// Classify() folds nan_count in separately.
+//
+// IntBound()/IntRow() are the exact integer forms used by the dense int64
+// scan: for any int64 cell v with |v| <= 2^53 (so double(v) is exact) and
+// any finite threshold t with |t| inside int64 range,
+//   Row(double(v), t) == IntRow(v, b)   where IntBound(t, &b) derived b.
+// The mapping replaces the real-valued comparison against t with an
+// integer comparison against floor(t) or ceil(t): e.g. v > t iff
+// v > floor(t) (when t is integral the two are the same test, otherwise
+// v > t iff v >= ceil(t) = floor(t) + 1). IntBound() returns false when no
+// such bound exists (NaN t, |t| too large, or non-integral t under ==/!=)
+// and the scan falls back to the double loop.
+constexpr double kIntBoundLimit = 9.0e18;  // < 2^63; floor/ceil stay in range
+
+struct GtOp {
+  static constexpr bool kNanMatches = false;
+  static bool Row(double v, double t) { return v > t; }
+  static bool Any(double /*mn*/, double mx, double t) { return mx > t; }
+  static bool All(double mn, double /*mx*/, double t) { return mn > t; }
+  static bool IntBound(double t, int64_t* b) {
+    if (!(t >= -kIntBoundLimit && t <= kIntBoundLimit)) return false;
+    *b = static_cast<int64_t>(std::floor(t));
+    return true;
+  }
+  static bool IntRow(int64_t v, int64_t b) { return v > b; }
+};
+struct GeOp {
+  static constexpr bool kNanMatches = false;
+  static bool Row(double v, double t) { return v >= t; }
+  static bool Any(double /*mn*/, double mx, double t) { return mx >= t; }
+  static bool All(double mn, double /*mx*/, double t) { return mn >= t; }
+  static bool IntBound(double t, int64_t* b) {
+    if (!(t >= -kIntBoundLimit && t <= kIntBoundLimit)) return false;
+    *b = static_cast<int64_t>(std::ceil(t));
+    return true;
+  }
+  static bool IntRow(int64_t v, int64_t b) { return v >= b; }
+};
+struct LtOp {
+  static constexpr bool kNanMatches = false;
+  static bool Row(double v, double t) { return v < t; }
+  static bool Any(double mn, double /*mx*/, double t) { return mn < t; }
+  static bool All(double /*mn*/, double mx, double t) { return mx < t; }
+  static bool IntBound(double t, int64_t* b) {
+    if (!(t >= -kIntBoundLimit && t <= kIntBoundLimit)) return false;
+    *b = static_cast<int64_t>(std::ceil(t));
+    return true;
+  }
+  static bool IntRow(int64_t v, int64_t b) { return v < b; }
+};
+struct LeOp {
+  static constexpr bool kNanMatches = false;
+  static bool Row(double v, double t) { return v <= t; }
+  static bool Any(double mn, double /*mx*/, double t) { return mn <= t; }
+  static bool All(double /*mn*/, double mx, double t) { return mx <= t; }
+  static bool IntBound(double t, int64_t* b) {
+    if (!(t >= -kIntBoundLimit && t <= kIntBoundLimit)) return false;
+    *b = static_cast<int64_t>(std::floor(t));
+    return true;
+  }
+  static bool IntRow(int64_t v, int64_t b) { return v <= b; }
+};
+struct EqOp {
+  static constexpr bool kNanMatches = false;
+  static bool Row(double v, double t) { return v == t; }
+  static bool Any(double mn, double mx, double t) {
+    return t >= mn && t <= mx;
+  }
+  static bool All(double mn, double mx, double t) {
+    return mn == mx && mn == t;
+  }
+  static bool IntBound(double t, int64_t* b) {
+    if (!(t >= -kIntBoundLimit && t <= kIntBoundLimit)) return false;
+    if (std::floor(t) != t) return false;  // non-integral t matches no int
+    *b = static_cast<int64_t>(t);
+    return true;
+  }
+  static bool IntRow(int64_t v, int64_t b) { return v == b; }
+};
+struct NeqOp {
+  static constexpr bool kNanMatches = true;
+  static bool Row(double v, double t) { return v != t; }
+  static bool Any(double mn, double mx, double t) {
+    return !(mn == mx && mn == t);
+  }
+  static bool All(double mn, double mx, double t) { return t < mn || t > mx; }
+  static bool IntBound(double t, int64_t* b) {
+    if (!(t >= -kIntBoundLimit && t <= kIntBoundLimit)) return false;
+    if (std::floor(t) != t) return false;
+    *b = static_cast<int64_t>(t);
+    return true;
+  }
+  static bool IntRow(int64_t v, int64_t b) { return v != b; }
+};
+
+template <typename T, typename Op>
+struct NumericPred {
+  const T* data;
+  const uint8_t* valid;
+  double t;
+
+  ChunkDecision Classify(const ColumnChunkStats& cs, int64_t len) const {
+    if (cs.null_count == len) return ChunkDecision::kSkip;  // nulls never match
+    const bool nan_hits = Op::kNanMatches && cs.nan_count > 0;
+    const bool has_finite = cs.null_count + cs.nan_count < len;
+    if (!(has_finite && Op::Any(cs.min, cs.max, t)) && !nan_hits) {
+      return ChunkDecision::kSkip;
+    }
+    if (cs.null_count == 0 && (cs.nan_count == 0 || Op::kNanMatches) &&
+        (!has_finite || Op::All(cs.min, cs.max, t))) {
+      return ChunkDecision::kAllMatch;
+    }
+    return ChunkDecision::kScan;
+  }
+  int Test(int64_t r) const {
+    return valid[r] & static_cast<int>(Op::Row(static_cast<double>(data[r]), t));
+  }
+
+  /// Dense evaluation of one contiguous chunk into a byte-per-row match
+  /// buffer (bits[i] == Test(lo + i)). The loops are branch-free over
+  /// contiguous arrays so they auto-vectorize; null-free chunks (the
+  /// common case) drop the validity load, and int64 chunks whose values
+  /// the double view represents exactly compare integers directly instead
+  /// of converting every cell.
+  void FillDense(const ColumnChunkStats& cs, int64_t lo, int64_t hi,
+                 uint8_t* bits) const {
+    const int64_t len = hi - lo;
+    const T* d = data + lo;
+    const uint8_t* v = valid + lo;
+    if constexpr (std::is_same_v<T, int64_t>) {
+      constexpr int64_t kExact = int64_t{1} << 53;
+      int64_t b;
+      if (cs.min_int >= -kExact && cs.max_int <= kExact &&
+          Op::IntBound(t, &b)) {
+        if (cs.null_count == 0) {
+          for (int64_t i = 0; i < len; ++i) {
+            bits[i] = static_cast<uint8_t>(Op::IntRow(d[i], b));
+          }
+        } else {
+          for (int64_t i = 0; i < len; ++i) {
+            bits[i] = v[i] & static_cast<uint8_t>(Op::IntRow(d[i], b));
+          }
+        }
+        return;
+      }
+    }
+    if (cs.null_count == 0) {
+      for (int64_t i = 0; i < len; ++i) {
+        bits[i] = static_cast<uint8_t>(Op::Row(static_cast<double>(d[i]), t));
+      }
+    } else {
+      for (int64_t i = 0; i < len; ++i) {
+        bits[i] =
+            v[i] & static_cast<uint8_t>(Op::Row(static_cast<double>(d[i]), t));
+      }
+    }
+  }
+};
+
+struct CodeEqPred {
+  const int32_t* codes;
+  const uint8_t* valid;
+  int32_t c;
+
+  ChunkDecision Classify(const ColumnChunkStats& cs, int64_t len) const {
+    if (cs.null_count == len) return ChunkDecision::kSkip;
+    if (c < cs.min_code || c > cs.max_code) return ChunkDecision::kSkip;
+    // c is inside the range, so a single-code null-free chunk is all c.
+    if (cs.null_count == 0 && cs.min_code == cs.max_code) {
+      return ChunkDecision::kAllMatch;
+    }
+    return ChunkDecision::kScan;
+  }
+  int Test(int64_t r) const {
+    return valid[r] & static_cast<int>(codes[r] == c);
+  }
+  void FillDense(const ColumnChunkStats& cs, int64_t lo, int64_t hi,
+                 uint8_t* bits) const {
+    const int64_t len = hi - lo;
+    const int32_t* d = codes + lo;
+    if (cs.null_count == 0) {
+      for (int64_t i = 0; i < len; ++i) {
+        bits[i] = static_cast<uint8_t>(d[i] == c);
+      }
+    } else {
+      const uint8_t* v = valid + lo;
+      for (int64_t i = 0; i < len; ++i) {
+        bits[i] = v[i] & static_cast<uint8_t>(d[i] == c);
+      }
+    }
+  }
+};
+
+struct CodeNeqPred {
+  const int32_t* codes;
+  const uint8_t* valid;
+  int32_t c;  // may be -1 (absent term): every non-null row differs
+
+  ChunkDecision Classify(const ColumnChunkStats& cs, int64_t len) const {
+    if (cs.null_count == len) return ChunkDecision::kSkip;
+    if (cs.min_code == cs.max_code && cs.min_code == c) {
+      return ChunkDecision::kSkip;
+    }
+    if (cs.null_count == 0 && (c < cs.min_code || c > cs.max_code)) {
+      return ChunkDecision::kAllMatch;
+    }
+    return ChunkDecision::kScan;
+  }
+  int Test(int64_t r) const {
+    return valid[r] & static_cast<int>(codes[r] != c);
+  }
+  void FillDense(const ColumnChunkStats& cs, int64_t lo, int64_t hi,
+                 uint8_t* bits) const {
+    const int64_t len = hi - lo;
+    const int32_t* d = codes + lo;
+    if (cs.null_count == 0) {
+      for (int64_t i = 0; i < len; ++i) {
+        bits[i] = static_cast<uint8_t>(d[i] != c);
+      }
+    } else {
+      const uint8_t* v = valid + lo;
+      for (int64_t i = 0; i < len; ++i) {
+        bits[i] = v[i] & static_cast<uint8_t>(d[i] != c);
+      }
+    }
+  }
+};
+
+// Substring operators: the predicate was evaluated once per dictionary
+// entry into a byte map, so the per-row test is a single indexed load.
+struct DictBitmapPred {
+  const int32_t* codes;
+  const uint8_t* valid;
+  const uint8_t* match;  // one byte per dictionary entry
+  int32_t min_match;     // code bounds of matching entries
+  int32_t max_match;
+
+  ChunkDecision Classify(const ColumnChunkStats& cs, int64_t len) const {
+    if (cs.null_count == len) return ChunkDecision::kSkip;
+    if (cs.max_code < min_match || cs.min_code > max_match) {
+      return ChunkDecision::kSkip;
+    }
+    return ChunkDecision::kScan;
+  }
+  int Test(int64_t r) const { return valid[r] & match[codes[r]]; }
+  void FillDense(const ColumnChunkStats& cs, int64_t lo, int64_t hi,
+                 uint8_t* bits) const {
+    const int64_t len = hi - lo;
+    const int32_t* d = codes + lo;
+    // Null rows carry dictionary code 0 (see ColumnBuilder::AppendNull), so
+    // the match[] lookup stays in bounds on both branches.
+    if (cs.null_count == 0) {
+      for (int64_t i = 0; i < len; ++i) {
+        bits[i] = match[d[i]];
+      }
+    } else {
+      const uint8_t* v = valid + lo;
+      for (int64_t i = 0; i < len; ++i) {
+        bits[i] = v[i] & match[d[i]];
+      }
+    }
+  }
+};
+
+/// Emits the selected row ids of one dense chunk from its byte-match
+/// buffer. Processes eight match bytes per step: an all-zero word (the
+/// common case under a selective predicate) advances with one compare, an
+/// all-ones word emits eight consecutive ids branch-free, and a mixed word
+/// is compressed to an 8-bit mask (one multiply gathers the eight 0/1
+/// bytes into the top byte) that is then walked set-bit by set-bit — work
+/// proportional to the matches, not the rows. Returns the advanced output
+/// cursor.
+inline size_t EmitDense(const uint8_t* bits, int64_t lo, int64_t len,
+                        int32_t* out, size_t m) {
+  constexpr uint64_t kAllOnes = 0x0101010101010101ULL;
+  constexpr uint64_t kMaskGather = 0x0102040810204080ULL;
+  int64_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t word;
+    std::memcpy(&word, bits + i, sizeof(word));
+    if (word == 0) continue;
+    const int32_t base = static_cast<int32_t>(lo + i);
+    if (word == kAllOnes) {
+      for (int32_t j = 0; j < 8; ++j) {
+        out[m + static_cast<size_t>(j)] = base + j;
+      }
+      m += 8;
+      continue;
+    }
+    uint32_t mask = static_cast<uint32_t>((word * kMaskGather) >> 56);
+    while (mask != 0) {
+      out[m++] = base + static_cast<int32_t>(__builtin_ctz(mask));
+      mask &= mask - 1;
+    }
+  }
+  for (; i < len; ++i) {
+    out[m] = static_cast<int32_t>(lo + i);
+    m += bits[i];
+  }
+  return m;
+}
+
+/// Drives a predicate over the selection chunk by chunk. Selections the
+/// system produces are sorted ascending; sorted inputs get zone-map chunk
+/// skipping (with lower_bound jumps over skipped chunks in sparse
+/// selections) and bulk emission of all-match chunks. An unsorted input —
+/// possible for external callers — falls back to a flat branch-light scan
+/// with identical output. Identity selections evaluate scanned chunks in
+/// two phases — a vectorizable dense predicate pass into a stack match
+/// buffer (FillDense), then word-at-a-time emission (EmitDense) — while
+/// sparse selections write output rows unconditionally and advance the
+/// cursor by the match bit, so no inner loop carries a data-dependent
+/// branch.
+template <typename Pred>
+std::vector<int32_t> ChunkedScan(const Column& col,
+                                 const std::vector<int32_t>& rows,
+                                 const Pred& pred, FilterKernelStats* stats) {
+  const size_t n = rows.size();
+  std::vector<int32_t> out(n);
+  int32_t* out_data = out.data();
+  size_t m = 0;
+
+  // Sortedness precheck, blockwise: the inner loops accumulate flags
+  // branch-free (so they vectorize) and the outer loop still bails out on
+  // the first unsorted block instead of scanning the whole selection.
+  bool nondecreasing = true;
+  bool strict = true;
+  {
+    constexpr size_t kCheckBlock = 4096;
+    size_t i = 1;
+    while (i < n && nondecreasing) {
+      const size_t end = std::min(n, i + kCheckBlock);
+      int nd = 1;
+      int st = 1;
+      for (; i < end; ++i) {
+        nd &= static_cast<int>(rows[i] >= rows[i - 1]);
+        st &= static_cast<int>(rows[i] > rows[i - 1]);
+      }
+      nondecreasing = nd != 0;
+      strict = strict && st != 0;
+    }
+  }
+
+  const auto& chunks = col.chunk_stats();
+  const int64_t num_chunks = static_cast<int64_t>(chunks.size());
+  const int64_t num_rows = col.length();
+  FilterKernelStats local;
+
+  if (!nondecreasing) {
+    local.chunks_total = num_chunks;
+    local.chunks_scanned = num_chunks;
+    for (size_t i = 0; i < n; ++i) {
+      const int32_t r = rows[i];
+      out_data[m] = r;
+      m += static_cast<size_t>(pred.Test(r));
+    }
+  } else if (strict && static_cast<int64_t>(n) == num_rows) {
+    // Identity selection (the overwhelmingly common root display): iterate
+    // chunks directly, no selection indirection at all.
+    alignas(64) uint8_t bits[kColumnChunkSize];
+    for (int64_t c = 0; c < num_chunks; ++c) {
+      const int64_t lo = c << kColumnChunkShift;
+      const int64_t hi = std::min(num_rows, lo + kColumnChunkSize);
+      ++local.chunks_total;
+      const ChunkDecision d =
+          pred.Classify(chunks[static_cast<size_t>(c)], hi - lo);
+      if (d == ChunkDecision::kSkip) {
+        ++local.chunks_skipped;
+        continue;
+      }
+      if (d == ChunkDecision::kAllMatch) {
+        ++local.chunks_all_match;
+        for (int64_t r = lo; r < hi; ++r) {
+          out_data[m++] = static_cast<int32_t>(r);
+        }
+        continue;
+      }
+      ++local.chunks_scanned;
+      pred.FillDense(chunks[static_cast<size_t>(c)], lo, hi, bits);
+      m = EmitDense(bits, lo, hi - lo, out_data, m);
+    }
+  } else {
+    // Sorted (possibly sparse, possibly with duplicates) selection: visit
+    // only the chunks the selection touches.
+    size_t i = 0;
+    while (i < n) {
+      const int64_t c = static_cast<int64_t>(rows[i]) >> kColumnChunkShift;
+      const int64_t lo = c << kColumnChunkShift;
+      const int64_t chunk_end = lo + kColumnChunkSize;
+      const int64_t hi = std::min(num_rows, chunk_end);
+      ++local.chunks_total;
+      const ChunkDecision d =
+          pred.Classify(chunks[static_cast<size_t>(c)], hi - lo);
+      if (d == ChunkDecision::kSkip) {
+        ++local.chunks_skipped;
+        i = static_cast<size_t>(
+            std::lower_bound(rows.begin() + static_cast<std::ptrdiff_t>(i),
+                             rows.end(), chunk_end,
+                             [](int32_t a, int64_t b) { return a < b; }) -
+            rows.begin());
+        continue;
+      }
+      if (d == ChunkDecision::kAllMatch) {
+        ++local.chunks_all_match;
+        while (i < n && rows[i] < chunk_end) out_data[m++] = rows[i++];
+        continue;
+      }
+      ++local.chunks_scanned;
+      while (i < n && rows[i] < chunk_end) {
+        const int32_t r = rows[i++];
+        out_data[m] = r;
+        m += static_cast<size_t>(pred.Test(r));
+      }
+    }
+  }
+
+  out.resize(m);
+  if (stats) *stats = local;
+  return out;
+}
+
+template <typename T>
+std::vector<int32_t> DispatchNumeric(const Column& col, const T* data,
+                                     const std::vector<int32_t>& rows,
+                                     const FilterPlan& plan,
+                                     FilterKernelStats* stats) {
+  const uint8_t* valid = col.validity_data();
+  const double t = plan.threshold;
+  switch (plan.op) {
+    case CompareOp::kGt:
+      return ChunkedScan(col, rows, NumericPred<T, GtOp>{data, valid, t},
+                         stats);
+    case CompareOp::kGe:
+      return ChunkedScan(col, rows, NumericPred<T, GeOp>{data, valid, t},
+                         stats);
+    case CompareOp::kLt:
+      return ChunkedScan(col, rows, NumericPred<T, LtOp>{data, valid, t},
+                         stats);
+    case CompareOp::kLe:
+      return ChunkedScan(col, rows, NumericPred<T, LeOp>{data, valid, t},
+                         stats);
+    case CompareOp::kEq:
+      return ChunkedScan(col, rows, NumericPred<T, EqOp>{data, valid, t},
+                         stats);
+    default:
+      return ChunkedScan(col, rows, NumericPred<T, NeqOp>{data, valid, t},
+                         stats);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<int32_t>> ScalarFilterRows(const Table& table,
+                                              const std::vector<int32_t>& rows,
+                                              int column, CompareOp op,
+                                              const Value& term) {
+  ATENA_ASSIGN_OR_RETURN(const FilterPlan plan,
+                         PlanFilter(table, column, op, term));
+  const Column& col = *table.column(column);
+  switch (plan.mode) {
+    case FilterPlan::Mode::kNumeric: {
+      const double threshold = plan.threshold;
+      switch (plan.op) {
+        case CompareOp::kGt:
+          return ScanRows(col, rows, [&](int32_t r) {
+            return col.AsDoubleOrNan(r) > threshold;
+          });
+        case CompareOp::kGe:
+          return ScanRows(col, rows, [&](int32_t r) {
+            return col.AsDoubleOrNan(r) >= threshold;
+          });
+        case CompareOp::kLt:
+          return ScanRows(col, rows, [&](int32_t r) {
+            return col.AsDoubleOrNan(r) < threshold;
+          });
+        case CompareOp::kLe:
+          return ScanRows(col, rows, [&](int32_t r) {
+            return col.AsDoubleOrNan(r) <= threshold;
+          });
+        case CompareOp::kEq:
+          return ScanRows(col, rows, [&](int32_t r) {
+            return col.AsDoubleOrNan(r) == threshold;
+          });
+        default:
+          return ScanRows(col, rows, [&](int32_t r) {
+            return col.AsDoubleOrNan(r) != threshold;
+          });
+      }
+    }
+    case FilterPlan::Mode::kSubstring: {
+      const std::string& needle = *plan.needle;
+      switch (plan.op) {
+        case CompareOp::kContains:
+          return ScanRows(col, rows, [&](int32_t r) {
+            return Contains(col.GetString(r), needle);
+          });
+        case CompareOp::kStartsWith:
+          return ScanRows(col, rows, [&](int32_t r) {
+            return StartsWith(col.GetString(r), needle);
+          });
+        default:
+          return ScanRows(col, rows, [&](int32_t r) {
+            return EndsWith(col.GetString(r), needle);
+          });
+      }
+    }
+    case FilterPlan::Mode::kStringCode: {
+      // Token filters compare dictionary codes: one lookup, integer scans.
+      const int32_t code = plan.code;
+      if (plan.op == CompareOp::kEq) {
+        if (code < 0) return std::vector<int32_t>{};  // absent matches none
+        return ScanRows(col, rows,
+                        [&](int32_t r) { return col.GetCode(r) == code; });
+      }
+      if (code < 0) {
+        // Absent term: every non-null row differs from it.
+        return ScanRows(col, rows, [](int32_t) { return true; });
+      }
+      return ScanRows(col, rows,
+                      [&](int32_t r) { return col.GetCode(r) != code; });
+    }
+  }
+  return Status::Internal("ScalarFilterRows: unreachable");
+}
+
+Result<std::vector<int32_t>> FilterRowsKernel(const Table& table,
+                                              const std::vector<int32_t>& rows,
+                                              int column, CompareOp op,
+                                              const Value& term,
+                                              FilterKernelStats* stats) {
+  ATENA_ASSIGN_OR_RETURN(const FilterPlan plan,
+                         PlanFilter(table, column, op, term));
+  const Column& col = *table.column(column);
+  if (stats) *stats = FilterKernelStats{};
+  switch (plan.mode) {
+    case FilterPlan::Mode::kNumeric:
+      if (col.type() == DataType::kInt64) {
+        return DispatchNumeric<int64_t>(col, col.int_data(), rows, plan,
+                                        stats);
+      }
+      return DispatchNumeric<double>(col, col.double_data(), rows, plan,
+                                     stats);
+    case FilterPlan::Mode::kStringCode:
+      if (plan.op == CompareOp::kEq) {
+        if (plan.code < 0) {
+          // Absent term matches nothing; every chunk is skipped outright.
+          if (stats) {
+            stats->chunks_total = col.num_chunks();
+            stats->chunks_skipped = col.num_chunks();
+          }
+          return std::vector<int32_t>{};
+        }
+        return ChunkedScan(
+            col, rows,
+            CodeEqPred{col.code_data(), col.validity_data(), plan.code},
+            stats);
+      }
+      return ChunkedScan(
+          col, rows,
+          CodeNeqPred{col.code_data(), col.validity_data(), plan.code}, stats);
+    case FilterPlan::Mode::kSubstring: {
+      // Evaluate the substring predicate once per dictionary entry;
+      // dictionaries are tiny relative to row counts, so this turns a
+      // per-row substring search into a per-row byte load.
+      const int32_t dict = col.dictionary_size();
+      std::vector<uint8_t> match(static_cast<size_t>(dict), 0);
+      int32_t min_match = std::numeric_limits<int32_t>::max();
+      int32_t max_match = -1;
+      for (int32_t code = 0; code < dict; ++code) {
+        const std::string& entry = col.DictionaryEntry(code);
+        bool hit = false;
+        switch (plan.op) {
+          case CompareOp::kContains:
+            hit = Contains(entry, *plan.needle);
+            break;
+          case CompareOp::kStartsWith:
+            hit = StartsWith(entry, *plan.needle);
+            break;
+          default:
+            hit = EndsWith(entry, *plan.needle);
+            break;
+        }
+        match[static_cast<size_t>(code)] = hit ? 1 : 0;
+        if (hit) {
+          min_match = std::min(min_match, code);
+          max_match = std::max(max_match, code);
+        }
+      }
+      if (max_match < 0) {
+        if (stats) {
+          stats->chunks_total = col.num_chunks();
+          stats->chunks_skipped = col.num_chunks();
+        }
+        return std::vector<int32_t>{};
+      }
+      return ChunkedScan(col, rows,
+                         DictBitmapPred{col.code_data(), col.validity_data(),
+                                        match.data(), min_match, max_match},
+                         stats);
+    }
+  }
+  return Status::Internal("FilterRowsKernel: unreachable");
+}
+
+// ---------------------------------------------------------------------------
+// Group-by.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Status ValidateGroupSpec(const Table& table, const GroupSpec& spec) {
+  if (spec.group_columns.empty()) {
+    return Status::InvalidArgument("GroupAggregate: no group columns");
+  }
+  for (int c : spec.group_columns) {
+    if (c < 0 || c >= table.num_columns()) {
+      return Status::OutOfRange("GroupAggregate: group column " +
+                                std::to_string(c));
+    }
+  }
+  const bool needs_agg_column = spec.agg != AggFunc::kCount;
+  if (needs_agg_column) {
+    if (spec.agg_column < 0 || spec.agg_column >= table.num_columns()) {
+      return Status::OutOfRange("GroupAggregate: agg column " +
+                                std::to_string(spec.agg_column));
+    }
+    if (!IsNumericType(table.column(spec.agg_column)->type())) {
+      return Status::TypeMismatch(
+          std::string(AggFuncName(spec.agg)) + " over non-numeric column '" +
+          table.column(spec.agg_column)->name() + "'");
+    }
+  }
+  return Status::OK();
+}
+
+void FillGroupHeader(const Table& table, const GroupSpec& spec,
+                     GroupedResult* result) {
+  result->spec = spec;
+  for (int c : spec.group_columns) {
+    result->key_names.push_back(table.column(c)->name());
+  }
+  if (spec.agg == AggFunc::kCount) {
+    result->agg_name = "COUNT(*)";
+  } else {
+    result->agg_name = std::string(AggFuncName(spec.agg)) + "(" +
+                       table.column(spec.agg_column)->name() + ")";
+  }
+}
+
+/// Aggregates one group's member rows (already in selection order). This is
+/// the scalar reference's per-group loop verbatim; both paths share it so
+/// accumulation order — and therefore every SUM/AVG bit — is identical.
+void AggregateGroup(const Column& agg_col, AggFunc agg, Group* g) {
+  if (agg == AggFunc::kCount) {
+    g->aggregate = static_cast<double>(g->rows.size());
+    g->agg_valid = true;
+    return;
+  }
+  double acc = 0.0;
+  double mn = std::numeric_limits<double>::infinity();
+  double mx = -std::numeric_limits<double>::infinity();
+  int64_t n = 0;
+  for (int32_t r : g->rows) {
+    if (agg_col.IsNull(r)) continue;
+    double v = agg_col.AsDoubleOrNan(r);
+    acc += v;
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+    ++n;
+  }
+  g->agg_valid = (n > 0);
+  if (!g->agg_valid) return;
+  switch (agg) {
+    case AggFunc::kSum:
+      g->aggregate = acc;
+      break;
+    case AggFunc::kMin:
+      g->aggregate = mn;
+      break;
+    case AggFunc::kMax:
+      g->aggregate = mx;
+      break;
+    case AggFunc::kAvg:
+      g->aggregate = acc / static_cast<double>(n);
+      break;
+    case AggFunc::kCount:
+      break;
+  }
+}
+
+/// Kernel-side aggregation of one group. Performs exactly the operations
+/// AggregateGroup performs on the accumulators the requested aggregate
+/// reads — same member order, same adds on the same single accumulator,
+/// same std::min/std::max expressions — so every result bit matches the
+/// scalar reference. It only hoists the per-row type dispatch and validity
+/// test out of the loop (raw array + validity-byte accesses instead of
+/// IsNull/AsDoubleOrNan calls) and skips the accumulators the aggregate
+/// never reads, neither of which touches the float sequence that is kept.
+void AggregateGroupKernel(const Column& agg_col, AggFunc agg, Group* g) {
+  if (agg == AggFunc::kCount) {
+    g->aggregate = static_cast<double>(g->rows.size());
+    g->agg_valid = true;
+    return;
+  }
+  const uint8_t* valid = agg_col.validity_data();
+  const bool is_int = agg_col.type() == DataType::kInt64;
+  const int64_t* ints = agg_col.int_data();
+  const double* dbls = agg_col.double_data();
+  int64_t n = 0;
+  double out = 0.0;
+  switch (agg) {
+    case AggFunc::kSum:
+    case AggFunc::kAvg: {
+      double acc = 0.0;
+      if (is_int) {
+        for (int32_t r : g->rows) {
+          if (!valid[r]) continue;
+          acc += static_cast<double>(ints[r]);
+          ++n;
+        }
+      } else {
+        for (int32_t r : g->rows) {
+          if (!valid[r]) continue;
+          acc += dbls[r];
+          ++n;
+        }
+      }
+      if (n > 0) {
+        out = agg == AggFunc::kSum ? acc : acc / static_cast<double>(n);
+      }
+      break;
+    }
+    case AggFunc::kMin: {
+      double mn = std::numeric_limits<double>::infinity();
+      if (is_int) {
+        for (int32_t r : g->rows) {
+          if (!valid[r]) continue;
+          mn = std::min(mn, static_cast<double>(ints[r]));
+          ++n;
+        }
+      } else {
+        for (int32_t r : g->rows) {
+          if (!valid[r]) continue;
+          mn = std::min(mn, dbls[r]);
+          ++n;
+        }
+      }
+      out = mn;
+      break;
+    }
+    case AggFunc::kMax: {
+      double mx = -std::numeric_limits<double>::infinity();
+      if (is_int) {
+        for (int32_t r : g->rows) {
+          if (!valid[r]) continue;
+          mx = std::max(mx, static_cast<double>(ints[r]));
+          ++n;
+        }
+      } else {
+        for (int32_t r : g->rows) {
+          if (!valid[r]) continue;
+          mx = std::max(mx, dbls[r]);
+          ++n;
+        }
+      }
+      out = mx;
+      break;
+    }
+    case AggFunc::kCount:
+      break;
+  }
+  g->agg_valid = (n > 0);
+  if (g->agg_valid) g->aggregate = out;
+}
+
+/// Serial fused member-fill + aggregation over the whole selection in row
+/// order. Visiting the selection front to back appends each group's
+/// members in discovery order (exactly what the scalar reference's
+/// per-group push_backs produce) and feeds every group accumulator the
+/// same floating-point sequence as the per-group loops (AggregateGroup /
+/// AggregateGroupKernel) — while the agg column is read in one sequential
+/// sweep instead of one sparse gather pass per group, and the selection's
+/// id array is read once instead of twice. Serial only: merging per-thread
+/// partial sums would reassociate the adds and change SUM/AVG bits.
+///
+/// `row_ids` holds dense slots (resolved through `id_to_gid`) or final
+/// group ids (`id_to_gid` empty); `cursors` is indexed by the same id
+/// space and already points into each group's sized rows vector.
+template <typename IdT>
+void FillAndAggregate(const Column& agg_col, AggFunc agg,
+                      const std::vector<int32_t>& rows, bool identity,
+                      const std::vector<IdT>& row_ids, int32_t** cursors,
+                      const std::vector<int32_t>& id_to_gid,
+                      std::vector<Group>* groups) {
+  const size_t n = rows.size();
+  const uint8_t* valid = agg_col.validity_data();
+  const int32_t* sel = rows.data();
+  const IdT* ids = row_ids.data();
+  const size_t id_space = id_to_gid.empty() ? groups->size() : id_to_gid.size();
+
+  std::vector<double> acc(
+      id_space, agg == AggFunc::kMin
+                    ? std::numeric_limits<double>::infinity()
+                    : agg == AggFunc::kMax
+                          ? -std::numeric_limits<double>::infinity()
+                          : 0.0);
+  std::vector<int64_t> cnt(id_space, 0);
+
+  auto for_each = [&](auto&& update) {
+    if (identity) {
+      for (size_t i = 0; i < n; ++i) {
+        const size_t id = static_cast<size_t>(ids[i]);
+        *cursors[id]++ = static_cast<int32_t>(i);
+        if (valid[i]) update(id, static_cast<int64_t>(i));
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        const int32_t r = sel[i];
+        const size_t id = static_cast<size_t>(ids[i]);
+        *cursors[id]++ = r;
+        if (valid[r]) update(id, static_cast<int64_t>(r));
+      }
+    }
+  };
+  auto drive = [&](const auto* data) {
+    switch (agg) {
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        for_each([&](size_t g, int64_t r) {
+          acc[g] += static_cast<double>(data[r]);
+          ++cnt[g];
+        });
+        break;
+      case AggFunc::kMin:
+        for_each([&](size_t g, int64_t r) {
+          acc[g] = std::min(acc[g], static_cast<double>(data[r]));
+          ++cnt[g];
+        });
+        break;
+      case AggFunc::kMax:
+        for_each([&](size_t g, int64_t r) {
+          acc[g] = std::max(acc[g], static_cast<double>(data[r]));
+          ++cnt[g];
+        });
+        break;
+      case AggFunc::kCount:
+        break;  // handled by the caller, never reaches here
+    }
+  };
+  if (agg_col.type() == DataType::kInt64) {
+    drive(agg_col.int_data());
+  } else {
+    drive(agg_col.double_data());
+  }
+
+  for (size_t id = 0; id < id_space; ++id) {
+    const int32_t gid =
+        id_to_gid.empty() ? static_cast<int32_t>(id) : id_to_gid[id];
+    if (gid < 0) continue;
+    Group& grp = (*groups)[static_cast<size_t>(gid)];
+    grp.agg_valid = cnt[id] > 0;
+    if (!grp.agg_valid) continue;
+    grp.aggregate = agg == AggFunc::kAvg
+                        ? acc[id] / static_cast<double>(cnt[id])
+                        : acc[id];
+  }
+}
+
+void SortGroupsByKey(std::vector<Group>* groups) {
+  std::sort(groups->begin(), groups->end(),
+            [](const Group& a, const Group& b) {
+              for (size_t i = 0; i < a.keys.size() && i < b.keys.size(); ++i) {
+                if (ValueLess(a.keys[i], b.keys[i])) return true;
+                if (ValueLess(b.keys[i], a.keys[i])) return false;
+              }
+              return false;
+            });
+}
+
+/// Dense single-column fast path: when the lone group column is a string
+/// (slots are dictionary codes) or an int64 with a small, exactly-
+/// representable global range (slots are offsets from the minimum), the
+/// row→group map is direct addressing — no hashing at all. Slot order
+/// differs from row-encounter order, but every pair of distinct keys on
+/// these paths is strictly ordered by ValueLess (distinct strings compare
+/// lexicographically; distinct in-range ints stay distinct as doubles), so
+/// the final sort-by-key fully determines the output and matches the scalar
+/// reference exactly. Doubles never take this path: -0.0/0.0 and NaN bit
+/// patterns form ValueLess ties where pre-sort (discovery) order matters.
+/// `identity_sel` marks a selection known to be 0..n-1, which lets pass 1
+/// drop the selection indirection and run as a pure SIMD-friendly sweep
+/// over the column arrays. On success `row_ids` holds each row's dense
+/// SLOT (not group id) — the caller resolves slots through `slot_to_gid`
+/// (-1 for unoccupied slots), which avoids a whole remap pass over the
+/// selection — and `group_counts` holds each emitted group's member-row
+/// count (indexed by group id), so the member vectors can be sized without
+/// another counting pass.
+bool TryDenseSingleColumn(const Table& table, const GroupSpec& spec,
+                          const std::vector<int32_t>& rows, ThreadPool* pool,
+                          bool identity_sel, std::vector<uint16_t>* row_ids,
+                          std::vector<Group>* groups,
+                          std::vector<int32_t>* group_counts,
+                          std::vector<int32_t>* slot_to_gid) {
+  constexpr int64_t kDenseSlotLimit = int64_t{1} << 16;
+  constexpr int64_t kExactInt = int64_t{1} << 53;  // doubles stay exact here
+  const Column& col = *table.column(spec.group_columns[0]);
+  const size_t n = rows.size();
+  const int32_t* sel = rows.data();
+  const uint8_t* valid = col.validity_data();
+
+  int64_t slots = 0;   // slot 0 is reserved for null keys
+  int64_t base = 0;    // int path: slot = value - base + 1
+  if (col.type() == DataType::kString) {
+    slots = static_cast<int64_t>(col.dictionary_size()) + 1;
+    if (slots > kDenseSlotLimit) return false;
+  } else if (col.type() == DataType::kInt64) {
+    int64_t mn = std::numeric_limits<int64_t>::max();
+    int64_t mx = std::numeric_limits<int64_t>::min();
+    for (const ColumnChunkStats& cs : col.chunk_stats()) {
+      mn = std::min(mn, cs.min_int);
+      mx = std::max(mx, cs.max_int);
+    }
+    if (mn > mx) {
+      slots = 1;  // all-null column
+    } else {
+      if (mn < -kExactInt || mx > kExactInt) return false;
+      const int64_t range = mx - mn;  // < 2^54, no overflow
+      if (range + 2 > kDenseSlotLimit) return false;
+      slots = range + 2;
+      base = mn;
+    }
+  } else {
+    return false;
+  }
+  row_ids->resize(n);  // sized here, past every cheap early-out above
+
+  // Pass 1: slot per selected row. Writes are disjoint per index, so fixed
+  // 64Ki-row partitions can run on the pool.
+  auto fill = [&](int64_t lo, int64_t hi) {
+    uint16_t* gid = row_ids->data();
+    if (col.type() == DataType::kString) {
+      const int32_t* codes = col.code_data();
+      if (identity_sel) {
+        for (int64_t i = lo; i < hi; ++i) {
+          gid[i] = valid[i] ? static_cast<uint16_t>(codes[i] + 1) : 0;
+        }
+      } else {
+        for (int64_t i = lo; i < hi; ++i) {
+          const int32_t r = sel[i];
+          gid[i] = valid[r] ? static_cast<uint16_t>(codes[r] + 1) : 0;
+        }
+      }
+    } else {
+      const int64_t* ints = col.int_data();
+      if (identity_sel) {
+        for (int64_t i = lo; i < hi; ++i) {
+          gid[i] = valid[i] ? static_cast<uint16_t>(ints[i] - base + 1) : 0;
+        }
+      } else {
+        for (int64_t i = lo; i < hi; ++i) {
+          const int32_t r = sel[i];
+          gid[i] = valid[r] ? static_cast<uint16_t>(ints[r] - base + 1) : 0;
+        }
+      }
+    }
+  };
+  constexpr int64_t kPartitionRows = int64_t{1} << 16;
+  const int64_t num_parts =
+      n == 0 ? 0
+             : (static_cast<int64_t>(n) + kPartitionRows - 1) / kPartitionRows;
+  if (pool != nullptr && num_parts > 1) {
+    pool->ParallelFor(static_cast<int>(num_parts), [&](int p) {
+      const int64_t lo = static_cast<int64_t>(p) * kPartitionRows;
+      fill(lo, std::min<int64_t>(static_cast<int64_t>(n),
+                                 lo + kPartitionRows));
+    });
+  } else {
+    fill(0, static_cast<int64_t>(n));
+  }
+
+  // Pass 2 (serial): compact occupied slots into group indices, in slot
+  // order, and emit the group keys. Rows keep their slot ids; the caller
+  // resolves them through slot_to_gid instead of paying a remap pass.
+  std::vector<int32_t> slot_count(static_cast<size_t>(slots), 0);
+  for (size_t i = 0; i < n; ++i) {
+    ++slot_count[static_cast<size_t>((*row_ids)[i])];
+  }
+  slot_to_gid->assign(static_cast<size_t>(slots), -1);
+  for (int64_t s = 0; s < slots; ++s) {
+    if (slot_count[static_cast<size_t>(s)] == 0) continue;
+    (*slot_to_gid)[static_cast<size_t>(s)] =
+        static_cast<int32_t>(groups->size());
+    Group g;
+    if (s == 0) {
+      g.keys.push_back(Value::Null());
+    } else if (col.type() == DataType::kString) {
+      g.keys.push_back(Value(col.DictionaryEntry(static_cast<int32_t>(s - 1))));
+    } else {
+      g.keys.push_back(Value(base + s - 1));
+    }
+    groups->push_back(std::move(g));
+    group_counts->push_back(slot_count[static_cast<size_t>(s)]);
+  }
+  return true;
+}
+
+/// One partition's open-addressing table: composite-key hash → local group
+/// id, with exact keys stored flat for collision resolution (the same
+/// scheme as the scalar reference).
+struct LocalGroupTable {
+  std::vector<int32_t> slot_group;
+  std::vector<uint64_t> slot_hash;
+  std::vector<uint64_t> group_hash;   // per local group
+  std::vector<int64_t> key_storage;   // k cell keys per local group, flat
+  std::vector<int32_t> first_row;     // row id of the group's first member
+  std::vector<int32_t> group_count;   // member rows per local group
+  size_t capacity = 0;
+};
+
+/// Multi-column (or non-dense) path: fixed-size partitions of the selection
+/// build local tables (parallel when a pool is given), then a serial merge
+/// in partition order assigns global group ids. Visiting partitions 0..P-1
+/// and, inside each, local groups in local-discovery order enumerates keys
+/// exactly in global row-encounter order — a key's global first occurrence
+/// lies in the earliest partition containing it, and local discovery order
+/// within that partition is encounter order — so the pre-sort group order
+/// (and with it every tie-breaking detail of the final sort) matches the
+/// scalar reference at any thread count.
+void HashAssignGroups(const Table& table, const GroupSpec& spec,
+                      const std::vector<int32_t>& rows, ThreadPool* pool,
+                      std::vector<int32_t>* row_gid,
+                      std::vector<Group>* groups,
+                      std::vector<int32_t>* group_counts) {
+  const size_t n = rows.size();
+  const size_t k = spec.group_columns.size();
+  const int32_t* sel = rows.data();
+  row_gid->resize(n);
+
+  std::vector<const Column*> key_cols(k);
+  for (size_t i = 0; i < k; ++i) {
+    key_cols[i] = table.column(spec.group_columns[i]).get();
+  }
+
+  constexpr int64_t kPartitionRows = int64_t{1} << 16;
+  const int64_t num_parts =
+      n == 0 ? 0
+             : (static_cast<int64_t>(n) + kPartitionRows - 1) / kPartitionRows;
+  std::vector<LocalGroupTable> locals(static_cast<size_t>(num_parts));
+
+  auto build_partition = [&](int p) {
+    LocalGroupTable& local = locals[static_cast<size_t>(p)];
+    const int64_t lo = static_cast<int64_t>(p) * kPartitionRows;
+    const int64_t hi =
+        std::min<int64_t>(static_cast<int64_t>(n), lo + kPartitionRows);
+    local.capacity = 64;
+    local.slot_group.assign(local.capacity, -1);
+    local.slot_hash.assign(local.capacity, 0);
+    size_t mask = local.capacity - 1;
+
+    auto grow = [&local, &mask]() {
+      local.capacity *= 2;
+      mask = local.capacity - 1;
+      local.slot_group.assign(local.capacity, -1);
+      local.slot_hash.assign(local.capacity, 0);
+      for (size_t g = 0; g < local.group_hash.size(); ++g) {
+        size_t pos = static_cast<size_t>(local.group_hash[g]) & mask;
+        while (local.slot_group[pos] >= 0) pos = (pos + 1) & mask;
+        local.slot_group[pos] = static_cast<int32_t>(g);
+        local.slot_hash[pos] = local.group_hash[g];
+      }
+    };
+
+    int64_t row_key_buf[4];
+    std::vector<int64_t> row_key_vec;
+    int64_t* row_key = row_key_buf;
+    if (k > 4) {
+      row_key_vec.resize(k);
+      row_key = row_key_vec.data();
+    }
+
+    for (int64_t i = lo; i < hi; ++i) {
+      const int32_t r = sel[i];
+      uint64_t hash;
+      if (k == 1) {
+        row_key[0] = key_cols[0]->CellKey(r);
+        hash = Mix64(static_cast<uint64_t>(row_key[0]));
+      } else {
+        hash = 0x9E3779B97F4A7C15ULL;
+        for (size_t j = 0; j < k; ++j) {
+          row_key[j] = key_cols[j]->CellKey(r);
+          hash = HashCombine(hash, static_cast<uint64_t>(row_key[j]));
+        }
+      }
+
+      size_t pos = static_cast<size_t>(hash) & mask;
+      int32_t group = -1;
+      while (local.slot_group[pos] >= 0) {
+        if (local.slot_hash[pos] == hash) {
+          const int64_t* stored =
+              local.key_storage.data() +
+              static_cast<size_t>(local.slot_group[pos]) * k;
+          bool equal = true;
+          for (size_t j = 0; j < k; ++j) {
+            if (stored[j] != row_key[j]) {
+              equal = false;
+              break;
+            }
+          }
+          if (equal) {
+            group = local.slot_group[pos];
+            break;
+          }
+        }
+        pos = (pos + 1) & mask;
+      }
+      if (group < 0) {
+        group = static_cast<int32_t>(local.group_hash.size());
+        local.slot_group[pos] = group;
+        local.slot_hash[pos] = hash;
+        local.group_hash.push_back(hash);
+        local.key_storage.insert(local.key_storage.end(), row_key,
+                                 row_key + k);
+        local.first_row.push_back(r);
+        local.group_count.push_back(0);
+        if (local.group_hash.size() * 4 > local.capacity * 3) grow();
+      }
+      ++local.group_count[static_cast<size_t>(group)];
+      (*row_gid)[static_cast<size_t>(i)] = group;
+    }
+  };
+
+  if (pool != nullptr && num_parts > 1) {
+    pool->ParallelFor(static_cast<int>(num_parts), build_partition);
+  } else {
+    for (int64_t p = 0; p < num_parts; ++p) {
+      build_partition(static_cast<int>(p));
+    }
+  }
+
+  // Serial merge in fixed partition order (see the function comment for why
+  // this reproduces row-encounter discovery order).
+  size_t total_local = 0;
+  for (const LocalGroupTable& local : locals) {
+    total_local += local.group_hash.size();
+  }
+  size_t capacity = 64;
+  while (capacity * 3 < total_local * 4 + 4) capacity *= 2;
+  std::vector<int32_t> slot_group(capacity, -1);
+  std::vector<uint64_t> slot_hash(capacity);
+  std::vector<int64_t> key_storage;
+  key_storage.reserve(total_local * k);
+  const size_t mask = capacity - 1;
+
+  std::vector<std::vector<int32_t>> local_to_global(
+      static_cast<size_t>(num_parts));
+  for (int64_t p = 0; p < num_parts; ++p) {
+    LocalGroupTable& local = locals[static_cast<size_t>(p)];
+    const size_t local_groups = local.group_hash.size();
+    local_to_global[static_cast<size_t>(p)].resize(local_groups);
+    for (size_t lg = 0; lg < local_groups; ++lg) {
+      const uint64_t hash = local.group_hash[lg];
+      const int64_t* keys = local.key_storage.data() + lg * k;
+      size_t pos = static_cast<size_t>(hash) & mask;
+      int32_t group = -1;
+      while (slot_group[pos] >= 0) {
+        if (slot_hash[pos] == hash) {
+          const int64_t* stored =
+              key_storage.data() + static_cast<size_t>(slot_group[pos]) * k;
+          bool equal = true;
+          for (size_t j = 0; j < k; ++j) {
+            if (stored[j] != keys[j]) {
+              equal = false;
+              break;
+            }
+          }
+          if (equal) {
+            group = slot_group[pos];
+            break;
+          }
+        }
+        pos = (pos + 1) & mask;
+      }
+      if (group < 0) {
+        group = static_cast<int32_t>(groups->size());
+        slot_group[pos] = group;
+        slot_hash[pos] = hash;
+        key_storage.insert(key_storage.end(), keys, keys + k);
+        Group g;
+        g.keys.reserve(k);
+        for (int c : spec.group_columns) {
+          g.keys.push_back(table.column(c)->GetValue(local.first_row[lg]));
+        }
+        groups->push_back(std::move(g));
+        group_counts->push_back(0);
+      }
+      (*group_counts)[static_cast<size_t>(group)] += local.group_count[lg];
+      local_to_global[static_cast<size_t>(p)][lg] = group;
+    }
+  }
+
+  // Remap local ids to global ids, slice by slice.
+  auto remap = [&](int p) {
+    const std::vector<int32_t>& l2g = local_to_global[static_cast<size_t>(p)];
+    const int64_t lo = static_cast<int64_t>(p) * kPartitionRows;
+    const int64_t hi =
+        std::min<int64_t>(static_cast<int64_t>(n), lo + kPartitionRows);
+    for (int64_t i = lo; i < hi; ++i) {
+      int32_t& gid = (*row_gid)[static_cast<size_t>(i)];
+      gid = l2g[static_cast<size_t>(gid)];
+    }
+  };
+  if (pool != nullptr && num_parts > 1) {
+    pool->ParallelFor(static_cast<int>(num_parts), remap);
+  } else {
+    for (int64_t p = 0; p < num_parts; ++p) remap(static_cast<int>(p));
+  }
+}
+
+}  // namespace
+
+Result<GroupedResult> ScalarGroupAggregate(const Table& table,
+                                           const std::vector<int32_t>& rows,
+                                           const GroupSpec& spec) {
+  ATENA_RETURN_IF_ERROR(ValidateGroupSpec(table, spec));
+  GroupedResult result;
+  FillGroupHeader(table, spec, &result);
+
+  // Row→group assignment via an open-addressing hash table on a combined
+  // 64-bit key hash. Slots store the owning group index; exact composite
+  // keys live contiguously in `key_storage` (k int64s per group) and are
+  // compared on every probe hit, so hash collisions across distinct keys
+  // chain to new slots instead of merging groups. Group discovery order is
+  // row-encounter order, and the deterministic final ordering comes from
+  // the sort below.
+  const size_t k = spec.group_columns.size();
+  const Column* key_cols_buf[4];
+  std::vector<const Column*> key_cols_vec;
+  const Column** key_cols = key_cols_buf;
+  if (k > 4) {
+    key_cols_vec.resize(k);
+    key_cols = key_cols_vec.data();
+  }
+  for (size_t i = 0; i < k; ++i) {
+    key_cols[i] = table.column(spec.group_columns[i]).get();
+  }
+
+  size_t capacity = 64;
+  std::vector<int32_t> slot_group(capacity, -1);
+  std::vector<uint64_t> slot_hash(capacity);
+  std::vector<uint64_t> group_hash;   // per group, for cheap rehashing
+  std::vector<int64_t> key_storage;   // k cell keys per group, flat
+  size_t mask = capacity - 1;
+
+  auto grow = [&]() {
+    capacity *= 2;
+    mask = capacity - 1;
+    slot_group.assign(capacity, -1);
+    slot_hash.assign(capacity, 0);
+    for (size_t g = 0; g < group_hash.size(); ++g) {
+      size_t pos = static_cast<size_t>(group_hash[g]) & mask;
+      while (slot_group[pos] >= 0) pos = (pos + 1) & mask;
+      slot_group[pos] = static_cast<int32_t>(g);
+      slot_hash[pos] = group_hash[g];
+    }
+  };
+
+  int64_t row_key_buf[4];
+  std::vector<int64_t> row_key_vec;
+  int64_t* row_key = row_key_buf;
+  if (k > 4) {
+    row_key_vec.resize(k);
+    row_key = row_key_vec.data();
+  }
+
+  for (int32_t r : rows) {
+    uint64_t hash;
+    if (k == 1) {
+      row_key[0] = key_cols[0]->CellKey(r);
+      hash = Mix64(static_cast<uint64_t>(row_key[0]));
+    } else {
+      hash = 0x9E3779B97F4A7C15ULL;
+      for (size_t i = 0; i < k; ++i) {
+        row_key[i] = key_cols[i]->CellKey(r);
+        hash = HashCombine(hash, static_cast<uint64_t>(row_key[i]));
+      }
+    }
+
+    size_t pos = static_cast<size_t>(hash) & mask;
+    int32_t group = -1;
+    while (slot_group[pos] >= 0) {
+      if (slot_hash[pos] == hash) {
+        const int64_t* stored =
+            key_storage.data() + static_cast<size_t>(slot_group[pos]) * k;
+        bool equal = true;
+        for (size_t i = 0; i < k; ++i) {
+          if (stored[i] != row_key[i]) {
+            equal = false;
+            break;
+          }
+        }
+        if (equal) {
+          group = slot_group[pos];
+          break;
+        }
+      }
+      pos = (pos + 1) & mask;
+    }
+    if (group < 0) {
+      group = static_cast<int32_t>(result.groups.size());
+      slot_group[pos] = group;
+      slot_hash[pos] = hash;
+      group_hash.push_back(hash);
+      key_storage.insert(key_storage.end(), row_key, row_key + k);
+      Group g;
+      g.keys.reserve(k);
+      for (int c : spec.group_columns) {
+        g.keys.push_back(table.column(c)->GetValue(r));
+      }
+      result.groups.push_back(std::move(g));
+      if (result.groups.size() * 4 > capacity * 3) grow();
+    }
+    result.groups[static_cast<size_t>(group)].rows.push_back(r);
+  }
+
+  const Column* agg_col = spec.agg == AggFunc::kCount
+                              ? nullptr
+                              : table.column(spec.agg_column).get();
+  for (Group& g : result.groups) {
+    AggregateGroup(agg_col == nullptr ? *table.column(spec.group_columns[0])
+                                      : *agg_col,
+                   spec.agg, &g);
+  }
+
+  SortGroupsByKey(&result.groups);
+  return result;
+}
+
+Result<GroupedResult> GroupAggregateKernel(const Table& table,
+                                           const std::vector<int32_t>& rows,
+                                           const GroupSpec& spec,
+                                           ThreadPool* pool) {
+  ATENA_RETURN_IF_ERROR(ValidateGroupSpec(table, spec));
+  GroupedResult result;
+  FillGroupHeader(table, spec, &result);
+
+  const size_t n = rows.size();
+  const int32_t* sel = rows.data();
+  // Per-row ids live in one of two vectors, sized by whichever assigner
+  // runs: the dense path's slot space is capped at 2^16, so its slot ids
+  // fit uint16_t — half the id traffic across the write, histogram and
+  // member-fill passes — while the hash path keeps int32 group ids.
+  std::vector<uint16_t> slot_ids;
+  std::vector<int32_t> row_gid;
+
+  // An identity selection (the root display, and the benchmark regime)
+  // lets the dense assigner and the member fill drop the selection
+  // indirection entirely. The check runs blockwise: branch-free inner
+  // loops that vectorize, early exit between blocks.
+  bool identity = static_cast<int64_t>(n) == table.num_rows();
+  {
+    constexpr size_t kCheckBlock = 4096;
+    size_t i = 0;
+    while (i < n && identity) {
+      const size_t end = std::min(n, i + kCheckBlock);
+      int id = 1;
+      for (; i < end; ++i) {
+        id &= static_cast<int>(sel[i] == static_cast<int32_t>(i));
+      }
+      identity = id != 0;
+    }
+  }
+
+  std::vector<int32_t> counts;      // member rows per group id
+  std::vector<int32_t> slot_to_gid; // dense path: slot → gid; empty for hash
+  bool assigned = false;
+  if (spec.group_columns.size() == 1) {
+    assigned = TryDenseSingleColumn(table, spec, rows, pool, identity,
+                                    &slot_ids, &result.groups, &counts,
+                                    &slot_to_gid);
+  }
+  if (!assigned) {
+    HashAssignGroups(table, spec, rows, pool, &row_gid, &result.groups,
+                     &counts);
+  }
+
+  // Member vectors are sized up front from the assigner's counts and
+  // filled through raw per-id cursors instead of size-checked push_backs.
+  // Ids are group ids on the hash path and dense slots on the dense path —
+  // indexing the cursor table by slot is what lets the dense path skip a
+  // whole slot→gid remap pass over the selection.
+  const size_t num_groups = result.groups.size();
+  const size_t id_space =
+      slot_to_gid.empty() ? num_groups : slot_to_gid.size();
+  std::vector<int32_t*> cursors(id_space, nullptr);
+  for (size_t g = 0; g < num_groups; ++g) {
+    result.groups[g].rows.resize(static_cast<size_t>(counts[g]));
+  }
+  if (slot_to_gid.empty()) {
+    for (size_t g = 0; g < num_groups; ++g) {
+      cursors[g] = result.groups[g].rows.data();
+    }
+  } else {
+    for (size_t s = 0; s < slot_to_gid.size(); ++s) {
+      if (slot_to_gid[s] >= 0) {
+        cursors[s] =
+            result.groups[static_cast<size_t>(slot_to_gid[s])].rows.data();
+      }
+    }
+  }
+
+  // Member-row fill (selection order — same member order as the scalar
+  // reference's discovery loop) and aggregation. COUNT(*) needs no second
+  // look at the data. The other aggregates have two bit-identical
+  // schedules: serial runs fuse the fill with one selection-order sweep of
+  // the agg column (FillAndAggregate — each group's accumulator still sees
+  // its members in exactly rows-vector order, but the column is read
+  // sequentially instead of one gather pass per group); pooled runs fill
+  // first and then parallelize over group blocks, since groups are
+  // independent and the per-group loop preserves the same accumulation
+  // order at any thread count.
+  const bool plain_fill =
+      spec.agg == AggFunc::kCount || (pool != nullptr && num_groups > 256);
+  if (plain_fill) {
+    auto fill_plain = [&](const auto* ids) {
+      if (identity) {
+        for (size_t i = 0; i < n; ++i) {
+          *cursors[static_cast<size_t>(ids[i])]++ = static_cast<int32_t>(i);
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          *cursors[static_cast<size_t>(ids[i])]++ = sel[i];
+        }
+      }
+    };
+    if (slot_to_gid.empty()) {
+      fill_plain(row_gid.data());
+    } else {
+      fill_plain(slot_ids.data());
+    }
+  }
+  if (spec.agg == AggFunc::kCount) {
+    for (Group& g : result.groups) {
+      g.aggregate = static_cast<double>(g.rows.size());
+      g.agg_valid = true;
+    }
+  } else if (plain_fill) {
+    const Column& agg_ref = *table.column(spec.agg_column);
+    constexpr size_t kGroupBlock = 256;
+    const size_t num_blocks = (num_groups + kGroupBlock - 1) / kGroupBlock;
+    pool->ParallelFor(static_cast<int>(num_blocks), [&](int b) {
+      const size_t lo = static_cast<size_t>(b) * kGroupBlock;
+      const size_t hi = std::min(num_groups, lo + kGroupBlock);
+      for (size_t g = lo; g < hi; ++g) {
+        AggregateGroupKernel(agg_ref, spec.agg, &result.groups[g]);
+      }
+    });
+  } else if (slot_to_gid.empty()) {
+    FillAndAggregate(*table.column(spec.agg_column), spec.agg, rows, identity,
+                     row_gid, cursors.data(), slot_to_gid, &result.groups);
+  } else {
+    FillAndAggregate(*table.column(spec.agg_column), spec.agg, rows, identity,
+                     slot_ids, cursors.data(), slot_to_gid, &result.groups);
+  }
+
+  SortGroupsByKey(&result.groups);
+  return result;
+}
+
+}  // namespace atena

@@ -4,9 +4,7 @@
 #include <cmath>
 #include <limits>
 
-#include "common/hashing.h"
-#include "common/logging.h"
-#include "common/string_utils.h"
+#include "dataframe/kernels.h"
 
 namespace atena {
 
@@ -68,160 +66,11 @@ bool ValueLess(const Value& a, const Value& b) {
   return a.as_string() < b.as_string();
 }
 
-namespace {
-
-bool IsNumericType(DataType type) {
-  return type == DataType::kInt64 || type == DataType::kFloat64;
-}
-
-bool IsOrderingOp(CompareOp op) {
-  return op == CompareOp::kGt || op == CompareOp::kGe ||
-         op == CompareOp::kLt || op == CompareOp::kLe;
-}
-
-bool IsStringOp(CompareOp op) {
-  return op == CompareOp::kContains || op == CompareOp::kStartsWith ||
-         op == CompareOp::kEndsWith;
-}
-
-/// Scans `rows` keeping the non-null rows that satisfy `pred`. The
-/// predicate is a template parameter so each operator gets its own tight
-/// loop (no per-row switch). The output is reserved from a selectivity
-/// estimate over a small stride sample, so typical filters do zero or one
-/// reallocation instead of log2(n).
-template <typename Pred>
-std::vector<int32_t> ScanRows(const Column& col,
-                              const std::vector<int32_t>& rows, Pred pred) {
-  std::vector<int32_t> out;
-  const size_t n = rows.size();
-  constexpr size_t kSample = 128;
-  if (n <= 4 * kSample) {
-    out.reserve(n);
-  } else {
-    const size_t stride = n / kSample;
-    size_t matched = 0;
-    for (size_t i = 0; i < kSample; ++i) {
-      const int32_t r = rows[i * stride];
-      if (!col.IsNull(r) && pred(r)) ++matched;
-    }
-    // +1 smoothing and a 1/4 head-room margin; a bad estimate only costs a
-    // realloc, never correctness.
-    const size_t estimate = (n * (matched + 1)) / (kSample + 1);
-    out.reserve(std::min(n, estimate + estimate / 4 + 16));
-  }
-  for (const int32_t r : rows) {
-    if (!col.IsNull(r) && pred(r)) out.push_back(r);
-  }
-  return out;
-}
-
-}  // namespace
-
 Result<std::vector<int32_t>> FilterRows(const Table& table,
                                         const std::vector<int32_t>& rows,
                                         int column, CompareOp op,
                                         const Value& term) {
-  if (column < 0 || column >= table.num_columns()) {
-    return Status::OutOfRange("FilterRows: column index " +
-                              std::to_string(column));
-  }
-  if (table.num_rows() > std::numeric_limits<int32_t>::max()) {
-    return Status::OutOfRange(
-        "FilterRows: table exceeds int32 row-index range (" +
-        std::to_string(table.num_rows()) + " rows)");
-  }
-  const Column& col = *table.column(column);
-  if (term.is_null()) {
-    return Status::InvalidArgument("FilterRows: null filter term");
-  }
-
-  if (IsOrderingOp(op)) {
-    if (!IsNumericType(col.type())) {
-      return Status::TypeMismatch("ordering filter on non-numeric column '" +
-                                  col.name() + "'");
-    }
-    double threshold = 0.0;
-    if (!term.ToDouble(&threshold)) {
-      return Status::TypeMismatch("ordering filter with non-numeric term");
-    }
-    switch (op) {
-      case CompareOp::kGt:
-        return ScanRows(col, rows, [&](int32_t r) {
-          return col.AsDoubleOrNan(r) > threshold;
-        });
-      case CompareOp::kGe:
-        return ScanRows(col, rows, [&](int32_t r) {
-          return col.AsDoubleOrNan(r) >= threshold;
-        });
-      case CompareOp::kLt:
-        return ScanRows(col, rows, [&](int32_t r) {
-          return col.AsDoubleOrNan(r) < threshold;
-        });
-      default:
-        return ScanRows(col, rows, [&](int32_t r) {
-          return col.AsDoubleOrNan(r) <= threshold;
-        });
-    }
-  }
-
-  if (IsStringOp(op)) {
-    if (col.type() != DataType::kString) {
-      return Status::TypeMismatch("substring filter on non-string column '" +
-                                  col.name() + "'");
-    }
-    if (!term.is_string()) {
-      return Status::TypeMismatch("substring filter with non-string term");
-    }
-    const std::string& needle = term.as_string();
-    switch (op) {
-      case CompareOp::kContains:
-        return ScanRows(col, rows, [&](int32_t r) {
-          return Contains(col.GetString(r), needle);
-        });
-      case CompareOp::kStartsWith:
-        return ScanRows(col, rows, [&](int32_t r) {
-          return StartsWith(col.GetString(r), needle);
-        });
-      default:
-        return ScanRows(col, rows, [&](int32_t r) {
-          return EndsWith(col.GetString(r), needle);
-        });
-    }
-  }
-
-  // Equality family.
-  const bool want_equal = (op == CompareOp::kEq);
-  if (col.type() == DataType::kString) {
-    if (!term.is_string()) {
-      return Status::TypeMismatch("equality filter on string column '" +
-                                  col.name() + "' with non-string term");
-    }
-    // Token filters compare dictionary codes: one lookup, then integer scans.
-    const int32_t code = col.FindCode(term.as_string());
-    if (want_equal) {
-      if (code < 0) return std::vector<int32_t>{};  // absent term matches none
-      return ScanRows(col, rows,
-                      [&](int32_t r) { return col.GetCode(r) == code; });
-    }
-    if (code < 0) {
-      // Absent term: every non-null row differs from it.
-      return ScanRows(col, rows, [](int32_t) { return true; });
-    }
-    return ScanRows(col, rows,
-                    [&](int32_t r) { return col.GetCode(r) != code; });
-  }
-
-  double target = 0.0;
-  if (!term.ToDouble(&target)) {
-    return Status::TypeMismatch("equality filter on numeric column '" +
-                                col.name() + "' with non-numeric term");
-  }
-  if (want_equal) {
-    return ScanRows(col, rows,
-                    [&](int32_t r) { return col.AsDoubleOrNan(r) == target; });
-  }
-  return ScanRows(col, rows,
-                  [&](int32_t r) { return col.AsDoubleOrNan(r) != target; });
+  return FilterRowsKernel(table, rows, column, op, term);
 }
 
 std::vector<double> GroupedResult::GroupSizes() const {
@@ -257,199 +106,31 @@ Result<TablePtr> GroupedResult::ToTable(const Table& source) const {
 
 Result<GroupedResult> GroupAggregate(const Table& table,
                                      const std::vector<int32_t>& rows,
-                                     const GroupSpec& spec) {
-  if (spec.group_columns.empty()) {
-    return Status::InvalidArgument("GroupAggregate: no group columns");
-  }
-  for (int c : spec.group_columns) {
-    if (c < 0 || c >= table.num_columns()) {
-      return Status::OutOfRange("GroupAggregate: group column " +
-                                std::to_string(c));
-    }
-  }
-  const bool needs_agg_column = spec.agg != AggFunc::kCount;
-  if (needs_agg_column) {
-    if (spec.agg_column < 0 || spec.agg_column >= table.num_columns()) {
-      return Status::OutOfRange("GroupAggregate: agg column " +
-                                std::to_string(spec.agg_column));
-    }
-    if (!IsNumericType(table.column(spec.agg_column)->type())) {
-      return Status::TypeMismatch(
-          std::string(AggFuncName(spec.agg)) + " over non-numeric column '" +
-          table.column(spec.agg_column)->name() + "'");
-    }
-  }
-
-  GroupedResult result;
-  result.spec = spec;
-  for (int c : spec.group_columns) {
-    result.key_names.push_back(table.column(c)->name());
-  }
-  if (spec.agg == AggFunc::kCount) {
-    result.agg_name = "COUNT(*)";
-  } else {
-    result.agg_name = std::string(AggFuncName(spec.agg)) + "(" +
-                      table.column(spec.agg_column)->name() + ")";
-  }
-
-  // Row→group assignment via an open-addressing hash table on a combined
-  // 64-bit key hash. Slots store the owning group index; exact composite
-  // keys live contiguously in `key_storage` (k int64s per group) and are
-  // compared on every probe hit, so hash collisions across distinct keys
-  // chain to new slots instead of merging groups. Group discovery order is
-  // row-encounter order, as with the previous std::map implementation, and
-  // the deterministic final ordering comes from the sort below.
-  const size_t k = spec.group_columns.size();
-  const Column* key_cols_buf[4];
-  std::vector<const Column*> key_cols_vec;
-  const Column** key_cols = key_cols_buf;
-  if (k > 4) {
-    key_cols_vec.resize(k);
-    key_cols = key_cols_vec.data();
-  }
-  for (size_t i = 0; i < k; ++i) {
-    key_cols[i] = table.column(spec.group_columns[i]).get();
-  }
-
-  size_t capacity = 64;
-  std::vector<int32_t> slot_group(capacity, -1);
-  std::vector<uint64_t> slot_hash(capacity);
-  std::vector<uint64_t> group_hash;   // per group, for cheap rehashing
-  std::vector<int64_t> key_storage;   // k cell keys per group, flat
-  size_t mask = capacity - 1;
-
-  auto grow = [&]() {
-    capacity *= 2;
-    mask = capacity - 1;
-    slot_group.assign(capacity, -1);
-    slot_hash.assign(capacity, 0);
-    for (size_t g = 0; g < group_hash.size(); ++g) {
-      size_t pos = static_cast<size_t>(group_hash[g]) & mask;
-      while (slot_group[pos] >= 0) pos = (pos + 1) & mask;
-      slot_group[pos] = static_cast<int32_t>(g);
-      slot_hash[pos] = group_hash[g];
-    }
-  };
-
-  int64_t row_key_buf[4];
-  std::vector<int64_t> row_key_vec;
-  int64_t* row_key = row_key_buf;
-  if (k > 4) {
-    row_key_vec.resize(k);
-    row_key = row_key_vec.data();
-  }
-
-  for (int32_t r : rows) {
-    uint64_t hash;
-    if (k == 1) {
-      row_key[0] = key_cols[0]->CellKey(r);
-      hash = Mix64(static_cast<uint64_t>(row_key[0]));
-    } else {
-      hash = 0x9E3779B97F4A7C15ULL;
-      for (size_t i = 0; i < k; ++i) {
-        row_key[i] = key_cols[i]->CellKey(r);
-        hash = HashCombine(hash, static_cast<uint64_t>(row_key[i]));
-      }
-    }
-
-    size_t pos = static_cast<size_t>(hash) & mask;
-    int32_t group = -1;
-    while (slot_group[pos] >= 0) {
-      if (slot_hash[pos] == hash) {
-        const int64_t* stored =
-            key_storage.data() + static_cast<size_t>(slot_group[pos]) * k;
-        bool equal = true;
-        for (size_t i = 0; i < k; ++i) {
-          if (stored[i] != row_key[i]) {
-            equal = false;
-            break;
-          }
-        }
-        if (equal) {
-          group = slot_group[pos];
-          break;
-        }
-      }
-      pos = (pos + 1) & mask;
-    }
-    if (group < 0) {
-      group = static_cast<int32_t>(result.groups.size());
-      slot_group[pos] = group;
-      slot_hash[pos] = hash;
-      group_hash.push_back(hash);
-      key_storage.insert(key_storage.end(), row_key, row_key + k);
-      Group g;
-      g.keys.reserve(k);
-      for (int c : spec.group_columns) {
-        g.keys.push_back(table.column(c)->GetValue(r));
-      }
-      result.groups.push_back(std::move(g));
-      if (result.groups.size() * 4 > capacity * 3) grow();
-    }
-    result.groups[static_cast<size_t>(group)].rows.push_back(r);
-  }
-
-  // Aggregate each group.
-  for (auto& g : result.groups) {
-    if (spec.agg == AggFunc::kCount) {
-      g.aggregate = static_cast<double>(g.rows.size());
-      g.agg_valid = true;
-      continue;
-    }
-    const Column& agg_col = *table.column(spec.agg_column);
-    double acc = 0.0;
-    double mn = std::numeric_limits<double>::infinity();
-    double mx = -std::numeric_limits<double>::infinity();
-    int64_t n = 0;
-    for (int32_t r : g.rows) {
-      if (agg_col.IsNull(r)) continue;
-      double v = agg_col.AsDoubleOrNan(r);
-      acc += v;
-      mn = std::min(mn, v);
-      mx = std::max(mx, v);
-      ++n;
-    }
-    g.agg_valid = (n > 0);
-    if (!g.agg_valid) continue;
-    switch (spec.agg) {
-      case AggFunc::kSum:
-        g.aggregate = acc;
-        break;
-      case AggFunc::kMin:
-        g.aggregate = mn;
-        break;
-      case AggFunc::kMax:
-        g.aggregate = mx;
-        break;
-      case AggFunc::kAvg:
-        g.aggregate = acc / static_cast<double>(n);
-        break;
-      case AggFunc::kCount:
-        break;
-    }
-  }
-
-  // Deterministic display order: sort by key values.
-  std::sort(result.groups.begin(), result.groups.end(),
-            [](const Group& a, const Group& b) {
-              for (size_t i = 0; i < a.keys.size() && i < b.keys.size(); ++i) {
-                if (ValueLess(a.keys[i], b.keys[i])) return true;
-                if (ValueLess(b.keys[i], a.keys[i])) return false;
-              }
-              return false;
-            });
-  return result;
+                                     const GroupSpec& spec, ThreadPool* pool) {
+  return GroupAggregateKernel(table, rows, spec, pool);
 }
 
-std::vector<int32_t> AllRows(const Table& table) {
-  ATENA_CHECK(table.num_rows() <= std::numeric_limits<int32_t>::max())
-      << "AllRows: table '" << table.name()
-      << "' exceeds int32 row-index range (" << table.num_rows() << " rows)";
-  std::vector<int32_t> rows(static_cast<size_t>(table.num_rows()));
-  for (int64_t i = 0; i < table.num_rows(); ++i) {
+Status ValidateInt32RowRange(int64_t num_rows, const std::string& what) {
+  if (num_rows > std::numeric_limits<int32_t>::max()) {
+    return Status::OutOfRange(what + " exceeds int32 row-index range (" +
+                              std::to_string(num_rows) + " rows)");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<int32_t>> AllRowsForCount(int64_t num_rows) {
+  ATENA_RETURN_IF_ERROR(ValidateInt32RowRange(num_rows, "AllRows: row count"));
+  std::vector<int32_t> rows(static_cast<size_t>(num_rows));
+  for (int64_t i = 0; i < num_rows; ++i) {
     rows[static_cast<size_t>(i)] = static_cast<int32_t>(i);
   }
   return rows;
+}
+
+Result<std::vector<int32_t>> AllRows(const Table& table) {
+  ATENA_RETURN_IF_ERROR(ValidateInt32RowRange(
+      table.num_rows(), "AllRows: table '" + table.name() + "'"));
+  return AllRowsForCount(table.num_rows());
 }
 
 }  // namespace atena

@@ -9,6 +9,8 @@
 
 namespace atena {
 
+class ThreadPool;
+
 /// Comparison operators supported by FILTER (paper §4.1: "=, >, contains").
 enum class CompareOp {
   kEq,
@@ -48,6 +50,10 @@ bool ValueLess(const Value& a, const Value& b);
 ///
 /// Returns OutOfRange when the table has more rows than an int32 row index
 /// can address.
+///
+/// Runs on the chunked selection-vector kernel (dataframe/kernels.h):
+/// zone-map chunk skipping plus branch-light per-chunk scans, bit-identical
+/// to the retained ScalarFilterRows reference.
 Result<std::vector<int32_t>> FilterRows(const Table& table,
                                         const std::vector<int32_t>& rows,
                                         int column, CompareOp op,
@@ -89,13 +95,27 @@ struct GroupedResult {
 /// Groups `rows` of `table` by `spec.group_columns` and aggregates.
 /// Requirements: at least one group column; numeric agg column for
 /// SUM/MIN/MAX/AVG; all column indices valid.
+///
+/// Runs on the partitioned group-by kernel (dataframe/kernels.h). When
+/// `pool` is given, partitions build their hash tables in parallel and are
+/// merged serially in fixed partition order — results are bit-identical at
+/// any thread count (and to pool == nullptr).
 Result<GroupedResult> GroupAggregate(const Table& table,
                                      const std::vector<int32_t>& rows,
-                                     const GroupSpec& spec);
+                                     const GroupSpec& spec,
+                                     ThreadPool* pool = nullptr);
 
-/// Identity row selection [0, num_rows). Checks (fatally) that every row is
-/// addressable by an int32 index instead of silently truncating.
-std::vector<int32_t> AllRows(const Table& table);
+/// Validates that a table of `num_rows` rows is fully addressable by int32
+/// row ids; `what` prefixes the OutOfRange message. Lets callers (and the
+/// boundary tests) probe the limit without materializing a huge table.
+Status ValidateInt32RowRange(int64_t num_rows, const std::string& what);
+
+/// Identity row selection [0, num_rows). Returns OutOfRange — instead of
+/// the previous fatal check — when a row id would overflow int32.
+Result<std::vector<int32_t>> AllRows(const Table& table);
+
+/// AllRows for a bare row count (no table required).
+Result<std::vector<int32_t>> AllRowsForCount(int64_t num_rows);
 
 }  // namespace atena
 

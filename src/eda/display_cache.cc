@@ -29,12 +29,50 @@ uint64_t HashValue(const Value& value) {
   return HashCombine(3, HashString(value.as_string()));
 }
 
+// Estimated heap bytes of cached values, charged against Options::max_bytes.
+// Estimates only count the dominant payloads (element storage, group member
+// lists, token strings) — constants like struct headers are approximated by
+// kEntryOverhead. What matters is that multi-megabyte row sets from
+// million-row tables are charged at full weight so the byte budget tracks
+// real memory, not that small entries are exact.
+constexpr size_t kEntryOverhead = 64;
+
+size_t RowsBytes(const std::vector<int32_t>& rows) {
+  return kEntryOverhead + rows.capacity() * sizeof(int32_t);
+}
+
+size_t GroupedBytes(const GroupedResult& grouped) {
+  size_t bytes = kEntryOverhead;
+  for (const Group& g : grouped.groups) {
+    bytes += kEntryOverhead + g.rows.capacity() * sizeof(int32_t) +
+             g.keys.size() * sizeof(Value);
+  }
+  return bytes;
+}
+
+size_t TokensBytes(const std::vector<TokenFreq>& tokens) {
+  size_t bytes = kEntryOverhead + tokens.capacity() * sizeof(TokenFreq);
+  for (const TokenFreq& t : tokens) {
+    if (t.token.is_string()) bytes += t.token.as_string().size();
+  }
+  return bytes;
+}
+
+size_t VectorBytes(const std::vector<double>& vec) {
+  return kEntryOverhead + vec.capacity() * sizeof(double);
+}
+
 }  // namespace
 
 DisplayCache::DisplayCache(Options options) {
   const int shards = std::max(1, options.shards);
   per_shard_capacity_ =
       std::max<size_t>(1, options.capacity / static_cast<size_t>(shards));
+  per_shard_max_bytes_ =
+      options.max_bytes == 0
+          ? 0
+          : std::max<size_t>(1, options.max_bytes /
+                                    static_cast<size_t>(shards));
   shards_.reserve(static_cast<size_t>(shards));
   for (int s = 0; s < shards; ++s) {
     shards_.push_back(std::make_unique<Shard>());
@@ -54,7 +92,8 @@ std::shared_ptr<const void> DisplayCache::Get(uint64_t key) {
   return it->second.value;
 }
 
-void DisplayCache::Put(uint64_t key, std::shared_ptr<const void> value) {
+void DisplayCache::Put(uint64_t key, std::shared_ptr<const void> value,
+                       size_t bytes) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.entries.find(key);
@@ -65,9 +104,19 @@ void DisplayCache::Put(uint64_t key, std::shared_ptr<const void> value) {
     return;
   }
   shard.lru.push_front(key);
-  shard.entries.emplace(key, Entry{std::move(value), shard.lru.begin()});
-  while (shard.entries.size() > per_shard_capacity_) {
-    shard.entries.erase(shard.lru.back());
+  shard.entries.emplace(key, Entry{std::move(value), shard.lru.begin(),
+                                   bytes});
+  shard.resident_bytes += bytes;
+  // Evict LRU past either budget. The byte loop keeps the newest entry even
+  // if it alone exceeds the shard budget (an empty cache would thrash);
+  // entries.size() > 1 guards that.
+  while (shard.entries.size() > per_shard_capacity_ ||
+         (per_shard_max_bytes_ != 0 &&
+          shard.resident_bytes > per_shard_max_bytes_ &&
+          shard.entries.size() > 1)) {
+    auto victim = shard.entries.find(shard.lru.back());
+    shard.resident_bytes -= victim->second.bytes;
+    shard.entries.erase(victim);
     shard.lru.pop_back();
     ++shard.evictions;
   }
@@ -80,7 +129,8 @@ std::shared_ptr<const std::vector<int32_t>> DisplayCache::GetRows(
 
 void DisplayCache::PutRows(uint64_t key,
                            std::shared_ptr<const std::vector<int32_t>> rows) {
-  Put(key, std::move(rows));
+  const size_t bytes = RowsBytes(*rows);
+  Put(key, std::move(rows), bytes);
 }
 
 std::shared_ptr<const GroupedResult> DisplayCache::GetGrouped(uint64_t key) {
@@ -89,7 +139,8 @@ std::shared_ptr<const GroupedResult> DisplayCache::GetGrouped(uint64_t key) {
 
 void DisplayCache::PutGrouped(uint64_t key,
                               std::shared_ptr<const GroupedResult> grouped) {
-  Put(key, std::move(grouped));
+  const size_t bytes = GroupedBytes(*grouped);
+  Put(key, std::move(grouped), bytes);
 }
 
 std::shared_ptr<const std::vector<TokenFreq>> DisplayCache::GetTokens(
@@ -99,7 +150,8 @@ std::shared_ptr<const std::vector<TokenFreq>> DisplayCache::GetTokens(
 
 void DisplayCache::PutTokens(
     uint64_t key, std::shared_ptr<const std::vector<TokenFreq>> tokens) {
-  Put(key, std::move(tokens));
+  const size_t bytes = TokensBytes(*tokens);
+  Put(key, std::move(tokens), bytes);
 }
 
 std::shared_ptr<const std::vector<double>> DisplayCache::GetVector(
@@ -109,7 +161,8 @@ std::shared_ptr<const std::vector<double>> DisplayCache::GetVector(
 
 void DisplayCache::PutVector(uint64_t key,
                              std::shared_ptr<const std::vector<double>> vec) {
-  Put(key, std::move(vec));
+  const size_t bytes = VectorBytes(*vec);
+  Put(key, std::move(vec), bytes);
 }
 
 void DisplayCache::Clear() {
@@ -117,6 +170,7 @@ void DisplayCache::Clear() {
     std::lock_guard<std::mutex> lock(shard->mutex);
     shard->entries.clear();
     shard->lru.clear();
+    shard->resident_bytes = 0;
   }
 }
 
@@ -128,6 +182,7 @@ DisplayCacheStats DisplayCache::stats() const {
     stats.misses += shard->misses;
     stats.evictions += shard->evictions;
     stats.entries += shard->entries.size();
+    stats.resident_bytes += shard->resident_bytes;
   }
   return stats;
 }
@@ -148,6 +203,7 @@ DisplayCacheSnapshot DisplayCache::Snapshot() const {
     snapshot.totals.misses += shard->misses;
     snapshot.totals.evictions += shard->evictions;
     snapshot.totals.entries += shard->entries.size();
+    snapshot.totals.resident_bytes += shard->resident_bytes;
     snapshot.shard_entries.push_back(shard->entries.size());
   }
   return snapshot;

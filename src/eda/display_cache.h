@@ -20,6 +20,8 @@ struct DisplayCacheStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t entries = 0;
+  /// Estimated heap bytes of all resident values (see Options::max_bytes).
+  uint64_t resident_bytes = 0;
 
   double hit_rate() const {
     const uint64_t lookups = hits + misses;
@@ -59,6 +61,12 @@ class DisplayCache {
     /// Maximum resident entries across all shards (each shard evicts LRU
     /// past capacity/shards).
     size_t capacity = size_t{1} << 16;
+    /// Maximum estimated resident bytes across all shards, 0 = unbounded.
+    /// Entry sizes are estimated at Put (vector payloads, group members,
+    /// token strings); a shard evicts LRU until back under its share. At
+    /// million-row tables a single filter row set is ~4 MB, so an entry
+    /// cap alone no longer bounds memory — this does.
+    size_t max_bytes = 0;
     int shards = 8;
   };
 
@@ -100,6 +108,7 @@ class DisplayCache {
   struct Entry {
     std::shared_ptr<const void> value;
     std::list<uint64_t>::iterator lru_it;
+    size_t bytes = 0;
   };
   struct Shard {
     std::mutex mutex;
@@ -112,15 +121,17 @@ class DisplayCache {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
+    uint64_t resident_bytes = 0;
   };
 
   Shard& ShardFor(uint64_t key) {
     return *shards_[static_cast<size_t>(key) % shards_.size()];
   }
   std::shared_ptr<const void> Get(uint64_t key);
-  void Put(uint64_t key, std::shared_ptr<const void> value);
+  void Put(uint64_t key, std::shared_ptr<const void> value, size_t bytes);
 
   size_t per_shard_capacity_;
+  size_t per_shard_max_bytes_;  // 0 = unbounded
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

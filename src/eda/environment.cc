@@ -37,10 +37,14 @@ EdaEnvironment::EdaEnvironment(Dataset dataset, EnvConfig config)
   if (config_.display_cache_enabled && config_.display_cache_capacity > 0) {
     DisplayCache::Options options;
     options.capacity = config_.display_cache_capacity;
+    options.max_bytes = config_.display_cache_max_bytes;
     options.shards = config_.display_cache_shards;
     cache_ = std::make_shared<DisplayCache>(options);
   }
-  all_rows_ = AllRows(*dataset_.table);
+  // The constructor cannot propagate a Status; generator/CSV tables are far
+  // below the int32 row-id bound, so an overflow here is a programmer error
+  // and value() aborting is the right behavior.
+  all_rows_ = AllRows(*dataset_.table).value();
   root_signature_ = RootRowsSignature(*dataset_.table);
   distinct_ratios_.reserve(static_cast<size_t>(table().num_columns()));
   for (int c = 0; c < table().num_columns(); ++c) {

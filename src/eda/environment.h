@@ -40,6 +40,10 @@ struct EnvConfig {
   /// Maximum resident cache entries (row sets, grouped results, token
   /// lists, encoded vectors) before LRU eviction.
   size_t display_cache_capacity = size_t{1} << 16;
+  /// Byte budget for resident cache values (estimated at insert), 0 =
+  /// unbounded. Bounds memory at scaled datasets where a single row set is
+  /// megabytes and the entry cap alone would admit gigabytes.
+  size_t display_cache_max_bytes = size_t{256} << 20;
   int display_cache_shards = 8;
 };
 

@@ -33,7 +33,8 @@ SessionManager::SessionManager(std::shared_ptr<const PolicySnapshot> snapshot,
     : snapshot_(std::move(snapshot)), options_(std::move(options)) {
   if (options_.cache_capacity > 0) {
     cache_ = std::make_shared<DisplayCache>(DisplayCache::Options{
-        options_.cache_capacity, options_.cache_shards});
+        .capacity = options_.cache_capacity,
+        .shards = options_.cache_shards});
   }
   const int threads =
       options_.num_threads > 0

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <map>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "data/registry.h"
+#include "dataframe/kernels.h"
 #include "dataframe/ops.h"
 #include "dataframe/stats.h"
 
@@ -34,6 +37,40 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<DatasetSpec>& info) {
       return std::string(info.param.id);
     });
+
+TEST_P(DatasetRowsTest, ScaleMultipliesRowsDeterministically) {
+  constexpr int kScale = 7;
+  auto a = MakeDataset(GetParam().id, kScale);
+  auto b = MakeDataset(GetParam().id, kScale);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok());
+  const Table& ta = *a.value().table;
+  const Table& tb = *b.value().table;
+  EXPECT_EQ(ta.num_rows(), GetParam().rows * kScale);
+  ASSERT_EQ(ta.num_rows(), tb.num_rows());
+  for (int64_t r = 0; r < ta.num_rows(); r += 997) {
+    for (int c = 0; c < ta.num_columns(); ++c) {
+      EXPECT_TRUE(ta.column(c)->GetValue(r) == tb.column(c)->GetValue(r))
+          << "cell (" << r << "," << c << ") differs at scale " << kScale;
+    }
+  }
+}
+
+TEST_P(DatasetRowsTest, ScaleOneReproducesLegacyTable) {
+  auto legacy = MakeDataset(GetParam().id);
+  auto scaled = MakeDataset(GetParam().id, 1);
+  ASSERT_TRUE(legacy.ok());
+  ASSERT_TRUE(scaled.ok());
+  const Table& ta = *legacy.value().table;
+  const Table& tb = *scaled.value().table;
+  ASSERT_EQ(ta.num_rows(), tb.num_rows());
+  for (int64_t r = 0; r < ta.num_rows(); r += 97) {
+    for (int c = 0; c < ta.num_columns(); ++c) {
+      EXPECT_TRUE(ta.column(c)->GetValue(r) == tb.column(c)->GetValue(r))
+          << "cell (" << r << "," << c << ") differs";
+    }
+  }
+}
 
 class DatasetGenericTest : public ::testing::TestWithParam<const char*> {};
 
@@ -93,13 +130,129 @@ TEST(RegistryTest, MakeAllDatasetsReturnsEight) {
   EXPECT_EQ(ExperimentalDatasetIds().size(), 8u);
 }
 
+// ----------------------------------------------- kernel/scalar A/B parity
+//
+// The acceptance bar for the chunked kernels: on every experimental dataset
+// (and scaled variants) every display the environment can request —
+// filtered row sets and grouped results — is bit-identical between the
+// selection-vector kernel path and the retained scalar reference, at every
+// thread count the trainer uses.
+
+void ExpectGroupedBitIdenticalAb(const GroupedResult& a,
+                                 const GroupedResult& b) {
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  EXPECT_EQ(a.key_names, b.key_names);
+  EXPECT_EQ(a.agg_name, b.agg_name);
+  for (size_t g = 0; g < a.groups.size(); ++g) {
+    EXPECT_EQ(a.groups[g].keys, b.groups[g].keys) << "group " << g;
+    EXPECT_EQ(a.groups[g].rows, b.groups[g].rows) << "group " << g;
+    EXPECT_EQ(a.groups[g].agg_valid, b.groups[g].agg_valid) << "group " << g;
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.groups[g].aggregate),
+              std::bit_cast<uint64_t>(b.groups[g].aggregate))
+        << "group " << g;
+  }
+}
+
+class KernelAbTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(KernelAbTest, DisplaysBitIdenticalScalarVsKernel) {
+  for (int scale : {1, 5}) {
+    auto dataset = MakeDataset(GetParam(), scale);
+    ASSERT_TRUE(dataset.ok()) << dataset.status();
+    const Table& t = *dataset.value().table;
+    const std::vector<int32_t> all = AllRows(t).value();
+    ThreadPool pool2(2);
+    ThreadPool pool4(4);
+    const std::vector<ThreadPool*> pools = {nullptr, &pool2, &pool4};
+
+    int first_numeric = -1;
+    for (int c = 0; c < t.num_columns(); ++c) {
+      const Column& col = *t.column(c);
+
+      // Representative predicates drawn from the column's own values, the
+      // way the environment's token binning would.
+      std::vector<std::pair<CompareOp, Value>> preds;
+      if (col.type() == DataType::kString) {
+        auto tokens = TokenFrequencies(col, all);
+        if (!tokens.empty()) {
+          preds.emplace_back(CompareOp::kEq, tokens.front().token);
+          preds.emplace_back(CompareOp::kNeq, tokens.back().token);
+          const std::string top = tokens.front().token.ToString();
+          preds.emplace_back(
+              CompareOp::kContains,
+              Value(top.substr(0, std::max<size_t>(1, top.size() / 2))));
+          preds.emplace_back(CompareOp::kStartsWith,
+                             Value(top.substr(0, 1)));
+        }
+      } else {
+        if (first_numeric < 0) first_numeric = c;
+        for (int64_t r = 0; r < t.num_rows(); ++r) {
+          if (col.IsNull(r)) continue;
+          preds.emplace_back(CompareOp::kGt, col.GetValue(r));
+          preds.emplace_back(CompareOp::kLe, col.GetValue(r));
+          preds.emplace_back(CompareOp::kEq, col.GetValue(r));
+          break;
+        }
+      }
+      for (const auto& [op, term] : preds) {
+        auto scalar = ScalarFilterRows(t, all, c, op, term);
+        auto kernel = FilterRowsKernel(t, all, c, op, term);
+        ASSERT_TRUE(scalar.ok()) << scalar.status();
+        ASSERT_TRUE(kernel.ok()) << kernel.status();
+        EXPECT_EQ(kernel.value(), scalar.value())
+            << GetParam() << " scale " << scale << " column "
+            << t.column_name(c) << " op " << CompareOpSymbol(op);
+      }
+
+      // COUNT(*) grouped by this column at every thread count.
+      GroupSpec spec;
+      spec.group_columns = {c};
+      auto scalar_g = ScalarGroupAggregate(t, all, spec);
+      ASSERT_TRUE(scalar_g.ok());
+      for (ThreadPool* pool : pools) {
+        auto kernel_g = GroupAggregateKernel(t, all, spec, pool);
+        ASSERT_TRUE(kernel_g.ok());
+        ExpectGroupedBitIdenticalAb(kernel_g.value(), scalar_g.value());
+      }
+    }
+
+    // One AVG display over the first numeric column, grouped by the first
+    // string column — the shape the paper's sessions use most.
+    int first_string = -1;
+    for (int c = 0; c < t.num_columns(); ++c) {
+      if (t.column(c)->type() == DataType::kString) {
+        first_string = c;
+        break;
+      }
+    }
+    if (first_string >= 0 && first_numeric >= 0) {
+      GroupSpec avg;
+      avg.group_columns = {first_string};
+      avg.agg = AggFunc::kAvg;
+      avg.agg_column = first_numeric;
+      auto scalar_g = ScalarGroupAggregate(t, all, avg);
+      ASSERT_TRUE(scalar_g.ok());
+      for (ThreadPool* pool : pools) {
+        auto kernel_g = GroupAggregateKernel(t, all, avg, pool);
+        ASSERT_TRUE(kernel_g.ok());
+        ExpectGroupedBitIdenticalAb(kernel_g.value(), scalar_g.value());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, KernelAbTest,
+                         ::testing::Values("cyber1", "cyber2", "cyber3",
+                                           "cyber4", "flights1", "flights2",
+                                           "flights3", "flights4"));
+
 // ---------------------------------------------------- planted phenomena
 
 /// Helper: COUNT(*) group-by over one column, returning key->count.
 std::map<std::string, double> CountBy(const Table& t, const char* column) {
   GroupSpec spec;
   spec.group_columns = {t.FindColumn(column)};
-  auto grouped = GroupAggregate(t, AllRows(t), spec);
+  auto grouped = GroupAggregate(t, AllRows(t).value(), spec);
   EXPECT_TRUE(grouped.ok());
   std::map<std::string, double> out;
   for (const auto& g : grouped.value().groups) {
@@ -115,7 +268,7 @@ std::map<std::string, double> AvgBy(const Table& t, const char* key_column,
   spec.group_columns = {t.FindColumn(key_column)};
   spec.agg = AggFunc::kAvg;
   spec.agg_column = t.FindColumn(value_column);
-  auto grouped = GroupAggregate(t, AllRows(t), spec);
+  auto grouped = GroupAggregate(t, AllRows(t).value(), spec);
   EXPECT_TRUE(grouped.ok());
   std::map<std::string, double> out;
   for (const auto& g : grouped.value().groups) {
@@ -135,7 +288,7 @@ TEST(Cyber1Test, IcmpScanIsPlanted) {
   EXPECT_GT(by_source["10.0.66.66"], 5000.0);  // single noisy attacker
 
   // Exactly three hosts send echo replies.
-  auto reply_rows = FilterRows(t, AllRows(t), t.FindColumn("info"),
+  auto reply_rows = FilterRows(t, AllRows(t).value(), t.FindColumn("info"),
                                CompareOp::kEq,
                                Value(std::string("Echo (ping) reply")));
   ASSERT_TRUE(reply_rows.ok());
@@ -150,7 +303,7 @@ TEST(Cyber2Test, RceAttackIsPlanted) {
   auto dataset = MakeDataset("cyber2");
   ASSERT_TRUE(dataset.ok());
   const Table& t = *dataset.value().table;
-  auto cgi_rows = FilterRows(t, AllRows(t), t.FindColumn("uri"),
+  auto cgi_rows = FilterRows(t, AllRows(t).value(), t.FindColumn("uri"),
                              CompareOp::kEq,
                              Value(std::string("/cgi-bin/status.cgi")));
   ASSERT_TRUE(cgi_rows.ok());
@@ -168,7 +321,7 @@ TEST(Cyber3Test, PhishingHostIsPlanted) {
   auto dataset = MakeDataset("cyber3");
   ASSERT_TRUE(dataset.ok());
   const Table& t = *dataset.value().table;
-  auto phish = FilterRows(t, AllRows(t), t.FindColumn("host"), CompareOp::kEq,
+  auto phish = FilterRows(t, AllRows(t).value(), t.FindColumn("host"), CompareOp::kEq,
                           Value(std::string("secure-bank1-login.xyz")));
   ASSERT_TRUE(phish.ok());
   EXPECT_EQ(phish.value().size(), 55u);
@@ -183,7 +336,7 @@ TEST(Cyber4Test, PortScanIsPlanted) {
   auto dataset = MakeDataset("cyber4");
   ASSERT_TRUE(dataset.ok());
   const Table& t = *dataset.value().table;
-  auto synack = FilterRows(t, AllRows(t), t.FindColumn("tcp_flags"),
+  auto synack = FilterRows(t, AllRows(t).value(), t.FindColumn("tcp_flags"),
                            CompareOp::kEq, Value(std::string("SYN, ACK")));
   ASSERT_TRUE(synack.ok());
   // Open ports answer SYN-ACK: mostly from the victim (plus background).
@@ -215,7 +368,7 @@ TEST(FlightsTest, LaxAndAtlSufferExtraJuneDelays) {
   auto dataset = MakeDataset("flights1");
   ASSERT_TRUE(dataset.ok());
   const Table& t = *dataset.value().table;
-  auto june_rows = FilterRows(t, AllRows(t), t.FindColumn("month"),
+  auto june_rows = FilterRows(t, AllRows(t).value(), t.FindColumn("month"),
                               CompareOp::kEq, Value(std::string("June")));
   ASSERT_TRUE(june_rows.ok());
   GroupSpec spec;

@@ -1,9 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <limits>
 
 #include "common/file_io.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
 #include "dataframe/csv.h"
+#include "dataframe/kernels.h"
 #include "dataframe/ops.h"
 #include "dataframe/stats.h"
 #include "dataframe/table.h"
@@ -185,7 +191,7 @@ TEST(TableBuilderTest, RejectsWrongArity) {
 
 TEST(FilterTest, NumericEquality) {
   auto t = MakeCityTable();
-  auto rows = AllRows(*t);
+  auto rows = AllRows(*t).value();
   auto out = FilterRows(*t, rows, 1, CompareOp::kEq, Value(int64_t{2100}));
   ASSERT_TRUE(out.ok());
   ASSERT_EQ(out.value().size(), 1u);
@@ -194,7 +200,7 @@ TEST(FilterTest, NumericEquality) {
 
 TEST(FilterTest, NullCellsNeverMatch) {
   auto t = MakeCityTable();
-  auto rows = AllRows(*t);
+  auto rows = AllRows(*t).value();
   // population != 0 keeps every non-null row but not the null one.
   auto out = FilterRows(*t, rows, 1, CompareOp::kNeq, Value(int64_t{0}));
   ASSERT_TRUE(out.ok());
@@ -203,7 +209,7 @@ TEST(FilterTest, NullCellsNeverMatch) {
 
 TEST(FilterTest, StringEqualityViaDictionary) {
   auto t = MakeCityTable();
-  auto rows = AllRows(*t);
+  auto rows = AllRows(*t).value();
   auto out = FilterRows(*t, rows, 0, CompareOp::kEq,
                         Value(std::string("berlin")));
   ASSERT_TRUE(out.ok());
@@ -216,7 +222,7 @@ TEST(FilterTest, StringEqualityViaDictionary) {
 
 TEST(FilterTest, SubstringOperators) {
   auto t = MakeCityTable();
-  auto rows = AllRows(*t);
+  auto rows = AllRows(*t).value();
   auto contains = FilterRows(*t, rows, 0, CompareOp::kContains,
                              Value(std::string("ar")));
   ASSERT_TRUE(contains.ok());
@@ -241,7 +247,7 @@ class FilterOrderingTest : public ::testing::TestWithParam<OrderingCase> {};
 
 TEST_P(FilterOrderingTest, OrderingOperators) {
   auto t = MakeCityTable();
-  auto rows = AllRows(*t);
+  auto rows = AllRows(*t).value();
   const OrderingCase& c = GetParam();
   auto out = FilterRows(*t, rows, 2, c.op, Value(c.threshold));
   ASSERT_TRUE(out.ok());
@@ -257,7 +263,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(FilterTest, TypeMismatchesRejected) {
   auto t = MakeCityTable();
-  auto rows = AllRows(*t);
+  auto rows = AllRows(*t).value();
   EXPECT_FALSE(FilterRows(*t, rows, 0, CompareOp::kGt,
                           Value(std::string("berlin"))).ok());
   EXPECT_FALSE(FilterRows(*t, rows, 1, CompareOp::kContains,
@@ -299,7 +305,7 @@ TEST(FilterTest, NeqAbsentDictionaryTermKeepsAllNonNullRows) {
   // "zzz" has no dictionary code (FindCode returns -1): != must keep every
   // non-null row, and == must select nothing — without scanning strings.
   auto t = MakeNullableTable();
-  auto rows = AllRows(*t);
+  auto rows = AllRows(*t).value();
   auto neq = FilterRows(*t, rows, 0, CompareOp::kNeq,
                         Value(std::string("zzz")));
   ASSERT_TRUE(neq.ok());
@@ -312,7 +318,7 @@ TEST(FilterTest, NeqAbsentDictionaryTermKeepsAllNonNullRows) {
 
 TEST(FilterTest, NullStringCellsExcludedUnderEveryOpFamily) {
   auto t = MakeNullableTable();
-  auto rows = AllRows(*t);
+  auto rows = AllRows(*t).value();
   auto eq = FilterRows(*t, rows, 0, CompareOp::kEq, Value(std::string("a")));
   ASSERT_TRUE(eq.ok());
   EXPECT_EQ(eq.value(), (std::vector<int32_t>{0, 3}));
@@ -338,7 +344,7 @@ TEST(FilterTest, NullStringCellsExcludedUnderEveryOpFamily) {
 
 TEST(FilterTest, NullNumericCellsExcludedUnderOrderingOps) {
   auto t = MakeCityTable();  // population has one null (row 2)
-  auto rows = AllRows(*t);
+  auto rows = AllRows(*t).value();
   for (CompareOp op :
        {CompareOp::kGt, CompareOp::kGe, CompareOp::kLt, CompareOp::kLe}) {
     auto out = FilterRows(*t, rows, 1, op, Value(int64_t{2100}));
@@ -353,7 +359,7 @@ TEST(FilterTest, NullNumericCellsExcludedUnderOrderingOps) {
 
 TEST(FilterTest, OrderingOpsOnAllNullNumericColumnSelectNothing) {
   auto t = MakeNullableTable();
-  auto rows = AllRows(*t);
+  auto rows = AllRows(*t).value();
   for (CompareOp op : {CompareOp::kGt, CompareOp::kGe, CompareOp::kLt,
                        CompareOp::kLe, CompareOp::kEq, CompareOp::kNeq}) {
     auto out = FilterRows(*t, rows, 1, op, Value(0.0));
@@ -368,7 +374,7 @@ TEST(GroupTest, CountPerGroup) {
   auto t = MakeCityTable();
   GroupSpec spec;
   spec.group_columns = {0};
-  auto out = GroupAggregate(*t, AllRows(*t), spec);
+  auto out = GroupAggregate(*t, AllRows(*t).value(), spec);
   ASSERT_TRUE(out.ok());
   EXPECT_EQ(out.value().groups.size(), 4u);  // berlin, madrid, paris, rome
   // Sorted by key: berlin first with 2 rows.
@@ -390,7 +396,7 @@ TEST_P(GroupAggTest, NumericAggregations) {
   spec.group_columns = {0};
   spec.agg = GetParam().func;
   spec.agg_column = 2;  // area
-  auto out = GroupAggregate(*t, AllRows(*t), spec);
+  auto out = GroupAggregate(*t, AllRows(*t).value(), spec);
   ASSERT_TRUE(out.ok());
   // Group 0 is berlin (areas 891, 890).
   EXPECT_DOUBLE_EQ(out.value().groups[0].aggregate,
@@ -410,7 +416,7 @@ TEST(GroupTest, NullAggInputsSkipped) {
   spec.group_columns = {0};
   spec.agg = AggFunc::kAvg;
   spec.agg_column = 1;  // population (berlin has one null)
-  auto out = GroupAggregate(*t, AllRows(*t), spec);
+  auto out = GroupAggregate(*t, AllRows(*t).value(), spec);
   ASSERT_TRUE(out.ok());
   EXPECT_DOUBLE_EQ(out.value().groups[0].aggregate, 3600.0);
   EXPECT_TRUE(out.value().groups[0].agg_valid);
@@ -420,7 +426,7 @@ TEST(GroupTest, MultiColumnGrouping) {
   auto t = MakeCityTable();
   GroupSpec spec;
   spec.group_columns = {0, 1};
-  auto out = GroupAggregate(*t, AllRows(*t), spec);
+  auto out = GroupAggregate(*t, AllRows(*t).value(), spec);
   ASSERT_TRUE(out.ok());
   // berlin splits into (berlin,null) and (berlin,3600).
   EXPECT_EQ(out.value().groups.size(), 5u);
@@ -429,7 +435,7 @@ TEST(GroupTest, MultiColumnGrouping) {
 TEST(GroupTest, RequiresGroupColumns) {
   auto t = MakeCityTable();
   GroupSpec spec;
-  EXPECT_FALSE(GroupAggregate(*t, AllRows(*t), spec).ok());
+  EXPECT_FALSE(GroupAggregate(*t, AllRows(*t).value(), spec).ok());
 }
 
 TEST(GroupTest, RejectsStringAggColumn) {
@@ -438,7 +444,7 @@ TEST(GroupTest, RejectsStringAggColumn) {
   spec.group_columns = {1};
   spec.agg = AggFunc::kSum;
   spec.agg_column = 0;
-  EXPECT_FALSE(GroupAggregate(*t, AllRows(*t), spec).ok());
+  EXPECT_FALSE(GroupAggregate(*t, AllRows(*t).value(), spec).ok());
 }
 
 TEST(GroupTest, ToTableShape) {
@@ -447,7 +453,7 @@ TEST(GroupTest, ToTableShape) {
   spec.group_columns = {0};
   spec.agg = AggFunc::kAvg;
   spec.agg_column = 2;
-  auto grouped = GroupAggregate(*t, AllRows(*t), spec);
+  auto grouped = GroupAggregate(*t, AllRows(*t).value(), spec);
   ASSERT_TRUE(grouped.ok());
   auto table = grouped.value().ToTable(*t);
   ASSERT_TRUE(table.ok());
@@ -460,7 +466,7 @@ TEST(GroupTest, GroupSizes) {
   auto t = MakeCityTable();
   GroupSpec spec;
   spec.group_columns = {0};
-  auto grouped = GroupAggregate(*t, AllRows(*t), spec);
+  auto grouped = GroupAggregate(*t, AllRows(*t).value(), spec);
   ASSERT_TRUE(grouped.ok());
   auto sizes = grouped.value().GroupSizes();
   double total = 0;
@@ -472,7 +478,7 @@ TEST(GroupTest, GroupSizes) {
 
 TEST(StatsTest, ColumnStatsBasics) {
   auto t = MakeCityTable();
-  auto rows = AllRows(*t);
+  auto rows = AllRows(*t).value();
   ColumnStats stats = ComputeColumnStats(*t->column(0), rows);
   EXPECT_EQ(stats.distinct, 4);
   EXPECT_EQ(stats.nulls, 0);
@@ -486,7 +492,7 @@ TEST(StatsTest, ColumnStatsBasics) {
 
 TEST(StatsTest, TokenFrequenciesSortedByCount) {
   auto t = MakeCityTable();
-  auto tokens = TokenFrequencies(*t->column(0), AllRows(*t));
+  auto tokens = TokenFrequencies(*t->column(0), AllRows(*t).value());
   ASSERT_EQ(tokens.size(), 4u);
   EXPECT_EQ(tokens[0].token.as_string(), "berlin");
   EXPECT_EQ(tokens[0].count, 2);
@@ -496,7 +502,7 @@ TEST(StatsTest, TokenFrequenciesSortedByCount) {
 
 TEST(StatsTest, ValueHistogramExcludesNulls) {
   auto t = MakeCityTable();
-  auto hist = ValueHistogram(*t->column(1), AllRows(*t));
+  auto hist = ValueHistogram(*t->column(1), AllRows(*t).value());
   double total = 0;
   for (const auto& [k, v] : hist) {
     (void)k;
@@ -636,6 +642,307 @@ TEST(CsvTest, WriteFailurePreservesExistingFile) {
   auto back = ReadCsvFile(path);
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back.value()->num_rows(), 5);
+}
+
+// ------------------------------------------------------- Kernel parity
+//
+// The chunked selection-vector kernels (dataframe/kernels.h) must be
+// bit-identical to the retained scalar reference on any table, selection,
+// operator and thread count. These property tests throw randomized tables
+// at both paths: nulls, a fully-null chunk, NaNs, multi-chunk sizes with a
+// ragged tail, selections with whole-chunk gaps, and shuffled (unsorted)
+// selections that force the kernel off its sorted fast path.
+
+TablePtr MakeRandomTable(uint64_t seed, int64_t rows) {
+  Rng rng(seed);
+  ColumnBuilder ints("ints", DataType::kInt64);
+  ColumnBuilder doubles("doubles", DataType::kFloat64);
+  ColumnBuilder strings("strings", DataType::kString);
+  const std::vector<std::string> vocab = {"alpha", "beta", "gamma", "delta",
+                                          "epsilon"};
+  for (int64_t r = 0; r < rows; ++r) {
+    // Chunk 2 is fully null in every column: the zone maps must classify it
+    // as skippable for every operator except string !=.
+    const bool null_block =
+        r >= 2 * kColumnChunkSize && r < 3 * kColumnChunkSize;
+    if (null_block || rng.NextBool(0.1)) {
+      ints.AppendNull();
+    } else {
+      EXPECT_TRUE(ints.AppendInt(rng.NextInt(-50, 50)).ok());
+    }
+    if (null_block || rng.NextBool(0.1)) {
+      doubles.AppendNull();
+    } else if (rng.NextBool(0.05)) {
+      EXPECT_TRUE(
+          doubles.AppendDouble(std::numeric_limits<double>::quiet_NaN()).ok());
+    } else {
+      EXPECT_TRUE(doubles.AppendDouble(rng.NextDouble(-10.0, 10.0)).ok());
+    }
+    if (null_block || rng.NextBool(0.1)) {
+      strings.AppendNull();
+    } else {
+      EXPECT_TRUE(
+          strings.AppendString(vocab[rng.NextBounded(vocab.size())]).ok());
+    }
+  }
+  std::vector<ColumnPtr> columns;
+  columns.push_back(ints.Finish());
+  columns.push_back(doubles.Finish());
+  columns.push_back(strings.Finish());
+  auto t = Table::Make("random", std::move(columns));
+  EXPECT_TRUE(t.ok());
+  return t.value();
+}
+
+/// Selections that stress every ChunkedScan mode: the identity selection,
+/// a sorted-sparse selection with a whole-chunk gap (chunk 1 absent), and a
+/// deterministically shuffled unsorted selection.
+std::vector<std::vector<int32_t>> StressSelections(int64_t rows,
+                                                   uint64_t seed) {
+  const auto n = static_cast<int32_t>(rows);
+  std::vector<std::vector<int32_t>> selections;
+  std::vector<int32_t> all(static_cast<size_t>(n));
+  for (int32_t r = 0; r < n; ++r) all[static_cast<size_t>(r)] = r;
+  selections.push_back(all);
+  std::vector<int32_t> gapped;
+  for (int32_t r = 0; r < n; r += 2) {
+    if (r >= kColumnChunkSize && r < 2 * kColumnChunkSize) continue;
+    gapped.push_back(r);
+  }
+  selections.push_back(std::move(gapped));
+  Rng rng(seed ^ 0xC0FFEE);
+  std::vector<int32_t> shuffled = all;
+  for (size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.NextBounded(i)]);
+  }
+  selections.push_back(std::move(shuffled));
+  selections.push_back({});  // empty selection
+  return selections;
+}
+
+TEST(KernelParityTest, FilterMatchesScalarOnRandomTables) {
+  constexpr int64_t kRows = 4 * kColumnChunkSize + 1000;
+  for (uint64_t seed : {uint64_t{1}, uint64_t{2}, uint64_t{3}}) {
+    TablePtr t = MakeRandomTable(seed, kRows);
+    const auto selections = StressSelections(kRows, seed);
+
+    struct Case {
+      int column;
+      CompareOp op;
+      Value term;
+    };
+    std::vector<Case> cases;
+    for (CompareOp op : {CompareOp::kEq, CompareOp::kNeq, CompareOp::kGt,
+                         CompareOp::kGe, CompareOp::kLt, CompareOp::kLe}) {
+      for (const Value& term :
+           {Value(int64_t{0}), Value(int64_t{-50}), Value(3.5),
+            Value(int64_t{999})}) {
+        cases.push_back({0, op, term});
+        cases.push_back({1, op, term});
+      }
+    }
+    for (CompareOp op :
+         {CompareOp::kEq, CompareOp::kNeq, CompareOp::kContains,
+          CompareOp::kStartsWith, CompareOp::kEndsWith}) {
+      for (const char* term : {"beta", "a", "zzz-absent", ""}) {
+        cases.push_back({2, op, Value(std::string(term))});
+      }
+    }
+
+    for (const auto& c : cases) {
+      for (const auto& rows : selections) {
+        auto scalar = ScalarFilterRows(*t, rows, c.column, c.op, c.term);
+        auto kernel = FilterRowsKernel(*t, rows, c.column, c.op, c.term);
+        ASSERT_TRUE(scalar.ok());
+        ASSERT_TRUE(kernel.ok());
+        EXPECT_EQ(kernel.value(), scalar.value())
+            << "column " << c.column << " op "
+            << CompareOpSymbol(c.op) << " term " << c.term.ToString();
+      }
+    }
+  }
+}
+
+TEST(KernelParityTest, FilterErrorsMatchScalar) {
+  TablePtr t = MakeCityTable();
+  std::vector<int32_t> rows = AllRows(*t).value();
+  struct Case {
+    int column;
+    CompareOp op;
+    Value term;
+  };
+  // Every validation branch: bad column, null term, ordering over strings,
+  // substring over numerics, non-numeric term for ordering.
+  const std::vector<Case> cases = {
+      {9, CompareOp::kEq, Value(int64_t{1})},
+      {0, CompareOp::kEq, Value::Null()},
+      {0, CompareOp::kGt, Value(std::string("x"))},
+      {1, CompareOp::kContains, Value(std::string("x"))},
+      {1, CompareOp::kGe, Value(std::string("x"))},
+  };
+  for (const auto& c : cases) {
+    auto scalar = ScalarFilterRows(*t, rows, c.column, c.op, c.term);
+    auto kernel = FilterRowsKernel(*t, rows, c.column, c.op, c.term);
+    ASSERT_FALSE(scalar.ok());
+    ASSERT_FALSE(kernel.ok());
+    EXPECT_EQ(kernel.status(), scalar.status());
+  }
+}
+
+/// Value equality at the bit level: NaN keys compare equal to themselves
+/// (operator== follows IEEE and would report identical NaN groups unequal).
+bool ValueBitEq(const Value& x, const Value& y) {
+  if (x.is_double() && y.is_double()) {
+    return std::bit_cast<uint64_t>(x.as_double()) ==
+           std::bit_cast<uint64_t>(y.as_double());
+  }
+  return x == y;
+}
+
+void ExpectGroupedBitIdentical(const GroupedResult& a,
+                               const GroupedResult& b) {
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  EXPECT_EQ(a.key_names, b.key_names);
+  EXPECT_EQ(a.agg_name, b.agg_name);
+  for (size_t g = 0; g < a.groups.size(); ++g) {
+    ASSERT_EQ(a.groups[g].keys.size(), b.groups[g].keys.size());
+    for (size_t k = 0; k < a.groups[g].keys.size(); ++k) {
+      EXPECT_TRUE(ValueBitEq(a.groups[g].keys[k], b.groups[g].keys[k]))
+          << "group " << g << " key " << k << ": "
+          << a.groups[g].keys[k].ToString() << " vs "
+          << b.groups[g].keys[k].ToString();
+    }
+    EXPECT_EQ(a.groups[g].rows, b.groups[g].rows) << "group " << g;
+    EXPECT_EQ(a.groups[g].agg_valid, b.groups[g].agg_valid) << "group " << g;
+    // Bit-exact, not approximately-equal: the kernel must preserve the
+    // scalar accumulation order.
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.groups[g].aggregate),
+              std::bit_cast<uint64_t>(b.groups[g].aggregate))
+        << "group " << g;
+  }
+}
+
+TEST(KernelParityTest, GroupAggregateMatchesScalarAtAnyThreadCount) {
+  constexpr int64_t kRows = 3 * kColumnChunkSize + 777;
+  TablePtr t = MakeRandomTable(11, kRows);
+  const auto selections = StressSelections(kRows, 11);
+
+  std::vector<GroupSpec> specs;
+  specs.push_back({{2}, AggFunc::kCount, -1});       // strings, dense path
+  specs.push_back({{0}, AggFunc::kAvg, 1});          // ints, dense path
+  specs.push_back({{1}, AggFunc::kSum, 0});          // doubles, hash path
+  specs.push_back({{2, 0}, AggFunc::kMin, 1});       // multi-key, hash path
+  specs.push_back({{0, 2}, AggFunc::kMax, 0});
+
+  for (int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    for (const auto& spec : specs) {
+      for (const auto& rows : selections) {
+        auto scalar = ScalarGroupAggregate(*t, rows, spec);
+        ASSERT_TRUE(scalar.ok());
+        auto serial = GroupAggregateKernel(*t, rows, spec, nullptr);
+        ASSERT_TRUE(serial.ok());
+        ExpectGroupedBitIdentical(serial.value(), scalar.value());
+        auto parallel = GroupAggregateKernel(*t, rows, spec, &pool);
+        ASSERT_TRUE(parallel.ok());
+        ExpectGroupedBitIdentical(parallel.value(), scalar.value());
+      }
+    }
+  }
+}
+
+TEST(KernelParityTest, GroupAggregateErrorsMatchScalar) {
+  TablePtr t = MakeCityTable();
+  std::vector<int32_t> rows = AllRows(*t).value();
+  const std::vector<GroupSpec> cases = {
+      {{}, AggFunc::kCount, -1},       // no group columns
+      {{9}, AggFunc::kCount, -1},      // bad group column
+      {{0}, AggFunc::kSum, 9},         // bad agg column
+      {{0}, AggFunc::kAvg, 0},         // AVG over string column
+  };
+  for (const auto& spec : cases) {
+    auto scalar = ScalarGroupAggregate(*t, rows, spec);
+    auto kernel = GroupAggregateKernel(*t, rows, spec, nullptr);
+    ASSERT_FALSE(scalar.ok());
+    ASSERT_FALSE(kernel.ok());
+    EXPECT_EQ(kernel.status(), scalar.status());
+  }
+}
+
+TEST(FilterKernelStatsTest, ZoneMapSkipAndAllMatchCounters) {
+  // Three full chunks of constant values 1 / 5 / 9. Filtering > 6 must
+  // skip the first two chunks from the zone map alone and emit the third
+  // without per-row tests.
+  ColumnBuilder b("v", DataType::kInt64);
+  for (int64_t r = 0; r < 3 * kColumnChunkSize; ++r) {
+    ASSERT_TRUE(b.AppendInt(1 + 4 * (r >> kColumnChunkShift)).ok());
+  }
+  std::vector<ColumnPtr> columns;
+  columns.push_back(b.Finish());
+  TablePtr t = Table::Make("zones", std::move(columns)).value();
+  std::vector<int32_t> rows = AllRows(*t).value();
+
+  FilterKernelStats stats;
+  auto result =
+      FilterRowsKernel(*t, rows, 0, CompareOp::kGt, Value(int64_t{6}), &stats);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), static_cast<size_t>(kColumnChunkSize));
+  EXPECT_EQ(result.value().front(), 2 * kColumnChunkSize);
+  EXPECT_EQ(stats.chunks_total, 3);
+  EXPECT_EQ(stats.chunks_skipped, 2);
+  EXPECT_EQ(stats.chunks_all_match, 1);
+  EXPECT_EQ(stats.chunks_scanned, 0);
+  EXPECT_DOUBLE_EQ(stats.skip_rate(), 2.0 / 3.0);
+
+  // On a constant chunk even equality is decidable from the zone map alone
+  // (min == max == term), so nothing is ever scanned.
+  FilterKernelStats eq;
+  ASSERT_TRUE(
+      FilterRowsKernel(*t, rows, 0, CompareOp::kEq, Value(int64_t{5}), &eq)
+          .ok());
+  EXPECT_EQ(eq.chunks_skipped, 2);
+  EXPECT_EQ(eq.chunks_all_match, 1);
+  EXPECT_EQ(eq.chunks_scanned, 0);
+
+  // A chunk whose range straddles the threshold must be genuinely scanned.
+  ColumnBuilder mixed("v", DataType::kInt64);
+  for (int64_t r = 0; r < kColumnChunkSize; ++r) {
+    ASSERT_TRUE(mixed.AppendInt(r % 2 == 0 ? 1 : 9).ok());
+  }
+  std::vector<ColumnPtr> mixed_columns;
+  mixed_columns.push_back(mixed.Finish());
+  TablePtr tm = Table::Make("mixed", std::move(mixed_columns)).value();
+  std::vector<int32_t> mrows = AllRows(*tm).value();
+  FilterKernelStats scanned;
+  auto odd = FilterRowsKernel(*tm, mrows, 0, CompareOp::kGt,
+                              Value(int64_t{6}), &scanned);
+  ASSERT_TRUE(odd.ok());
+  EXPECT_EQ(odd.value().size(), static_cast<size_t>(kColumnChunkSize / 2));
+  EXPECT_EQ(scanned.chunks_total, 1);
+  EXPECT_EQ(scanned.chunks_skipped, 0);
+  EXPECT_EQ(scanned.chunks_all_match, 0);
+  EXPECT_EQ(scanned.chunks_scanned, 1);
+}
+
+// ------------------------------------------------------ AllRows boundary
+
+TEST(AllRowsTest, Int32BoundaryIsEnforced) {
+  const int64_t limit = std::numeric_limits<int32_t>::max();
+  // Exactly INT32_MAX rows is still addressable; one more is not. The
+  // validator takes a row count, so the boundary is testable without
+  // materializing a 2^31-row table.
+  EXPECT_TRUE(ValidateInt32RowRange(limit, "AllRows: row count").ok());
+  Status over = ValidateInt32RowRange(limit + 1, "AllRows: row count");
+  EXPECT_EQ(over.code(), StatusCode::kOutOfRange);
+  EXPECT_NE(over.message().find("2147483648 rows"), std::string::npos);
+
+  auto result = AllRowsForCount(limit + 1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+
+  auto small = AllRowsForCount(3);
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small.value(), (std::vector<int32_t>{0, 1, 2}));
 }
 
 }  // namespace

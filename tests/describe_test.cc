@@ -23,7 +23,7 @@ TablePtr MakeScoresTable() {
 
 TEST(SortRowsTest, AscendingNumericWithNullsFirst) {
   auto t = MakeScoresTable();
-  auto sorted = SortRows(*t, AllRows(*t), 1, /*ascending=*/true);
+  auto sorted = SortRows(*t, AllRows(*t).value(), 1, /*ascending=*/true);
   ASSERT_TRUE(sorted.ok());
   // Null row (2) first, then 5.0 (3), 7.0 (1), 8.0 (4), 9.0 (0).
   EXPECT_EQ(sorted.value(), (std::vector<int32_t>{2, 3, 1, 4, 0}));
@@ -31,7 +31,7 @@ TEST(SortRowsTest, AscendingNumericWithNullsFirst) {
 
 TEST(SortRowsTest, DescendingString) {
   auto t = MakeScoresTable();
-  auto sorted = SortRows(*t, AllRows(*t), 0, /*ascending=*/false);
+  auto sorted = SortRows(*t, AllRows(*t).value(), 0, /*ascending=*/false);
   ASSERT_TRUE(sorted.ok());
   EXPECT_EQ(t->column(0)->GetString(sorted.value().front()), "dan");
   // Nulls-first under ascending = nulls-last under descending; none here.
@@ -40,7 +40,7 @@ TEST(SortRowsTest, DescendingString) {
 
 TEST(SortRowsTest, StableAcrossEqualKeys) {
   auto t = MakeScoresTable();
-  auto sorted = SortRows(*t, AllRows(*t), 0, /*ascending=*/true);
+  auto sorted = SortRows(*t, AllRows(*t).value(), 0, /*ascending=*/true);
   ASSERT_TRUE(sorted.ok());
   // Both "ana" rows keep their original relative order (0 before 3).
   std::vector<int32_t> anas;
@@ -52,31 +52,31 @@ TEST(SortRowsTest, StableAcrossEqualKeys) {
 
 TEST(SortRowsTest, RejectsBadColumn) {
   auto t = MakeScoresTable();
-  EXPECT_FALSE(SortRows(*t, AllRows(*t), 9).ok());
+  EXPECT_FALSE(SortRows(*t, AllRows(*t).value(), 9).ok());
 }
 
 // ------------------------------------------------------------------ topk
 
 TEST(TopKRowsTest, LargestAndSmallest) {
   auto t = MakeScoresTable();
-  auto top2 = TopKRows(*t, AllRows(*t), 1, 2, /*largest=*/true);
+  auto top2 = TopKRows(*t, AllRows(*t).value(), 1, 2, /*largest=*/true);
   ASSERT_TRUE(top2.ok());
   EXPECT_EQ(top2.value(), (std::vector<int32_t>{0, 4}));  // 9.0, 8.0
-  auto bottom1 = TopKRows(*t, AllRows(*t), 1, 1, /*largest=*/false);
+  auto bottom1 = TopKRows(*t, AllRows(*t).value(), 1, 1, /*largest=*/false);
   ASSERT_TRUE(bottom1.ok());
   EXPECT_EQ(bottom1.value(), (std::vector<int32_t>{3}));  // 5.0
 }
 
 TEST(TopKRowsTest, KLargerThanInputClamps) {
   auto t = MakeScoresTable();
-  auto all = TopKRows(*t, AllRows(*t), 1, 100);
+  auto all = TopKRows(*t, AllRows(*t).value(), 1, 100);
   ASSERT_TRUE(all.ok());
   EXPECT_EQ(all.value().size(), 4u);  // null row excluded
 }
 
 TEST(TopKRowsTest, RejectsStringColumn) {
   auto t = MakeScoresTable();
-  EXPECT_FALSE(TopKRows(*t, AllRows(*t), 0, 2).ok());
+  EXPECT_FALSE(TopKRows(*t, AllRows(*t).value(), 0, 2).ok());
 }
 
 // -------------------------------------------------------------- describe

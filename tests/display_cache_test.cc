@@ -26,7 +26,7 @@ std::shared_ptr<const std::vector<int32_t>> MakeRows(int32_t n) {
 }
 
 TEST(DisplayCacheTest, RoundTripAndStats) {
-  DisplayCache cache({/*capacity=*/16, /*shards=*/2});
+  DisplayCache cache({.capacity = 16, .shards = 2});
   EXPECT_EQ(cache.GetRows(42), nullptr);  // miss
   cache.PutRows(42, MakeRows(5));
   auto hit = cache.GetRows(42);
@@ -46,7 +46,7 @@ TEST(DisplayCacheTest, RoundTripAndStats) {
 }
 
 TEST(DisplayCacheTest, EvictsLeastRecentlyUsed) {
-  DisplayCache cache({/*capacity=*/4, /*shards=*/1});
+  DisplayCache cache({.capacity = 4, .shards = 1});
   for (uint64_t key = 1; key <= 4; ++key) cache.PutRows(key, MakeRows(1));
   // Touch key 1 so key 2 becomes the least recently used.
   ASSERT_NE(cache.GetRows(1), nullptr);
@@ -58,6 +58,63 @@ TEST(DisplayCacheTest, EvictsLeastRecentlyUsed) {
   const DisplayCacheStats stats = cache.stats();
   EXPECT_EQ(stats.evictions, 1u);
   EXPECT_EQ(stats.entries, 4u);
+}
+
+TEST(DisplayCacheTest, ByteBudgetBoundsResidentMemory) {
+  // Million-row tables make a single cached row set ~4 MB, so the entry cap
+  // alone cannot bound memory. With a byte budget the cache must stay under
+  // it no matter how many large values are inserted.
+  constexpr size_t kBudget = 1 << 20;  // 1 MB
+  DisplayCache cache({.capacity = 1 << 16, .max_bytes = kBudget,
+                      .shards = 1});
+  // 64 row sets of 100k int32 rows each = ~25.6 MB offered.
+  for (uint64_t key = 1; key <= 64; ++key) {
+    cache.PutRows(key, MakeRows(100'000));
+    EXPECT_LE(cache.stats().resident_bytes, kBudget) << "after key " << key;
+  }
+  const DisplayCacheStats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.entries, 0u);
+  EXPECT_LE(stats.resident_bytes, kBudget);
+  // The newest entry is resident, the oldest was evicted (LRU order).
+  EXPECT_NE(cache.GetRows(64), nullptr);
+  EXPECT_EQ(cache.GetRows(1), nullptr);
+
+  // Clearing releases the accounting along with the values.
+  cache.Clear();
+  EXPECT_EQ(cache.stats().resident_bytes, 0u);
+}
+
+TEST(DisplayCacheTest, OversizedEntryStaysResidentAloneWithoutThrashing) {
+  // A single value larger than the whole budget is kept (an empty cache
+  // would recompute forever) until the next insert displaces it.
+  DisplayCache cache({.capacity = 8, .max_bytes = 1024, .shards = 1});
+  cache.PutRows(1, MakeRows(10'000));  // ~40 KB >> 1 KB budget
+  EXPECT_NE(cache.GetRows(1), nullptr);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  cache.PutRows(2, MakeRows(10'000));
+  // The older oversized entry is evicted; the newer one survives alone.
+  EXPECT_EQ(cache.GetRows(1), nullptr);
+  EXPECT_NE(cache.GetRows(2), nullptr);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(DisplayCacheTest, ResidentBytesTracksAllSections) {
+  DisplayCache cache({.capacity = 64, .shards = 1});
+  EXPECT_EQ(cache.stats().resident_bytes, 0u);
+  cache.PutRows(1, MakeRows(1000));
+  const uint64_t after_rows = cache.stats().resident_bytes;
+  EXPECT_GE(after_rows, 1000 * sizeof(int32_t));
+  cache.PutVector(2, std::make_shared<const std::vector<double>>(500, 1.0));
+  const uint64_t after_vec = cache.stats().resident_bytes;
+  EXPECT_GE(after_vec, after_rows + 500 * sizeof(double));
+  auto grouped = std::make_shared<GroupedResult>();
+  grouped->groups.resize(3);
+  grouped->groups[0].rows = {1, 2, 3};
+  cache.PutGrouped(3, grouped);
+  EXPECT_GT(cache.stats().resident_bytes, after_vec);
+  // Unbounded by default: nothing was evicted.
+  EXPECT_EQ(cache.stats().evictions, 0u);
 }
 
 TEST(DisplayCacheTest, FilterSignatureIsOrderIndependent) {
@@ -115,17 +172,22 @@ std::vector<EnvAction> RandomActions(const ActionSpace& space, uint64_t seed,
 // join, every interim poll must be monotone, and the run must be clean
 // under TSan (scripts/check.sh sweeps this binary).
 TEST(DisplayCacheTest, ConcurrentStatsAreExactAndMonotone) {
-  DisplayCache cache({/*capacity=*/64, /*shards=*/4});
+  DisplayCache cache({.capacity = 64, .shards = 4});
   constexpr int kThreads = 4;
   constexpr int kOpsPerThread = 4000;
   std::vector<std::thread> workers;
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([&cache, t] {
-      // Overlapping key ranges: plenty of hits, misses and (capacity 64,
-      // keys up to ~1064) evictions from every thread.
+      // Every 4th op touches a single shared hot key that all threads keep
+      // refreshing, so it can never age out of its 64-entry shard and hits
+      // are guaranteed even when the scheduler serialises the workers
+      // (1-CPU boxes, where a strided walk over ~1064 keys alone revisits
+      // every key only after it has been evicted). The remaining ops cycle
+      // through the cold keys to keep misses and evictions flowing.
       for (int i = 0; i < kOpsPerThread; ++i) {
         const uint64_t key =
-            static_cast<uint64_t>((i * (t + 3)) % 1064);
+            (i % 4 == 0) ? 0
+                         : static_cast<uint64_t>((i * (t + 3)) % 1064);
         if (cache.GetRows(key) == nullptr) {
           cache.PutRows(key, MakeRows(static_cast<int32_t>(key % 7 + 1)));
         }
@@ -161,7 +223,7 @@ TEST(DisplayCacheTest, ConcurrentStatsAreExactAndMonotone) {
 // (stats(), by contrast, may mix instants across shards). Also swept by
 // the TSan run in scripts/check.sh.
 TEST(DisplayCacheTest, SnapshotIsInternallyConsistentUnderLoad) {
-  DisplayCache cache({/*capacity=*/64, /*shards=*/4});
+  DisplayCache cache({.capacity = 64, .shards = 4});
   constexpr int kThreads = 4;
   constexpr int kOpsPerThread = 4000;
   std::vector<std::thread> workers;

@@ -116,7 +116,7 @@ TEST(ObservationTest, ZeroPaddedHistory) {
   Dataset d = SmallDataset();
   ObservationEncoder encoder(d.table, 3);
   Display root;
-  root.rows = AllRows(*d.table);
+  root.rows = AllRows(*d.table).value();
   auto vec = encoder.EncodeDisplay(root);
   auto obs = encoder.EncodeObservation({vec});
   ASSERT_EQ(static_cast<int>(obs.size()), encoder.observation_dim());
@@ -133,7 +133,7 @@ TEST(ObservationTest, MostRecentDisplayFirst) {
   Dataset d = SmallDataset();
   ObservationEncoder encoder(d.table, 2);
   Display root;
-  root.rows = AllRows(*d.table);
+  root.rows = AllRows(*d.table).value();
   Display half = root;
   half.rows = std::vector<int32_t>(root.rows.begin(),
                                    root.rows.begin() +
@@ -411,7 +411,7 @@ TEST(EnvironmentTest, CapRowsLimitsLargeSelections) {
   EnvConfig config = SmallConfig();
   config.stats_row_cap = 100;
   EdaEnvironment env(d, config);
-  auto capped = env.CapRows(AllRows(*d.table));
+  auto capped = env.CapRows(AllRows(*d.table).value());
   EXPECT_EQ(capped.size(), 100u);
   // Order preserved, strictly increasing stride sample.
   for (size_t i = 1; i < capped.size(); ++i) {

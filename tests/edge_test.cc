@@ -51,7 +51,7 @@ TEST(EdgeTest, StatsOverEmptySelection) {
 
 TEST(EdgeTest, SingleRowTableOperations) {
   auto t = TinyTable();
-  auto rows = AllRows(*t);
+  auto rows = AllRows(*t).value();
   GroupSpec spec;
   spec.group_columns = {0};
   spec.agg = AggFunc::kAvg;
@@ -73,7 +73,7 @@ TEST(EdgeTest, AllNullAggregateIsInvalid) {
   spec.group_columns = {0};
   spec.agg = AggFunc::kSum;
   spec.agg_column = 1;
-  auto grouped = GroupAggregate(*t, AllRows(*t), spec);
+  auto grouped = GroupAggregate(*t, AllRows(*t).value(), spec);
   ASSERT_TRUE(grouped.ok());
   ASSERT_EQ(grouped.value().groups.size(), 1u);
   EXPECT_FALSE(grouped.value().groups[0].agg_valid);
