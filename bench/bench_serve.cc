@@ -113,7 +113,7 @@ void BM_ServeSessions(benchmark::State& state) {
   for (auto _ : state) {
     uint64_t admitted = 0;
     for (; admitted < static_cast<uint64_t>(concurrent); ++admitted) {
-      manager.Admit(SessionAt(admitted, base_steps));
+      manager.Admit(SessionAt(admitted, base_steps)).value();
     }
 
     double iteration_seconds = 0.0;
@@ -130,7 +130,7 @@ void BM_ServeSessions(benchmark::State& state) {
       total_finished += finished.size();
       for (size_t f = 0; f < finished.size() && admitted < total_sessions;
            ++f, ++admitted) {
-        manager.Admit(SessionAt(admitted, base_steps));
+        manager.Admit(SessionAt(admitted, base_steps)).value();
       }
     }
     state.SetIterationTime(iteration_seconds);
@@ -167,6 +167,100 @@ BENCHMARK(BM_ServeSessions)
     ->Args({64, 1})
     ->Args({1024, 0})
     ->Args({1024, 1})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// The fault-domain regime (DESIGN.md §13): the same mixed-churn workload
+/// with a deterministic slow-session population (forced past the step
+/// deadline via the duration hook, so they walk the degradation ladder), a
+/// sparse env-fault population (quarantined mid-session), an admission cap
+/// with over-admission pressure (sheds), and the health log active. What
+/// this measures is the overhead and steady-state throughput of serving
+/// *around* faults — shed / quarantined / degraded counts and the
+/// degraded-mode per-step latency land in BENCH_serve.json.
+void BM_ServeDegraded(benchmark::State& state) {
+  const int concurrent = static_cast<int>(state.range(0));
+  const int base_steps = StepsPerSession();
+  const uint64_t total_sessions =
+      static_cast<uint64_t>(concurrent) + static_cast<uint64_t>(concurrent) / 2;
+  constexpr int64_t kDeadlineNanos = 2 * 1000 * 1000;  // 2ms
+
+  double measured_seconds = 0.0;
+  int64_t total_steps = 0;
+  uint64_t total_finished = 0;
+  std::vector<double> tick_seconds;
+
+  ServeOptions options;
+  options.max_sessions = concurrent;
+  options.step_deadline_nanos = kDeadlineNanos;
+  // Deterministic fault populations, keyed by session identity so they
+  // land identically at any thread count: every 8th session overruns the
+  // deadline on each step (and walks the full ladder to retirement);
+  // every 16th fails its 3rd env step and is quarantined.
+  options.fault_injection.step_duration_nanos =
+      [](uint64_t session_id, int /*step_index*/) -> int64_t {
+    return session_id % 8 == 0 ? 2 * kDeadlineNanos : kDeadlineNanos / 4;
+  };
+  options.fault_injection.env_step = [](uint64_t session_id,
+                                        int step_index) -> Status {
+    if (session_id % 16 == 5 && step_index == 3) {
+      return Status::Internal("injected env fault");
+    }
+    return Status::OK();
+  };
+  SessionManager manager(SharedSnapshot(), options);
+  for (auto _ : state) {
+    uint64_t offered = 0;
+    auto offer = [&]() {
+      // Over-admit by one past the cap each wave to exercise the shed
+      // path under pressure.
+      manager.Admit(SessionAt(offered, base_steps)).ok();
+      ++offered;
+    };
+    for (int i = 0; i < concurrent + 1; ++i) offer();
+
+    double iteration_seconds = 0.0;
+    while (manager.active_sessions() > 0) {
+      const auto start = std::chrono::steady_clock::now();
+      total_steps += manager.Tick();
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      iteration_seconds += elapsed.count();
+      tick_seconds.push_back(elapsed.count());
+      const auto finished = manager.TakeCompleted();
+      total_finished += finished.size();
+      for (size_t f = 0; f < finished.size() && offered < total_sessions;
+           ++f) {
+        offer();
+      }
+    }
+    state.SetIterationTime(iteration_seconds);
+    measured_seconds += iteration_seconds;
+  }
+
+  const ServeStats& stats = manager.stats();
+  state.counters["concurrent_sessions"] = static_cast<double>(concurrent);
+  state.counters["shed"] = static_cast<double>(stats.shed);
+  state.counters["quarantined"] = static_cast<double>(stats.quarantined);
+  state.counters["deadline_retired"] =
+      static_cast<double>(stats.deadline_retired);
+  state.counters["degraded_steps"] = static_cast<double>(stats.degraded_steps);
+  state.counters["degrade_transitions"] =
+      static_cast<double>(stats.degrade_transitions);
+  state.SetItemsProcessed(total_steps);
+  state.counters["steps_per_sec"] =
+      measured_seconds > 0.0
+          ? static_cast<double>(total_steps) / measured_seconds
+          : 0.0;
+  state.counters["sessions_per_sec"] =
+      measured_seconds > 0.0
+          ? static_cast<double>(total_finished) / measured_seconds
+          : 0.0;
+  bench::AddLatencyPercentiles(state, tick_seconds, "degraded_step_latency");
+}
+BENCHMARK(BM_ServeDegraded)
+    ->ArgNames({"sessions"})
+    ->Args({64})
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -1,25 +1,39 @@
 // Multi-session policy-serving demo (src/serve/): one immutable policy
 // snapshot shared by N concurrent EDA sessions, stepped in lockstep ticks
-// with one batched forward per tick (DESIGN.md §11).
+// with one batched forward per tick (DESIGN.md §11), each session wrapped
+// in its own fault domain (DESIGN.md §13).
 //
 //   ./serve_sessions [--sessions N] [--threads T] [--ckpt PATH]
 //                    [--dataset ID] [--steps S] [--greedy]
+//                    [--max-sessions M] [--step-deadline-ms D]
+//                    [--reload K] [--health-log PATH]
 //
-//   --sessions N   concurrent sessions to keep admitted (default 16)
-//   --threads T    environment-stepping worker threads (default: cores)
-//   --ckpt PATH    trained weights: a bare ATENA-NN parameter file or a
-//                  full ATENA-CKPT training checkpoint. Without it, the
-//                  demo serves a freshly initialized (untrained) policy.
-//   --dataset ID   registry dataset to explore (default flights4)
-//   --steps S      environment steps per session (default 24 — two
-//                  episodes at the default episode length of 12)
-//   --total M      total sessions to serve before exiting (default
-//                  4 x sessions; 0 = keep serving until Ctrl-C)
-//   --greedy       argmax acting instead of Boltzmann sampling
+//   --sessions N         concurrent sessions to keep admitted (default 16)
+//   --threads T          environment-stepping worker threads (default: cores)
+//   --ckpt PATH          trained weights: a bare ATENA-NN parameter file or
+//                        a full ATENA-CKPT training checkpoint. Without it,
+//                        the demo serves a freshly initialized policy.
+//   --dataset ID         registry dataset to explore (default flights4)
+//   --steps S            environment steps per session (default 24 — two
+//                        episodes at the default episode length of 12)
+//   --total M            total sessions to serve before exiting (default
+//                        4 x sessions; 0 = keep serving until Ctrl-C)
+//   --greedy             argmax acting instead of Boltzmann sampling
+//   --max-sessions M     admission cap: Admit refuses (load shed) instead
+//                        of letting tick latency collapse (0 = uncapped)
+//   --step-deadline-ms D per-step deadline; overrunning sessions degrade
+//                        in stages and are retired past the last stage
+//   --reload K           re-validate and hot-swap --ckpt every K completed
+//                        sessions; a corrupt file keeps the last-good
+//                        snapshot and serving continues (0 = never)
+//   --health-log PATH    JSONL fault-domain event log (quarantines, sheds,
+//                        degradations, reloads), atomically rewritten
 //
 // SIGINT (Ctrl-C) triggers a graceful drain: no new sessions are admitted,
 // in-flight sessions finish their remaining steps, then the runtime
-// reports totals and exits. A second SIGINT exits immediately.
+// reports totals and exits. A second SIGINT hard-stops: every live session
+// is retired immediately with its partial notebook flagged. A third exits
+// without cleanup.
 
 #include <atomic>
 #include <csignal>
@@ -34,12 +48,13 @@
 
 namespace {
 
-// Written by the signal handler, polled between ticks by the serving loop.
-volatile std::sig_atomic_t g_drain_requested = 0;
+// Written by the signal handler, polled between ticks by the serving loop:
+// 1 = graceful drain, 2 = hard stop.
+volatile std::sig_atomic_t g_stop_requests = 0;
 
 void HandleSigint(int) {
-  if (g_drain_requested) std::_Exit(130);  // Second Ctrl-C: hard exit.
-  g_drain_requested = 1;
+  if (g_stop_requests >= 2) std::_Exit(130);  // Third Ctrl-C: hard exit.
+  g_stop_requests = g_stop_requests + 1;
 }
 
 struct Args {
@@ -48,6 +63,10 @@ struct Args {
   int steps = 24;
   long total = -1;  // -1 = default (4 x sessions); 0 = until Ctrl-C.
   bool greedy = false;
+  int max_sessions = 0;
+  double step_deadline_ms = 0.0;
+  long reload_every = 0;
+  std::string health_log;
   std::string ckpt;
   std::string dataset = "flights4";
 };
@@ -74,6 +93,22 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr || std::atol(v) < 0) return false;
       args->total = std::atol(v);
+    } else if (flag == "--max-sessions") {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) < 0) return false;
+      args->max_sessions = std::atoi(v);
+    } else if (flag == "--step-deadline-ms") {
+      const char* v = next();
+      if (v == nullptr || std::atof(v) < 0) return false;
+      args->step_deadline_ms = std::atof(v);
+    } else if (flag == "--reload") {
+      const char* v = next();
+      if (v == nullptr || std::atol(v) < 0) return false;
+      args->reload_every = std::atol(v);
+    } else if (flag == "--health-log") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->health_log = v;
     } else if (flag == "--ckpt") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -89,6 +124,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       return false;
     }
   }
+  if (args->reload_every > 0 && args->ckpt.empty()) {
+    std::fprintf(stderr, "--reload requires --ckpt\n");
+    return false;
+  }
   return true;
 }
 
@@ -100,7 +139,8 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &args)) {
     std::fprintf(stderr,
                  "usage: %s [--sessions N] [--threads T] [--ckpt PATH] "
-                 "[--dataset ID] [--steps S] [--greedy]\n",
+                 "[--dataset ID] [--steps S] [--greedy] [--max-sessions M] "
+                 "[--step-deadline-ms D] [--reload K] [--health-log PATH]\n",
                  argv[0]);
     return 1;
   }
@@ -136,18 +176,29 @@ int main(int argc, char** argv) {
 
   ServeOptions serve_options;
   serve_options.num_threads = args.threads;
+  serve_options.max_sessions = args.max_sessions;
+  serve_options.step_deadline_nanos =
+      static_cast<int64_t>(args.step_deadline_ms * 1e6);
+  serve_options.health_log_path = args.health_log;
   SessionManager manager(snapshot, serve_options);
 
   const uint64_t total_sessions =
       args.total < 0 ? static_cast<uint64_t>(args.sessions) * 4
                      : static_cast<uint64_t>(args.total);
   uint64_t admitted = 0;
+  uint64_t refused = 0;
   auto admit_one = [&]() {
     SessionConfig config;
-    config.seed = 1000 + admitted;
+    config.seed = 1000 + admitted + refused;
     config.max_steps = args.steps;
     config.greedy = args.greedy;
-    manager.Admit(config);
+    Result<uint64_t> id = manager.Admit(config);
+    if (!id.ok()) {
+      // Structured refusal (cap or watermark shed): the session is simply
+      // not served; live sessions are untouched.
+      ++refused;
+      return;
+    }
     ++admitted;
   };
   auto may_admit = [&]() {
@@ -157,44 +208,84 @@ int main(int argc, char** argv) {
 
   std::printf(
       "%d concurrent sessions on %s, %d steps each — Ctrl-C drains "
-      "gracefully\n",
+      "gracefully, twice hard-stops\n",
       args.sessions, args.dataset.c_str(), args.steps);
 
   uint64_t finished = 0;
+  uint64_t faulted = 0;
   double total_reward = 0.0;
-  while (manager.active_sessions() > 0) {
-    manager.Tick();
-    for (const SessionTrace& trace : manager.TakeCompleted()) {
+  bool drain_announced = false;
+  bool hard_stopped = false;
+  auto consume_outcomes = [&]() {
+    for (const SessionOutcome& outcome : manager.TakeCompleted()) {
       ++finished;
-      total_reward += trace.total_reward;
-      if (finished <= 3) {
-        std::printf("session %llu (seed %llu): %zu steps, reward %.3f\n",
-                    static_cast<unsigned long long>(trace.id),
-                    static_cast<unsigned long long>(trace.seed),
-                    trace.steps.size(), trace.total_reward);
+      total_reward += outcome.trace.total_reward;
+      if (outcome.reason != RetireReason::kCompleted) ++faulted;
+      if (finished <= 3 || outcome.reason != RetireReason::kCompleted) {
+        std::printf("session %llu (seed %llu): %zu steps, reward %.3f [%s]%s%s\n",
+                    static_cast<unsigned long long>(outcome.trace.id),
+                    static_cast<unsigned long long>(outcome.trace.seed),
+                    outcome.trace.steps.size(), outcome.trace.total_reward,
+                    RetireReasonName(outcome.reason),
+                    outcome.status.ok() ? "" : ": ",
+                    outcome.status.ok() ? ""
+                                        : outcome.status.message().c_str());
       } else if (finished == 4) {
         std::printf("...\n");
       }
       // Steady state: every departure admits a replacement — until the
       // workload is exhausted or a drain is requested, after which
       // in-flight sessions just finish.
-      if (!g_drain_requested && may_admit()) admit_one();
+      if (g_stop_requests == 0 && may_admit()) admit_one();
     }
-    if (g_drain_requested && manager.active_sessions() > 0) {
-      static bool announced = false;
-      if (!announced) {
-        announced = true;
-        std::printf("\ndraining %d in-flight sessions...\n",
-                    manager.active_sessions());
+  };
+  while (manager.active_sessions() > 0) {
+    if (g_stop_requests >= 2 && !hard_stopped) {
+      hard_stopped = true;
+      std::printf("\nhard stop: retiring %d live sessions with partial "
+                  "notebooks\n",
+                  manager.active_sessions());
+      manager.HardStop();
+      consume_outcomes();
+      break;
+    }
+    manager.Tick();
+    consume_outcomes();
+    if (args.reload_every > 0 && finished > 0 &&
+        finished % static_cast<uint64_t>(args.reload_every) == 0) {
+      Status reloaded = manager.ReloadSnapshot(args.ckpt);
+      if (!reloaded.ok()) {
+        std::fprintf(stderr,
+                     "reload failed, serving last-good snapshot: %s\n",
+                     reloaded.message().c_str());
       }
     }
+    if (g_stop_requests >= 1 && manager.active_sessions() > 0 &&
+        !drain_announced) {
+      drain_announced = true;
+      std::printf("\ndraining %d in-flight sessions (Ctrl-C again to hard "
+                  "stop)...\n",
+                  manager.active_sessions());
+    }
   }
+  consume_outcomes();
 
+  const ServeStats& stats = manager.stats();
   const auto cache_stats = manager.display_cache()->Snapshot();
   std::printf(
       "\nserved %llu sessions (%lld steps total), cache hit rate %.3f\n",
       static_cast<unsigned long long>(finished),
       static_cast<long long>(manager.steps_served()),
       cache_stats.totals.hit_rate());
-  return 0;
+  std::printf(
+      "fault domains: %lld shed, %lld quarantined, %lld deadline-retired, "
+      "%lld hard-stopped, %lld degraded steps, %lld/%lld reloads ok\n",
+      static_cast<long long>(stats.shed),
+      static_cast<long long>(stats.quarantined),
+      static_cast<long long>(stats.deadline_retired),
+      static_cast<long long>(stats.hard_stopped),
+      static_cast<long long>(stats.degraded_steps),
+      static_cast<long long>(stats.reload_successes),
+      static_cast<long long>(stats.reload_successes + stats.reload_failures));
+  return faulted > 0 && finished == faulted ? 1 : 0;
 }

@@ -1,0 +1,34 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace atena {
+
+namespace {
+
+MonotonicClockHook& ClockHook() {
+  static MonotonicClockHook hook;
+  return hook;
+}
+
+}  // namespace
+
+int64_t MonotonicNanos() {
+  const MonotonicClockHook& hook = ClockHook();
+  if (hook) return hook();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SleepForNanos(int64_t nanos) {
+  if (nanos <= 0) return;
+  std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+}
+
+void SetMonotonicClockHookForTesting(MonotonicClockHook hook) {
+  ClockHook() = std::move(hook);
+}
+
+}  // namespace atena

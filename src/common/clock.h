@@ -1,0 +1,34 @@
+#ifndef ATENA_COMMON_CLOCK_H_
+#define ATENA_COMMON_CLOCK_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace atena {
+
+/// Monotonic deadline clock shared by every component that budgets wall
+/// time (the serving runtime's per-step deadlines, reload backoff). It is
+/// a thin wrapper over std::chrono::steady_clock with one property the
+/// raw clock lacks: a test can replace it, so every deadline-driven
+/// recovery path is deterministically reachable without real waiting.
+
+/// Nanoseconds on a monotonic clock. Only differences are meaningful; the
+/// epoch is unspecified.
+int64_t MonotonicNanos();
+
+/// Blocks the calling thread for ~`nanos` (clamped below at 0). Reload
+/// backoff uses it; tests replace it per call site instead (the serving
+/// runtime takes an injectable sleeper) so nothing in a test ever sleeps.
+void SleepForNanos(int64_t nanos);
+
+/// Replaces MonotonicNanos's source for tests: when set, every call
+/// returns hook() instead of reading the steady clock. Pass an empty
+/// function to restore the real clock. Install/clear only while no other
+/// thread is reading the clock; the hook itself must be safe to call
+/// concurrently (deadline measurement runs on worker threads).
+using MonotonicClockHook = std::function<int64_t()>;
+void SetMonotonicClockHookForTesting(MonotonicClockHook hook);
+
+}  // namespace atena
+
+#endif  // ATENA_COMMON_CLOCK_H_

@@ -326,8 +326,18 @@ Status EdaEnvironment::ValidateAction(const EnvAction& action) const {
   return out_of_range("op type", type_index, action_space_.num_op_types);
 }
 
-StepOutcome EdaEnvironment::Step(const EnvAction& action) {
-  ATENA_CHECK(!done()) << "Step called on a finished episode";
+Status EdaEnvironment::CheckReadyToStep() const {
+  if (done()) {
+    return Status::FailedPrecondition(
+        "step on a finished episode: " + std::to_string(step_count_) + "/" +
+        std::to_string(config_.episode_length) +
+        " steps taken, Reset required");
+  }
+  return Status::OK();
+}
+
+Result<StepOutcome> EdaEnvironment::TryStep(const EnvAction& action) {
+  ATENA_RETURN_IF_ERROR(CheckReadyToStep());
   // Malformed actions (out-of-range segment indices) must not reach
   // ResolveAction: it would index columns out of bounds, and its filter
   // path consumes rng_ — an invalid action may do neither. They become
@@ -342,10 +352,22 @@ StepOutcome EdaEnvironment::Step(const EnvAction& action) {
   return FinishStep(std::move(op), valid, valid);
 }
 
-StepOutcome EdaEnvironment::StepOperation(const EdaOperation& op) {
-  ATENA_CHECK(!done()) << "StepOperation called on a finished episode";
+StepOutcome EdaEnvironment::Step(const EnvAction& action) {
+  Result<StepOutcome> outcome = TryStep(action);
+  ATENA_CHECK(outcome.ok()) << outcome.status();
+  return std::move(outcome).value();
+}
+
+Result<StepOutcome> EdaEnvironment::TryStepOperation(const EdaOperation& op) {
+  ATENA_RETURN_IF_ERROR(CheckReadyToStep());
   bool valid = ApplyOperation(op);
   return FinishStep(op, valid, valid);
+}
+
+StepOutcome EdaEnvironment::StepOperation(const EdaOperation& op) {
+  Result<StepOutcome> outcome = TryStepOperation(op);
+  ATENA_CHECK(outcome.ok()) << outcome.status();
+  return std::move(outcome).value();
 }
 
 std::vector<EdaOperation> EdaEnvironment::EnumerateOperations(

@@ -128,6 +128,12 @@ class EdaEnvironment {
   /// offending segment and bound.
   Status ValidateAction(const EnvAction& action) const;
 
+  /// Non-OK when the environment cannot accept another step — stepping a
+  /// finished episode (the caller must Reset first). Input-dependent for
+  /// external drivers (a serving scheduler fed by remote session state),
+  /// so it is a recoverable Status, not a fatal check.
+  Status CheckReadyToStep() const;
+
   /// Resolves `action` into a concrete operation (sampling a filter term
   /// from the chosen frequency bin) and executes it. A malformed action
   /// (ValidateAction non-OK) is not resolved at all: it takes the
@@ -135,10 +141,18 @@ class EdaEnvironment {
   /// config().invalid_action_penalty — and consumes no randomness, so a
   /// buggy or adversarial action id can never crash an episode or shift
   /// the Rng stream.
+  ///
+  /// The Try variants return CheckReadyToStep's error instead of aborting
+  /// and leave the environment untouched on failure — the recoverable
+  /// entry points the serving runtime quarantines on. Step/StepOperation
+  /// keep the fatal contract for the training loop, where an
+  /// out-of-contract call is a programmer error.
+  Result<StepOutcome> TryStep(const EnvAction& action);
   StepOutcome Step(const EnvAction& action);
 
   /// Executes an explicit concrete operation (used by gold notebooks,
   /// traces replay and the greedy baselines).
+  Result<StepOutcome> TryStepOperation(const EdaOperation& op);
   StepOutcome StepOperation(const EdaOperation& op);
 
   bool done() const { return step_count_ >= config_.episode_length; }

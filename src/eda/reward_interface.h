@@ -26,6 +26,12 @@ class RewardSignal {
  public:
   virtual ~RewardSignal() = default;
   virtual double Compute(const RewardContext& context) = 0;
+
+  /// Degraded-mode switch for serving under deadline pressure (DESIGN.md
+  /// §13): when set, implementations should skip work that grows with the
+  /// session history — for the compound ATENA reward that is the
+  /// diversity component's O(history) min-distance scan. Default: ignore.
+  virtual void SetDegradedMode(bool /*degraded*/) {}
 };
 
 }  // namespace atena

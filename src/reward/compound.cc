@@ -23,7 +23,7 @@ CompoundReward::Components CompoundReward::Measure(
   if (options_.enable_interestingness) {
     c.interestingness = OperationInterestingness(context);
   }
-  if (options_.enable_diversity) {
+  if (options_.enable_diversity && !degraded_) {
     c.diversity = DiversityReward(context);
   }
   if (options_.enable_coherency) {

@@ -50,6 +50,13 @@ class CompoundReward final : public RewardSignal {
 
   double Compute(const RewardContext& context) override;
 
+  /// Deadline degradation (serving): a degraded CompoundReward skips the
+  /// diversity component — the only term whose cost is O(session history),
+  /// a min-Euclidean-distance scan over every prior display vector — and
+  /// scores it 0, keeping the O(1) interestingness and coherency terms.
+  void SetDegradedMode(bool degraded) override { degraded_ = degraded; }
+  bool degraded_mode() const { return degraded_; }
+
   /// Raw (unweighted) component values of the last Compute call.
   struct Components {
     double interestingness = 0.0;
@@ -74,6 +81,7 @@ class CompoundReward final : public RewardSignal {
   std::shared_ptr<CoherencyClassifier> coherency_;
   Options options_;
   Components last_;
+  bool degraded_ = false;
 };
 
 /// Builds the standard fully-assembled ATENA reward for `env`'s dataset:

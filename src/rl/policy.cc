@@ -51,4 +51,12 @@ StepOutcome ApplyAction(EdaEnvironment* env, const ActionRecord& action) {
   return env->Step(action.structured);
 }
 
+Result<StepOutcome> TryApplyAction(EdaEnvironment* env,
+                                   const ActionRecord& action) {
+  if (action.is_concrete) {
+    return env->TryStepOperation(action.concrete);
+  }
+  return env->TryStep(action.structured);
+}
+
 }  // namespace atena

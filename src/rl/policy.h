@@ -111,6 +111,13 @@ class Policy {
 /// Applies a recorded action to the environment.
 StepOutcome ApplyAction(EdaEnvironment* env, const ActionRecord& action);
 
+/// Recoverable variant for the serving runtime: routes through the
+/// environment's TryStep/TryStepOperation, so an out-of-contract step
+/// surfaces as a Status (quarantining one session) instead of aborting
+/// the whole process. The environment is untouched on failure.
+Result<StepOutcome> TryApplyAction(EdaEnvironment* env,
+                                   const ActionRecord& action);
+
 }  // namespace atena
 
 #endif  // ATENA_RL_POLICY_H_

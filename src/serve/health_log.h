@@ -1,0 +1,47 @@
+#ifndef ATENA_SERVE_HEALTH_LOG_H_
+#define ATENA_SERVE_HEALTH_LOG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace atena {
+
+/// JSONL serving-health log (DESIGN.md §13): one JSON object per fault-
+/// domain event — quarantine, degradation transition, deadline retirement,
+/// load shed, snapshot reload attempt/outcome, hard stop. Like the
+/// training guard's log (§10), the whole file is rewritten atomically via
+/// the file_io layer on every append, so a crash can never leave a torn
+/// line, and events are rare enough that the rewrite cost is noise.
+///
+/// Schema (all events): {"event":N,"type":"...","detail":"..."} plus
+/// per-type fields — "session"/"step" for per-session events, "stage" for
+/// degradations, "path"/"attempt" for reloads, "code" for the Status code
+/// of errors. Field values are built by the SessionManager; this class
+/// only owns ordering, escaping helpers and the atomic rewrite.
+class ServingHealthLog {
+ public:
+  /// An empty path disables the log: Append becomes a no-op.
+  explicit ServingHealthLog(std::string path);
+
+  bool enabled() const { return !path_.empty(); }
+  int64_t events() const { return events_; }
+
+  /// Appends `{"event":<n>,<body>}` as one line and atomically rewrites
+  /// the log file. `body` is the comma-separated interior of the object
+  /// (already JSON-escaped, e.g. via JsonString). Write failures are
+  /// logged as warnings and never fail serving.
+  void Append(const std::string& body);
+
+ private:
+  std::string path_;
+  std::string log_;
+  int64_t events_ = 0;
+};
+
+/// `"..."` with backslash, quote and control characters escaped — safe to
+/// splice a Status message or file path into a JSON object body.
+std::string JsonString(const std::string& value);
+
+}  // namespace atena
+
+#endif  // ATENA_SERVE_HEALTH_LOG_H_

@@ -1,9 +1,11 @@
 #include "serve/session_manager.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <utility>
 
+#include "common/clock.h"
 #include "rl/policy.h"
 
 namespace atena {
@@ -12,6 +14,32 @@ uint64_t ActingStreamSeed(uint64_t session_seed) {
   // Any fixed non-zero salt works: SplitMix64 seeding decorrelates the
   // resulting stream from the environment's (seeded with the raw value).
   return session_seed ^ 0xA3EC4155D1E5ULL;
+}
+
+const char* RetireReasonName(RetireReason reason) {
+  switch (reason) {
+    case RetireReason::kCompleted:
+      return "completed";
+    case RetireReason::kQuarantined:
+      return "quarantined";
+    case RetireReason::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case RetireReason::kHardStopped:
+      return "hard_stopped";
+  }
+  return "unknown";
+}
+
+const char* DegradeStageName(DegradeStage stage) {
+  switch (stage) {
+    case DegradeStage::kNormal:
+      return "normal";
+    case DegradeStage::kNoDiversity:
+      return "no_diversity";
+    case DegradeStage::kGreedy:
+      return "greedy";
+  }
+  return "unknown";
 }
 
 namespace {
@@ -26,11 +54,21 @@ ServedStep RecordStep(const StepOutcome& out, const EdaEnvironment& env) {
                                      env.config().stats_row_cap)};
 }
 
+/// First non-finite element of `values`, or -1 when all are finite.
+int FirstNonFinite(const std::vector<double>& values) {
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!std::isfinite(values[i])) return static_cast<int>(i);
+  }
+  return -1;
+}
+
 }  // namespace
 
 SessionManager::SessionManager(std::shared_ptr<const PolicySnapshot> snapshot,
                                ServeOptions options)
-    : snapshot_(std::move(snapshot)), options_(std::move(options)) {
+    : snapshot_(std::move(snapshot)),
+      options_(std::move(options)),
+      health_log_(options_.health_log_path) {
   if (options_.cache_capacity > 0) {
     cache_ = std::make_shared<DisplayCache>(DisplayCache::Options{
         .capacity = options_.cache_capacity,
@@ -63,7 +101,42 @@ std::unique_ptr<EdaEnvironment> SessionManager::AcquireEnv(uint64_t seed) {
   return std::make_unique<EdaEnvironment>(snapshot_->dataset(), config);
 }
 
-uint64_t SessionManager::Admit(const SessionConfig& config) {
+Result<uint64_t> SessionManager::Admit(const SessionConfig& config) {
+  const int live = static_cast<int>(sessions_.size());
+  if (options_.max_sessions > 0) {
+    if (live >= options_.max_sessions) {
+      ++stats_.shed;
+      if (health_log_.enabled()) {
+        health_log_.Append("\"type\":\"shed\",\"seed\":" +
+                           std::to_string(config.seed) +
+                           ",\"live\":" + std::to_string(live) +
+                           ",\"detail\":\"at max_sessions\"");
+      }
+      return Status::ResourceExhausted(
+          "admission refused: " + std::to_string(live) +
+          " live sessions at max_sessions=" +
+          std::to_string(options_.max_sessions));
+    }
+    const int watermark =
+        static_cast<int>(options_.shed_watermark *
+                         static_cast<double>(options_.max_sessions));
+    if (options_.shed_watermark > 0.0 && options_.step_deadline_nanos > 0 &&
+        overloaded_ && live >= watermark) {
+      ++stats_.shed;
+      if (health_log_.enabled()) {
+        health_log_.Append("\"type\":\"shed\",\"seed\":" +
+                           std::to_string(config.seed) +
+                           ",\"live\":" + std::to_string(live) +
+                           ",\"detail\":\"overloaded past watermark\"");
+      }
+      return Status::ResourceExhausted(
+          "load shed: " + std::to_string(live) +
+          " live sessions past watermark (" + std::to_string(watermark) +
+          " of max_sessions=" + std::to_string(options_.max_sessions) +
+          ") while the last tick overran the step deadline");
+    }
+  }
+
   auto session = std::make_unique<Session>();
   session->id = next_id_++;
   session->config = config;
@@ -77,96 +150,332 @@ uint64_t SessionManager::Admit(const SessionConfig& config) {
   session->env->SetRewardSignal(session->reward.get());
   session->act_rng = Rng(ActingStreamSeed(config.seed));
   session->observation = session->env->Reset();
+  session->snapshot = snapshot_;
   session->trace.id = session->id;
   session->trace.seed = config.seed;
   session->trace.steps.reserve(
       static_cast<size_t>(session->effective_max_steps));
   const uint64_t id = session->id;
   sessions_.push_back(std::move(session));
+  ++stats_.admitted;
   return id;
+}
+
+void SessionManager::Retire(size_t index, RetireReason reason, Status status,
+                            bool env_healthy) {
+  Session& s = *sessions_[index];
+  SessionOutcome outcome;
+  outcome.reason = reason;
+  outcome.status = std::move(status);
+  outcome.final_stage = s.stage;
+  outcome.degraded_steps = s.degraded_steps;
+  outcome.trace = std::move(s.trace);
+  completed_.push_back(std::move(outcome));
+  switch (reason) {
+    case RetireReason::kCompleted:
+      ++stats_.completed;
+      break;
+    case RetireReason::kQuarantined:
+      ++stats_.quarantined;
+      break;
+    case RetireReason::kDeadlineExceeded:
+      ++stats_.deadline_retired;
+      break;
+    case RetireReason::kHardStopped:
+      ++stats_.hard_stopped;
+      break;
+  }
+  if (env_healthy) {
+    s.env->SetRewardSignal(nullptr);
+    env_pool_.push_back(std::move(s.env));
+  }
+  // A quarantined environment may have been interrupted mid-mutation; it
+  // is discarded with the session rather than pooled.
+  sessions_[index].reset();
+}
+
+bool SessionManager::EscalateDegrade(size_t index) {
+  Session& s = *sessions_[index];
+  ++stats_.degrade_transitions;
+  switch (s.stage) {
+    case DegradeStage::kNormal:
+      s.stage = DegradeStage::kNoDiversity;
+      if (s.reward) s.reward->SetDegradedMode(true);
+      LogSessionEvent("degrade", s, "\"stage\":\"no_diversity\"");
+      return false;
+    case DegradeStage::kNoDiversity:
+      s.stage = DegradeStage::kGreedy;
+      LogSessionEvent("degrade", s, "\"stage\":\"greedy\"");
+      return false;
+    case DegradeStage::kGreedy:
+      break;
+  }
+  // Past the last stage: the session cannot be served within budget even
+  // fully degraded — retire it with its partial notebook.
+  LogSessionEvent("deadline_retire", s, std::string("\"stage\":\"") +
+                                            DegradeStageName(s.stage) + "\"");
+  Retire(index, RetireReason::kDeadlineExceeded,
+         Status::ResourceExhausted(
+             "step deadline (" + std::to_string(options_.step_deadline_nanos) +
+             "ns) still exceeded at the last degradation stage"),
+         /*env_healthy=*/true);
+  return true;
+}
+
+void SessionManager::LogSessionEvent(const char* type, const Session& session,
+                                     const std::string& extra) {
+  if (!health_log_.enabled()) return;
+  std::string body = "\"type\":" + JsonString(type) +
+                     ",\"session\":" + std::to_string(session.id) +
+                     ",\"seed\":" + std::to_string(session.config.seed) +
+                     ",\"step\":" + std::to_string(session.steps_done);
+  if (!extra.empty()) {
+    body += ",";
+    body += extra;
+  }
+  health_log_.Append(body);
 }
 
 int SessionManager::Tick() {
   const int live = static_cast<int>(sessions_.size());
   if (live == 0) return 0;
-  TwofoldPolicy* policy = snapshot_->policy();
 
-  // 1. Serial act: one batched forward over every live session, each row
-  // drawing from its session's private stream (or none when greedy).
-  std::vector<PolicyStep> acts;
-  if (options_.batched_acting) {
-    // Pad the batch up to the forward pass's 4-row register-tile width so a
-    // draining runtime (1–3 live sessions) keeps the tiled GEMM instead of
-    // falling back to per-row dot products. GEMM rows are independent, and
-    // a padded row carries a null Rng, so live rows' results are
-    // bit-identical with or without padding; padded outputs are dropped.
-    constexpr int kTileRows = 4;
-    const int rows = std::max(live, kTileRows);
-    obs_batch_.Resize(rows, snapshot_->observation_dim());
-    rngs_.assign(static_cast<size_t>(rows), nullptr);
-    for (int i = 0; i < live; ++i) {
-      Session& s = *sessions_[static_cast<size_t>(i)];
-      std::copy(s.observation.begin(), s.observation.end(),
-                obs_batch_.RowPtr(i));
-      if (!s.config.greedy) rngs_[static_cast<size_t>(i)] = &s.act_rng;
+  // 1. Serial act: one batched forward per pinned-snapshot group (a single
+  // group except in the ticks spanning a hot reload), each row drawing
+  // from its session's private stream (or none when greedy — by config or
+  // by degradation stage).
+  std::vector<PolicyStep> acts(static_cast<size_t>(live));
+  std::vector<const PolicySnapshot*> group_keys;
+  std::vector<std::vector<int>> groups;
+  for (int i = 0; i < live; ++i) {
+    const PolicySnapshot* key = sessions_[static_cast<size_t>(i)]->snapshot.get();
+    size_t g = 0;
+    while (g < group_keys.size() && group_keys[g] != key) ++g;
+    if (g == group_keys.size()) {
+      group_keys.push_back(key);
+      groups.emplace_back();
     }
-    for (int i = live; i < rows; ++i) {
-      std::copy(obs_batch_.RowPtr(0),
-                obs_batch_.RowPtr(0) + obs_batch_.cols(), obs_batch_.RowPtr(i));
+    groups[g].push_back(i);
+  }
+  for (const std::vector<int>& members : groups) {
+    Session& first = *sessions_[static_cast<size_t>(members.front())];
+    TwofoldPolicy* policy = first.snapshot->policy();
+    if (options_.batched_acting) {
+      // Pad the batch up to the forward pass's 4-row register-tile width
+      // so a draining runtime (1–3 live sessions) keeps the tiled GEMM
+      // instead of falling back to per-row dot products. GEMM rows are
+      // independent, and a padded row carries a null Rng, so live rows'
+      // results are bit-identical with or without padding; padded outputs
+      // are dropped.
+      constexpr int kTileRows = 4;
+      const int count = static_cast<int>(members.size());
+      const int rows = std::max(count, kTileRows);
+      obs_batch_.Resize(rows, first.snapshot->observation_dim());
+      rngs_.assign(static_cast<size_t>(rows), nullptr);
+      for (int r = 0; r < count; ++r) {
+        Session& s = *sessions_[static_cast<size_t>(members[static_cast<size_t>(r)])];
+        std::copy(s.observation.begin(), s.observation.end(),
+                  obs_batch_.RowPtr(r));
+        if (!s.config.greedy && s.stage < DegradeStage::kGreedy) {
+          rngs_[static_cast<size_t>(r)] = &s.act_rng;
+        }
+      }
+      for (int r = count; r < rows; ++r) {
+        std::copy(obs_batch_.RowPtr(0),
+                  obs_batch_.RowPtr(0) + obs_batch_.cols(),
+                  obs_batch_.RowPtr(r));
+      }
+      std::vector<PolicyStep> group_acts = policy->ActBatch(obs_batch_, rngs_);
+      for (int r = 0; r < count; ++r) {
+        acts[static_cast<size_t>(members[static_cast<size_t>(r)])] =
+            std::move(group_acts[static_cast<size_t>(r)]);
+      }
+    } else {
+      // Baseline path: one forward per session (what bench_serve compares
+      // the batched path against).
+      for (int idx : members) {
+        Session& s = *sessions_[static_cast<size_t>(idx)];
+        const bool greedy =
+            s.config.greedy || s.stage >= DegradeStage::kGreedy;
+        acts[static_cast<size_t>(idx)] =
+            greedy ? policy->ActGreedy(s.observation)
+                   : policy->Act(s.observation, &s.act_rng);
+      }
     }
-    acts = policy->ActBatch(obs_batch_, rngs_);
-    acts.resize(static_cast<size_t>(live));
-  } else {
-    // Baseline path: one forward per session (what bench_serve compares
-    // the batched path against).
-    acts.reserve(static_cast<size_t>(live));
-    for (int i = 0; i < live; ++i) {
-      Session& s = *sessions_[static_cast<size_t>(i)];
-      acts.push_back(s.config.greedy ? policy->ActGreedy(s.observation)
-                                     : policy->Act(s.observation, &s.act_rng));
+  }
+
+  // Pre-step screening: a policy that produced non-finite outputs for a
+  // row must not drive that session's environment at all. The session is
+  // quarantined; its environment was never touched this tick.
+  slots_.assign(static_cast<size_t>(live), StepSlot{});
+  for (int i = 0; i < live; ++i) {
+    const PolicyStep& act = acts[static_cast<size_t>(i)];
+    if (!std::isfinite(act.log_prob) || !std::isfinite(act.value)) {
+      slots_[static_cast<size_t>(i)].status = Status::Internal(
+          "non-finite policy output: log_prob=" +
+          std::to_string(act.log_prob) +
+          " value=" + std::to_string(act.value));
     }
   }
 
   // 2. Parallel step: index-addressed slots; a worker touches only its
-  // session's environment plus the internally synchronized cache.
-  outcomes_.resize(static_cast<size_t>(live));
+  // session's environment plus the internally synchronized cache. Each
+  // step is timed against the monotonic deadline clock; failures land in
+  // the slot's Status and never escape the session's fault domain.
   pool_->ParallelFor(live, [&](int i) {
-    outcomes_[static_cast<size_t>(i)] =
-        ApplyAction(sessions_[static_cast<size_t>(i)]->env.get(),
-                    acts[static_cast<size_t>(i)].action);
+    StepSlot& slot = slots_[static_cast<size_t>(i)];
+    if (!slot.status.ok()) return;  // screened out before stepping
+    Session& s = *sessions_[static_cast<size_t>(i)];
+    if (options_.fault_injection.env_step) {
+      Status injected = options_.fault_injection.env_step(s.id, s.steps_done);
+      if (!injected.ok()) {
+        slot.status = std::move(injected);
+        return;
+      }
+    }
+    const int64_t start = MonotonicNanos();
+    Result<StepOutcome> stepped =
+        TryApplyAction(s.env.get(), acts[static_cast<size_t>(i)].action);
+    slot.duration_nanos = MonotonicNanos() - start;
+    if (options_.fault_injection.step_duration_nanos) {
+      slot.duration_nanos =
+          options_.fault_injection.step_duration_nanos(s.id, s.steps_done);
+    }
+    if (!stepped.ok()) {
+      slot.status = stepped.status();
+      return;
+    }
+    slot.outcome = std::move(stepped).value();
+    // Screen the step's products: a non-finite reward or observation
+    // element is a poisoned session that must not reach the next batch.
+    if (!std::isfinite(slot.outcome.reward)) {
+      slot.status = Status::Internal("non-finite reward: " +
+                                     std::to_string(slot.outcome.reward));
+      return;
+    }
+    const int bad = FirstNonFinite(slot.outcome.observation);
+    if (bad >= 0) {
+      slot.status = Status::Internal("non-finite observation element " +
+                                     std::to_string(bad));
+      return;
+    }
+    slot.executed = true;
   });
 
-  // 3. Serial commit in admission order: record, retire, reset.
+  // 3. Serial commit in admission order: quarantine, record, walk the
+  // degradation ladder, retire, reset.
+  int executed_steps = 0;
+  int64_t duration_sum = 0;
   for (int i = 0; i < live; ++i) {
     Session& s = *sessions_[static_cast<size_t>(i)];
-    StepOutcome& out = outcomes_[static_cast<size_t>(i)];
-    s.trace.steps.push_back(RecordStep(out, *s.env));
-    s.trace.total_reward += out.reward;
+    StepSlot& slot = slots_[static_cast<size_t>(i)];
+    if (!slot.status.ok()) {
+      LogSessionEvent(
+          "quarantine", s,
+          "\"code\":" + JsonString(StatusCodeName(slot.status.code())) +
+              ",\"detail\":" + JsonString(slot.status.message()));
+      Retire(static_cast<size_t>(i), RetireReason::kQuarantined,
+             std::move(slot.status), /*env_healthy=*/false);
+      continue;
+    }
+    s.trace.steps.push_back(RecordStep(slot.outcome, *s.env));
+    s.trace.total_reward += slot.outcome.reward;
     ++s.steps_done;
     ++steps_served_;
+    ++executed_steps;
+    duration_sum += slot.duration_nanos;
+    if (s.stage >= DegradeStage::kNoDiversity) {
+      ++s.degraded_steps;
+      ++stats_.degraded_steps;
+      if (s.stage >= DegradeStage::kGreedy) ++stats_.degraded_greedy_steps;
+    }
     if (s.steps_done >= s.effective_max_steps) {
-      completed_.push_back(std::move(s.trace));
-      s.env->SetRewardSignal(nullptr);
-      env_pool_.push_back(std::move(s.env));
-      sessions_[static_cast<size_t>(i)].reset();
-    } else if (out.done) {
+      Retire(static_cast<size_t>(i), RetireReason::kCompleted, Status::OK(),
+             /*env_healthy=*/true);
+      continue;
+    }
+    if (options_.step_deadline_nanos > 0 &&
+        slot.duration_nanos > options_.step_deadline_nanos) {
+      // The overrunning step stays in the notebook; the *next* step runs
+      // one stage further down the ladder (or not at all).
+      if (EscalateDegrade(static_cast<size_t>(i))) continue;
+    }
+    if (slot.outcome.done) {
       // Episode boundary inside a longer session: start the next notebook.
       s.observation = s.env->Reset();
     } else {
-      s.observation = std::move(out.observation);
+      s.observation = std::move(slot.outcome.observation);
     }
   }
   sessions_.erase(std::remove(sessions_.begin(), sessions_.end(), nullptr),
                   sessions_.end());
-  return live;
+  overloaded_ = options_.step_deadline_nanos > 0 && executed_steps > 0 &&
+                duration_sum / executed_steps > options_.step_deadline_nanos;
+  return executed_steps;
 }
 
 void SessionManager::Drain() {
   while (!sessions_.empty()) Tick();
 }
 
-std::vector<SessionTrace> SessionManager::TakeCompleted() {
-  std::vector<SessionTrace> out = std::move(completed_);
+int SessionManager::HardStop() {
+  int stopped = 0;
+  for (size_t i = 0; i < sessions_.size(); ++i) {
+    if (!sessions_[i]) continue;
+    LogSessionEvent("hard_stop", *sessions_[i], "");
+    Retire(i, RetireReason::kHardStopped, Status::OK(), /*env_healthy=*/true);
+    ++stopped;
+  }
+  sessions_.clear();
+  return stopped;
+}
+
+Status SessionManager::ReloadSnapshot(const std::string& path) {
+  Status last;
+  for (int attempt = 0; attempt <= options_.reload_retries; ++attempt) {
+    if (attempt > 0) {
+      const int64_t backoff = options_.reload_backoff_nanos << (attempt - 1);
+      if (options_.reload_sleep) {
+        options_.reload_sleep(backoff);
+      } else {
+        SleepForNanos(backoff);
+      }
+    }
+    // The new snapshot is built against the serving dataset and options,
+    // so LoadPolicySnapshot's architecture validation guarantees every
+    // accepted file is observation/action-compatible with live sessions.
+    Result<std::shared_ptr<PolicySnapshot>> loaded = LoadPolicySnapshot(
+        snapshot_->dataset(), snapshot_->options(), path);
+    if (loaded.ok()) {
+      snapshot_ = std::move(loaded).value();
+      ++stats_.reload_successes;
+      if (health_log_.enabled()) {
+        health_log_.Append("\"type\":\"reload_ok\",\"path\":" +
+                           JsonString(path) +
+                           ",\"attempt\":" + std::to_string(attempt));
+      }
+      return Status::OK();
+    }
+    last = loaded.status();
+    if (health_log_.enabled()) {
+      health_log_.Append(
+          "\"type\":\"reload_fail\",\"path\":" + JsonString(path) +
+          ",\"attempt\":" + std::to_string(attempt) +
+          ",\"code\":" + JsonString(StatusCodeName(last.code())) +
+          ",\"detail\":" + JsonString(last.message()));
+    }
+  }
+  ++stats_.reload_failures;
+  if (health_log_.enabled()) {
+    health_log_.Append("\"type\":\"reload_giveup\",\"path\":" +
+                       JsonString(path) + ",\"attempts\":" +
+                       std::to_string(options_.reload_retries + 1));
+  }
+  return last;
+}
+
+std::vector<SessionOutcome> SessionManager::TakeCompleted() {
+  std::vector<SessionOutcome> out = std::move(completed_);
   completed_.clear();
   return out;
 }

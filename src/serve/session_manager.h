@@ -4,13 +4,16 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "eda/display_cache.h"
 #include "eda/environment.h"
 #include "nn/matrix.h"
+#include "serve/health_log.h"
 #include "serve/snapshot.h"
 
 namespace atena {
@@ -18,7 +21,9 @@ namespace atena {
 /// Everything that identifies one served exploration session. Two sessions
 /// with equal configs produce bit-identical traces, no matter how many
 /// other sessions they were batched with, which thread count stepped them,
-/// or when they joined (test-enforced, tests/serve_test.cc).
+/// or when they joined (test-enforced, tests/serve_test.cc) — and no matter
+/// which *other* sessions were quarantined, shed or deadline-degraded
+/// around them (tests/serve_faults_test.cc).
 struct SessionConfig {
   /// Derives both of the session's private streams: the environment's
   /// filter-term stream (EnvConfig::seed) and the acting stream
@@ -51,13 +56,65 @@ struct SessionTrace {
   double total_reward = 0.0;
 };
 
+/// Why a session left the runtime.
+enum class RetireReason {
+  kCompleted = 0,        // served its full step budget
+  kQuarantined,          // env step / reward / policy output fault
+  kDeadlineExceeded,     // exhausted the degradation ladder
+  kHardStopped,          // second stop request: partial notebook, no fault
+};
+const char* RetireReasonName(RetireReason reason);
+
+/// The degradation ladder a session walks when its steps blow the deadline
+/// budget (each additional overrun escalates one stage):
+///   kNormal      → full reward, sampled acting;
+///   kNoDiversity → the reward signal's degraded mode skips the O(history)
+///                  diversity scan (RewardSignal::SetDegradedMode);
+///   kGreedy      → argmax acting: the session stops consuming its acting
+///                  stream entirely. One more overrun retires the session
+///                  with kDeadlineExceeded.
+enum class DegradeStage { kNormal = 0, kNoDiversity = 1, kGreedy = 2 };
+const char* DegradeStageName(DegradeStage stage);
+
+/// The structured result of one session leaving the runtime: the (possibly
+/// partial) notebook plus why it ended. `status` is OK for kCompleted and
+/// kHardStopped; quarantines carry the fault's Status and deadline
+/// retirements carry kResourceExhausted-flavoured detail.
+struct SessionOutcome {
+  SessionTrace trace;
+  RetireReason reason = RetireReason::kCompleted;
+  Status status;
+  /// Where on the degradation ladder the session ended.
+  DegradeStage final_stage = DegradeStage::kNormal;
+  /// Steps executed at any degraded stage (>= kNoDiversity).
+  int degraded_steps = 0;
+};
+
 /// The acting stream seed derived from a session seed. Kept distinct from
 /// the environment stream (which uses the seed directly) so term sampling
 /// and action sampling never alias.
 uint64_t ActingStreamSeed(uint64_t session_seed);
 
-/// Runtime knobs of a SessionManager. None of them changes any session's
-/// trace — they only move work around.
+/// Deterministic fault-injection hooks for tests (the file_io / PpoUpdater
+/// idiom): each hook is keyed by the raw call's identity — (session id,
+/// step index) — not by call order, so injected faults land on the same
+/// logical step at any thread count. Hooks are read concurrently from
+/// worker threads during Tick: they must be pure functions of their
+/// arguments and must not be reinstalled while serving.
+struct ServeFaultInjection {
+  /// Consulted before each environment step; non-OK fails that step as if
+  /// the environment had errored (the env is not touched), quarantining
+  /// the session.
+  std::function<Status(uint64_t session_id, int step_index)> env_step;
+  /// When set, replaces the measured wall-clock duration of each step —
+  /// the deterministic trigger for the deadline/degradation ladder.
+  std::function<int64_t(uint64_t session_id, int step_index)>
+      step_duration_nanos;
+};
+
+/// Runtime knobs of a SessionManager. The fault-domain knobs (deadline,
+/// admission cap, watermark) change which sessions are served or degraded
+/// — but never the trace of a session they leave alone.
 struct ServeOptions {
   /// Worker threads for environment stepping; 0 = all hardware cores.
   int num_threads = 0;
@@ -73,29 +130,85 @@ struct ServeOptions {
   /// state (e.g. one trained CoherencyClassifier) across the factory's
   /// products. Null → rewards are 0 / the invalid penalty.
   std::function<std::shared_ptr<RewardSignal>()> reward_factory;
+
+  /// Admission control: hard cap on concurrently live sessions (0 = no
+  /// cap). Admit returns kResourceExhausted at the cap instead of letting
+  /// tick latency collapse for everyone.
+  int max_sessions = 0;
+  /// Load shedding: with a cap and a deadline configured, Admit also
+  /// sheds once live sessions reach `shed_watermark * max_sessions` AND
+  /// the previous tick overran the deadline on average — the runtime is
+  /// already too slow, so refusing new work beats degrading all of it.
+  double shed_watermark = 0.9;
+
+  /// Per-step deadline in nanoseconds (0 = no deadlines). A session whose
+  /// environment step exceeds it escalates one DegradeStage per overrun
+  /// and is retired with kDeadlineExceeded past the last stage.
+  int64_t step_deadline_nanos = 0;
+
+  /// ReloadSnapshot retry budget: on a failed load the reload is retried
+  /// up to this many more times, sleeping reload_backoff_nanos, 2x, 4x...
+  /// between attempts, before keeping the last-good snapshot and
+  /// returning the error.
+  int reload_retries = 2;
+  int64_t reload_backoff_nanos = 100 * 1000 * 1000;  // 100ms
+  /// Replaces the real backoff sleep (tests). Null = SleepForNanos.
+  std::function<void(int64_t nanos)> reload_sleep;
+
+  /// JSONL serving-health log path (see ServingHealthLog); empty disables.
+  std::string health_log_path;
+
+  /// Deterministic fault hooks; default-constructed = no faults.
+  ServeFaultInjection fault_injection;
 };
 
-/// Multi-session policy-serving runtime: one immutable PolicySnapshot,
-/// N concurrent EDA sessions, one batched forward per scheduler tick
-/// (DESIGN.md §11).
+/// Aggregate fault-domain accounting across the manager's lifetime.
+struct ServeStats {
+  int64_t admitted = 0;
+  int64_t completed = 0;
+  int64_t quarantined = 0;
+  /// Admissions refused (hard cap or watermark shed).
+  int64_t shed = 0;
+  int64_t deadline_retired = 0;
+  int64_t hard_stopped = 0;
+  /// Degradation-ladder escalations (stage transitions, incl. the final
+  /// one that retires a session).
+  int64_t degrade_transitions = 0;
+  /// Steps executed at stage >= kNoDiversity / stage >= kGreedy.
+  int64_t degraded_steps = 0;
+  int64_t degraded_greedy_steps = 0;
+  int64_t reload_successes = 0;
+  int64_t reload_failures = 0;
+};
+
+/// Multi-session policy-serving runtime: one immutable PolicySnapshot
+/// per session (normally shared by all), N concurrent EDA sessions, one
+/// batched forward per scheduler tick (DESIGN.md §11), wrapped in a fault
+/// domain per session (DESIGN.md §13).
 ///
 /// Tick() runs the lockstep discipline proven out by ParallelPpoTrainer:
-///   1. serial act   — gather every live session's observation into one
-///                     Matrix and issue a single Policy::ActBatch with the
-///                     sessions' private Rng streams (row i consumes only
-///                     rngs[i], so a row's result is independent of who
-///                     else is in the batch);
+///   1. serial act   — live sessions are grouped by their pinned snapshot
+///                     (admission order; one group in steady state) and
+///                     each group issues a single Policy::ActBatch with
+///                     the sessions' private Rng streams (row i consumes
+///                     only rngs[i], so a row's result is independent of
+///                     who else is in the batch);
 ///   2. parallel step — fan the environment steps out on a ThreadPool,
-///                     each worker writing an index-addressed slot;
-///   3. serial commit — record steps, retire finished sessions and reset
-///                     episode boundaries in admission order.
+///                     each worker writing an index-addressed slot and
+///                     timing its step against the deadline clock;
+///   3. serial commit — record steps, quarantine faulted sessions, walk
+///                     the degradation ladder, retire finished sessions
+///                     and reset episode boundaries in admission order.
 /// Sessions touch only their own environment plus the shared DisplayCache,
 /// whose hits are bit-identical to recomputes — so every session's trace
 /// equals the single-session serial reference (ServeSingleSessionSerial),
-/// bit for bit, at any thread count and under any join/leave pattern.
+/// bit for bit, at any thread count and under any join/leave pattern; and
+/// because a faulted session's fault domain is itself, the survivors of a
+/// quarantine are bit-identical to a run where the failed session was
+/// never admitted (tests/serve_faults_test.cc).
 ///
-/// Not thread-safe itself: Admit/Tick/Drain/TakeCompleted must be called
-/// from one scheduler thread.
+/// Not thread-safe itself: Admit/Tick/Drain/HardStop/ReloadSnapshot/
+/// TakeCompleted must be called from one scheduler thread.
 class SessionManager {
  public:
   SessionManager(std::shared_ptr<const PolicySnapshot> snapshot,
@@ -106,8 +219,11 @@ class SessionManager {
   SessionManager& operator=(const SessionManager&) = delete;
 
   /// Admits a session (recycling a pooled environment when one is free);
-  /// it starts stepping on the next Tick. Returns the session id.
-  uint64_t Admit(const SessionConfig& config);
+  /// it starts stepping on the next Tick, pinned to the snapshot current
+  /// at admission. Returns the session id, or kResourceExhausted when the
+  /// runtime is at max_sessions (or shedding at the watermark) — overload
+  /// is a structured refusal, never a latency collapse.
+  Result<uint64_t> Admit(const SessionConfig& config);
 
   /// Advances every live session by one environment step. Returns the
   /// number of steps executed (0 when no session is live).
@@ -117,12 +233,33 @@ class SessionManager {
   /// path of the serving binary (finish in-flight sessions, admit none).
   void Drain();
 
-  /// Moves out the traces of sessions finished since the last call, in
-  /// completion order.
-  std::vector<SessionTrace> TakeCompleted();
+  /// Immediately retires every live session with its partial notebook,
+  /// flagged kHardStopped — the second-stop-request path. Environments
+  /// are healthy (no fault occurred) and return to the pool. Returns the
+  /// number of sessions stopped.
+  int HardStop();
+
+  /// Validates `path` and atomically swaps the serving snapshot between
+  /// ticks: new admissions pin the new snapshot, in-flight sessions
+  /// finish on their admission-time snapshot (shared_ptr pinning). A
+  /// corrupt, truncated or architecture-mismatched file never replaces
+  /// the last-good snapshot: the load is retried under the bounded
+  /// backoff budget (ServeOptions::reload_retries), then the error is
+  /// returned and serving continues unchanged.
+  Status ReloadSnapshot(const std::string& path);
+
+  /// Moves out the outcomes of sessions finished since the last call, in
+  /// completion order (quarantined and hard-stopped sessions included,
+  /// with partial traces).
+  std::vector<SessionOutcome> TakeCompleted();
 
   int active_sessions() const { return static_cast<int>(sessions_.size()); }
   int64_t steps_served() const { return steps_served_; }
+  const ServeStats& stats() const { return stats_; }
+  /// The snapshot new admissions would pin (the last-good one).
+  const std::shared_ptr<const PolicySnapshot>& snapshot() const {
+    return snapshot_;
+  }
   const std::shared_ptr<DisplayCache>& display_cache() const {
     return cache_;
   }
@@ -137,18 +274,42 @@ class SessionManager {
     std::vector<double> observation;
     std::unique_ptr<EdaEnvironment> env;
     std::shared_ptr<RewardSignal> reward;
+    /// The snapshot this session acts on, pinned at admission; a reload
+    /// between its ticks never changes its policy.
+    std::shared_ptr<const PolicySnapshot> snapshot;
+    DegradeStage stage = DegradeStage::kNormal;
+    int degraded_steps = 0;
     SessionTrace trace;
   };
 
+  /// Index-addressed result slot of one session's parallel step.
+  struct StepSlot {
+    Status status;          // non-OK => quarantine
+    StepOutcome outcome;    // valid only when status.ok() && executed
+    int64_t duration_nanos = 0;
+    bool executed = false;  // false when pre-step screening failed
+  };
+
   std::unique_ptr<EdaEnvironment> AcquireEnv(uint64_t seed);
+  /// Retires sessions_[index] (serial commit only). The env returns to
+  /// the pool when `env_healthy`; a quarantined env may be mid-mutation
+  /// and is discarded.
+  void Retire(size_t index, RetireReason reason, Status status,
+              bool env_healthy);
+  /// One ladder escalation for sessions_[index]; retires on overflow.
+  /// Returns true when the session was retired.
+  bool EscalateDegrade(size_t index);
+  void LogSessionEvent(const char* type, const Session& session,
+                       const std::string& extra);
 
   std::shared_ptr<const PolicySnapshot> snapshot_;
   ServeOptions options_;
   std::shared_ptr<DisplayCache> cache_;
   std::unique_ptr<ThreadPool> pool_;
+  ServingHealthLog health_log_;
 
   std::vector<std::unique_ptr<Session>> sessions_;  // admission order
-  std::vector<SessionTrace> completed_;
+  std::vector<SessionOutcome> completed_;
   /// Retired sessions' environments, reseeded and reused by Admit: the
   /// per-environment setup (distinct-value ratios, encoder layout) depends
   /// only on the dataset, so recycling skips it entirely.
@@ -156,11 +317,15 @@ class SessionManager {
 
   uint64_t next_id_ = 1;
   int64_t steps_served_ = 0;
+  ServeStats stats_;
+  /// True when the previous tick's mean step duration overran the
+  /// deadline — the watermark shed signal.
+  bool overloaded_ = false;
 
   // Tick scratch, reused across calls.
   Matrix obs_batch_;
   std::vector<Rng*> rngs_;
-  std::vector<StepOutcome> outcomes_;
+  std::vector<StepSlot> slots_;
 };
 
 /// Serves one session start to finish with per-sample acting on a private

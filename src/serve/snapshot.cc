@@ -26,8 +26,17 @@ Result<std::shared_ptr<PolicySnapshot>> LoadPolicySnapshot(
     Dataset dataset, SnapshotOptions options, const std::string& path) {
   auto snapshot = std::make_shared<PolicySnapshot>(std::move(dataset),
                                                    std::move(options));
-  ATENA_RETURN_IF_ERROR(
-      LoadPolicyParameters(path, snapshot->policy()->Parameters()));
+  Status loaded = LoadPolicyParameters(path, snapshot->policy()->Parameters());
+  if (!loaded.ok()) {
+    // Every loader error must name the offending file: operators reading a
+    // serving health log or a reload failure need to know which snapshot
+    // file to inspect. Most underlying errors (file_io's errno/CRC detail,
+    // the checkpoint decoder) already carry it; wrap the ones that don't.
+    if (loaded.message().find(path) == std::string::npos) {
+      return Status(loaded.code(), "'" + path + "': " + loaded.message());
+    }
+    return loaded;
+  }
   // The load replaced the weights; rebuild the frozen inference caches.
   snapshot->policy()->PrepareForServing();
   return snapshot;

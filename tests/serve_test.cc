@@ -79,19 +79,33 @@ void ExpectTracesEqual(const SessionTrace& got, const SessionTrace& want,
   EXPECT_EQ(got.total_reward, want.total_reward) << context;
 }
 
-std::map<uint64_t, SessionTrace> BySeed(std::vector<SessionTrace> traces) {
+/// Indexes finished sessions by seed, asserting each completed cleanly —
+/// the common case for determinism tests, where any quarantine or
+/// deadline retirement is itself a failure.
+std::map<uint64_t, SessionTrace> BySeed(std::vector<SessionOutcome> outcomes) {
   std::map<uint64_t, SessionTrace> by_seed;
-  for (auto& trace : traces) {
-    by_seed[trace.seed] = std::move(trace);
+  for (auto& outcome : outcomes) {
+    EXPECT_EQ(outcome.reason, RetireReason::kCompleted)
+        << "seed " << outcome.trace.seed << ": "
+        << RetireReasonName(outcome.reason) << " "
+        << outcome.status.ToString();
+    EXPECT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+    by_seed[outcome.trace.seed] = std::move(outcome.trace);
   }
   return by_seed;
+}
+
+uint64_t MustAdmit(SessionManager& manager, const SessionConfig& config) {
+  Result<uint64_t> id = manager.Admit(config);
+  EXPECT_TRUE(id.ok()) << id.status().ToString();
+  return id.ok() ? id.value() : 0;
 }
 
 TEST(ServeDeterminismTest, BatchedTracesMatchSerialReference) {
   auto snapshot = SmallSnapshot();
   SessionManager manager(snapshot, ServeOptions{});
   const auto configs = MixedConfigs(6);
-  for (const auto& config : configs) manager.Admit(config);
+  for (const auto& config : configs) MustAdmit(manager, config);
   manager.Drain();
   auto by_seed = BySeed(manager.TakeCompleted());
   ASSERT_EQ(by_seed.size(), configs.size());
@@ -114,7 +128,7 @@ TEST(ServeDeterminismTest, ThreadCountDoesNotChangeTraces) {
     ServeOptions options;
     options.num_threads = threads;
     SessionManager manager(snapshot, options);
-    for (const auto& config : configs) manager.Admit(config);
+    for (const auto& config : configs) MustAdmit(manager, config);
     manager.Drain();
     auto by_seed = BySeed(manager.TakeCompleted());
     ASSERT_EQ(by_seed.size(), configs.size()) << threads << " threads";
@@ -139,11 +153,11 @@ TEST(ServeDeterminismTest, MidServingAdmissionsDoNotChangeTraces) {
 
   SessionManager manager(snapshot, ServeOptions{});
   size_t admitted = 0;
-  for (; admitted < 2; ++admitted) manager.Admit(configs[admitted]);
+  for (; admitted < 2; ++admitted) MustAdmit(manager, configs[admitted]);
   // Two ticks alone, then two more joiners, two further ticks, the rest.
   manager.Tick();
   manager.Tick();
-  for (; admitted < 4; ++admitted) manager.Admit(configs[admitted]);
+  for (; admitted < 4; ++admitted) MustAdmit(manager, configs[admitted]);
   manager.Tick();
   manager.Tick();
   for (; admitted < configs.size(); ++admitted) {
@@ -171,7 +185,7 @@ TEST(ServeDeterminismTest, UnbatchedActingProducesIdenticalTraces) {
     ServeOptions options;
     options.batched_acting = batch;
     SessionManager manager(snapshot, options);
-    for (const auto& config : configs) manager.Admit(config);
+    for (const auto& config : configs) MustAdmit(manager, config);
     manager.Drain();
     auto by_seed = BySeed(manager.TakeCompleted());
     ASSERT_EQ(by_seed.size(), configs.size());
@@ -205,7 +219,7 @@ TEST(ServeDeterminismTest, RewardScoredTracesMatchSerialReference) {
   };
   SessionManager manager(snapshot, options);
   const auto configs = MixedConfigs(4);
-  for (const auto& config : configs) manager.Admit(config);
+  for (const auto& config : configs) MustAdmit(manager, config);
   manager.Drain();
   auto by_seed = BySeed(manager.TakeCompleted());
   ASSERT_EQ(by_seed.size(), configs.size());
@@ -229,16 +243,76 @@ TEST(ServeDeterminismTest, RecycledEnvironmentsServeIdenticalTraces) {
   SessionManager manager(snapshot, ServeOptions{});
   // Serve the same session twice: the second admission recycles the first
   // one's environment from the pool and must reproduce the trace exactly.
-  manager.Admit(config);
+  MustAdmit(manager, config);
   manager.Drain();
   auto first = manager.TakeCompleted();
-  manager.Admit(config);
+  MustAdmit(manager, config);
   manager.Drain();
   auto second = manager.TakeCompleted();
   ASSERT_EQ(first.size(), 1u);
   ASSERT_EQ(second.size(), 1u);
-  ExpectTracesEqual(second[0], first[0], *snapshot->dataset().table,
-                    "recycled env");
+  ExpectTracesEqual(second[0].trace, first[0].trace,
+                    *snapshot->dataset().table, "recycled env");
+}
+
+// The graceful-drain path of the serving binary: every admitted session
+// runs to completion and emits exactly one kCompleted outcome.
+TEST(ServeLifecycleTest, DrainEmitsAllOutcomes) {
+  auto snapshot = SmallSnapshot();
+  SessionManager manager(snapshot, ServeOptions{});
+  const auto configs = MixedConfigs(5);
+  for (const auto& config : configs) MustAdmit(manager, config);
+  manager.Drain();
+  EXPECT_EQ(manager.active_sessions(), 0);
+  auto outcomes = manager.TakeCompleted();
+  ASSERT_EQ(outcomes.size(), configs.size());
+  for (const auto& outcome : outcomes) {
+    EXPECT_EQ(outcome.reason, RetireReason::kCompleted);
+    EXPECT_TRUE(outcome.status.ok());
+  }
+  EXPECT_EQ(manager.stats().completed, static_cast<int64_t>(configs.size()));
+  // TakeCompleted moves: a second call is empty.
+  EXPECT_TRUE(manager.TakeCompleted().empty());
+}
+
+// The second-stop-request path: in-flight sessions are retired immediately
+// with their partial notebooks flagged kHardStopped, not kCompleted.
+TEST(ServeLifecycleTest, HardStopFlagsPartialOutcomes) {
+  auto snapshot = SmallSnapshot();
+  SessionManager manager(snapshot, ServeOptions{});
+  const auto configs = MixedConfigs(4);
+  for (const auto& config : configs) MustAdmit(manager, config);
+  manager.Tick();
+  manager.Tick();
+  manager.Tick();
+  // The shortest budget in MixedConfigs is 4 steps, so after 3 ticks
+  // every session is still live with a 3-step partial notebook.
+  const int live = manager.active_sessions();
+  EXPECT_GT(live, 0);
+  EXPECT_EQ(manager.HardStop(), live);
+  EXPECT_EQ(manager.active_sessions(), 0);
+
+  auto by_seed = std::map<uint64_t, SessionOutcome>();
+  for (auto& outcome : manager.TakeCompleted()) {
+    by_seed[outcome.trace.seed] = std::move(outcome);
+  }
+  ASSERT_EQ(by_seed.size(), configs.size());
+  int hard_stopped = 0;
+  for (const auto& config : configs) {
+    const SessionOutcome& outcome = by_seed.at(config.seed);
+    EXPECT_TRUE(outcome.status.ok());
+    if (outcome.reason == RetireReason::kHardStopped) {
+      ++hard_stopped;
+      // Partial notebook: exactly the 3 ticks it was stepped through.
+      EXPECT_EQ(outcome.trace.steps.size(), 3u) << "seed " << config.seed;
+    } else {
+      EXPECT_EQ(outcome.reason, RetireReason::kCompleted);
+      EXPECT_EQ(outcome.trace.steps.size(),
+                static_cast<size_t>(config.max_steps));
+    }
+  }
+  EXPECT_EQ(hard_stopped, live);
+  EXPECT_EQ(manager.stats().hard_stopped, static_cast<int64_t>(live));
 }
 
 // The serving primitive under the runtime: every row of the per-row-stream
@@ -386,6 +460,42 @@ TEST(ServeSnapshotTest, LoadRejectsMissingFile) {
       LoadPolicySnapshot(MakeDataset("cyber2").value(), SmallOptions(),
                          TempPath("serve_nn_nonexistent.bin"));
   EXPECT_FALSE(loaded.ok());
+}
+
+// Operators reading a reload failure out of the health log need to know
+// WHICH snapshot file to inspect: every loader error names the offending
+// path, whatever layer it failed in.
+TEST(ServeSnapshotTest, LoadErrorsNameThePath) {
+  const std::string missing = TempPath("serve_no_such_snapshot.bin");
+  auto not_found = LoadPolicySnapshot(MakeDataset("cyber2").value(),
+                                      SmallOptions(), missing);
+  ASSERT_FALSE(not_found.ok());
+  EXPECT_NE(not_found.status().message().find(missing), std::string::npos)
+      << not_found.status().message();
+
+  const std::string garbage = TempPath("serve_garbage_snapshot.bin");
+  std::ofstream(garbage, std::ios::binary | std::ios::trunc)
+      << "definitely not a parameter container";
+  auto corrupt = LoadPolicySnapshot(MakeDataset("cyber2").value(),
+                                    SmallOptions(), garbage);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_NE(corrupt.status().message().find(garbage), std::string::npos)
+      << corrupt.status().message();
+  RemoveIfExists(garbage);
+
+  // Architecture mismatch too: the file parsed fine but cannot serve.
+  const std::string mismatched = TempPath("serve_mismatch_snapshot.bin");
+  RemoveIfExists(mismatched);
+  auto source = SmallSnapshot();
+  ASSERT_TRUE(SaveParameters(source->policy()->Parameters(), mismatched).ok());
+  SnapshotOptions narrow = SmallOptions();
+  narrow.policy.hidden = {8};
+  auto wrong_arch = LoadPolicySnapshot(MakeDataset("cyber2").value(),
+                                       narrow, mismatched);
+  ASSERT_FALSE(wrong_arch.ok());
+  EXPECT_NE(wrong_arch.status().message().find(mismatched), std::string::npos)
+      << wrong_arch.status().message();
+  RemoveIfExists(mismatched);
 }
 
 }  // namespace
