@@ -34,6 +34,8 @@
 #include "bench_json.h"
 #include "bench_util.h"
 #include "data/registry.h"
+#include "eda/reward_interface.h"
+#include "reward/diversity.h"
 #include "serve/session_manager.h"
 #include "serve/snapshot.h"
 
@@ -261,6 +263,131 @@ void BM_ServeDegraded(benchmark::State& state) {
 BENCHMARK(BM_ServeDegraded)
     ->ArgNames({"sessions"})
     ->Args({64})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Diversity-only reward: the one signal whose cost grows with session
+/// history, which is exactly what the long-session bench isolates.
+class DiversityOnlyReward final : public RewardSignal {
+ public:
+  double Compute(const RewardContext& context) override {
+    return DiversityReward(context);
+  }
+};
+
+int LongSessionSteps() {
+  if (const char* env = std::getenv("ATENA_SERVE_LONG_STEPS")) {
+    const int steps = std::atoi(env);
+    if (steps > 0) return steps;
+  }
+  return 10000;
+}
+
+/// steps_per_sec of the indexed=0 long run — the indexed_speedup baseline.
+double& LongSessionBaseline() {
+  static double baseline = 0.0;
+  return baseline;
+}
+
+/// The regime the display-vector index exists for (DESIGN.md §14): few
+/// sessions, one very long episode each, with a diversity-scoring reward
+/// attached, so per-step cost is dominated by the min-distance query
+/// against the growing display history. indexed=0 serves with the scalar
+/// scan (per-step cost linear in history → per-step latency climbs as the
+/// session ages); indexed=1 uses the per-session index (flat). The
+/// p99_late_over_early counter compares the p99 tick latency of the second
+/// half of each session against the first half: ~1.0 means flat.
+void BM_ServeLongSessions(benchmark::State& state) {
+  const bool indexed = state.range(0) != 0;
+  const int steps = LongSessionSteps();
+  constexpr int kSessions = 2;
+
+  SnapshotOptions snapshot_options;
+  snapshot_options.env.episode_length = steps;
+  snapshot_options.env.num_term_bins = 8;
+  snapshot_options.env.stats_row_cap = 256;
+  snapshot_options.env.diversity_index_enabled = indexed;
+  const auto snapshot = std::make_shared<const PolicySnapshot>(
+      MakeDataset("flights4").value(), snapshot_options);
+
+  ServeOptions options;
+  options.reward_factory = [] {
+    return std::make_shared<DiversityOnlyReward>();
+  };
+  SessionManager manager(snapshot, options);
+
+  double measured_seconds = 0.0;
+  int64_t total_steps = 0;
+  std::vector<double> tick_seconds, early_ticks, late_ticks;
+  for (auto _ : state) {
+    for (uint64_t i = 0; i < kSessions; ++i) {
+      // Uniform budgets (no stagger): every live session has the same
+      // history length, so tick index == history length and the
+      // early/late split below is meaningful.
+      SessionConfig config;
+      config.seed = kSeedBase + i;
+      config.max_steps = steps;
+      // Sampled acting, not greedy: a greedy demo policy settles into a
+      // display cycle, the min distance hits zero, and the scalar scan
+      // early-breaks in one block — no history-length signal for either
+      // path. Sampling keeps the history duplicate-heavy but varied,
+      // the distribution the diversity scan actually faces.
+      config.greedy = false;
+      manager.Admit(config).value();
+    }
+
+    double iteration_seconds = 0.0;
+    int tick = 0;
+    while (manager.active_sessions() > 0) {
+      const auto start = std::chrono::steady_clock::now();
+      total_steps += manager.Tick();
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      iteration_seconds += elapsed.count();
+      tick_seconds.push_back(elapsed.count());
+      (tick < steps / 2 ? early_ticks : late_ticks).push_back(elapsed.count());
+      ++tick;
+      manager.TakeCompleted();
+    }
+    state.SetIterationTime(iteration_seconds);
+    measured_seconds += iteration_seconds;
+  }
+
+  state.counters["session_steps"] = static_cast<double>(steps);
+  state.SetItemsProcessed(total_steps);
+  const double steps_per_sec =
+      measured_seconds > 0.0
+          ? static_cast<double>(total_steps) / measured_seconds
+          : 0.0;
+  state.counters["steps_per_sec"] = steps_per_sec;
+  bench::AddLatencyPercentiles(state, tick_seconds, "step_latency");
+  if (!early_ticks.empty() && !late_ticks.empty()) {
+    // Second-half vs first-half tick latency growth. The median isolates
+    // the diversity scan (the typical tick's only history-dependent
+    // cost): scalar grows ~linearly with history, indexed stays near
+    // flat. The p99 tail is dominated by expensive display recomputes,
+    // which deepen with session length identically under both paths.
+    const double early_p50 = bench::Percentile(early_ticks, 50.0);
+    if (early_p50 > 0.0) {
+      state.counters["p50_late_over_early"] =
+          bench::Percentile(late_ticks, 50.0) / early_p50;
+    }
+    const double early_p99 = bench::Percentile(early_ticks, 99.0);
+    if (early_p99 > 0.0) {
+      state.counters["p99_late_over_early"] =
+          bench::Percentile(late_ticks, 99.0) / early_p99;
+    }
+  }
+  if (!indexed) {
+    LongSessionBaseline() = steps_per_sec;
+  } else if (LongSessionBaseline() > 0.0) {
+    state.counters["indexed_speedup"] = steps_per_sec / LongSessionBaseline();
+  }
+}
+BENCHMARK(BM_ServeLongSessions)
+    ->ArgNames({"indexed"})
+    ->Args({0})
+    ->Args({1})
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -84,19 +84,85 @@ double KlDivergence(const std::unordered_map<int64_t, double>& p,
   return std::max(0.0, kl);
 }
 
+double SquaredEuclideanDistance(const std::vector<double>& a,
+                                const std::vector<double>& b) {
+  // Delegates with an infinite bound: one kernel, one accumulation order,
+  // so bounded and unbounded results are bit-identical by construction.
+  return SquaredEuclideanDistanceBounded(
+      a.data(), a.size(), b.data(), b.size(),
+      std::numeric_limits<double>::infinity());
+}
+
+double SquaredEuclideanDistanceBounded(const std::vector<double>& a,
+                                       const std::vector<double>& b,
+                                       double bound) {
+  return SquaredEuclideanDistanceBounded(a.data(), a.size(), b.data(),
+                                         b.size(), bound);
+}
+
+double SquaredEuclideanDistanceBounded(const double* a, size_t a_size,
+                                       const double* b, size_t b_size,
+                                       double bound) {
+  // Four independent accumulators (lanes striped over positions i%4) break
+  // the serial sum += d*d dependency chain, and the bound check runs once
+  // per 8-element block rather than per element — the below-bound case
+  // runs at full pipeline throughput while the exceeded-bound case still
+  // breaks out early. The accumulation order is fixed and deterministic
+  // (lanes combined as ((s0+s1)+s2)+s3 at every checkpoint and at the
+  // end), and every partial checkpoint value is a sum of a subset of the
+  // non-negative terms, so checkpoints are non-decreasing and an early
+  // break can never discard a candidate whose full sum is <= bound; any
+  // result <= bound is the exact full sum, bit-identical between the
+  // bounded and (delegating) unbounded entry points.
+  constexpr size_t kBlock = 8;
+  size_t n = std::min(a_size, b_size);
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  size_t i = 0;
+  while (i + kBlock <= n) {
+    const double d0 = a[i] - b[i];
+    const double d1 = a[i + 1] - b[i + 1];
+    const double d2 = a[i + 2] - b[i + 2];
+    const double d3 = a[i + 3] - b[i + 3];
+    const double d4 = a[i + 4] - b[i + 4];
+    const double d5 = a[i + 5] - b[i + 5];
+    const double d6 = a[i + 6] - b[i + 6];
+    const double d7 = a[i + 7] - b[i + 7];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+    s0 += d4 * d4;
+    s1 += d5 * d5;
+    s2 += d6 * d6;
+    s3 += d7 * d7;
+    i += kBlock;
+    if (((s0 + s1) + s2) + s3 > bound) return ((s0 + s1) + s2) + s3;
+  }
+  for (size_t lane = 0; i < n; ++i, ++lane) {
+    const double d = a[i] - b[i];
+    switch (lane & 3) {
+      case 0: s0 += d * d; break;
+      case 1: s1 += d * d; break;
+      case 2: s2 += d * d; break;
+      default: s3 += d * d; break;
+    }
+  }
+  double sum = ((s0 + s1) + s2) + s3;
+  if (sum > bound) return sum;
+  for (i = n; i < a_size; ++i) {
+    sum += a[i] * a[i];
+    if (sum > bound) return sum;
+  }
+  for (i = n; i < b_size; ++i) {
+    sum += b[i] * b[i];
+    if (sum > bound) return sum;
+  }
+  return sum;
+}
+
 double EuclideanDistance(const std::vector<double>& a,
                          const std::vector<double>& b) {
-  size_t n = std::min(a.size(), b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    double d = a[i] - b[i];
-    sum += d * d;
-  }
-  // Mismatched tails count as distance from zero, so comparing vectors of
-  // different lengths is well-defined (it never happens inside one episode).
-  for (size_t i = n; i < a.size(); ++i) sum += a[i] * a[i];
-  for (size_t i = n; i < b.size(); ++i) sum += b[i] * b[i];
-  return std::sqrt(sum);
+  return std::sqrt(SquaredEuclideanDistance(a, b));
 }
 
 MeanVar ComputeMeanVar(const std::vector<double>& values) {

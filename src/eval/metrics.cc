@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace atena {
@@ -132,11 +134,127 @@ double EdaSim(const std::vector<ViewSignature>& candidate,
   return dp[n][m] / static_cast<double>(std::max(n, m));
 }
 
+namespace {
+
+/// Interning table over view signatures: each distinct ToKey gets one id,
+/// and pairwise ViewSimilarity values are memoized per unordered id pair.
+/// ViewSimilarity is a pure function, so a memoized value is bit-identical
+/// to recomputing it — gold sets share most of their views across
+/// notebooks, which is what makes the cache pay.
+class ViewSimTable {
+ public:
+  std::vector<int> Intern(const std::vector<ViewSignature>& views) {
+    std::vector<int> ids;
+    ids.reserve(views.size());
+    for (const auto& view : views) {
+      const auto [it, inserted] =
+          id_by_key_.emplace(view.ToKey(), static_cast<int>(views_.size()));
+      if (inserted) views_.push_back(&view);
+      ids.push_back(it->second);
+    }
+    return ids;
+  }
+
+  double Sim(int a, int b) {
+    const uint64_t key = (static_cast<uint64_t>(std::min(a, b)) << 32) |
+                         static_cast<uint64_t>(std::max(a, b));
+    const auto it = sims_.find(key);
+    if (it != sims_.end()) return it->second;
+    const double sim = ViewSimilarity(*views_[static_cast<size_t>(a)],
+                                      *views_[static_cast<size_t>(b)]);
+    sims_.emplace(key, sim);
+    return sim;
+  }
+
+ private:
+  std::unordered_map<std::string, int> id_by_key_;
+  std::vector<const ViewSignature*> views_;  // one representative per id
+  std::unordered_map<uint64_t, double> sims_;
+};
+
+/// EdaSim's alignment DP over interned ids (same recurrence, memoized
+/// similarities — bit-identical values in the same order).
+double AlignedSim(const std::vector<int>& candidate,
+                  const std::vector<int>& reference, ViewSimTable* sims) {
+  const size_t n = candidate.size(), m = reference.size();
+  if (n == 0 || m == 0) return (n == m) ? 1.0 : 0.0;
+  std::vector<std::vector<double>> dp(n + 1, std::vector<double>(m + 1, 0.0));
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      const double match =
+          dp[i - 1][j - 1] + sims->Sim(candidate[i - 1], reference[j - 1]);
+      dp[i][j] = std::max({match, dp[i - 1][j], dp[i][j - 1]});
+    }
+  }
+  return dp[n][m] / static_cast<double>(std::max(n, m));
+}
+
+/// Margin the upper-bound comparison concedes to floating point: the
+/// bound's sum and the DP's matched sum accumulate in different orders,
+/// so their rounding can differ by ~1e-13 at these magnitudes (scores
+/// live in [0, 1]); 1e-9 dominates that comfortably while pruning
+/// essentially everything a tight bound would.
+constexpr double kEdaSimBoundSlack = 1e-9;
+
+}  // namespace
+
 double MaxEdaSim(const std::vector<ViewSignature>& candidate,
                  const std::vector<std::vector<ViewSignature>>& gold) {
+  return MaxEdaSim(candidate, gold, nullptr);
+}
+
+double MaxEdaSim(const std::vector<ViewSignature>& candidate,
+                 const std::vector<std::vector<ViewSignature>>& gold,
+                 EdaSimPruningStats* stats) {
+  if (stats != nullptr) *stats = EdaSimPruningStats();
+  if (gold.empty()) return 0.0;
+  if (stats != nullptr) stats->references_total = static_cast<int>(gold.size());
+
+  ViewSimTable sims;
+  const std::vector<int> cand = sims.Intern(candidate);
+  std::vector<std::vector<int>> refs;
+  refs.reserve(gold.size());
+  for (const auto& reference : gold) refs.push_back(sims.Intern(reference));
+
+  // Upper bound per reference: in any monotone alignment each candidate
+  // view matches at most one reference view, so the matched-sim sum is at
+  // most Σ_i max_j sim(c_i, r_j); divide by the same max(n, m) as the DP.
+  // Empty sequences take EdaSim's exact special-case value as their bound.
+  std::vector<double> bounds(refs.size(), 0.0);
+  for (size_t r = 0; r < refs.size(); ++r) {
+    const std::vector<int>& ref = refs[r];
+    if (cand.empty() || ref.empty()) {
+      bounds[r] = (cand.size() == ref.size()) ? 1.0 : 0.0;
+      continue;
+    }
+    double sum = 0.0;
+    for (const int c : cand) {
+      double best_sim = 0.0;
+      for (const int v : ref) best_sim = std::max(best_sim, sims.Sim(c, v));
+      sum += best_sim;
+    }
+    bounds[r] = sum / static_cast<double>(std::max(cand.size(), ref.size()));
+  }
+
+  // Best-bound-first: the strongest candidate reference is aligned first,
+  // so the running best rises fast and prunes the tail. Ties keep input
+  // order — evaluation order never affects the returned max anyway.
+  std::vector<size_t> order(refs.size());
+  for (size_t r = 0; r < refs.size(); ++r) order[r] = r;
+  std::stable_sort(order.begin(), order.end(), [&bounds](size_t a, size_t b) {
+    return bounds[a] > bounds[b];
+  });
+
   double best = 0.0;
-  for (const auto& reference : gold) {
-    best = std::max(best, EdaSim(candidate, reference));
+  for (const size_t r : order) {
+    // A reference whose bound (plus the FP slack) cannot beat the running
+    // best cannot change the max: EdaSim(c, r) <= bound < best.
+    if (bounds[r] + kEdaSimBoundSlack <= best) {
+      if (stats != nullptr) ++stats->references_pruned;
+      continue;
+    }
+    if (stats != nullptr) ++stats->references_evaluated;
+    best = std::max(best, AlignedSim(cand, refs[r], &sims));
   }
   return best;
 }

@@ -35,8 +35,32 @@ double TBleu(const std::vector<ViewSignature>& candidate,
 /// the gold notebooks.
 double EdaSim(const std::vector<ViewSignature>& candidate,
               const std::vector<ViewSignature>& reference);
+
+/// Pruning accounting of one MaxEdaSim call (tests/bench).
+struct EdaSimPruningStats {
+  int references_total = 0;
+  /// References whose full alignment DP actually ran.
+  int references_evaluated = 0;
+  /// References skipped because their upper bound could not beat the
+  /// running best — the result is identical with or without them.
+  int references_pruned = 0;
+};
+
+/// Max over the gold notebooks — identical to looping EdaSim over all of
+/// them, but sub-linear in practice: view signatures are interned so
+/// pairwise ViewSimilarity values are computed once across all
+/// references, each reference gets a cheap alignment upper bound
+/// (Σ_i max_j sim(c_i, r_j) / max(n, m) — every candidate view aligns to
+/// at most one reference view, so this dominates the DP's matched sum),
+/// and references are evaluated best-bound-first, pruning any whose bound
+/// cannot exceed the best alignment found so far. Pruned references
+/// cannot change the max, so the returned score is identical to the
+/// unpruned loop (test-enforced in tests/eval_test.cc).
 double MaxEdaSim(const std::vector<ViewSignature>& candidate,
                  const std::vector<std::vector<ViewSignature>>& gold);
+double MaxEdaSim(const std::vector<ViewSignature>& candidate,
+                 const std::vector<std::vector<ViewSignature>>& gold,
+                 EdaSimPruningStats* stats);
 
 /// All five metrics at once.
 AedaScores ComputeAedaScores(

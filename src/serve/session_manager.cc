@@ -161,9 +161,23 @@ Result<uint64_t> SessionManager::Admit(const SessionConfig& config) {
   return id;
 }
 
+void SessionManager::RegisterNotebook(const Session& session) {
+  if (!options_.notebook_store) return;
+  const int64_t notebook_id = options_.notebook_store->Register(
+      session.id, session.config.seed, session.env->display_vectors());
+  if (notebook_id < 0) return;
+  ++stats_.notebooks_registered;
+  LogSessionEvent("notebook_registered", session,
+                  "\"notebook\":" + std::to_string(notebook_id));
+}
+
 void SessionManager::Retire(size_t index, RetireReason reason, Status status,
                             bool env_healthy) {
   Session& s = *sessions_[index];
+  // A healthy environment's in-progress notebook joins the corpus (the
+  // store drops sequences too short to be a notebook); a quarantined
+  // environment may be mid-mutation and its history is not trusted.
+  if (env_healthy) RegisterNotebook(s);
   SessionOutcome outcome;
   outcome.reason = reason;
   outcome.status = std::move(status);
@@ -401,7 +415,10 @@ int SessionManager::Tick() {
       if (EscalateDegrade(static_cast<size_t>(i))) continue;
     }
     if (slot.outcome.done) {
-      // Episode boundary inside a longer session: start the next notebook.
+      // Episode boundary inside a longer session: the finished notebook
+      // joins the corpus, then the next one starts. (A session completing
+      // its step budget was retired above — registered there, not twice.)
+      RegisterNotebook(s);
       s.observation = s.env->Reset();
     } else {
       s.observation = std::move(slot.outcome.observation);
@@ -478,6 +495,12 @@ std::vector<SessionOutcome> SessionManager::TakeCompleted() {
   std::vector<SessionOutcome> out = std::move(completed_);
   completed_.clear();
   return out;
+}
+
+std::vector<NotebookStore::Match> SessionManager::QuerySimilarNotebooks(
+    const std::vector<std::vector<double>>& display_vectors, int k) const {
+  if (!options_.notebook_store) return {};
+  return options_.notebook_store->TopK(display_vectors, k);
 }
 
 SessionTrace ServeSingleSessionSerial(const PolicySnapshot& snapshot,

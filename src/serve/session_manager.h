@@ -12,6 +12,7 @@
 #include "common/thread_pool.h"
 #include "eda/display_cache.h"
 #include "eda/environment.h"
+#include "index/notebook_store.h"
 #include "nn/matrix.h"
 #include "serve/health_log.h"
 #include "serve/snapshot.h"
@@ -68,8 +69,14 @@ const char* RetireReasonName(RetireReason reason);
 /// The degradation ladder a session walks when its steps blow the deadline
 /// budget (each additional overrun escalates one stage):
 ///   kNormal      → full reward, sampled acting;
-///   kNoDiversity → the reward signal's degraded mode skips the O(history)
-///                  diversity scan (RewardSignal::SetDegradedMode);
+///   kNoDiversity → the reward signal's degraded mode skips the diversity
+///                  min-distance scan (RewardSignal::SetDegradedMode).
+///                  Since the display index made that scan sub-linear in
+///                  history (DESIGN.md §14) this stage rarely fires — the
+///                  scan it skips is no longer the dominant per-step cost
+///                  on long sessions — but it stays in the ladder as the
+///                  cheap first response for deployments that disable the
+///                  index;
 ///   kGreedy      → argmax acting: the session stops consuming its acting
 ///                  stream entirely. One more overrun retires the session
 ///                  with kDeadlineExceeded.
@@ -155,6 +162,15 @@ struct ServeOptions {
   /// Replaces the real backoff sleep (tests). Null = SleepForNanos.
   std::function<void(int64_t nanos)> reload_sleep;
 
+  /// Cross-session notebook corpus (DESIGN.md §14). When set, every
+  /// finished notebook — one per episode boundary inside a longer
+  /// session, plus the final (possibly partial) one at retire when the
+  /// environment is healthy — is registered with its display-vector
+  /// sequence, and QuerySimilarNotebooks serves top-k retrieval over the
+  /// corpus. Shareable across managers (the store locks internally).
+  /// Null disables registration and retrieval.
+  std::shared_ptr<NotebookStore> notebook_store;
+
   /// JSONL serving-health log path (see ServingHealthLog); empty disables.
   std::string health_log_path;
 
@@ -179,6 +195,9 @@ struct ServeStats {
   int64_t degraded_greedy_steps = 0;
   int64_t reload_successes = 0;
   int64_t reload_failures = 0;
+  /// Display-vector sequences registered in the notebook store (excludes
+  /// sequences below the store's min length and quarantined sessions).
+  int64_t notebooks_registered = 0;
 };
 
 /// Multi-session policy-serving runtime: one immutable PolicySnapshot
@@ -263,6 +282,15 @@ class SessionManager {
   const std::shared_ptr<DisplayCache>& display_cache() const {
     return cache_;
   }
+  /// The shared notebook corpus, or null when not configured.
+  const std::shared_ptr<NotebookStore>& notebook_store() const {
+    return options_.notebook_store;
+  }
+  /// Top-k past notebooks most similar to `display_vectors` (NotebookRAG-
+  /// style retrieval over the shared corpus; see NotebookStore::TopK).
+  /// Empty when no store is configured.
+  std::vector<NotebookStore::Match> QuerySimilarNotebooks(
+      const std::vector<std::vector<double>>& display_vectors, int k) const;
 
  private:
   struct Session {
@@ -299,6 +327,10 @@ class SessionManager {
   /// One ladder escalation for sessions_[index]; retires on overflow.
   /// Returns true when the session was retired.
   bool EscalateDegrade(size_t index);
+  /// Registers the session's current display-vector sequence in the
+  /// notebook store (no-op without a store; the store skips sequences
+  /// below its minimum length).
+  void RegisterNotebook(const Session& session);
   void LogSessionEvent(const char* type, const Session& session,
                        const std::string& extra);
 

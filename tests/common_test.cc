@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/logging.h"
@@ -237,6 +238,48 @@ TEST(MathTest, EuclideanDistanceBasics) {
   EXPECT_DOUBLE_EQ(EuclideanDistance({1, 2}, {1, 2}), 0.0);
   // Length mismatch: extra tail measured from zero.
   EXPECT_DOUBLE_EQ(EuclideanDistance({0.0}, {0.0, 3.0}), 3.0);
+}
+
+// Pins the documented mismatched-tail semantics: a shorter vector behaves
+// exactly as if zero-padded to the longer length, on either side, in any
+// combination. The vector index's ball bounds (src/index/) assume these
+// distances form a true metric over the zero-padded union space — a
+// violation here would silently break its exactness guarantee.
+TEST(MathTest, EuclideanDistanceTailSemantics) {
+  // a longer, b longer, both directions, multiple tail elements.
+  EXPECT_DOUBLE_EQ(EuclideanDistance({3.0, 4.0}, {}), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance({}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance({1.0, 2.0, 2.0}, {1.0}),
+                   EuclideanDistance({1.0, 2.0, 2.0}, {1.0, 0.0, 0.0}));
+  EXPECT_DOUBLE_EQ(EuclideanDistance({1.0}, {1.0, 2.0, 2.0}),
+                   EuclideanDistance({1.0, 0.0, 0.0}, {1.0, 2.0, 2.0}));
+  // Two empties are at distance zero.
+  EXPECT_DOUBLE_EQ(EuclideanDistance({}, {}), 0.0);
+  // Squared form agrees with the rooted form bit-for-bit.
+  const std::vector<double> a = {1.5, -2.25, 0.0, 7.0};
+  const std::vector<double> b = {0.5, 3.0};
+  EXPECT_EQ(EuclideanDistance(a, b),
+            std::sqrt(SquaredEuclideanDistance(a, b)));
+  EXPECT_EQ(SquaredEuclideanDistance(a, b), SquaredEuclideanDistance(b, a));
+}
+
+TEST(MathTest, SquaredEuclideanDistanceBoundedExactUnderBound) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b = {0.0, 2.5, -1.0, 4.0};
+  const double exact = SquaredEuclideanDistance(a, b);
+  // Any bound >= the exact value returns the exact value, bit for bit.
+  EXPECT_EQ(SquaredEuclideanDistanceBounded(a, b, exact), exact);
+  EXPECT_EQ(SquaredEuclideanDistanceBounded(
+                a, b, std::numeric_limits<double>::infinity()),
+            exact);
+  // A tighter bound early-exits with some partial sum above the bound.
+  EXPECT_GT(SquaredEuclideanDistanceBounded(a, b, exact * 0.5), exact * 0.5);
+  // Tails participate in the early exit too.
+  const std::vector<double> tail = {0.0, 0.0, 0.0, 0.0, 100.0};
+  EXPECT_GT(SquaredEuclideanDistanceBounded(a, tail, 1.0), 1.0);
+  EXPECT_EQ(SquaredEuclideanDistanceBounded(
+                a, tail, std::numeric_limits<double>::infinity()),
+            SquaredEuclideanDistance(a, tail));
 }
 
 TEST(MathTest, MeanVarMatchesClosedForm) {

@@ -160,6 +160,66 @@ TEST(EdaSimTest, MaxOverGoldSelectsClosest) {
   EXPECT_DOUBLE_EQ(MaxEdaSim({a}, gold), 1.0);
 }
 
+TEST(EdaSimTest, PrunedMaxIsIdenticalToUnprunedLoop) {
+  // Synthesize a gold set of many notebooks over a shared view pool, then
+  // check the bound-pruned MaxEdaSim against the plain EdaSim loop it
+  // replaced. Deterministic LCG so failures reproduce.
+  uint64_t state = 0x9e3779b97f4a7c15ULL;
+  auto next = [&state](int bound) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<int>((state >> 33) % static_cast<uint64_t>(bound));
+  };
+  std::vector<ViewSignature> pool;
+  for (int i = 0; i < 12; ++i) {
+    pool.push_back(Sig({"c" + std::to_string(next(6)) + " == 1"},
+                       {"g" + std::to_string(next(4))},
+                       i % 3 == 0 ? "" : "AVG(x" + std::to_string(next(3)) +
+                                             ")"));
+  }
+  auto draw_notebook = [&](int length) {
+    std::vector<ViewSignature> notebook;
+    for (int i = 0; i < length; ++i) {
+      notebook.push_back(pool[static_cast<size_t>(next(
+          static_cast<int>(pool.size())))]);
+    }
+    return notebook;
+  };
+  std::vector<std::vector<ViewSignature>> gold;
+  for (int r = 0; r < 40; ++r) gold.push_back(draw_notebook(3 + next(8)));
+  gold.push_back({});  // empty reference exercises the special case
+
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::vector<ViewSignature> candidate =
+        trial == 0 ? std::vector<ViewSignature>{} : draw_notebook(2 + next(9));
+    double reference_best = 0.0;
+    for (const auto& notebook : gold) {
+      reference_best = std::max(reference_best, EdaSim(candidate, notebook));
+    }
+    EdaSimPruningStats stats;
+    const double pruned_best = MaxEdaSim(candidate, gold, &stats);
+    EXPECT_EQ(pruned_best, reference_best) << "trial " << trial;
+    EXPECT_EQ(stats.references_total, static_cast<int>(gold.size()));
+    EXPECT_EQ(stats.references_evaluated + stats.references_pruned,
+              stats.references_total);
+  }
+}
+
+TEST(EdaSimTest, BoundPruningActuallyFires) {
+  // One exact-match reference plus many disjoint ones: the exact match is
+  // aligned first (bound 1.0) and every disjoint reference's bound is far
+  // below, so the tail is pruned without running its DP.
+  auto hit = Sig({"a == 1"}, {"g"}, "AVG(x)");
+  std::vector<std::vector<ViewSignature>> gold = {{hit}};
+  for (int i = 0; i < 20; ++i) {
+    gold.push_back({Sig({"q" + std::to_string(i) + " == 9"},
+                        {"z" + std::to_string(i)}, "MIN(w)")});
+  }
+  EdaSimPruningStats stats;
+  EXPECT_DOUBLE_EQ(MaxEdaSim({hit}, gold, &stats), 1.0);
+  EXPECT_EQ(stats.references_total, 21);
+  EXPECT_GE(stats.references_pruned, 20);
+}
+
 TEST(MetricsTest, ComputeAedaScoresBundlesAll) {
   auto v1 = Sig({"a == 1"}, {});
   std::vector<std::vector<ViewSignature>> gold = {{v1}};
