@@ -26,9 +26,12 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "bench_json.h"
@@ -36,6 +39,7 @@
 #include "data/registry.h"
 #include "eda/reward_interface.h"
 #include "reward/diversity.h"
+#include "serve/journal.h"
 #include "serve/session_manager.h"
 #include "serve/snapshot.h"
 
@@ -263,6 +267,140 @@ void BM_ServeDegraded(benchmark::State& state) {
 BENCHMARK(BM_ServeDegraded)
     ->ArgNames({"sessions"})
     ->Args({64})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// The durability regime (DESIGN.md §15): the same mixed-churn workload
+/// with the write-ahead session journal on — every admission and every
+/// tick's group commit is an unflushed append, with the shared fdatasync
+/// paid at the delivery barrier (TakeCompleted). journaled=0 runs the
+/// identical workload without a journal, purely for its own latency and
+/// throughput numbers. The journaled=1 run measures overhead *paired*:
+/// it drains an identical unjournaled twin manager interleaved with its
+/// own iterations, in the same run under the same machine conditions,
+/// and reports journal_overhead_pct (journaled p50 tick latency over the
+/// twin's) and journal_slowdown (twin steps/sec over journaled
+/// steps/sec) into BENCH_serve.json. Comparing against a separately-run
+/// baseline benchmark would couple the metric to minutes-apart machine
+/// drift, which on a shared VM dwarfs the journaling cost itself.
+void BM_ServeJournaled(benchmark::State& state) {
+  const int concurrent = static_cast<int>(state.range(0));
+  const bool journaled = state.range(1) != 0;
+  const int base_steps = StepsPerSession();
+  const uint64_t total_sessions =
+      static_cast<uint64_t>(concurrent) + static_cast<uint64_t>(concurrent) / 2;
+
+  const std::string journal_path = "BENCH_serve_journal.jnl";
+  auto clean_journal = [&journal_path]() {
+    std::remove(journal_path.c_str());
+    std::remove((journal_path + ".prev").c_str());
+    for (int64_t seq = 0; seq < 64; ++seq) {
+      std::remove(JournalSidecarPath(journal_path, seq).c_str());
+    }
+  };
+  if (journaled) clean_journal();
+
+  ServeOptions options;
+  if (journaled) options.journal_path = journal_path;
+  SessionManager manager(SharedSnapshot(), options);
+  std::unique_ptr<SessionManager> twin;
+  if (journaled) {
+    twin = std::make_unique<SessionManager>(SharedSnapshot(), ServeOptions{});
+  }
+
+  // One churn drain: admit `concurrent`, tick to empty, refill retired
+  // sessions up to 50% churn. Appends this drain's per-tick latencies to
+  // `ticks` and returns {timed seconds, steps executed}.
+  auto drain = [&](SessionManager& m, std::vector<double>& ticks) {
+    uint64_t admitted = 0;
+    for (; admitted < static_cast<uint64_t>(concurrent); ++admitted) {
+      m.Admit(SessionAt(admitted, base_steps)).value();
+    }
+    double seconds = 0.0;
+    int64_t steps = 0;
+    uint64_t finished_count = 0;
+    while (m.active_sessions() > 0) {
+      const auto start = std::chrono::steady_clock::now();
+      steps += m.Tick();
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      seconds += elapsed.count();
+      ticks.push_back(elapsed.count());
+      const auto finished = m.TakeCompleted();
+      finished_count += finished.size();
+      for (size_t f = 0; f < finished.size() && admitted < total_sessions;
+           ++f, ++admitted) {
+        m.Admit(SessionAt(admitted, base_steps)).value();
+      }
+    }
+    return std::tuple<double, int64_t, uint64_t>(seconds, steps,
+                                                 finished_count);
+  };
+
+  double measured_seconds = 0.0;
+  int64_t total_steps = 0;
+  uint64_t total_finished = 0;
+  std::vector<double> tick_seconds;
+  double twin_seconds = 0.0;
+  int64_t twin_steps = 0;
+  std::vector<double> twin_ticks;
+  for (auto _ : state) {
+    if (twin) {
+      const auto [seconds, steps, finished] = drain(*twin, twin_ticks);
+      twin_seconds += seconds;
+      twin_steps += steps;
+      (void)finished;
+    }
+    const auto [seconds, steps, finished] = drain(manager, tick_seconds);
+    state.SetIterationTime(seconds);
+    measured_seconds += seconds;
+    total_steps += steps;
+    total_finished += finished;
+  }
+
+  state.counters["concurrent_sessions"] = static_cast<double>(concurrent);
+  state.SetItemsProcessed(total_steps);
+  const double steps_per_sec =
+      measured_seconds > 0.0
+          ? static_cast<double>(total_steps) / measured_seconds
+          : 0.0;
+  state.counters["steps_per_sec"] = steps_per_sec;
+  state.counters["sessions_per_sec"] =
+      measured_seconds > 0.0
+          ? static_cast<double>(total_finished) / measured_seconds
+          : 0.0;
+  bench::AddLatencyPercentiles(state, tick_seconds, "step_latency");
+
+  if (journaled) {
+    const ServeStats& stats = manager.stats();
+    state.counters["journal_appends"] =
+        static_cast<double>(stats.journal_appends);
+    state.counters["journal_syncs"] = static_cast<double>(stats.journal_syncs);
+    state.counters["journal_bytes"] = static_cast<double>(stats.journal_bytes);
+    state.counters["journal_compactions"] =
+        static_cast<double>(stats.journal_compactions);
+    const double p50 = bench::Percentile(tick_seconds, 50.0);
+    const double base_p50 = bench::Percentile(twin_ticks, 50.0);
+    if (base_p50 > 0.0) {
+      state.counters["journal_overhead_pct"] = (p50 / base_p50 - 1.0) * 100.0;
+    }
+    const double twin_steps_per_sec =
+        twin_seconds > 0.0 ? static_cast<double>(twin_steps) / twin_seconds
+                           : 0.0;
+    if (steps_per_sec > 0.0 && twin_steps_per_sec > 0.0) {
+      state.counters["journal_slowdown"] = twin_steps_per_sec / steps_per_sec;
+    }
+    clean_journal();
+  }
+}
+BENCHMARK(BM_ServeJournaled)
+    ->ArgNames({"sessions", "journaled"})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    // The group-commit payoff case: one fsync covers 16x the sessions, so
+    // the per-step overhead amortizes toward the encode cost alone.
+    ->Args({1024, 0})
+    ->Args({1024, 1})
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 

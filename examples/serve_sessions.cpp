@@ -27,13 +27,20 @@
 //                        sessions; a corrupt file keeps the last-good
 //                        snapshot and serving continues (0 = never)
 //   --health-log PATH    JSONL fault-domain event log (quarantines, sheds,
-//                        degradations, reloads), atomically rewritten
+//                        degradations, reloads), one durable append per event
+//   --journal PATH       write-ahead session journal (DESIGN.md §15). When
+//                        the file (or its .prev) already exists the runtime
+//                        first recovers from it — every restored session
+//                        resumes mid-trace, bit-identical to an
+//                        uninterrupted run — then keeps journaling. Try it:
+//                        kill -9 the process mid-run and start it again.
 //
 // SIGINT (Ctrl-C) triggers a graceful drain: no new sessions are admitted,
 // in-flight sessions finish their remaining steps, then the runtime
 // reports totals and exits. A second SIGINT hard-stops: every live session
-// is retired immediately with its partial notebook flagged. A third exits
-// without cleanup.
+// is retired immediately with its partial notebook flagged — journaled, so
+// a restart recovers a cleanly stopped runtime. A third exits without
+// cleanup.
 
 #include <atomic>
 #include <csignal>
@@ -42,6 +49,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/file_io.h"
 #include "data/registry.h"
 #include "serve/session_manager.h"
 #include "serve/snapshot.h"
@@ -67,6 +75,7 @@ struct Args {
   double step_deadline_ms = 0.0;
   long reload_every = 0;
   std::string health_log;
+  std::string journal;
   std::string ckpt;
   std::string dataset = "flights4";
 };
@@ -109,6 +118,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->health_log = v;
+    } else if (flag == "--journal") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->journal = v;
     } else if (flag == "--ckpt") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -140,7 +153,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s [--sessions N] [--threads T] [--ckpt PATH] "
                  "[--dataset ID] [--steps S] [--greedy] [--max-sessions M] "
-                 "[--step-deadline-ms D] [--reload K] [--health-log PATH]\n",
+                 "[--step-deadline-ms D] [--reload K] [--health-log PATH] "
+                 "[--journal PATH]\n",
                  argv[0]);
     return 1;
   }
@@ -180,12 +194,41 @@ int main(int argc, char** argv) {
   serve_options.step_deadline_nanos =
       static_cast<int64_t>(args.step_deadline_ms * 1e6);
   serve_options.health_log_path = args.health_log;
+  serve_options.journal_path = args.journal;
   SessionManager manager(snapshot, serve_options);
+
+  uint64_t recovered_finished = 0;
+  if (!args.journal.empty() &&
+      (FileExists(args.journal) || FileExists(args.journal + ".prev"))) {
+    SessionManager::RecoveryInfo info;
+    Status recovered = manager.RecoverFromJournal(args.journal, &info);
+    if (!recovered.ok()) {
+      // A journal that cannot be recovered is an operator problem, not
+      // something to silently overwrite — move it aside to start fresh.
+      std::fprintf(stderr, "cannot recover journal '%s': %s\n",
+                   args.journal.c_str(), recovered.message().c_str());
+      return 1;
+    }
+    // Retirements since the last compaction are re-delivered
+    // (at-least-once); this demo's per-process counters just restart.
+    recovered_finished = manager.TakeCompleted().size();
+    std::printf(
+        "recovered %d live sessions from %s (%lld ticks, %lld steps "
+        "replayed%s%s); %llu finished outcomes re-delivered\n",
+        info.sessions_restored, args.journal.c_str(),
+        static_cast<long long>(info.ticks_replayed),
+        static_cast<long long>(info.steps_replayed),
+        info.used_prev_fallback ? ", via .prev fallback" : "",
+        info.torn_tail ? ", torn tail dropped" : "",
+        static_cast<unsigned long long>(recovered_finished));
+  }
 
   const uint64_t total_sessions =
       args.total < 0 ? static_cast<uint64_t>(args.sessions) * 4
                      : static_cast<uint64_t>(args.total);
-  uint64_t admitted = 0;
+  // Seeds continue after whatever the journal replayed, so a recovered
+  // runtime never re-serves a seed it already finished.
+  uint64_t admitted = static_cast<uint64_t>(manager.stats().admitted);
   uint64_t refused = 0;
   auto admit_one = [&]() {
     SessionConfig config;
@@ -204,7 +247,11 @@ int main(int argc, char** argv) {
   auto may_admit = [&]() {
     return total_sessions == 0 || admitted < total_sessions;
   };
-  for (int i = 0; i < args.sessions && may_admit(); ++i) admit_one();
+  // Top up to the target concurrency (recovery may have restored some).
+  for (int i = manager.active_sessions(); i < args.sessions && may_admit();
+       ++i) {
+    admit_one();
+  }
 
   std::printf(
       "%d concurrent sessions on %s, %d steps each — Ctrl-C drains "

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
 #include <string>
 #include <string_view>
 
@@ -34,8 +35,76 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents);
 /// carry strerror(errno) detail; `*out` is only modified on success.
 Status ReadFileToString(const std::string& path, std::string* out);
 
+/// Durably appends `data` to `path` (creating it when absent): open with
+/// O_APPEND, write the whole buffer, fsync. When the call creates the file
+/// its directory entry is fsynced too. This is the log-structured sibling
+/// of AtomicWriteFile — it never rewrites existing bytes, so a crash can
+/// only leave a *torn suffix*, never damage what earlier appends made
+/// durable. Readers of append-only files (the serving journal and health
+/// log) must therefore tolerate an incomplete final record.
+/// Consults the same failure hook as AtomicWriteFile with ops
+/// "append-open", "append-write", "append-fsync" and "append-dirsync".
+Status AppendDurableFile(const std::string& path, std::string_view data);
+
+/// The hot-path variant of AppendDurableFile for high-frequency appenders
+/// (the serving journal's group commit): the file descriptor is held open
+/// across appends, and writing is decoupled from flushing — Append pushes
+/// bytes into the kernel (cheap), Sync makes everything appended so far
+/// durable with one fdatasync (the expensive part, paid only at commit
+/// barriers). fdatasync persists the data and the file-size metadata
+/// needed to read it back; a crash can only leave a torn suffix.
+/// Consults the same failure hook with the same "append-*" ops as
+/// AppendDurableFile, so fault matrices cover both. Not thread-safe.
+class DurableAppender {
+ public:
+  DurableAppender() = default;
+  ~DurableAppender();
+  DurableAppender(const DurableAppender&) = delete;
+  DurableAppender& operator=(const DurableAppender&) = delete;
+
+  /// Opens (or creates, syncing the directory entry) `path` for appending.
+  /// Closes any previously opened file first.
+  Status Open(const std::string& path);
+  bool is_open() const { return fd_ >= 0; }
+  /// True when bytes have been appended since the last successful Sync —
+  /// i.e. a Sync would actually flush something.
+  bool dirty() const { return dirty_; }
+  /// Closes the descriptor; appends after a Close reopen via Open. Safe to
+  /// call when not open. Call after the file is replaced (rename) so the
+  /// next Open picks up the new inode. Deliberately does NOT sync: unsynced
+  /// bytes are the caller's to flush (or to abandon, crash-style).
+  void Close();
+
+  /// Appends `data` on the held descriptor (write loop, no flush).
+  /// FailedPrecondition when not open. Until the next Sync the new bytes
+  /// survive a process crash (they are in the page cache) but not a
+  /// system crash.
+  Status Append(std::string_view data);
+
+  /// Append of the concatenation of `parts` (at most 16 non-empty ones)
+  /// as one gather write — the record's pieces never have to be copied
+  /// into a contiguous buffer first. Same semantics and failure hook op
+  /// ("append-write") as Append.
+  Status AppendParts(std::initializer_list<std::string_view> parts);
+
+  /// Makes every appended byte durable: one fdatasync ("append-fsync"
+  /// hook op). No-op when nothing is unsynced or no file is open.
+  Status Sync();
+
+ private:
+  int fd_ = -1;
+  bool dirty_ = false;
+  std::string path_;
+};
+
 /// CRC-32 (IEEE 802.3, the zlib/PNG polynomial) of `data`.
 uint32_t Crc32(std::string_view data);
+
+/// Streaming form: extends a previous Crc32/Crc32Extend result with more
+/// bytes — Crc32Extend(Crc32Extend(0, a), b) == Crc32(a + b), so a
+/// record assembled from pieces can be checksummed without concatenating
+/// them. Pass 0 for an empty prefix.
+uint32_t Crc32Extend(uint32_t crc, std::string_view data);
 
 /// Atomically writes a checksummed container:
 ///
@@ -58,7 +127,9 @@ Status ReadChecksummedFile(const std::string& path, std::string_view magic,
 
 /// Fault-injection hook for tests. When set, it is consulted before each
 /// low-level step of AtomicWriteFile — `op` is one of "open", "write",
-/// "fsync", "rename", "dirsync" — and returning true makes that step fail
+/// "fsync", "rename", "dirsync" — and of AppendDurableFile ("append-open",
+/// "append-write", "append-fsync", "append-dirsync") — and returning true
+/// makes that step fail
 /// as if the kernel had returned EIO (temp-file cleanup still runs, so the
 /// atomicity contract can be asserted under every failure point). Pass an
 /// empty function to clear. Not thread-safe; tests only.

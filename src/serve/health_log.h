@@ -8,39 +8,52 @@ namespace atena {
 
 /// JSONL serving-health log (DESIGN.md §13): one JSON object per fault-
 /// domain event — quarantine, degradation transition, deadline retirement,
-/// load shed, snapshot reload attempt/outcome, hard stop. Like the
-/// training guard's log (§10), the whole file is rewritten atomically via
-/// the file_io layer on every append, so a crash can never leave a torn
-/// line, and events are rare enough that the rewrite cost is noise.
+/// load shed, snapshot reload attempt/outcome, hard stop, journal append/
+/// compaction failures and recovery outcomes. Each event is one durable
+/// append (AppendDurableFile: O_APPEND + fsync), so the cost of N events is
+/// O(N) total rather than the O(N²) a whole-file rewrite per event would
+/// be, and a crash mid-append can only leave a torn *final* line — which
+/// the constructor detects and trims when the log is reopened, so every
+/// line a reader ever sees is complete.
 ///
 /// Schema (all events): {"event":N,"type":"...","detail":"..."} plus
 /// per-type fields — "session"/"step" for per-session events, "stage" for
-/// degradations, "path"/"attempt" for reloads, "code" for the Status code
-/// of errors. Field values are built by the SessionManager; this class
-/// only owns ordering, escaping helpers and the atomic rewrite.
+/// degradations, "path"/"attempt" for reloads. Event numbers continue
+/// across process restarts: reopening an existing log resumes numbering
+/// after its last complete line. Field values are built by the
+/// SessionManager; this class only owns ordering, escaping helpers and the
+/// durable append.
 class ServingHealthLog {
  public:
-  /// An empty path disables the log: Append becomes a no-op.
+  /// An empty path disables the log: Append becomes a no-op. A non-empty
+  /// path pointing at an existing log reloads its event count (tolerating
+  /// — and trimming — a torn final line from a crash mid-append).
   explicit ServingHealthLog(std::string path);
 
   bool enabled() const { return !path_.empty(); }
   int64_t events() const { return events_; }
 
-  /// Appends `{"event":<n>,<body>}` as one line and atomically rewrites
-  /// the log file. `body` is the comma-separated interior of the object
-  /// (already JSON-escaped, e.g. via JsonString). Write failures are
-  /// logged as warnings and never fail serving.
+  /// Durably appends `{"event":<n>,<body>}` as one line. `body` is the
+  /// comma-separated interior of the object (already JSON-escaped, e.g.
+  /// via JsonString/JsonNumber). Write failures are logged as warnings and
+  /// never fail serving.
   void Append(const std::string& body);
 
  private:
   std::string path_;
-  std::string log_;
   int64_t events_ = 0;
 };
 
 /// `"..."` with backslash, quote and control characters escaped — safe to
 /// splice a Status message or file path into a JSON object body.
 std::string JsonString(const std::string& value);
+
+/// JSON-safe number (the training health log's convention, rl/guardrails):
+/// finite doubles round-trip via %.17g; non-finite ones — which JSON
+/// cannot represent — become the quoted strings "nan"/"inf"/"-inf", so a
+/// degraded-step ratio over zero steps can be logged without producing an
+/// unparseable line.
+std::string JsonNumber(double value);
 
 }  // namespace atena
 

@@ -1,0 +1,1057 @@
+#include "serve/journal.h"
+
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+#include "common/file_io.h"
+
+namespace atena {
+
+namespace {
+
+constexpr char kFileHeader[] = "ATENA-SJL v1\n";
+constexpr size_t kFileHeaderLen = sizeof(kFileHeader) - 1;
+
+bool SameWords(const RngState& a, const RngState& b) {
+  return a.words[0] == b.words[0] && a.words[1] == b.words[1] &&
+         a.words[2] == b.words[2] && a.words[3] == b.words[3];
+}
+
+}  // namespace
+
+JournalRng MakeJournalRng(const RngState& before, const RngState& after) {
+  JournalRng out;
+  Rng probe(1);
+  probe.set_state(before);
+  for (uint32_t draws = 0; draws <= kMaxJournalRngDelta; ++draws) {
+    if (SameWords(probe.state(), after)) {
+      out.full = false;
+      out.draws = draws;
+      out.has_spare = after.has_spare_gaussian;
+      out.spare = after.spare_gaussian;
+      return out;
+    }
+    probe.NextUint64();
+  }
+  // Unprovable (a re-seed, or an unusually draw-hungry step): record the
+  // state verbatim. Correct either way — the delta is an optimization.
+  out.full = true;
+  out.state = after;
+  return out;
+}
+
+RngState MaterializeJournalRng(const JournalRng& rng,
+                               const RngState& current) {
+  if (rng.full) return rng.state;
+  Rng probe(1);
+  probe.set_state(current);
+  for (uint32_t i = 0; i < rng.draws; ++i) probe.NextUint64();
+  RngState out = probe.state();
+  out.has_spare_gaussian = rng.has_spare;
+  // Without a spare the cached value is untouched garbage the step either
+  // never looked at or consumed in place — both leave the bytes equal to
+  // `current`'s (already carried through the probe), so only a fresh
+  // spare needs restoring. The writer omits the value accordingly.
+  if (rng.has_spare) out.spare_gaussian = rng.spare;
+  return out;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Payload encoding: the checkpoint container's idiom (rl/checkpoint.cc) —
+// whitespace-delimited keyword sections, strings length-prefixed so
+// arbitrary dataset tokens survive. Encoding runs on the serving hot path
+// (one tick record per Tick), so numbers append via std::to_chars into one
+// growing string — no ostream formatting. Doubles encode as the 16-hex-
+// digit IEEE-754 bit pattern: exact by construction and several times
+// cheaper than shortest-round-trip decimal on both the encode and the
+// replay-parse side.
+
+template <typename T>
+void Num(std::string& out, T value) {
+  char buf[40];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  out.append(buf, result.ptr);
+}
+
+void F64(std::string& out, double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  char buf[16];
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = "0123456789abcdef"[bits & 0xF];
+    bits >>= 4;
+  }
+  out.append(buf, sizeof(buf));
+}
+
+void Sp(std::string& out) { out.push_back(' '); }
+void Nl(std::string& out) { out.push_back('\n'); }
+
+void EncodeRng(std::string& out, const RngState& rng) {
+  Num(out, rng.words[0]);
+  Sp(out);
+  Num(out, rng.words[1]);
+  Sp(out);
+  Num(out, rng.words[2]);
+  Sp(out);
+  Num(out, rng.words[3]);
+  Sp(out);
+  Num(out, rng.has_spare_gaussian ? 1 : 0);
+  Sp(out);
+  F64(out, rng.spare_gaussian);
+}
+
+// Tick entries carry the delta form when possible ("d <draws> <spare>"),
+// the full state ("F <state>") otherwise — the dominant byte saving of
+// the tick record.
+void EncodeJournalRng(std::string& out, const JournalRng& rng) {
+  if (rng.full) {
+    out += "F ";
+    EncodeRng(out, rng.state);
+    return;
+  }
+  out += "d ";
+  Num(out, rng.draws);
+  Sp(out);
+  if (rng.has_spare) {
+    out += "1 ";
+    F64(out, rng.spare);
+  } else {
+    // A cleared/absent spare keeps its pre-step bytes; the value is
+    // omitted (MaterializeJournalRng carries it from `current`).
+    out += '0';
+  }
+}
+
+void EncodeValue(std::string& out, const Value& value) {
+  if (value.is_null()) {
+    out += 'N';
+  } else if (value.is_int()) {
+    out += "I ";
+    Num(out, value.as_int());
+  } else if (value.is_double()) {
+    out += "D ";
+    F64(out, value.as_double());
+  } else {
+    const std::string& s = value.as_string();
+    out += "S ";
+    Num(out, s.size());
+    Sp(out);
+    out += s;
+  }
+}
+
+void EncodeOp(std::string& out, const EdaOperation& op) {
+  switch (op.type) {
+    case OpType::kBack:
+      out += 'B';
+      break;
+    case OpType::kGroup:
+      out += "G ";
+      Num(out, op.group.group_column);
+      Sp(out);
+      Num(out, static_cast<int>(op.group.agg));
+      Sp(out);
+      Num(out, op.group.agg_column);
+      break;
+    case OpType::kFilter:
+      out += "F ";
+      Num(out, op.filter.column);
+      Sp(out);
+      Num(out, static_cast<int>(op.filter.op));
+      Sp(out);
+      Num(out, op.filter.term_bin);
+      Sp(out);
+      EncodeValue(out, op.filter.term);
+      break;
+  }
+}
+
+void EncodeStep(std::string& out, const JournalStep& step) {
+  Num(out, step.valid ? 1 : 0);
+  Sp(out);
+  F64(out, step.reward);
+  Sp(out);
+  Num(out, step.display_signature);
+  Sp(out);
+  EncodeOp(out, step.op);
+}
+
+void EncodeString(std::string& out, const std::string& s) {
+  Num(out, s.size());
+  Sp(out);
+  out += s;
+}
+
+std::string EncodeMetaPayload(const JournalMeta& meta) {
+  std::string out;
+  out += "version ";
+  Num(out, meta.version);
+  Nl(out);
+  out += "dataset ";
+  EncodeString(out, meta.dataset_id);
+  Nl(out);
+  out += "obs_dim ";
+  Num(out, meta.observation_dim);
+  Nl(out);
+  out += "episode_length ";
+  Num(out, meta.episode_length);
+  Nl(out);
+  out += "term_bins ";
+  Num(out, meta.num_term_bins);
+  Nl(out);
+  return out;
+}
+
+std::string EncodeAdmitPayload(const JournalAdmit& admit) {
+  std::string out;
+  Num(out, admit.id);
+  Sp(out);
+  Num(out, admit.seed);
+  Sp(out);
+  Num(out, admit.max_steps);
+  Sp(out);
+  Num(out, admit.greedy ? 1 : 0);
+  Sp(out);
+  Num(out, admit.gen);
+  Nl(out);
+  return out;
+}
+
+std::string EncodeReloadPayload(const JournalReload& reload) {
+  std::string out;
+  Num(out, reload.gen);
+  Sp(out);
+  EncodeString(out, reload.path);
+  Nl(out);
+  return out;
+}
+
+std::string TickPayloadHeader(bool overloaded, size_t count) {
+  std::string out;
+  Num(out, overloaded ? 1 : 0);
+  Sp(out);
+  Num(out, count);
+  Nl(out);
+  return out;
+}
+
+// Raw char* variants of the encoders above, for the per-entry stack
+// buffer below (same bytes, no per-token std::string::append).
+template <typename T>
+char* PutNum(char* p, char* end, T value) {
+  return std::to_chars(p, end, value).ptr;
+}
+
+char* PutF64(char* p, double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  for (int i = 15; i >= 0; --i) {
+    p[i] = "0123456789abcdef"[bits & 0xF];
+    bits >>= 4;
+  }
+  return p + 16;
+}
+
+char* PutJournalRng(char* p, char* end, const JournalRng& rng) {
+  if (rng.full) {
+    *p++ = 'F';
+    *p++ = ' ';
+    for (const uint64_t word : rng.state.words) {
+      p = PutNum(p, end, word);
+      *p++ = ' ';
+    }
+    *p++ = rng.state.has_spare_gaussian ? '1' : '0';
+    *p++ = ' ';
+    return PutF64(p, rng.state.spare_gaussian);
+  }
+  *p++ = 'd';
+  *p++ = ' ';
+  p = PutNum(p, end, rng.draws);
+  *p++ = ' ';
+  if (rng.has_spare) {
+    *p++ = '1';
+    *p++ = ' ';
+    return PutF64(p, rng.spare);
+  }
+  *p++ = '0';
+  return p;
+}
+
+// Everything up to the operation is fixed-bounded (≲300 bytes even with
+// two full-state fallbacks), so it encodes into one stack buffer and
+// lands in the payload as a single append; the operation tail can carry
+// an arbitrary dataset string, so it keeps the growing-string encoders.
+void EncodeTickEntryStep(std::string& out, uint64_t id, int end,
+                         int stage_after, const JournalRng& env,
+                         const JournalRng& act, const EdaOperation& op,
+                         bool valid, double reward,
+                         uint64_t display_signature) {
+  char buf[384];
+  char* const limit = buf + sizeof(buf);
+  char* p = buf;
+  *p++ = 's';
+  *p++ = ' ';
+  p = PutNum(p, limit, id);
+  *p++ = ' ';
+  p = PutNum(p, limit, end);
+  *p++ = ' ';
+  p = PutNum(p, limit, stage_after);
+  *p++ = ' ';
+  p = PutJournalRng(p, limit, env);
+  *p++ = ' ';
+  p = PutJournalRng(p, limit, act);
+  *p++ = ' ';
+  *p++ = valid ? '1' : '0';
+  *p++ = ' ';
+  p = PutF64(p, reward);
+  *p++ = ' ';
+  p = PutNum(p, limit, display_signature);
+  *p++ = ' ';
+  out.append(buf, static_cast<size_t>(p - buf));
+  EncodeOp(out, op);
+  Nl(out);
+}
+
+std::string EncodeTickPayload(const JournalTick& tick) {
+  std::string out = TickPayloadHeader(tick.overloaded, tick.entries.size());
+  out.reserve(32 + tick.entries.size() * 96);
+  for (const JournalTickEntry& entry : tick.entries) {
+    if (entry.kind == JournalTickEntry::Kind::kQuarantine) {
+      out += "q ";
+      Num(out, entry.id);
+      Nl(out);
+      continue;
+    }
+    EncodeTickEntryStep(out, entry.id, entry.end, entry.stage_after,
+                        entry.env_rng, entry.act_rng, entry.step.op,
+                        entry.step.valid, entry.step.reward,
+                        entry.step.display_signature);
+  }
+  return out;
+}
+
+std::string EncodeStopPayload(const std::vector<uint64_t>& ids) {
+  std::string out;
+  Num(out, ids.size());
+  for (uint64_t id : ids) {
+    Sp(out);
+    Num(out, id);
+  }
+  Nl(out);
+  return out;
+}
+
+std::string EncodeSnapPayload(const JournalSnapshot& snap) {
+  std::string out;
+  out.reserve(256 + snap.sessions.size() * 512);
+  out += "next_id ";
+  Num(out, snap.next_id);
+  Nl(out);
+  out += "steps_served ";
+  Num(out, snap.steps_served);
+  Nl(out);
+  out += "overloaded ";
+  Num(out, snap.overloaded ? 1 : 0);
+  Nl(out);
+  out += "stats ";
+  Num(out, snap.stats.size());
+  for (int64_t v : snap.stats) {
+    Sp(out);
+    Num(out, v);
+  }
+  Nl(out);
+  out += "gens ";
+  Num(out, snap.generation_paths.size());
+  Nl(out);
+  for (const std::string& path : snap.generation_paths) {
+    EncodeString(out, path);
+    Nl(out);
+  }
+  out += "current_gen ";
+  Num(out, snap.current_gen);
+  Nl(out);
+  out += "notebook_seq ";
+  Num(out, snap.notebook_seq);
+  Nl(out);
+  out += "sessions ";
+  Num(out, snap.sessions.size());
+  Nl(out);
+  for (const JournalSessionState& s : snap.sessions) {
+    out += "session ";
+    Num(out, s.id);
+    Sp(out);
+    Num(out, s.seed);
+    Sp(out);
+    Num(out, s.max_steps);
+    Sp(out);
+    Num(out, s.greedy ? 1 : 0);
+    Sp(out);
+    Num(out, s.gen);
+    Sp(out);
+    Num(out, s.steps_done);
+    Sp(out);
+    Num(out, s.stage);
+    Sp(out);
+    Num(out, s.degraded_steps);
+    Sp(out);
+    Num(out, s.episode_steps);
+    Sp(out);
+    F64(out, s.total_reward);
+    Nl(out);
+    out += "env_rng ";
+    EncodeRng(out, s.env_rng);
+    Nl(out);
+    out += "act_rng ";
+    EncodeRng(out, s.act_rng);
+    Nl(out);
+    out += "trace ";
+    Num(out, s.trace.size());
+    Nl(out);
+    for (const JournalStep& step : s.trace) {
+      EncodeStep(out, step);
+      Nl(out);
+    }
+  }
+  out += "end\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Payload decoding. Every read is checked; any surprise aborts the record's
+// parse with a Status, which the journal reader maps to prefix semantics
+// (drop this record and everything after it).
+
+class PayloadReader {
+ public:
+  PayloadReader(std::istream& in, size_t limit) : in_(in), limit_(limit) {}
+
+  Status Fail(const std::string& what) {
+    return Status::InvalidArgument("journal record: " + what);
+  }
+
+  Status ExpectKeyword(const char* keyword) {
+    std::string token;
+    in_ >> token;
+    if (!in_ || token != keyword) {
+      return Fail("expected section '" + std::string(keyword) + "', got '" +
+                  token + "'");
+    }
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status Read(T* value, const char* what) {
+    in_ >> *value;
+    if (!in_) return Fail(std::string("truncated or malformed ") + what);
+    return Status::OK();
+  }
+
+  Status ReadBool(bool* value, const char* what) {
+    int flag = 0;
+    ATENA_RETURN_IF_ERROR(Read(&flag, what));
+    if (flag != 0 && flag != 1) return Fail(std::string("non-boolean ") + what);
+    *value = flag == 1;
+    return Status::OK();
+  }
+
+  Status ReadCount(int64_t* count, const char* what) {
+    ATENA_RETURN_IF_ERROR(Read(count, what));
+    if (*count < 0 || static_cast<uint64_t>(*count) > limit_) {
+      return Fail(std::string("implausible ") + what + " count " +
+                  std::to_string(*count));
+    }
+    return Status::OK();
+  }
+
+  /// Doubles travel as the 16-hex-digit IEEE-754 bit pattern (see F64).
+  Status ReadF64(double* value, const char* what) {
+    std::string token;
+    in_ >> token;
+    if (!in_ || token.size() != 16) {
+      return Fail(std::string("truncated or malformed ") + what);
+    }
+    uint64_t bits = 0;
+    const auto result =
+        std::from_chars(token.data(), token.data() + token.size(), bits, 16);
+    if (result.ec != std::errc() || result.ptr != token.data() + token.size()) {
+      return Fail(std::string("truncated or malformed ") + what);
+    }
+    std::memcpy(value, &bits, sizeof(bits));
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* out, const char* what) {
+    int64_t len = 0;
+    ATENA_RETURN_IF_ERROR(ReadCount(&len, what));
+    in_.get();  // the single separator after the length
+    std::string s(static_cast<size_t>(len), '\0');
+    in_.read(s.data(), len);
+    if (!in_) return Fail(std::string("truncated ") + what);
+    *out = std::move(s);
+    return Status::OK();
+  }
+
+  Status ReadRng(RngState* rng) {
+    for (auto& word : rng->words) {
+      ATENA_RETURN_IF_ERROR(Read(&word, "rng word"));
+    }
+    int has_spare = 0;
+    ATENA_RETURN_IF_ERROR(Read(&has_spare, "rng spare flag"));
+    if (has_spare != 0 && has_spare != 1) return Fail("rng spare flag");
+    rng->has_spare_gaussian = has_spare == 1;
+    ATENA_RETURN_IF_ERROR(ReadF64(&rng->spare_gaussian, "rng spare value"));
+    return Status::OK();
+  }
+
+  Status ReadJournalRng(JournalRng* rng) {
+    std::string tag;
+    in_ >> tag;
+    if (!in_) return Fail("truncated rng");
+    if (tag == "F") {
+      rng->full = true;
+      return ReadRng(&rng->state);
+    }
+    if (tag != "d") return Fail("unknown rng tag '" + tag + "'");
+    rng->full = false;
+    ATENA_RETURN_IF_ERROR(Read(&rng->draws, "rng draw delta"));
+    if (rng->draws > kMaxJournalRngDelta) {
+      return Fail("rng draw delta " + std::to_string(rng->draws) +
+                  " out of range");
+    }
+    int has_spare = 0;
+    ATENA_RETURN_IF_ERROR(Read(&has_spare, "rng spare flag"));
+    if (has_spare != 0 && has_spare != 1) return Fail("rng spare flag");
+    rng->has_spare = has_spare == 1;
+    rng->spare = 0.0;
+    if (rng->has_spare) {
+      ATENA_RETURN_IF_ERROR(ReadF64(&rng->spare, "rng spare value"));
+    }
+    return Status::OK();
+  }
+
+  Status ReadValue(Value* value) {
+    std::string tag;
+    in_ >> tag;
+    if (!in_) return Fail("truncated value");
+    if (tag == "N") {
+      *value = Value::Null();
+    } else if (tag == "I") {
+      int64_t v = 0;
+      ATENA_RETURN_IF_ERROR(Read(&v, "int value"));
+      *value = Value(v);
+    } else if (tag == "D") {
+      double v = 0.0;
+      ATENA_RETURN_IF_ERROR(ReadF64(&v, "double value"));
+      *value = Value(v);
+    } else if (tag == "S") {
+      std::string s;
+      ATENA_RETURN_IF_ERROR(ReadString(&s, "string value"));
+      *value = Value(std::move(s));
+    } else {
+      return Fail("unknown value tag '" + tag + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ReadOp(EdaOperation* op) {
+    std::string tag;
+    in_ >> tag;
+    if (!in_) return Fail("truncated operation");
+    if (tag == "B") {
+      *op = EdaOperation::Back();
+    } else if (tag == "G") {
+      int group_column = 0, agg = 0, agg_column = 0;
+      ATENA_RETURN_IF_ERROR(Read(&group_column, "group column"));
+      ATENA_RETURN_IF_ERROR(Read(&agg, "agg function"));
+      ATENA_RETURN_IF_ERROR(Read(&agg_column, "agg column"));
+      if (agg < 0 || agg >= kNumAggFuncs) {
+        return Fail("agg function " + std::to_string(agg) + " out of range");
+      }
+      *op = EdaOperation::Group(group_column, static_cast<AggFunc>(agg),
+                                agg_column);
+    } else if (tag == "F") {
+      int column = 0, cmp = 0, term_bin = 0;
+      ATENA_RETURN_IF_ERROR(Read(&column, "filter column"));
+      ATENA_RETURN_IF_ERROR(Read(&cmp, "filter operator"));
+      ATENA_RETURN_IF_ERROR(Read(&term_bin, "filter term bin"));
+      if (cmp < 0 || cmp >= kNumCompareOps) {
+        return Fail("filter operator " + std::to_string(cmp) +
+                    " out of range");
+      }
+      Value term;
+      ATENA_RETURN_IF_ERROR(ReadValue(&term));
+      *op = EdaOperation::Filter(column, static_cast<CompareOp>(cmp),
+                                 std::move(term), term_bin);
+    } else {
+      return Fail("unknown operation tag '" + tag + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ReadStep(JournalStep* step) {
+    ATENA_RETURN_IF_ERROR(ReadBool(&step->valid, "step valid flag"));
+    ATENA_RETURN_IF_ERROR(ReadF64(&step->reward, "step reward"));
+    ATENA_RETURN_IF_ERROR(Read(&step->display_signature, "step signature"));
+    return ReadOp(&step->op);
+  }
+
+ private:
+  std::istream& in_;
+  size_t limit_;
+};
+
+Status DecodeMetaPayload(const std::string& payload, JournalMeta* meta) {
+  std::istringstream in(payload);
+  PayloadReader reader(in, payload.size());
+  JournalMeta out;
+  ATENA_RETURN_IF_ERROR(reader.ExpectKeyword("version"));
+  ATENA_RETURN_IF_ERROR(reader.Read(&out.version, "version"));
+  ATENA_RETURN_IF_ERROR(reader.ExpectKeyword("dataset"));
+  ATENA_RETURN_IF_ERROR(reader.ReadString(&out.dataset_id, "dataset id"));
+  ATENA_RETURN_IF_ERROR(reader.ExpectKeyword("obs_dim"));
+  ATENA_RETURN_IF_ERROR(reader.Read(&out.observation_dim, "obs_dim"));
+  ATENA_RETURN_IF_ERROR(reader.ExpectKeyword("episode_length"));
+  ATENA_RETURN_IF_ERROR(reader.Read(&out.episode_length, "episode_length"));
+  ATENA_RETURN_IF_ERROR(reader.ExpectKeyword("term_bins"));
+  ATENA_RETURN_IF_ERROR(reader.Read(&out.num_term_bins, "term_bins"));
+  *meta = std::move(out);
+  return Status::OK();
+}
+
+Status DecodeAdmitPayload(const std::string& payload, JournalAdmit* admit) {
+  std::istringstream in(payload);
+  PayloadReader reader(in, payload.size());
+  JournalAdmit out;
+  ATENA_RETURN_IF_ERROR(reader.Read(&out.id, "admit id"));
+  ATENA_RETURN_IF_ERROR(reader.Read(&out.seed, "admit seed"));
+  ATENA_RETURN_IF_ERROR(reader.Read(&out.max_steps, "admit max_steps"));
+  ATENA_RETURN_IF_ERROR(reader.ReadBool(&out.greedy, "admit greedy flag"));
+  ATENA_RETURN_IF_ERROR(reader.Read(&out.gen, "admit generation"));
+  *admit = out;
+  return Status::OK();
+}
+
+Status DecodeReloadPayload(const std::string& payload, JournalReload* reload) {
+  std::istringstream in(payload);
+  PayloadReader reader(in, payload.size());
+  JournalReload out;
+  ATENA_RETURN_IF_ERROR(reader.Read(&out.gen, "reload generation"));
+  ATENA_RETURN_IF_ERROR(reader.ReadString(&out.path, "reload path"));
+  *reload = std::move(out);
+  return Status::OK();
+}
+
+Status DecodeTickPayload(const std::string& payload, JournalTick* tick) {
+  std::istringstream in(payload);
+  PayloadReader reader(in, payload.size());
+  JournalTick out;
+  ATENA_RETURN_IF_ERROR(reader.ReadBool(&out.overloaded, "tick overloaded"));
+  int64_t count = 0;
+  ATENA_RETURN_IF_ERROR(reader.ReadCount(&count, "tick entry"));
+  out.entries.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    std::string tag;
+    if (!(in >> tag)) return reader.Fail("truncated tick entry");
+    JournalTickEntry entry;
+    if (tag == "q") {
+      entry.kind = JournalTickEntry::Kind::kQuarantine;
+      ATENA_RETURN_IF_ERROR(reader.Read(&entry.id, "quarantine id"));
+    } else if (tag == "s") {
+      entry.kind = JournalTickEntry::Kind::kStep;
+      ATENA_RETURN_IF_ERROR(reader.Read(&entry.id, "step id"));
+      ATENA_RETURN_IF_ERROR(reader.Read(&entry.end, "step end"));
+      if (entry.end < JournalTickEntry::kLive ||
+          entry.end > JournalTickEntry::kDeadlineRetired) {
+        return reader.Fail("step end " + std::to_string(entry.end) +
+                           " out of range");
+      }
+      ATENA_RETURN_IF_ERROR(reader.Read(&entry.stage_after, "step stage"));
+      ATENA_RETURN_IF_ERROR(reader.ReadJournalRng(&entry.env_rng));
+      ATENA_RETURN_IF_ERROR(reader.ReadJournalRng(&entry.act_rng));
+      ATENA_RETURN_IF_ERROR(reader.ReadStep(&entry.step));
+    } else {
+      return reader.Fail("unknown tick entry tag '" + tag + "'");
+    }
+    out.entries.push_back(std::move(entry));
+  }
+  *tick = std::move(out);
+  return Status::OK();
+}
+
+Status DecodeStopPayload(const std::string& payload,
+                         std::vector<uint64_t>* ids) {
+  std::istringstream in(payload);
+  PayloadReader reader(in, payload.size());
+  int64_t count = 0;
+  ATENA_RETURN_IF_ERROR(reader.ReadCount(&count, "stop id"));
+  std::vector<uint64_t> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    uint64_t id = 0;
+    ATENA_RETURN_IF_ERROR(reader.Read(&id, "stop id"));
+    out.push_back(id);
+  }
+  *ids = std::move(out);
+  return Status::OK();
+}
+
+Status DecodeSnapPayload(const std::string& payload, JournalSnapshot* snap) {
+  std::istringstream in(payload);
+  PayloadReader reader(in, payload.size());
+  JournalSnapshot out;
+  ATENA_RETURN_IF_ERROR(reader.ExpectKeyword("next_id"));
+  ATENA_RETURN_IF_ERROR(reader.Read(&out.next_id, "next_id"));
+  ATENA_RETURN_IF_ERROR(reader.ExpectKeyword("steps_served"));
+  ATENA_RETURN_IF_ERROR(reader.Read(&out.steps_served, "steps_served"));
+  ATENA_RETURN_IF_ERROR(reader.ExpectKeyword("overloaded"));
+  ATENA_RETURN_IF_ERROR(reader.ReadBool(&out.overloaded, "overloaded"));
+  ATENA_RETURN_IF_ERROR(reader.ExpectKeyword("stats"));
+  int64_t stat_count = 0;
+  ATENA_RETURN_IF_ERROR(reader.ReadCount(&stat_count, "stats"));
+  out.stats.resize(static_cast<size_t>(stat_count));
+  for (int64_t& v : out.stats) {
+    ATENA_RETURN_IF_ERROR(reader.Read(&v, "stats value"));
+  }
+  ATENA_RETURN_IF_ERROR(reader.ExpectKeyword("gens"));
+  int64_t gen_count = 0;
+  ATENA_RETURN_IF_ERROR(reader.ReadCount(&gen_count, "generation"));
+  if (gen_count < 1) return reader.Fail("empty generation table");
+  out.generation_paths.resize(static_cast<size_t>(gen_count));
+  for (std::string& path : out.generation_paths) {
+    ATENA_RETURN_IF_ERROR(reader.ReadString(&path, "generation path"));
+  }
+  ATENA_RETURN_IF_ERROR(reader.ExpectKeyword("current_gen"));
+  ATENA_RETURN_IF_ERROR(reader.Read(&out.current_gen, "current_gen"));
+  if (out.current_gen >= out.generation_paths.size()) {
+    return reader.Fail("current_gen out of range");
+  }
+  ATENA_RETURN_IF_ERROR(reader.ExpectKeyword("notebook_seq"));
+  ATENA_RETURN_IF_ERROR(reader.Read(&out.notebook_seq, "notebook_seq"));
+  ATENA_RETURN_IF_ERROR(reader.ExpectKeyword("sessions"));
+  int64_t session_count = 0;
+  ATENA_RETURN_IF_ERROR(reader.ReadCount(&session_count, "session"));
+  out.sessions.reserve(static_cast<size_t>(session_count));
+  for (int64_t i = 0; i < session_count; ++i) {
+    JournalSessionState s;
+    ATENA_RETURN_IF_ERROR(reader.ExpectKeyword("session"));
+    ATENA_RETURN_IF_ERROR(reader.Read(&s.id, "session id"));
+    ATENA_RETURN_IF_ERROR(reader.Read(&s.seed, "session seed"));
+    ATENA_RETURN_IF_ERROR(reader.Read(&s.max_steps, "session max_steps"));
+    ATENA_RETURN_IF_ERROR(reader.ReadBool(&s.greedy, "session greedy flag"));
+    ATENA_RETURN_IF_ERROR(reader.Read(&s.gen, "session generation"));
+    if (s.gen >= out.generation_paths.size()) {
+      return reader.Fail("session generation out of range");
+    }
+    ATENA_RETURN_IF_ERROR(reader.Read(&s.steps_done, "session steps_done"));
+    ATENA_RETURN_IF_ERROR(reader.Read(&s.stage, "session stage"));
+    ATENA_RETURN_IF_ERROR(
+        reader.Read(&s.degraded_steps, "session degraded_steps"));
+    ATENA_RETURN_IF_ERROR(
+        reader.Read(&s.episode_steps, "session episode_steps"));
+    ATENA_RETURN_IF_ERROR(
+        reader.ReadF64(&s.total_reward, "session total_reward"));
+    ATENA_RETURN_IF_ERROR(reader.ExpectKeyword("env_rng"));
+    ATENA_RETURN_IF_ERROR(reader.ReadRng(&s.env_rng));
+    ATENA_RETURN_IF_ERROR(reader.ExpectKeyword("act_rng"));
+    ATENA_RETURN_IF_ERROR(reader.ReadRng(&s.act_rng));
+    ATENA_RETURN_IF_ERROR(reader.ExpectKeyword("trace"));
+    int64_t trace_count = 0;
+    ATENA_RETURN_IF_ERROR(reader.ReadCount(&trace_count, "trace step"));
+    if (s.episode_steps < 0 || s.episode_steps > trace_count) {
+      return reader.Fail("episode_steps out of range");
+    }
+    s.trace.reserve(static_cast<size_t>(trace_count));
+    for (int64_t t = 0; t < trace_count; ++t) {
+      JournalStep step;
+      ATENA_RETURN_IF_ERROR(reader.ReadStep(&step));
+      s.trace.push_back(std::move(step));
+    }
+    out.sessions.push_back(std::move(s));
+  }
+  ATENA_RETURN_IF_ERROR(reader.ExpectKeyword("end"));
+  *snap = std::move(out);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Record framing.
+
+std::string FrameRecord(const char* type, const std::string& payload) {
+  char crc_hex[9];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x", Crc32(payload));
+  std::string framed = "ATJ ";
+  framed += type;
+  framed += " ";
+  framed += crc_hex;
+  framed += " ";
+  framed += std::to_string(payload.size());
+  framed += "\n";
+  framed += payload;
+  framed += "\n";
+  return framed;
+}
+
+/// Parses one "ATJ <type> <crc> <size>" frame-header line. Strict: exactly
+/// four tokens, the checksum exactly 8 lowercase hex digits — so any byte
+/// flip inside the header is itself detected.
+bool ParseFrameHeader(std::string_view line, std::string* type,
+                      uint32_t* crc, uint64_t* size) {
+  std::istringstream in{std::string(line)};
+  std::string magic, crc_hex, extra;
+  if (!(in >> magic >> *type >> crc_hex >> *size)) return false;
+  if (in >> extra) return false;
+  if (magic != "ATJ" || crc_hex.size() != 8) return false;
+  uint32_t declared = 0;
+  for (char c : crc_hex) {
+    if (c >= '0' && c <= '9') {
+      declared = declared * 16 + static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      declared = declared * 16 + static_cast<uint32_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *crc = declared;
+  return true;
+}
+
+/// Decodes one verified record payload into `out`. `index` is the record's
+/// position in the file: 0 must be meta, 1 must be the compaction
+/// snapshot, everything after is the append stream.
+Status DecodeRecord(const std::string& type, const std::string& payload,
+                    int index, JournalContents* out) {
+  if (index == 0) {
+    if (type != "meta") {
+      return Status::InvalidArgument("first journal record is '" + type +
+                                     "', expected 'meta'");
+    }
+    ATENA_RETURN_IF_ERROR(DecodeMetaPayload(payload, &out->meta));
+    out->has_meta = true;
+    return Status::OK();
+  }
+  if (index == 1) {
+    if (type != "snap") {
+      return Status::InvalidArgument("second journal record is '" + type +
+                                     "', expected 'snap'");
+    }
+    ATENA_RETURN_IF_ERROR(DecodeSnapPayload(payload, &out->snapshot));
+    out->has_snapshot = true;
+    out->snapshot_valid = true;
+    return Status::OK();
+  }
+  JournalRecord record;
+  if (type == "admit") {
+    record.kind = JournalRecord::Kind::kAdmit;
+    ATENA_RETURN_IF_ERROR(DecodeAdmitPayload(payload, &record.admit));
+  } else if (type == "reload") {
+    record.kind = JournalRecord::Kind::kReload;
+    ATENA_RETURN_IF_ERROR(DecodeReloadPayload(payload, &record.reload));
+  } else if (type == "tick") {
+    record.kind = JournalRecord::Kind::kTick;
+    ATENA_RETURN_IF_ERROR(DecodeTickPayload(payload, &record.tick));
+  } else if (type == "stop") {
+    record.kind = JournalRecord::Kind::kStop;
+    ATENA_RETURN_IF_ERROR(DecodeStopPayload(payload, &record.stop_ids));
+  } else {
+    return Status::InvalidArgument("unknown journal record type '" + type +
+                                   "'");
+  }
+  out->records.push_back(std::move(record));
+  return Status::OK();
+}
+
+}  // namespace
+
+void JournalTickBuilder::AddQuarantine(uint64_t id) {
+  body_ += "q ";
+  Num(body_, id);
+  Nl(body_);
+  ++entries_;
+}
+
+void JournalTickBuilder::AddStep(uint64_t id, int end, int stage_after,
+                                 const JournalRng& env, const JournalRng& act,
+                                 const EdaOperation& op, bool valid,
+                                 double reward, uint64_t display_signature) {
+  EncodeTickEntryStep(body_, id, end, stage_after, env, act, op, valid,
+                      reward, display_signature);
+  ++entries_;
+}
+
+
+std::string JournalSidecarPath(const std::string& journal_path, int64_t seq) {
+  return journal_path + ".nb." + std::to_string(seq);
+}
+
+Result<JournalContents> ReadJournal(const std::string& path) {
+  std::string content;
+  ATENA_RETURN_IF_ERROR(ReadFileToString(path, &content));
+
+  JournalContents out;
+  if (content.size() < kFileHeaderLen) {
+    if (std::string_view(kFileHeader, content.size()) == content) {
+      out.header_torn = true;
+      out.clean_tail = content.empty();
+      return out;
+    }
+    return Status::InvalidArgument("'" + path +
+                                   "' is not an ATENA-SJL journal");
+  }
+  if (std::string_view(content).substr(0, kFileHeaderLen) != kFileHeader) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not an ATENA-SJL journal");
+  }
+
+  size_t offset = kFileHeaderLen;
+  int index = 0;
+  while (offset < content.size()) {
+    const size_t header_end = content.find('\n', offset);
+    if (header_end == std::string::npos) {
+      out.clean_tail = false;  // torn frame header (crash mid-append)
+      break;
+    }
+    std::string type;
+    uint32_t declared_crc = 0;
+    uint64_t size = 0;
+    const bool frame_ok = ParseFrameHeader(
+        std::string_view(content).substr(offset, header_end - offset), &type,
+        &declared_crc, &size);
+    if (!frame_ok) {
+      // A mangled frame header. If this is where the compaction snapshot
+      // must sit, try to resync at the next frame so the records *after*
+      // the corrupt snapshot stay available for the .prev fallback;
+      // anywhere else, prefix semantics end the parse here.
+      if (index == 1) {
+        const size_t next = content.find("\nATJ ", offset);
+        if (next != std::string::npos) {
+          out.has_snapshot = true;
+          out.snapshot_valid = false;
+          offset = next + 1;
+          index = 2;
+          continue;
+        }
+        out.has_snapshot = true;
+        out.snapshot_valid = false;
+      }
+      out.clean_tail = false;
+      break;
+    }
+    const size_t payload_start = header_end + 1;
+    if (payload_start + size + 1 > content.size()) {
+      out.clean_tail = false;  // torn payload
+      break;
+    }
+    const std::string payload = content.substr(payload_start, size);
+    bool record_ok = content[payload_start + size] == '\n' &&
+                     Crc32(payload) == declared_crc;
+    if (record_ok) {
+      record_ok = DecodeRecord(type, payload, index, &out).ok();
+    }
+    if (!record_ok) {
+      if (index == 1 && type == "snap") {
+        // Corrupt compaction snapshot with an intact frame: skip exactly
+        // its declared extent and keep the records after it (fallback
+        // replays `<path>.prev` for the base state).
+        out.has_snapshot = true;
+        out.snapshot_valid = false;
+        offset = payload_start + size + 1;
+        ++index;
+        continue;
+      }
+      out.clean_tail = false;
+      break;
+    }
+    offset = payload_start + size + 1;
+    ++index;
+  }
+  return out;
+}
+
+SessionJournal::SessionJournal(std::string path) : path_(std::move(path)) {}
+
+Status SessionJournal::Reset(const JournalMeta& meta,
+                             const JournalSnapshot& snapshot) {
+  std::string content = kFileHeader;
+  content += FrameRecord("meta", EncodeMetaPayload(meta));
+  const size_t before_snap = content.size();
+  content += FrameRecord("snap", EncodeSnapPayload(snapshot));
+  const int64_t snap_bytes =
+      static_cast<int64_t>(content.size() - before_snap);
+  if (FileExists(path_)) {
+    // Preserve the pre-compaction journal: if the snapshot we are about
+    // to publish turns out unreadable, recovery replays `.prev` — which
+    // ends exactly at the state the snapshot captured — and then applies
+    // whatever was appended after the compaction.
+    std::string previous;
+    ATENA_RETURN_IF_ERROR(ReadFileToString(path_, &previous));
+    ATENA_RETURN_IF_ERROR(AtomicWriteFile(path_ + ".prev", previous));
+  }
+  ATENA_RETURN_IF_ERROR(AtomicWriteFile(path_, content));
+  // The rename above replaced the inode the held descriptor points at;
+  // drop it so the next Append reopens the fresh file.
+  appender_.Close();
+  appended_bytes_ = 0;
+  snapshot_bytes_ = snap_bytes;
+  return Status::OK();
+}
+
+Status SessionJournal::Append(const char* type, const std::string& payload) {
+  const std::string framed = FrameRecord(type, payload);
+  if (!appender_.is_open()) {
+    ATENA_RETURN_IF_ERROR(appender_.Open(path_));
+  }
+  ATENA_RETURN_IF_ERROR(appender_.Append(framed));
+  appended_bytes_ += static_cast<int64_t>(framed.size());
+  return Status::OK();
+}
+
+Status SessionJournal::Sync() { return appender_.Sync(); }
+
+Status SessionJournal::AppendAdmit(const JournalAdmit& admit) {
+  return Append("admit", EncodeAdmitPayload(admit));
+}
+
+Status SessionJournal::AppendReload(const JournalReload& reload) {
+  return Append("reload", EncodeReloadPayload(reload));
+}
+
+Status SessionJournal::AppendTick(const JournalTick& tick) {
+  return Append("tick", EncodeTickPayload(tick));
+}
+
+Status SessionJournal::AppendTickBuilt(const JournalTickBuilder& builder,
+                                       bool overloaded) {
+  // Frame + payload header land in one stack buffer; the builder's body
+  // is never copied — the CRC streams over both pieces and one gather
+  // write moves them into the kernel. The bytes on disk are exactly
+  // FrameRecord("tick", TickPayloadHeader(...) + body).
+  const std::string header = TickPayloadHeader(overloaded, builder.entries());
+  const std::string& body = builder.body();
+  const uint32_t crc = Crc32Extend(Crc32Extend(0, header), body);
+  char prefix[64];
+  const int prefix_len = std::snprintf(
+      prefix, sizeof(prefix), "ATJ tick %08x %zu\n", crc,
+      header.size() + body.size());
+  if (!appender_.is_open()) {
+    ATENA_RETURN_IF_ERROR(appender_.Open(path_));
+  }
+  ATENA_RETURN_IF_ERROR(appender_.AppendParts(
+      {std::string_view(prefix, static_cast<size_t>(prefix_len)), header,
+       body, std::string_view("\n", 1)}));
+  appended_bytes_ += static_cast<int64_t>(static_cast<size_t>(prefix_len) +
+                                          header.size() + body.size() + 1);
+  return Status::OK();
+}
+
+Status SessionJournal::AppendStop(const std::vector<uint64_t>& ids) {
+  return Append("stop", EncodeStopPayload(ids));
+}
+
+}  // namespace atena

@@ -15,6 +15,7 @@
 #include "index/notebook_store.h"
 #include "nn/matrix.h"
 #include "serve/health_log.h"
+#include "serve/journal.h"
 #include "serve/snapshot.h"
 
 namespace atena {
@@ -174,6 +175,33 @@ struct ServeOptions {
   /// JSONL serving-health log path (see ServingHealthLog); empty disables.
   std::string health_log_path;
 
+  /// Write-ahead session journal path (DESIGN.md §15); empty disables
+  /// durability. The journal starts lazily on the first state transition
+  /// (admit / tick / reload / hard stop), so constructing a manager never
+  /// clobbers an existing journal before RecoverFromJournal reads it. An
+  /// append or compaction failure disables journaling for the rest of the
+  /// manager's life (the prefix already on disk stays recoverable) and
+  /// serving continues — durability degrades, availability does not.
+  std::string journal_path;
+  /// Auto-compaction floor: once the bytes appended since the last
+  /// compaction exceed both this floor and `journal_compact_snap_factor`
+  /// times the last compaction snapshot's own size, the next Tick
+  /// rewrites the journal against a full state snapshot — keeping
+  /// recovery cost bounded by the compaction interval instead of the
+  /// runtime's age. 0 disables auto-compaction (CompactJournal can still
+  /// be called manually).
+  int64_t journal_compact_bytes = int64_t{1} << 20;
+  /// The snapshot-relative term of the auto-compaction threshold: the
+  /// log must also outgrow this multiple of the last snapshot's encoded
+  /// size. Rewriting the snapshot costs O(live set), so requiring the
+  /// log to grow in proportion first keeps compaction work amortized
+  /// O(1) per appended byte no matter how many sessions are live —
+  /// without it, a 1024-session deployment (whose every tick appends
+  /// about a snapshot's worth of bytes) would re-encode its full state
+  /// every handful of ticks. <= 0 disables the snapshot-relative term
+  /// (the byte floor alone decides).
+  int64_t journal_compact_snap_factor = 8;
+
   /// Deterministic fault hooks; default-constructed = no faults.
   ServeFaultInjection fault_injection;
 };
@@ -198,6 +226,26 @@ struct ServeStats {
   /// Display-vector sequences registered in the notebook store (excludes
   /// sequences below the store's min length and quarantined sessions).
   int64_t notebooks_registered = 0;
+  /// Journal appends (admits + per-tick group commits + reloads + hard
+  /// stops) and the bytes they wrote.
+  int64_t journal_appends = 0;
+  int64_t journal_bytes = 0;
+  /// Durability barriers actually flushed (one fdatasync each). Group
+  /// commit makes this ≤ journal_appends: consecutive tick records share
+  /// the barrier that precedes the next external acknowledgement
+  /// (admission, reload, hard stop, or TakeCompleted delivery).
+  int64_t journal_syncs = 0;
+  /// Journal append/compaction failures. The first one disables journaling
+  /// for the rest of the manager's life; serving continues unjournaled.
+  int64_t journal_failures = 0;
+  /// Compactions (including the lazy initial start and the one closing a
+  /// successful recovery).
+  int64_t journal_compactions = 0;
+  /// Live sessions rebuilt by RecoverFromJournal.
+  int64_t recovered_sessions = 0;
+  /// Recoveries that fell back to `<path>.prev` across a corrupt
+  /// compaction snapshot.
+  int64_t recovery_fallbacks = 0;
 };
 
 /// Multi-session policy-serving runtime: one immutable PolicySnapshot
@@ -267,9 +315,65 @@ class SessionManager {
   /// returned and serving continues unchanged.
   Status ReloadSnapshot(const std::string& path);
 
+  /// What RecoverFromJournal found and did.
+  struct RecoveryInfo {
+    int sessions_restored = 0;
+    int64_t ticks_replayed = 0;
+    int64_t steps_replayed = 0;
+    /// The journal's compaction snapshot was unreadable and the base state
+    /// was replayed from `<path>.prev` instead.
+    bool used_prev_fallback = false;
+    /// A torn or corrupt suffix was dropped (prefix semantics). Not a
+    /// loss: the recovered runtime re-executes those ticks identically.
+    bool torn_tail = false;
+  };
+
+  /// Rebuilds the manager's entire serving state from the journal at
+  /// `path` (DESIGN.md §15): restores the compaction snapshot (re-stepping
+  /// each session's in-progress episode to rebuild its environment, and
+  /// restoring the shared NotebookStore from the snapshot's sidecar), then
+  /// replays every appended record — admissions, group-committed ticks,
+  /// reloads, hard stops — verifying each replayed step's validity, reward
+  /// and display signature bit-exactly against the recorded values, so a
+  /// journal can never silently replay against the wrong dataset, snapshot
+  /// or reward configuration. After recovery every live session's
+  /// subsequent trace is bit-identical to an uninterrupted run
+  /// (test-enforced, tests/serve_journal_test.cc).
+  ///
+  /// Tolerates a torn tail (crash mid-append) by dropping the incomplete
+  /// suffix, and a corrupt compaction snapshot by replaying `<path>.prev`
+  /// before applying the records that followed the compaction. Outcomes of
+  /// sessions that retired after the last compaction are re-delivered
+  /// through TakeCompleted — at-least-once semantics; consumers that must
+  /// not double-count dedupe by session id.
+  ///
+  /// Must be called on a freshly constructed manager (before any Admit or
+  /// Tick), built with the same dataset/options the journal was written
+  /// under. On success the journal is immediately compacted against the
+  /// recovered state. Returns NotFound when neither `path` nor its .prev
+  /// exists; a verification mismatch or unusable base state is an error
+  /// and leaves the manager unusable (construct a new one to retry).
+  Status RecoverFromJournal(const std::string& path,
+                            RecoveryInfo* info = nullptr);
+
+  /// Rewrites the journal now against a full state snapshot (persisting
+  /// the NotebookStore sidecar first), preserving the pre-compaction
+  /// journal as `<path>.prev`. Requires ServeOptions::journal_path.
+  Status CompactJournal();
+
+  /// True while journaling is configured and has not been disabled by an
+  /// append/compaction failure.
+  bool journal_healthy() const {
+    return !options_.journal_path.empty() &&
+           (journal_ != nullptr || !journal_started_);
+  }
+
   /// Moves out the outcomes of sessions finished since the last call, in
   /// completion order (quarantined and hard-stopped sessions included,
-  /// with partial traces).
+  /// with partial traces). When journaling, delivery is the group-commit
+  /// durability barrier: the journal is fdatasynced (once, covering every
+  /// record appended since the last barrier) before outcomes become
+  /// visible, so no outcome the caller observes can be lost by a crash.
   std::vector<SessionOutcome> TakeCompleted();
 
   int active_sessions() const { return static_cast<int>(sessions_.size()); }
@@ -305,6 +409,9 @@ class SessionManager {
     /// The snapshot this session acts on, pinned at admission; a reload
     /// between its ticks never changes its policy.
     std::shared_ptr<const PolicySnapshot> snapshot;
+    /// Generation index of `snapshot` (0 = the constructor snapshot) —
+    /// what the journal records so recovery can re-pin the same policy.
+    uint32_t snapshot_gen = 0;
     DegradeStage stage = DegradeStage::kNormal;
     int degraded_steps = 0;
     SessionTrace trace;
@@ -319,6 +426,10 @@ class SessionManager {
   };
 
   std::unique_ptr<EdaEnvironment> AcquireEnv(uint64_t seed);
+  /// The common session construction shared by Admit and journal replay.
+  std::unique_ptr<Session> BuildSession(
+      const SessionConfig& config, uint64_t id,
+      std::shared_ptr<const PolicySnapshot> snapshot, uint32_t gen);
   /// Retires sessions_[index] (serial commit only). The env returns to
   /// the pool when `env_healthy`; a quarantined env may be mid-mutation
   /// and is discarded.
@@ -333,6 +444,34 @@ class SessionManager {
   void RegisterNotebook(const Session& session);
   void LogSessionEvent(const char* type, const Session& session,
                        const std::string& extra);
+
+  // --- Durability (DESIGN.md §15). All no-ops without a journal_path. ---
+  JournalMeta BuildJournalMeta() const;
+  Status VerifyJournalMeta(const JournalMeta& meta) const;
+  /// Full manager state for a compaction snapshot; `notebook_seq` is the
+  /// sidecar sequence the caller just persisted (-1 = no store).
+  JournalSnapshot CaptureJournalSnapshot(int64_t notebook_seq) const;
+  /// Starts the journal lazily on the first state transition by running an
+  /// initial compaction; does nothing once started, broken or recovering.
+  void EnsureJournalStarted();
+  /// First journal failure: log it, count it, stop journaling for good.
+  void MarkJournalBroken(Status status);
+  /// Books a finished append (or breaks the journal on failure).
+  void AccountJournalAppend(Status status, int64_t bytes_before);
+  /// Durability barrier: one fdatasync covering every record appended
+  /// since the last barrier (group commit across ticks and admissions).
+  /// Placed after externally acknowledged transitions (reload, hard stop)
+  /// and before TakeCompleted hands outcomes out. Breaks the journal on
+  /// failure; no-op when nothing is unsynced.
+  void SyncJournal();
+  void MaybeAutoCompact();
+  /// Recovery internals: restore the compaction snapshot (sessions, store,
+  /// generations, stats), then replay one appended record at a time.
+  Status ReplayJournalSnapshot(const JournalSnapshot& snap,
+                               const std::string& sidecar_root,
+                               RecoveryInfo* info);
+  Status ReplayJournalRecord(const JournalRecord& record, RecoveryInfo* info);
+  Status ReplayJournalTick(const JournalTick& tick, RecoveryInfo* info);
 
   std::shared_ptr<const PolicySnapshot> snapshot_;
   ServeOptions options_;
@@ -350,6 +489,20 @@ class SessionManager {
   uint64_t next_id_ = 1;
   int64_t steps_served_ = 0;
   ServeStats stats_;
+  /// The journal writer; null until the lazy start, and again forever
+  /// after the first append/compaction failure.
+  std::unique_ptr<SessionJournal> journal_;
+  bool journal_started_ = false;
+  /// True while RecoverFromJournal replays — suppresses journal appends
+  /// and the lazy start, so replaying records never rewrites the journal
+  /// being read.
+  bool recovering_ = false;
+  /// Policy-snapshot path per generation; index 0 is the constructor
+  /// snapshot (path unknown, stored empty). Reloads append.
+  std::vector<std::string> generation_paths_{std::string()};
+  uint32_t current_gen_ = 0;
+  /// Sequence number of the last persisted NotebookStore sidecar.
+  int64_t notebook_seq_ = -1;
   /// True when the previous tick's mean step duration overran the
   /// deadline — the watermark shed signal.
   bool overloaded_ = false;
@@ -358,6 +511,15 @@ class SessionManager {
   Matrix obs_batch_;
   std::vector<Rng*> rngs_;
   std::vector<StepSlot> slots_;
+  /// Pre-step stream states captured at the top of a journaled tick, the
+  /// base MakeJournalRng delta-encodes each entry's post-step state
+  /// against (reused across ticks to stay allocation-free).
+  std::vector<RngState> env_rng_before_;
+  std::vector<RngState> act_rng_before_;
+  /// Reusable tick-record payload writer: the serial commit loop encodes
+  /// entries straight into the payload (no JournalTick materialization,
+  /// no operation/term copies on the hot path).
+  JournalTickBuilder tick_builder_;
 };
 
 /// Serves one session start to finish with per-sample acting on a private
